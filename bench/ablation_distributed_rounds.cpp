@@ -1,0 +1,76 @@
+// Ablation (paper Section III.C): convergence of the distributed payment
+// protocol. The paper claims the price entries "converge to stable values
+// after finite number of rounds (at most n rounds)"; this bench measures
+// rounds and message volume for both stages across network sizes, in the
+// basic and the Algorithm-2 (verified) variants.
+#include <cstdint>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "distsim/session.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tc;
+  util::Flags flags("Distributed protocol convergence ablation");
+  flags.add_int("instances", 20, "random instances per size")
+      .add_int("seed", 0xd157, "base RNG seed")
+      .add_string("csv", "", "optional CSV output path");
+  if (!flags.parse(argc, argv)) return 1;
+
+  bench::banner("Ablation: distributed payment protocol convergence",
+                "rounds <= n for both stages; message volume grows ~n^2; "
+                "verification adds no rounds on honest networks");
+
+  bench::Report report({"n", "mode", "spt_rounds(avg)", "pay_rounds(avg)",
+                        "pay_rounds(max)", "broadcasts(avg)",
+                        "values_sent(avg)", "instances"});
+
+  const auto instances = static_cast<std::size_t>(flags.get_int("instances"));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  for (std::size_t n : {20, 40, 80, 160}) {
+    for (const bool verified : {false, true}) {
+      util::Accumulator spt_rounds, pay_rounds, broadcasts, values;
+      double pay_rounds_max = 0.0;
+      std::size_t used = 0;
+      for (std::size_t i = 0; i < instances; ++i) {
+        // Density chosen to keep instances connected with high probability.
+        const auto g = graph::make_erdos_renyi(
+            n, std::min(1.0, 8.0 / static_cast<double>(n)), 0.5, 5.0,
+            util::mix64(seed ^ (n * 1000 + i)));
+        if (!graph::is_connected(g)) continue;
+        ++used;
+        distsim::SessionConfig config;
+        config.spt_mode = verified ? distsim::SptMode::kVerified
+                                   : distsim::SptMode::kBasic;
+        config.payment_mode = verified ? distsim::PaymentMode::kVerified
+                                       : distsim::PaymentMode::kBasic;
+        const auto session = distsim::run_session(
+            g, 0, g.costs(), static_cast<graph::NodeId>(n / 2), config);
+        spt_rounds.add(static_cast<double>(session.spt_stats.rounds));
+        pay_rounds.add(static_cast<double>(session.payment_stats.rounds));
+        pay_rounds_max =
+            std::max(pay_rounds_max,
+                     static_cast<double>(session.payment_stats.rounds));
+        broadcasts.add(static_cast<double>(session.spt_stats.broadcasts +
+                                           session.payment_stats.broadcasts));
+        values.add(static_cast<double>(session.spt_stats.values_sent +
+                                       session.payment_stats.values_sent));
+      }
+      report.add_row({std::to_string(n), verified ? "verified" : "basic",
+                      util::fmt(spt_rounds.mean(), 1),
+                      util::fmt(pay_rounds.mean(), 1),
+                      util::fmt(pay_rounds_max, 0),
+                      util::fmt(broadcasts.mean(), 0),
+                      util::fmt(values.mean(), 0), std::to_string(used)});
+    }
+  }
+  report.print();
+  report.write_csv(flags.get_string("csv"));
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation: Dijkstra priority-queue arity (indexed binary heap vs 4-ary
+// heap) on paper-style UDG instances. The 4-ary heap trades comparisons
+// for shallower sift paths; on these graph sizes the difference is small
+// but measurable.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "spath/dijkstra.hpp"
+
+namespace {
+
+using namespace tc;
+
+graph::NodeGraph make_instance(std::size_t n) {
+  graph::UdgParams params;
+  params.n = n;
+  const double side = 2000.0 * std::sqrt(static_cast<double>(n) / 300.0);
+  params.region = {side, side};
+  params.range_m = 300.0;
+  return graph::make_unit_disk_node(params, 1.0, 10.0, 0xcafe + n);
+}
+
+void BM_DijkstraBinaryHeap(benchmark::State& state) {
+  const auto g = make_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spath::dijkstra_node(g, 0));
+  }
+}
+
+void BM_DijkstraQuadHeap(benchmark::State& state) {
+  const auto g = make_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spath::dijkstra_node_quad(g, 0));
+  }
+}
+
+BENCHMARK(BM_DijkstraBinaryHeap)->Arg(300)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DijkstraQuadHeap)->Arg(300)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DijkstraPairingHeap(benchmark::State& state) {
+  const auto g = make_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spath::dijkstra_node_pairing(g, 0));
+  }
+}
+BENCHMARK(BM_DijkstraPairingHeap)->Arg(300)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

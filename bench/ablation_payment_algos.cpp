@@ -1,0 +1,74 @@
+// Ablation (paper Section III.B): fast payment computation (Algorithm 1,
+// O(n log n + m)) versus the naive per-relay Dijkstra (O(n^2 log n + nm)).
+//
+// The paper's claim is asymptotic; this bench shows the wall-clock gap
+// growing with n on paper-style UDG deployments.
+#include <benchmark/benchmark.h>
+
+#include "core/fast_payment.hpp"
+#include "core/vcg_unicast.hpp"
+#include "graph/generators.hpp"
+#include "spath/dijkstra.hpp"
+
+namespace {
+
+using namespace tc;
+
+graph::NodeGraph make_instance(std::size_t n) {
+  graph::UdgParams params;
+  params.n = n;
+  // Scale the region with n to keep average degree near the paper's
+  // n=300 density.
+  const double side = 2000.0 * std::sqrt(static_cast<double>(n) / 300.0);
+  params.region = {side, side};
+  params.range_m = 300.0;
+  return graph::make_unit_disk_node(params, 1.0, 10.0, 0xbeef + n);
+}
+
+/// Picks a far-apart reachable (source, target) pair.
+std::pair<graph::NodeId, graph::NodeId> pick_pair(const graph::NodeGraph& g) {
+  const auto spt = spath::dijkstra_node(g, 0);
+  graph::NodeId best = 0;
+  for (graph::NodeId v = 1; v < g.num_nodes(); ++v) {
+    if (spt.reached(v) && spt.dist[v] > spt.dist[best]) best = v;
+  }
+  return {0, best};
+}
+
+void BM_PaymentNaive(benchmark::State& state) {
+  const auto g = make_instance(static_cast<std::size_t>(state.range(0)));
+  const auto [s, t] = pick_pair(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::vcg_payments_naive(g, s, t));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_PaymentFast(benchmark::State& state) {
+  const auto g = make_instance(static_cast<std::size_t>(state.range(0)));
+  const auto [s, t] = pick_pair(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::vcg_payments_fast(g, s, t));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+/// Baseline: the single Dijkstra that any routing must pay for anyway.
+void BM_SingleDijkstra(benchmark::State& state) {
+  const auto g = make_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spath::dijkstra_node(g, 0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+BENCHMARK(BM_PaymentNaive)->Arg(100)->Arg(300)->Arg(1000)->Arg(3000)
+    ->Unit(benchmark::kMicrosecond)->Complexity();
+BENCHMARK(BM_PaymentFast)->Arg(100)->Arg(300)->Arg(1000)->Arg(3000)
+    ->Unit(benchmark::kMicrosecond)->Complexity();
+BENCHMARK(BM_SingleDijkstra)->Arg(100)->Arg(300)->Arg(1000)->Arg(3000)
+    ->Unit(benchmark::kMicrosecond)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Every binary prints (a) the paper's expected qualitative shape, (b) an
+// aligned table of the measured series, and (c) optionally a CSV mirror
+// via --csv. Binaries run with no arguments at paper-scale defaults;
+// --instances and --seed let CI shrink or perturb the sweep.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace tc::bench {
+
+/// Prints the standard figure banner.
+inline void banner(const std::string& figure, const std::string& paper_claim) {
+  std::cout << "==============================================================\n"
+            << figure << "\n"
+            << "Paper: Truthful Low-Cost Unicast in Selfish Wireless Networks"
+               " (Wang & Li, IPDPS 2004)\n"
+            << "Expected shape: " << paper_claim << "\n"
+            << "==============================================================\n";
+}
+
+/// A header + string-rows result series, printable as table or CSV.
+class Report {
+ public:
+  explicit Report(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print() const {
+    util::TextTable table(header_);
+    for (const auto& row : rows_) table.add_row(row);
+    table.print(std::cout);
+  }
+
+  void write_csv(const std::string& path) const {
+    if (path.empty()) return;
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot open " << path << " for writing\n";
+      return;
+    }
+    util::CsvWriter csv(out);
+    csv.header(header_);
+    for (const auto& row : rows_) {
+      for (const auto& cell : row) csv.field(cell);
+      csv.end_row();
+    }
+    std::cout << "(csv written to " << path << ")\n";
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tc::bench

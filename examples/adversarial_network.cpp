@@ -1,0 +1,76 @@
+// Adversarial network demo: why the basic distributed protocol is not
+// enough, and what Algorithm 2 buys (paper Sections III.C-III.D, Fig. 2).
+//
+// Scenario 1 — the Figure 2 lie: the source denies one of its radio links
+// so the protocol picks a route that is *more expensive for the network*
+// but cheaper for the liar. The basic protocol cannot tell; Algorithm 2's
+// neighbor cross-checks force the correction.
+//
+// Scenario 2 — a relay miscomputes (understates) its payment entries in
+// stage 2; the trigger-verification step convicts it.
+//
+//   ./build/examples/adversarial_network
+#include <iostream>
+
+#include "distsim/session.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace tc;
+  const auto g = graph::make_fig2_graph();
+  const graph::NodeId source = 1;
+
+  std::cout << "--- Scenario 1: lying about adjacency (paper Fig. 2) ---\n";
+  {
+    distsim::SessionConfig honest;
+    const auto truth = distsim::run_session(g, 0, g.costs(), source, honest);
+    std::cout << "honest route:";
+    for (auto v : truth.route) std::cout << " v" << v;
+    std::cout << "  -> v1 pays " << truth.total_payment << "\n";
+
+    distsim::SessionConfig lying;
+    lying.spt_behaviors.assign(g.num_nodes(), {});
+    lying.spt_behaviors[source].denied_neighbor = 4;
+    const auto lied = distsim::run_session(g, 0, g.costs(), source, lying);
+    std::cout << "basic protocol, v1 hides link v1-v4:";
+    for (auto v : lied.route) std::cout << " v" << v;
+    std::cout << "  -> v1 pays " << lied.total_payment
+              << "  (saved " << truth.total_payment - lied.total_payment
+              << " by cheating, nobody noticed)\n";
+
+    lying.spt_mode = distsim::SptMode::kVerified;
+    lying.payment_mode = distsim::PaymentMode::kVerified;
+    const auto verified = distsim::run_session(g, 0, g.costs(), source, lying);
+    std::cout << "Algorithm 2, same lie:";
+    for (auto v : verified.route) std::cout << " v" << v;
+    std::cout << "  -> v1 pays " << verified.total_payment << "  ("
+              << verified.spt_stats.direct_contacts
+              << " secure-channel corrections issued)\n";
+  }
+
+  std::cout << "\n--- Scenario 2: understating payments in stage 2 ---\n";
+  {
+    distsim::SessionConfig lying;
+    lying.payment_behaviors.assign(g.num_nodes(), {});
+    lying.payment_behaviors[source].broadcast_scale = 0.5;
+
+    const auto basic = distsim::run_session(g, 0, g.costs(), source, lying);
+    std::cout << "basic protocol: v1 reports owing " << basic.total_payment
+              << " (true total 6) — accepted unchallenged\n";
+
+    lying.payment_mode = distsim::PaymentMode::kVerified;
+    const auto verified = distsim::run_session(g, 0, g.costs(), source, lying);
+    std::cout << "Algorithm 2: v1 reports owing " << verified.total_payment;
+    if (!verified.payment_stats.accusations.empty()) {
+      const auto& a = verified.payment_stats.accusations.front();
+      std::cout << "  — caught: v" << a.accuser << " accused v" << a.accused
+                << " (" << a.reason << "), payments recomputed\n";
+    } else {
+      std::cout << "\n";
+    }
+  }
+
+  std::cout << "\nSee tests/distsim_adversary_test.cpp for more attack "
+               "variants (wormhole deflation, combined liars).\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Transit marketplace: all-to-all traffic over a selfish network
+// (the Feigenbaum et al. transit model the paper generalizes from,
+// Section II.D, priced with the paper's VCG scheme).
+//
+// Every pair of devices exchanges traffic; each relay accumulates
+// compensation across all the flows it carries. The demo ranks the
+// "earners" — well-placed cheap nodes collect the most — and compares the
+// network's total payment against the raw relay cost.
+//
+//   ./build/examples/transit_marketplace [--nodes N] [--seed S]
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "core/transit.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tc;
+  util::Flags flags("All-to-all transit marketplace demo");
+  flags.add_int("nodes", 60, "devices")
+      .add_int("seed", 12, "deployment seed")
+      .add_int("top", 8, "how many top earners to list");
+  if (!flags.parse(argc, argv)) return 1;
+
+  graph::UdgParams params;
+  params.n = static_cast<std::size_t>(flags.get_int("nodes"));
+  params.region = {800.0, 800.0};
+  params.range_m = 250.0;
+  const auto g = graph::make_unit_disk_node(
+      params, 1.0, 10.0, static_cast<std::uint64_t>(flags.get_int("seed")));
+  if (!graph::is_connected(g)) {
+    std::cout << "deployment disconnected; try another --seed\n";
+    return 0;
+  }
+
+  std::cout << "Transit marketplace: " << g.num_nodes()
+            << " devices, uniform all-to-all traffic (1 packet per "
+               "ordered pair)\n\n";
+  const auto result = core::transit_payments(
+      g, core::uniform_traffic(g.num_nodes()));
+
+  std::cout << "Network totals:\n"
+            << "  true relay cost of all flows: "
+            << util::fmt(result.total_traffic_cost, 1) << "\n"
+            << "  total payments:               "
+            << util::fmt(result.total_payment, 1) << "\n"
+            << "  overpayment ratio:            "
+            << util::fmt(result.overpayment_ratio(), 3) << "\n"
+            << "  unroutable flows:             " << result.unroutable_flows
+            << ", monopoly flows: " << result.monopoly_flows << "\n\n";
+
+  // Rank earners.
+  std::vector<graph::NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](graph::NodeId a, graph::NodeId b) {
+    return result.compensation[a] > result.compensation[b];
+  });
+
+  util::TextTable table({"rank", "node", "declared cost", "degree",
+                         "total earned"});
+  const auto top = static_cast<std::size_t>(flags.get_int("top"));
+  for (std::size_t r = 0; r < top && r < order.size(); ++r) {
+    const graph::NodeId v = order[r];
+    if (result.compensation[v] <= 0.0) break;
+    table.row(static_cast<int>(r + 1), "v" + std::to_string(v),
+              g.node_cost(v), g.degree(v), result.compensation[v]);
+  }
+  table.print(std::cout);
+  std::cout << "\nCheap, central nodes carry the market: payment rewards\n"
+               "both low declared cost and topological position — and\n"
+               "because the scheme is strategyproof, declaring that cost\n"
+               "honestly is each node's best strategy.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Edge-agent VCG payments: the Nisan-Ronen baseline (paper Section II.D).
+//
+// In the edge-agent model each *link* is a selfish agent with a private
+// transit cost; the mechanism routes on the least-cost path and pays each
+// on-path edge e
+//
+//     p_e = D_{G-e}(s, t) - D_G(s, t) + w_e
+//
+// (its declared cost plus the damage its absence would cause). The paper
+// contrasts its node-agent wireless model against exactly this classical
+// formulation, and its Algorithm 1 borrows the machinery of
+// Hershberger-Suri's fast *edge* replacement-path algorithm — which is
+// implemented here: all on-path edge payments in one O(n log n + m) pass
+// over an undirected edge-weighted graph.
+//
+// Representation: a symmetric LinkGraph (arc costs equal both ways); the
+// agent for link {u, v} is the undirected edge.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/link_graph.hpp"
+
+namespace tc::core {
+
+/// Payment to one on-path edge.
+struct EdgePayment {
+  graph::NodeId u = graph::kInvalidNode;  ///< tail along the path
+  graph::NodeId v = graph::kInvalidNode;  ///< head along the path
+  graph::Cost declared = 0.0;             ///< w_e
+  graph::Cost payment = 0.0;              ///< p_e (kInfCost for bridges)
+};
+
+struct EdgeVcgResult {
+  std::vector<graph::NodeId> path;  ///< s..t node sequence
+  graph::Cost path_cost = graph::kInfCost;
+  std::vector<EdgePayment> payments;  ///< one per path edge, in order
+
+  bool connected() const { return graph::finite_cost(path_cost); }
+  graph::Cost total_payment() const;
+};
+
+/// Reference engine: one edge-masked Dijkstra per path edge.
+/// Requires symmetric arc costs (checked).
+EdgeVcgResult edge_vcg_payments_naive(const graph::LinkGraph& g,
+                                      graph::NodeId source,
+                                      graph::NodeId target);
+
+/// Hershberger-Suri fast engine: all replacement paths D_{G-e}(s,t) for
+/// path edges e in one pass. Edge levels are simpler than Algorithm 1's
+/// node levels: every node is assigned the index of the last path edge on
+/// its SPT(s) tree path, and each non-tree edge (a, b) covers the path
+/// edges strictly between level(a) and level(b); a sweep with a min-heap
+/// yields each removed edge's best detour. Identical output to the naive
+/// engine (differential-tested).
+EdgeVcgResult edge_vcg_payments_fast(const graph::LinkGraph& g,
+                                     graph::NodeId source,
+                                     graph::NodeId target);
+
+}  // namespace tc::core

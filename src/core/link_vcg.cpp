@@ -1,0 +1,53 @@
+#include "core/link_vcg.hpp"
+
+#include "spath/dijkstra.hpp"
+#include "util/check.hpp"
+
+namespace tc::core {
+
+using graph::Cost;
+using graph::NodeId;
+
+Cost node_arc_cost_on_path(const graph::LinkGraph& g,
+                           const std::vector<NodeId>& path, NodeId k) {
+  Cost total = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (path[i] == k) total += g.arc_cost(path[i], path[i + 1]);
+  }
+  return total;
+}
+
+PaymentResult link_vcg_payments(const graph::LinkGraph& g, NodeId source,
+                                NodeId target) {
+  TC_CHECK_MSG(source != target, "source and target must differ");
+  PaymentResult result;
+  result.payments.assign(g.num_nodes(), 0.0);
+
+  const spath::SptResult spt = spath::dijkstra_link(g, source);
+  if (!spt.reached(target)) return result;
+  result.path = spt.path_to(target);
+  result.path_cost = spt.dist[target];
+
+  // Masking a node in dijkstra_link is equivalent to declaring all its
+  // outgoing arcs infinite (it also removes incoming arcs, which no
+  // finite-cost path could use once the node cannot forward onward —
+  // except as the final hop *into* the node, impossible here since the
+  // masked node is never the target).
+  for (std::size_t i = 1; i + 1 < result.path.size(); ++i) {
+    const NodeId k = result.path[i];
+    graph::NodeMask mask(g.num_nodes());
+    mask.block(k);
+    const spath::SptResult avoid = spath::dijkstra_link(g, source, mask);
+    const Cost avoid_cost =
+        avoid.reached(target) ? avoid.dist[target] : graph::kInfCost;
+    if (!graph::finite_cost(avoid_cost)) {
+      result.payments[k] = graph::kInfCost;  // monopoly relay
+      continue;
+    }
+    const Cost own_arcs = node_arc_cost_on_path(g, result.path, k);
+    result.payments[k] = own_arcs + (avoid_cost - result.path_cost);
+  }
+  return result;
+}
+
+}  // namespace tc::core

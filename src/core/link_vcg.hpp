@@ -1,0 +1,33 @@
+// Link-weighted VCG payments (paper Section III.F).
+//
+// Each node v_k is an agent whose private type is the vector of its
+// outgoing-arc costs; the output is the least-cost *directed* path
+// P(s, t, d). Node v_k's payment is
+//
+//     p^k = sum_j x_{k,j} d_{k,j} + Delta_k,
+//     Delta_k = ||P(s, t, d |^k inf)|| - ||P(s, t, d)||,
+//
+// i.e., it is reimbursed the declared cost of its own arcs the path uses,
+// plus the improvement its presence brings (computed by setting
+// all of v_k's outgoing-arc costs to infinity — removing it as a relay).
+#pragma once
+
+#include "core/payment.hpp"
+#include "graph/link_graph.hpp"
+
+namespace tc::core {
+
+/// Computes the least-cost directed path s->t and the per-node VCG
+/// payments using the graph's current arc costs as declarations.
+/// payments[k] is 0 for nodes not on the path; source/target are never
+/// paid.
+PaymentResult link_vcg_payments(const graph::LinkGraph& g,
+                                graph::NodeId source, graph::NodeId target);
+
+/// Per-arc declared-cost of the path (sum of x_{k,j} d_{k,j} for node k):
+/// convenience for tests. Returns 0 when k is not on `path`.
+graph::Cost node_arc_cost_on_path(const graph::LinkGraph& g,
+                                  const std::vector<graph::NodeId>& path,
+                                  graph::NodeId k);
+
+}  // namespace tc::core

@@ -1,0 +1,61 @@
+#include "core/multi_gateway.hpp"
+
+#include <algorithm>
+
+#include "core/fast_payment.hpp"
+#include "util/check.hpp"
+
+namespace tc::core {
+
+using graph::Cost;
+using graph::NodeId;
+
+Cost GatewayResult::total_payment() const {
+  Cost total = 0.0;
+  for (Cost p : payments) total += p;
+  return total;
+}
+
+GatewayResult multi_gateway_payments(const graph::NodeGraph& g,
+                                     NodeId source,
+                                     const std::vector<NodeId>& gateways) {
+  TC_CHECK_MSG(!gateways.empty(), "need at least one gateway");
+  for (NodeId gw : gateways) {
+    TC_CHECK_MSG(gw < g.num_nodes(), "gateway out of range");
+    TC_CHECK_MSG(gw != source, "source cannot be its own gateway");
+  }
+
+  // Augmented graph: virtual sink with zero cost adjacent to every
+  // gateway. Gateways are operator infrastructure, not selfish agents:
+  // their declared costs are ignored (forced to 0) and they are never
+  // paid — exactly the single-AP convention, where v_0 is the unpaid
+  // terminal. With one gateway this reduces to vcg_payments_fast.
+  const auto n = static_cast<NodeId>(g.num_nodes());
+  graph::NodeGraphBuilder builder(g.num_nodes() + 1);
+  builder.set_costs([&] {
+    auto costs = g.costs();
+    for (NodeId gw : gateways) costs[gw] = 0.0;
+    costs.push_back(0.0);  // the sink
+    return costs;
+  }());
+  for (const auto& [u, v] : g.edges()) builder.add_edge(u, v);
+  for (NodeId gw : gateways) builder.add_edge(gw, n);
+  const graph::NodeGraph augmented = builder.build();
+
+  const PaymentResult r = vcg_payments_fast(augmented, source, n);
+
+  GatewayResult result;
+  result.payments.assign(g.num_nodes(), 0.0);
+  if (!r.connected()) return result;
+
+  // Strip the virtual sink from the path; the node before it is the
+  // chosen gateway, and it earns nothing (infrastructure).
+  result.path.assign(r.path.begin(), r.path.end() - 1);
+  result.gateway = result.path.back();
+  result.path_cost = r.path_cost;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) result.payments[v] = r.payments[v];
+  for (NodeId gw : gateways) result.payments[gw] = 0.0;
+  return result;
+}
+
+}  // namespace tc::core

@@ -1,0 +1,42 @@
+// Multi-gateway unicast: VCG routing when the network has several access
+// points and a source only cares that its traffic reaches *some* gateway
+// (a campus with multiple wired uplinks). The paper treats a single v_0
+// and notes the mechanism generalizes (Section II.B); this module
+// implements the gateway-set generalization.
+//
+// Mechanism: augment the graph with a virtual sink adjacent to every
+// gateway (zero-cost edges); the LCP to the sink is the LCP to the
+// cheapest-to-reach gateway, and VCG payments computed in the augmented
+// graph remain strategyproof — a relay's payment still equals its
+// declared cost plus the marginal harm of its absence, now measured
+// against rerouting to *any* gateway. Gateways themselves are
+// infrastructure (not agents) and are never paid.
+#pragma once
+
+#include <vector>
+
+#include "core/payment.hpp"
+#include "graph/node_graph.hpp"
+
+namespace tc::core {
+
+struct GatewayResult {
+  /// Path source..gateway actually used; empty when no gateway reachable.
+  std::vector<graph::NodeId> path;
+  graph::NodeId gateway = graph::kInvalidNode;  ///< chosen gateway
+  graph::Cost path_cost = graph::kInfCost;
+  /// payments[k] for every node of the original graph.
+  std::vector<graph::Cost> payments;
+
+  bool connected() const { return graph::finite_cost(path_cost); }
+  graph::Cost total_payment() const;
+};
+
+/// Computes the least-cost route from `source` to the cheapest gateway
+/// and VCG payments to its relays. `gateways` must be non-empty and must
+/// not contain `source`.
+GatewayResult multi_gateway_payments(const graph::NodeGraph& g,
+                                     graph::NodeId source,
+                                     const std::vector<graph::NodeId>& gateways);
+
+}  // namespace tc::core

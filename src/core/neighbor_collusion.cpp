@@ -1,0 +1,88 @@
+#include "core/neighbor_collusion.hpp"
+
+#include <algorithm>
+
+#include "spath/dijkstra.hpp"
+#include "util/check.hpp"
+
+namespace tc::core {
+
+using graph::Cost;
+using graph::NodeId;
+
+std::vector<NodeId> closed_neighborhood(const graph::NodeGraph& g, NodeId v) {
+  std::vector<NodeId> set{v};
+  const auto nbrs = g.neighbors(v);
+  set.insert(set.end(), nbrs.begin(), nbrs.end());
+  return set;
+}
+
+PaymentResult q_set_payments(const graph::NodeGraph& g, NodeId source,
+                             NodeId target, const CollusionSetFn& q) {
+  TC_CHECK_MSG(source != target, "source and target must differ");
+  PaymentResult result;
+  result.payments.assign(g.num_nodes(), 0.0);
+
+  const spath::SptResult spt = spath::dijkstra_node(g, source);
+  if (!spt.reached(target)) return result;
+  result.path = spt.path_to(target);
+  result.path_cost = spt.dist[target];
+
+  std::vector<bool> on_path(g.num_nodes(), false);
+  for (std::size_t i = 1; i + 1 < result.path.size(); ++i)
+    on_path[result.path[i]] = true;
+
+  for (NodeId k = 0; k < g.num_nodes(); ++k) {
+    if (k == source || k == target) continue;
+    auto q_set = q(g, k);
+    TC_CHECK_MSG(std::find(q_set.begin(), q_set.end(), k) != q_set.end(),
+                 "Q(v) must contain v itself");
+    graph::NodeMask mask(g.num_nodes());
+    for (NodeId v : q_set) {
+      if (v != source && v != target) mask.block(v);
+    }
+    const spath::SptResult avoid = spath::dijkstra_node(g, source, mask);
+    const Cost avoid_cost =
+        avoid.reached(target) ? avoid.dist[target] : graph::kInfCost;
+    if (!graph::finite_cost(avoid_cost)) {
+      // Q(v_k)'s removal disconnects the endpoints; the scheme's
+      // precondition (G \ Q(v) connected) is violated and the payment is
+      // unbounded (monopoly). Surface it as infinity.
+      result.payments[k] = graph::kInfCost;
+      continue;
+    }
+    // Groves payment with h^k = ||P_{-Q(v_k)}||, which no member of
+    // Q(v_k) can influence: relays earn d_k plus the option value; nodes
+    // off the path still earn the (non-negative) option value of their
+    // collusion set.
+    const Cost option_value = avoid_cost - result.path_cost;
+    result.payments[k] =
+        (on_path[k] ? g.node_cost(k) : 0.0) + option_value;
+  }
+  return result;
+}
+
+PaymentResult neighbor_resistant_payments(const graph::NodeGraph& g,
+                                          NodeId source, NodeId target) {
+  return q_set_payments(g, source, target,
+                        [](const graph::NodeGraph& graph, NodeId v) {
+                          return closed_neighborhood(graph, v);
+                        });
+}
+
+mech::UnicastOutcome NeighborResistantMechanism::run(
+    const graph::NodeGraph& g, NodeId source, NodeId target,
+    const std::vector<Cost>& declared) const {
+  TC_CHECK_MSG(declared.size() == g.num_nodes(),
+               "declared vector size must match node count");
+  graph::NodeGraph work = g;
+  work.set_costs(declared);
+  const PaymentResult r = neighbor_resistant_payments(work, source, target);
+  mech::UnicastOutcome out;
+  out.path = r.path;
+  out.path_cost = r.path_cost;
+  out.payments = r.payments;
+  return out;
+}
+
+}  // namespace tc::core

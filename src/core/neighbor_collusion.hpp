@@ -1,0 +1,61 @@
+// Collusion-resistant payment schemes (paper Section III.E).
+//
+// Theorem 7 shows no mechanism outputting the LCP can resist collusion by
+// arbitrary pairs; the constructive result is the scheme p~ that resists
+// collusion between *neighboring* nodes:
+//
+//     p~^k = ||P_{-N(v_k)}(s, t, d)|| - ||P(s, t, d)|| + d_k   if the
+//            closed-neighborhood-avoiding path exists and v_k is on the LCP
+//
+// and, notably, a node v_k *off* the LCP still receives
+// ||P_{-N(v_k)}|| - ||P|| (>= 0) when removing its neighborhood hurts the
+// route — the scheme pays for the option value a node's neighborhood
+// provides, which is what removes the neighbor-lifting exploit.
+//
+// The generalized Q-set scheme replaces N(v_k) with an arbitrary
+// collusion-set map Q: p~^k = ||P_{-Q(v_k)}|| - ||P|| + d_k. N(v_k) is the
+// special case Q(v_k) = closed neighborhood; Q(v_k) = {v_k} degenerates to
+// plain VCG.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/payment.hpp"
+#include "graph/node_graph.hpp"
+#include "mech/mechanism.hpp"
+
+namespace tc::core {
+
+/// Maps a node to the set it may collude with (must contain the node
+/// itself). The scheme requires G \ Q(v) to stay connected for every v.
+using CollusionSetFn =
+    std::function<std::vector<graph::NodeId>(const graph::NodeGraph&,
+                                             graph::NodeId)>;
+
+/// Q(v) = closed neighborhood {v} ∪ N(v).
+std::vector<graph::NodeId> closed_neighborhood(const graph::NodeGraph& g,
+                                               graph::NodeId v);
+
+/// Computes the p~ payments for all nodes (on-path relays via the formula
+/// above; off-path nodes get max(0, ||P_{-N}|| - ||P||)). Uses the graph's
+/// stored costs as the declared vector.
+PaymentResult neighbor_resistant_payments(const graph::NodeGraph& g,
+                                          graph::NodeId source,
+                                          graph::NodeId target);
+
+/// Generalized Q-set payments.
+PaymentResult q_set_payments(const graph::NodeGraph& g, graph::NodeId source,
+                             graph::NodeId target, const CollusionSetFn& q);
+
+/// UnicastMechanism adapter over the p~ scheme, usable with the
+/// truthfulness/collusion harness.
+class NeighborResistantMechanism final : public mech::UnicastMechanism {
+ public:
+  mech::UnicastOutcome run(
+      const graph::NodeGraph& g, graph::NodeId source, graph::NodeId target,
+      const std::vector<graph::Cost>& declared) const override;
+  std::string name() const override { return "neighbor-resistant"; }
+};
+
+}  // namespace tc::core

@@ -1,0 +1,84 @@
+#include "core/nuglet.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "core/overpayment.hpp"
+#include "graph/mask.hpp"
+#include "spath/dijkstra.hpp"
+#include "util/check.hpp"
+
+namespace tc::core {
+
+using graph::Cost;
+using graph::kInvalidNode;
+using graph::NodeId;
+
+NugletOutcome evaluate_nuglet_scheme(const graph::NodeGraph& g,
+                                     NodeId access_point, double price) {
+  TC_CHECK_MSG(price >= 0.0, "nuglet price must be non-negative");
+  NugletOutcome out;
+  out.price = price;
+  out.sources = g.num_nodes() - 1;
+
+  // Rational participation: relays whose true cost exceeds the fixed
+  // price refuse. Sources and the AP always participate in their own
+  // traffic.
+  graph::NodeMask willing(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v == access_point) continue;
+    if (g.node_cost(v) > price) {
+      willing.block(v);
+      ++out.refusing_relays;
+    }
+  }
+
+  // Hop-minimal routing over the willing subgraph: BFS tree toward the
+  // AP. (Sources pay `price` per hop, so they minimize hops; true costs
+  // are invisible to them under fixed pricing.)
+  std::vector<std::size_t> hop(g.num_nodes(),
+                               std::numeric_limits<std::size_t>::max());
+  std::vector<NodeId> next(g.num_nodes(), kInvalidNode);
+  std::queue<NodeId> frontier;
+  hop[access_point] = 0;
+  frontier.push(access_point);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : g.neighbors(u)) {
+      if (hop[v] != std::numeric_limits<std::size_t>::max()) continue;
+      // v may route *through* u only if u is the AP or a willing relay;
+      // but v itself can always start a path.
+      if (u != access_point && !willing.allowed(u)) continue;
+      hop[v] = hop[u] + 1;
+      next[v] = u;
+      frontier.push(v);
+    }
+  }
+
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (s == access_point) continue;
+    if (hop[s] == std::numeric_limits<std::size_t>::max()) continue;
+    ++out.delivered;
+    for (NodeId k = next[s]; k != access_point; k = next[k]) {
+      out.social_cost += g.node_cost(k);
+      out.total_paid += price;
+      out.relay_surplus += price - g.node_cost(k);
+    }
+  }
+  return out;
+}
+
+VcgReference evaluate_vcg_reference(const graph::NodeGraph& g,
+                                    NodeId access_point) {
+  VcgReference ref;
+  const auto study = overpayment_node_model(g, access_point);
+  for (const auto& s : study.per_source) {
+    ++ref.delivered;
+    ref.social_cost += s.lcp_cost;
+    ref.total_paid += s.payment;
+  }
+  return ref;
+}
+
+}  // namespace tc::core

@@ -1,0 +1,60 @@
+// Fixed-price ("nuglet") relaying baseline (paper Section II.D).
+//
+// Buttyán-Hubaux-style schemes pay every relay a fixed price (one nuglet)
+// per packet regardless of its cost. The paper's critique: "a node may
+// still refuse to relay the packet if its actual cost is higher than the
+// monetary value of the nuglet". This module models exactly that:
+// rational relays participate iff price >= cost, traffic routes over the
+// willing subgraph, and we measure what the fixed price buys —
+// reachability, social cost and payment volume — against the VCG scheme.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/node_graph.hpp"
+
+namespace tc::core {
+
+/// Outcome of running the fixed-price scheme network-wide (all sources
+/// toward the access point).
+struct NugletOutcome {
+  double price = 0.0;                ///< nuglets paid per relay per packet
+  std::size_t sources = 0;           ///< nodes other than the AP
+  std::size_t delivered = 0;         ///< sources that can still reach the AP
+  std::size_t refusing_relays = 0;   ///< nodes with cost > price
+  /// Sum over delivered sources of the *true* relay cost of the path used
+  /// (hop-minimal over willing relays, as nuglet charging is per hop).
+  graph::Cost social_cost = 0.0;
+  /// Sum over delivered sources of (price * relays on path).
+  graph::Cost total_paid = 0.0;
+  /// Aggregate relay welfare: sum over relaying events of (price - cost).
+  /// Negative contributions cannot occur (those relays refuse).
+  graph::Cost relay_surplus = 0.0;
+
+  double delivery_rate() const {
+    return sources ? static_cast<double>(delivered) /
+                         static_cast<double>(sources)
+                   : 0.0;
+  }
+};
+
+/// Evaluates the fixed-price scheme on `g` with rational participation:
+/// a node relays iff its true cost <= price. Routing over the willing
+/// subgraph minimizes hop count (each hop costs the source one `price`,
+/// so rational sources minimize hops, not true cost).
+NugletOutcome evaluate_nuglet_scheme(const graph::NodeGraph& g,
+                                     graph::NodeId access_point,
+                                     double price);
+
+/// Reference point: the VCG scheme's social cost and payment volume on
+/// the same instance (all sources reach the AP; LCP routing).
+struct VcgReference {
+  std::size_t delivered = 0;
+  graph::Cost social_cost = 0.0;  ///< sum of LCP true relay costs
+  graph::Cost total_paid = 0.0;   ///< sum of VCG payments (may be inf)
+};
+VcgReference evaluate_vcg_reference(const graph::NodeGraph& g,
+                                    graph::NodeId access_point);
+
+}  // namespace tc::core

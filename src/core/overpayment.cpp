@@ -1,0 +1,186 @@
+#include "core/overpayment.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "spath/dijkstra.hpp"
+#include "util/check.hpp"
+
+namespace tc::core {
+
+using graph::Cost;
+using graph::kInfCost;
+using graph::kInvalidNode;
+using graph::NodeId;
+
+namespace {
+
+/// Shared implementation over an abstracted "SPT toward the AP" view.
+/// to_ap.dist[i] is the cost of P(i, ap); to_ap.parent[i] is i's next hop
+/// toward the AP. relay_arc_cost(k) is what relay k charges on the tree
+/// path through it (its node cost, or the cost of its tree arc).
+template <typename AvoidDistFn, typename RelayChargeFn, typename SourceOwnFn>
+OverpaymentResult study_from_tree(std::size_t n, NodeId ap,
+                                  const spath::SptResult& to_ap,
+                                  AvoidDistFn&& avoid_dist,
+                                  RelayChargeFn&& relay_charge,
+                                  SourceOwnFn&& source_own_cost) {
+  OverpaymentResult result;
+  std::size_t skipped = 0;
+  std::size_t monopolies = 0;
+
+  // Distinct relays: interior nodes of some tree path = nodes that are a
+  // parent of a node other than the AP's own children boundary case.
+  std::vector<bool> is_relay(n, false);
+  for (NodeId i = 0; i < n; ++i) {
+    if (i == ap || !to_ap.reached(i)) continue;
+    const NodeId p = to_ap.parent[i];
+    if (p != kInvalidNode && p != ap) is_relay[p] = true;
+  }
+
+  // One avoiding SPT per relay, computed lazily and cached.
+  std::vector<std::vector<Cost>> avoid_cache(n);
+  auto avoid_for = [&](NodeId k) -> const std::vector<Cost>& {
+    if (avoid_cache[k].empty()) avoid_cache[k] = avoid_dist(k);
+    return avoid_cache[k];
+  };
+
+  for (NodeId i = 0; i < n; ++i) {
+    if (i == ap) continue;
+    if (!to_ap.reached(i)) {
+      ++skipped;
+      continue;
+    }
+    SourceOverpayment src;
+    src.source = i;
+    // The ratio denominator c(i,0) is what the source pays relays *at
+    // cost*: the path cost minus the source's own transmission cost
+    // (Section II.C excludes endpoint costs; in the link model the first
+    // arc belongs to the source).
+    const Cost full_cost = to_ap.dist[i];
+    src.lcp_cost = full_cost - source_own_cost(i);
+
+    bool monopoly = false;
+    Cost payment = 0.0;
+    std::size_t hops = 0;
+    for (NodeId k = to_ap.parent[i]; k != kInvalidNode && !monopoly;
+         k = to_ap.parent[k]) {
+      ++hops;
+      if (k == ap) break;
+      TC_DCHECK(is_relay[k]);
+      const Cost avoided = avoid_for(k)[i];
+      if (!graph::finite_cost(avoided)) {
+        monopoly = true;
+        break;
+      }
+      // The VCG difference uses full path costs; the sources' own first
+      // arcs appear in both terms of real payment formulas and any
+      // imbalance between the LCP's and the avoiding path's first arc is
+      // part of the marginal value, so keep full costs here.
+      payment += relay_charge(k) + (avoided - full_cost);
+    }
+    if (monopoly) {
+      ++monopolies;
+      continue;
+    }
+    src.payment = payment;
+    src.hops = hops;
+    if (src.hops <= 1) {
+      // Direct neighbor of the AP: no relays, ratio undefined. Recorded in
+      // per_source (payment 0) but excluded from the ratio metrics.
+      ++skipped;
+    }
+    result.per_source.push_back(src);
+  }
+
+  result.metrics =
+      summarize_overpayment(result.per_source, monopolies, skipped);
+  return result;
+}
+
+}  // namespace
+
+OverpaymentMetrics summarize_overpayment(
+    const std::vector<SourceOverpayment>& per_source,
+    std::size_t monopoly_sources, std::size_t skipped_sources) {
+  OverpaymentMetrics m;
+  m.monopoly_sources = monopoly_sources;
+  m.sources_skipped = skipped_sources;
+  double total_payment = 0.0;
+  double total_cost = 0.0;
+  double ratio_sum = 0.0;
+  for (const SourceOverpayment& s : per_source) {
+    total_payment += s.payment;
+    total_cost += s.lcp_cost;
+    if (!s.ratio_defined()) continue;
+    const double r = s.ratio();
+    ratio_sum += r;
+    m.worst = std::max(m.worst, r);
+    ++m.sources_counted;
+  }
+  m.tor = total_cost > 0.0 ? total_payment / total_cost : 0.0;
+  m.ior = m.sources_counted > 0
+              ? ratio_sum / static_cast<double>(m.sources_counted)
+              : 0.0;
+  return m;
+}
+
+OverpaymentResult overpayment_node_model(const graph::NodeGraph& g,
+                                         NodeId access_point) {
+  const spath::SptResult to_ap = spath::dijkstra_node(g, access_point);
+  auto avoid_dist = [&](NodeId k) {
+    graph::NodeMask mask(g.num_nodes());
+    mask.block(k);
+    return spath::dijkstra_node(g, access_point, mask).dist;
+  };
+  auto relay_charge = [&](NodeId k) { return g.node_cost(k); };
+  auto source_own = [](NodeId) { return 0.0; };  // node model: already excluded
+  return study_from_tree(g.num_nodes(), access_point, to_ap, avoid_dist,
+                         relay_charge, source_own);
+}
+
+OverpaymentResult overpayment_link_model(const graph::LinkGraph& g,
+                                         NodeId access_point) {
+  // Reverse graph: distances from the AP in `rev` are i->AP distances in
+  // g, and the reverse-SPT parent of i is its next hop toward the AP.
+  const graph::LinkGraph rev = spath::reverse_graph(g);
+  const spath::SptResult to_ap = spath::dijkstra_link(rev, access_point);
+  auto avoid_dist = [&](NodeId k) {
+    graph::NodeMask mask(g.num_nodes());
+    mask.block(k);
+    return spath::dijkstra_link(rev, access_point, mask).dist;
+  };
+  // Relay k's own charge on the tree path is the declared cost of its
+  // forwarding arc k -> parent(k) (the sum_j x_{k,j} d_{k,j} term).
+  auto relay_charge = [&](NodeId k) {
+    return g.arc_cost(k, to_ap.parent[k]);
+  };
+  auto source_own = [&](NodeId i) {
+    const NodeId first_hop = to_ap.parent[i];
+    return first_hop == graph::kInvalidNode ? 0.0 : g.arc_cost(i, first_hop);
+  };
+  return study_from_tree(g.num_nodes(), access_point, to_ap, avoid_dist,
+                         relay_charge, source_own);
+}
+
+std::vector<HopBucket> bucket_by_hops(
+    const std::vector<SourceOverpayment>& per_source) {
+  std::map<std::size_t, HopBucket> buckets;
+  for (const SourceOverpayment& s : per_source) {
+    if (!s.ratio_defined()) continue;
+    HopBucket& b = buckets[s.hops];
+    b.hops = s.hops;
+    b.mean_ratio += s.ratio();
+    b.max_ratio = std::max(b.max_ratio, s.ratio());
+    ++b.count;
+  }
+  std::vector<HopBucket> out;
+  out.reserve(buckets.size());
+  for (auto& [hops, b] : buckets) {
+    b.mean_ratio /= static_cast<double>(b.count);
+    out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace tc::core

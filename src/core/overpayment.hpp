@@ -1,0 +1,76 @@
+// Overpayment study (paper Section III.G).
+//
+// Every node v_i sends to the access point v_0 along its LCP and pays VCG
+// prices; the study compares total payments against the actual LCP costs:
+//
+//   TOR   (total overpayment ratio)      = sum_i p_i / sum_i c(i,0)
+//   IOR   (individual overpayment ratio) = (1/n') sum_i p_i / c(i,0)
+//   Worst                                = max_i  p_i / c(i,0)
+//
+// where p_i is v_i's total payment and c(i,0) the cost of its LCP. Sources
+// one hop from the AP have no relays (p_i = c = 0) and are excluded from
+// IOR/Worst, as are (never observed on biconnected instances) monopoly
+// sources whose payment is unbounded.
+//
+// Both network models are supported; the computation shares one
+// access-point-rooted SPT plus one avoiding SPT per distinct relay, so a
+// full n-source study costs O(#relays * (n log n + m)).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/link_graph.hpp"
+#include "graph/node_graph.hpp"
+
+namespace tc::core {
+
+/// Per-source outcome of the study.
+struct SourceOverpayment {
+  graph::NodeId source = graph::kInvalidNode;
+  graph::Cost payment = 0.0;   ///< p_i: total VCG payment of this source
+  graph::Cost lcp_cost = 0.0;  ///< c(i,0): declared cost of its LCP
+  std::size_t hops = 0;        ///< path length in hops (>= 1)
+  bool ratio_defined() const { return lcp_cost > 0.0; }
+  double ratio() const { return payment / lcp_cost; }
+};
+
+struct OverpaymentMetrics {
+  double tor = 0.0;
+  double ior = 0.0;
+  double worst = 0.0;
+  std::size_t sources_counted = 0;   ///< sources entering IOR/Worst
+  std::size_t sources_skipped = 0;   ///< one-hop or disconnected sources
+  std::size_t monopoly_sources = 0;  ///< unbounded payment (non-biconnected)
+};
+
+struct OverpaymentResult {
+  OverpaymentMetrics metrics;
+  std::vector<SourceOverpayment> per_source;
+};
+
+/// Node-weighted study: VCG payments from every source to `access_point`.
+OverpaymentResult overpayment_node_model(const graph::NodeGraph& g,
+                                         graph::NodeId access_point);
+
+/// Link-weighted study (Section III.F payments).
+OverpaymentResult overpayment_link_model(const graph::LinkGraph& g,
+                                         graph::NodeId access_point);
+
+/// Fig. 3(d): overpayment ratio bucketed by hop distance to the source.
+struct HopBucket {
+  std::size_t hops = 0;
+  double mean_ratio = 0.0;
+  double max_ratio = 0.0;
+  std::size_t count = 0;
+};
+
+std::vector<HopBucket> bucket_by_hops(
+    const std::vector<SourceOverpayment>& per_source);
+
+/// Aggregates the per-source list into the three ratios.
+OverpaymentMetrics summarize_overpayment(
+    const std::vector<SourceOverpayment>& per_source,
+    std::size_t monopoly_sources, std::size_t skipped_sources);
+
+}  // namespace tc::core

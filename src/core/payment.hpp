@@ -1,0 +1,36 @@
+// Common payment-computation result type for the centralized engines.
+#pragma once
+
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace tc::core {
+
+/// Result of computing VCG-style payments for one unicast request.
+struct PaymentResult {
+  /// The least cost path source..target inclusive (the mechanism output).
+  std::vector<graph::NodeId> path;
+  /// Declared-cost total of `path` (interior relay costs in the node
+  /// model; arc-cost sum in the link model). kInfCost when disconnected.
+  graph::Cost path_cost = graph::kInfCost;
+  /// payments[k]: payment owed to node k; 0 for nodes that earn nothing.
+  /// May be kInfCost when removing k disconnects the endpoints (monopoly;
+  /// cannot happen on biconnected graphs).
+  std::vector<graph::Cost> payments;
+
+  bool connected() const { return graph::finite_cost(path_cost); }
+
+  graph::Cost total_payment() const {
+    graph::Cost total = 0.0;
+    for (graph::Cost p : payments) total += p;
+    return total;
+  }
+
+  /// Overpayment = total payment minus the path's declared cost (what a
+  /// non-strategic "pay cost" scheme would charge). Section III.G studies
+  /// the ratio total_payment / path_cost.
+  graph::Cost overpayment() const { return total_payment() - path_cost; }
+};
+
+}  // namespace tc::core

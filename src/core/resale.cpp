@@ -1,0 +1,61 @@
+#include "core/resale.hpp"
+
+#include <algorithm>
+
+#include "core/fast_payment.hpp"
+#include "util/check.hpp"
+
+namespace tc::core {
+
+using graph::Cost;
+using graph::NodeId;
+
+AllPayments compute_all_payments(const graph::NodeGraph& g,
+                                 NodeId access_point) {
+  AllPayments all;
+  all.per_source.resize(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v == access_point) continue;
+    all.per_source[v] = vcg_payments_fast(g, v, access_point);
+  }
+  return all;
+}
+
+std::vector<ResaleDeal> find_resale_deals(const graph::NodeGraph& g,
+                                          NodeId access_point,
+                                          const AllPayments& payments,
+                                          double tolerance) {
+  std::vector<ResaleDeal> deals;
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    if (i == access_point) continue;
+    const PaymentResult& mine = payments.per_source[i];
+    if (!mine.connected()) continue;
+    const Cost p_i = mine.total_payment();
+    for (NodeId j : g.neighbors(i)) {
+      if (j == access_point) continue;
+      const PaymentResult& theirs = payments.per_source[j];
+      if (!theirs.connected()) continue;
+      const Cost p_j = theirs.total_payment();
+      // max(p_i^j, c_j): if v_j relays for v_i then p_i^j >= c_j already;
+      // otherwise p_i^j = 0 and v_j must at least recoup its true cost.
+      const Cost compensation = std::max(mine.payments[j], g.node_cost(j));
+      ResaleDeal deal;
+      deal.source = i;
+      deal.reseller = j;
+      deal.direct_payment = p_i;
+      deal.reseller_payment = p_j;
+      deal.compensation = compensation;
+      if (deal.savings() > tolerance) deals.push_back(deal);
+    }
+  }
+  // Most profitable first, deterministic tie-break by ids.
+  std::sort(deals.begin(), deals.end(),
+            [](const ResaleDeal& a, const ResaleDeal& b) {
+              if (a.savings() != b.savings()) return a.savings() > b.savings();
+              if (a.source != b.source) return a.source < b.source;
+              return a.reseller < b.reseller;
+            });
+  return deals;
+}
+
+}  // namespace tc::core

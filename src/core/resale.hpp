@@ -1,0 +1,62 @@
+// Resale-the-path collusion (paper Section III.H).
+//
+// After payments are computed, a source v_i and a neighbor v_j can collude
+// whenever v_i's total payment exceeds what it would cost to route
+// *through* v_j and compensate it:
+//
+//     p_i > p_j + max(p_i^j, c_j)
+//
+// where p_i, p_j are the nodes' total payments to their own LCPs toward
+// the access point and p_i^j is what v_i would have paid v_j directly
+// (p_i^j >= c_j when v_j relays for v_i, 0 otherwise, hence the max is
+// x_j p_i^j + (1 - x_j) c_j as in the paper). The savings
+// p_i - (p_j + max(p_i^j, c_j)) are split between the two colluders.
+//
+// This module detects all profitable resale pairs in a network — the
+// paper's Fig. 4 instance (p_8 = 20, p_4 = 6, c_4 = 5, final outlay 15.5)
+// is reproduced in tests/resale_test.cpp.
+#pragma once
+
+#include <vector>
+
+#include "core/payment.hpp"
+#include "graph/node_graph.hpp"
+
+namespace tc::core {
+
+/// One profitable resale opportunity.
+struct ResaleDeal {
+  graph::NodeId source = graph::kInvalidNode;   ///< v_i, the buyer
+  graph::NodeId reseller = graph::kInvalidNode; ///< v_j, the colluding neighbor
+  graph::Cost direct_payment = 0.0;   ///< p_i: v_i's own total payment
+  graph::Cost reseller_payment = 0.0; ///< p_j
+  graph::Cost compensation = 0.0;     ///< max(p_i^j, c_j)
+  graph::Cost savings() const {
+    return direct_payment - (reseller_payment + compensation);
+  }
+  /// What v_i pays in total under an equal split of the savings.
+  graph::Cost source_outlay_after_split() const {
+    return direct_payment - savings() / 2.0;
+  }
+  /// The reseller's utility gain under an equal split.
+  graph::Cost reseller_gain_after_split() const { return savings() / 2.0; }
+};
+
+/// Payments of every node toward the access point, cached for resale
+/// analysis: per-source PaymentResult (index = source node).
+struct AllPayments {
+  std::vector<PaymentResult> per_source;  // per_source[ap] is empty
+};
+
+/// Runs the VCG mechanism from every node to `access_point` (fast engine).
+AllPayments compute_all_payments(const graph::NodeGraph& g,
+                                 graph::NodeId access_point);
+
+/// Finds every profitable resale pair (savings > tolerance) given the
+/// per-source payments.
+std::vector<ResaleDeal> find_resale_deals(const graph::NodeGraph& g,
+                                          graph::NodeId access_point,
+                                          const AllPayments& payments,
+                                          double tolerance = 1e-9);
+
+}  // namespace tc::core

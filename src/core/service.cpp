@@ -1,0 +1,104 @@
+#include "core/service.hpp"
+
+#include "core/fast_payment.hpp"
+#include "core/neighbor_collusion.hpp"
+#include "graph/connectivity.hpp"
+#include "util/check.hpp"
+
+namespace tc::core {
+
+using graph::Cost;
+using graph::NodeId;
+
+Cost RouteQuote::total_per_packet() const {
+  Cost total = 0.0;
+  for (Cost p : payments) total += p;
+  return total;
+}
+
+Cost RouteQuote::total_for_packets(std::uint64_t packets) const {
+  return total_per_packet() * static_cast<Cost>(packets);
+}
+
+UnicastService::UnicastService(graph::NodeGraph topology,
+                               NodeId access_point, PricingScheme scheme)
+    : graph_(std::move(topology)),
+      access_point_(access_point),
+      scheme_(scheme),
+      cache_(graph_.num_nodes()),
+      cache_version_(graph_.num_nodes(), 0) {
+  TC_CHECK_MSG(access_point_ < graph_.num_nodes(),
+               "access point out of range");
+}
+
+void UnicastService::declare_cost(NodeId v, Cost declared) {
+  TC_CHECK_MSG(declared >= 0.0, "declared cost must be non-negative");
+  if (graph_.node_cost(v) == declared) return;  // no-op keeps caches warm
+  graph_.set_node_cost(v, declared);
+  ++version_;
+}
+
+void UnicastService::declare_costs(const std::vector<Cost>& declared) {
+  graph_.set_costs(declared);
+  ++version_;
+}
+
+RouteQuote UnicastService::compute_quote_to(NodeId source,
+                                            NodeId target) const {
+  const PaymentResult r =
+      scheme_ == PricingScheme::kVcg
+          ? vcg_payments_fast(graph_, source, target)
+          : neighbor_resistant_payments(graph_, source, target);
+  RouteQuote quote;
+  quote.path = r.path;
+  quote.path_cost = r.path_cost;
+  quote.payments = r.payments;
+  quote.profile_version = version_;
+  return quote;
+}
+
+RouteQuote UnicastService::compute_quote(NodeId source) const {
+  return compute_quote_to(source, access_point_);
+}
+
+std::optional<RouteQuote> UnicastService::quote_pair(NodeId source,
+                                                     NodeId target) const {
+  TC_CHECK_MSG(source < graph_.num_nodes() && target < graph_.num_nodes(),
+               "endpoint out of range");
+  TC_CHECK_MSG(source != target, "source and target must differ");
+  RouteQuote quote = compute_quote_to(source, target);
+  if (!quote.routable()) return std::nullopt;
+  return quote;
+}
+
+std::optional<RouteQuote> UnicastService::quote(NodeId source) {
+  TC_CHECK_MSG(source < graph_.num_nodes(), "source out of range");
+  TC_CHECK_MSG(source != access_point_,
+               "the access point does not route to itself");
+  if (cache_version_[source] != version_) {
+    cache_[source] = compute_quote(source);
+    cache_version_[source] = version_;
+  }
+  const RouteQuote& quote = cache_[source];
+  if (!quote.routable()) return std::nullopt;
+  return quote;
+}
+
+bool UnicastService::monopoly_free() const {
+  if (scheme_ == PricingScheme::kVcg) {
+    return graph::is_biconnected(graph_);
+  }
+  return graph::is_biconnected(graph_) &&
+         graph::neighborhood_removal_safe(graph_);
+}
+
+std::vector<std::optional<RouteQuote>> UnicastService::quote_all() {
+  std::vector<std::optional<RouteQuote>> quotes(graph_.num_nodes());
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    if (v == access_point_) continue;
+    quotes[v] = quote(v);
+  }
+  return quotes;
+}
+
+}  // namespace tc::core

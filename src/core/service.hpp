@@ -1,0 +1,99 @@
+// UnicastService: the deployment-facing facade.
+//
+// A long-lived object owning the network topology and the current
+// declared-cost profile. Nodes (re)declare costs; traffic sessions ask
+// for a route + payment quote toward the access point; quotes are cached
+// and invalidated on re-declaration. Settlement integrates with the
+// distsim ledger (each quote can be charged per packet, Section II.C's
+// "s * p_k" for s packets).
+//
+// This is the API the examples use for multi-session scenarios; the
+// lower-level engines (vcg_payments_fast etc.) remain available for
+// one-shot computations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/payment.hpp"
+#include "graph/node_graph.hpp"
+
+namespace tc::core {
+
+/// Pricing scheme the service quotes with.
+enum class PricingScheme {
+  kVcg,                ///< Section III.A payments (fast engine)
+  kNeighborResistant,  ///< Section III.E p~ payments
+};
+
+/// A priced route toward the access point.
+struct RouteQuote {
+  std::vector<graph::NodeId> path;  ///< source..access point
+  graph::Cost path_cost = graph::kInfCost;
+  /// payments[k] per packet; includes option-value payments to off-path
+  /// nodes under the neighbor-resistant scheme.
+  std::vector<graph::Cost> payments;
+  std::uint64_t profile_version = 0;  ///< declaration epoch of this quote
+
+  bool routable() const { return graph::finite_cost(path_cost); }
+  graph::Cost total_per_packet() const;
+  graph::Cost total_for_packets(std::uint64_t packets) const;
+};
+
+class UnicastService {
+ public:
+  /// Topology is fixed for the service lifetime; initial declared costs
+  /// are taken from the graph.
+  UnicastService(graph::NodeGraph topology, graph::NodeId access_point,
+                 PricingScheme scheme = PricingScheme::kVcg);
+
+  graph::NodeId access_point() const { return access_point_; }
+  PricingScheme scheme() const { return scheme_; }
+  std::size_t num_nodes() const { return graph_.num_nodes(); }
+
+  /// Current declaration epoch; bumps on every (re)declaration.
+  std::uint64_t profile_version() const { return version_; }
+
+  /// Node `v` (re)declares its relay cost. Invalidates cached quotes.
+  void declare_cost(graph::NodeId v, graph::Cost declared);
+
+  /// Bulk declaration (e.g., at network join).
+  void declare_costs(const std::vector<graph::Cost>& declared);
+
+  graph::Cost declared_cost(graph::NodeId v) const {
+    return graph_.node_cost(v);
+  }
+
+  /// Route + payment quote for `source` -> access point under the current
+  /// profile. Cached per source until the profile changes. Returns
+  /// nullopt when the source cannot reach the access point.
+  std::optional<RouteQuote> quote(graph::NodeId source);
+
+  /// Quote for an arbitrary node pair (the paper notes the mechanism
+  /// generalizes beyond the access point, Section II.B). Not cached.
+  std::optional<RouteQuote> quote_pair(graph::NodeId source,
+                                       graph::NodeId target) const;
+
+  /// Diagnostic: whether the topology meets the scheme's monopoly-freedom
+  /// precondition (biconnectivity for VCG; neighborhood-removal safety
+  /// for the neighbor-resistant scheme).
+  bool monopoly_free() const;
+
+  /// Quotes for every source (shares work across sources).
+  std::vector<std::optional<RouteQuote>> quote_all();
+
+ private:
+  RouteQuote compute_quote(graph::NodeId source) const;
+  RouteQuote compute_quote_to(graph::NodeId source, graph::NodeId target) const;
+
+  graph::NodeGraph graph_;
+  graph::NodeId access_point_;
+  PricingScheme scheme_;
+  std::uint64_t version_ = 1;
+  /// cache_[v] valid iff cache_version_[v] == version_.
+  std::vector<RouteQuote> cache_;
+  std::vector<std::uint64_t> cache_version_;
+};
+
+}  // namespace tc::core

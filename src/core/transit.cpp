@@ -1,0 +1,92 @@
+#include "core/transit.hpp"
+
+#include "graph/mask.hpp"
+#include "spath/dijkstra.hpp"
+#include "util/check.hpp"
+
+namespace tc::core {
+
+using graph::Cost;
+using graph::kInvalidNode;
+using graph::NodeId;
+
+TrafficMatrix uniform_traffic(std::size_t n, double packets_per_pair) {
+  TrafficMatrix t(n, std::vector<double>(n, packets_per_pair));
+  for (std::size_t i = 0; i < n; ++i) t[i][i] = 0.0;
+  return t;
+}
+
+TransitResult transit_payments(const graph::NodeGraph& g,
+                               const TrafficMatrix& intensity) {
+  const std::size_t n = g.num_nodes();
+  TC_CHECK_MSG(intensity.size() == n, "traffic matrix must be n x n");
+  for (const auto& row : intensity) {
+    TC_CHECK_MSG(row.size() == n, "traffic matrix must be n x n");
+  }
+
+  TransitResult result;
+  result.compensation.assign(n, 0.0);
+
+  // Group flows by destination: all sources toward j share j's SPT and
+  // its per-relay avoiding SPTs.
+  std::vector<Cost> avoid_dist;
+  for (NodeId j = 0; j < n; ++j) {
+    bool any_flow = false;
+    for (NodeId i = 0; i < n; ++i) {
+      if (i != j && intensity[i][j] > 0.0) {
+        any_flow = true;
+        break;
+      }
+    }
+    if (!any_flow) continue;
+
+    const spath::SptResult to_j = spath::dijkstra_node(g, j);
+    // Avoiding distances cached per relay for this destination.
+    std::vector<std::vector<Cost>> avoid_cache(n);
+    auto avoid_for = [&](NodeId k) -> const std::vector<Cost>& {
+      if (avoid_cache[k].empty()) {
+        graph::NodeMask mask(n);
+        mask.block(k);
+        avoid_cache[k] = spath::dijkstra_node(g, j, mask).dist;
+      }
+      return avoid_cache[k];
+    };
+
+    for (NodeId i = 0; i < n; ++i) {
+      if (i == j) continue;
+      const double packets = intensity[i][j];
+      if (packets <= 0.0) continue;
+      if (!to_j.reached(i)) {
+        ++result.unroutable_flows;
+        continue;
+      }
+      // Walk i's tree path toward j; charge each relay.
+      Cost flow_payment = 0.0;
+      bool monopoly = false;
+      std::vector<std::pair<NodeId, Cost>> relay_shares;
+      for (NodeId k = to_j.parent[i]; k != j && k != kInvalidNode;
+           k = to_j.parent[k]) {
+        const Cost avoided = avoid_for(k)[i];
+        if (!graph::finite_cost(avoided)) {
+          monopoly = true;
+          break;
+        }
+        const Cost p = g.node_cost(k) + (avoided - to_j.dist[i]);
+        relay_shares.emplace_back(k, p);
+        flow_payment += p;
+      }
+      if (monopoly) {
+        ++result.monopoly_flows;
+        continue;
+      }
+      for (const auto& [k, p] : relay_shares) {
+        result.compensation[k] += packets * p;
+      }
+      result.total_payment += packets * flow_payment;
+      result.total_traffic_cost += packets * to_j.dist[i];
+    }
+  }
+  return result;
+}
+
+}  // namespace tc::core

@@ -1,0 +1,53 @@
+// All-pairs transit compensation: the Feigenbaum-Papadimitriou-Sami-
+// Shenker model the paper builds on (Section II.D).
+//
+// Traffic intensities T_ij (packets from i to j) flow over least-cost
+// paths; every node k is compensated
+//
+//     p^k = sum_{i,j} T_ij * p_ij^k,
+//
+// where p_ij^k is the per-packet VCG payment of flow (i, j) to relay k —
+// the same scheme the paper specializes to the single access point. This
+// module computes the aggregate compensation for an arbitrary traffic
+// matrix, sharing one reverse SPT plus one avoiding SPT per (destination,
+// relay) pair across all sources.
+#pragma once
+
+#include <vector>
+
+#include "graph/node_graph.hpp"
+
+namespace tc::core {
+
+/// Traffic matrix: intensity[i][j] packets from i to j (diagonal ignored).
+using TrafficMatrix = std::vector<std::vector<double>>;
+
+/// Uniform all-to-all traffic of `packets_per_pair`.
+TrafficMatrix uniform_traffic(std::size_t n, double packets_per_pair = 1.0);
+
+struct TransitResult {
+  /// compensation[k]: total payment node k receives across all flows.
+  std::vector<graph::Cost> compensation;
+  /// Sum over flows of T_ij * c(i, j) (true relay cost of the LCPs).
+  graph::Cost total_traffic_cost = 0.0;
+  /// Sum over flows of T_ij * p_ij (total payments; >= traffic cost).
+  graph::Cost total_payment = 0.0;
+  /// Flows skipped because i cannot reach j.
+  std::size_t unroutable_flows = 0;
+  /// Flows skipped because some relay has a monopoly (unbounded price).
+  std::size_t monopoly_flows = 0;
+
+  double overpayment_ratio() const {
+    return total_traffic_cost > 0.0 ? total_payment / total_traffic_cost
+                                    : 0.0;
+  }
+};
+
+/// Computes per-node compensation under `intensity`. Runs one Dijkstra
+/// per destination plus one per distinct (destination, relay) pair:
+/// O(n * (n log n + m)) for dense traffic, versus O(n^2) single-pair
+/// mechanism evaluations done naively.
+TransitResult transit_payments(const graph::NodeGraph& g,
+                               const TrafficMatrix& intensity);
+
+}  // namespace tc::core

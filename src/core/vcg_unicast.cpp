@@ -1,0 +1,59 @@
+#include "core/vcg_unicast.hpp"
+
+#include "core/fast_payment.hpp"
+#include "spath/avoiding.hpp"
+#include "spath/dijkstra.hpp"
+#include "util/check.hpp"
+
+namespace tc::core {
+
+using graph::Cost;
+using graph::NodeId;
+
+PaymentResult vcg_payments_naive(const graph::NodeGraph& g, NodeId source,
+                                 NodeId target) {
+  TC_CHECK_MSG(source != target, "source and target must differ");
+  PaymentResult result;
+  result.payments.assign(g.num_nodes(), 0.0);
+
+  const spath::SptResult spt = spath::dijkstra_node(g, source);
+  if (!spt.reached(target)) return result;  // disconnected: no output
+  result.path = spt.path_to(target);
+  result.path_cost = spt.dist[target];
+
+  for (std::size_t i = 1; i + 1 < result.path.size(); ++i) {
+    const NodeId k = result.path[i];
+    const spath::AvoidingPath avoid =
+        spath::avoiding_path_node(g, source, target, k);
+    // ||P_{-v_k}|| - ||P|| + d_k; infinite when v_k is a cut vertex
+    // separating s from t (monopoly — excluded by biconnectivity).
+    result.payments[k] = graph::finite_cost(avoid.cost)
+                             ? avoid.cost - result.path_cost + g.node_cost(k)
+                             : graph::kInfCost;
+  }
+  return result;
+}
+
+mech::UnicastOutcome VcgUnicastMechanism::run(
+    const graph::NodeGraph& g, NodeId source, NodeId target,
+    const std::vector<Cost>& declared) const {
+  TC_CHECK_MSG(declared.size() == g.num_nodes(),
+               "declared vector size must match node count");
+  graph::NodeGraph work = g;  // cheap relative to the Dijkstra runs
+  work.set_costs(declared);
+  const PaymentResult r = engine_ == PaymentEngine::kNaive
+                              ? vcg_payments_naive(work, source, target)
+                              : vcg_payments_fast(work, source, target);
+  mech::UnicastOutcome out;
+  out.path = r.path;
+  out.path_cost = r.path_cost;
+  out.payments = r.payments;
+  return out;
+}
+
+std::string VcgUnicastMechanism::name() const {
+  return engine_ == PaymentEngine::kNaive ? "vcg-unicast(naive)"
+                                          : "vcg-unicast(fast)";
+}
+
+}  // namespace tc::core

@@ -1,0 +1,50 @@
+// The paper's pricing mechanism (Section III.A), node-weighted model.
+//
+// Output: the least cost path P(s, t, d) under declared costs d.
+// Payment to a relay v_k on the path:
+//     p^k = ||P_{-v_k}(s, t, d)|| - ||P(s, t, d)|| + d_k
+// and 0 for every node off the path. This is a VCG mechanism, hence
+// strategyproof: truth-telling maximizes every agent's utility regardless
+// of others' declarations.
+//
+// This header provides the reference ("naive") engine — one masked
+// Dijkstra per relay node, O(k (n log n + m)) for k relays — and the
+// UnicastMechanism adapter used by the truthfulness harness. The
+// O(n log n + m) engine lives in fast_payment.hpp.
+#pragma once
+
+#include "core/payment.hpp"
+#include "graph/mask.hpp"
+#include "graph/node_graph.hpp"
+#include "mech/mechanism.hpp"
+
+namespace tc::core {
+
+/// Computes the LCP and VCG payments with per-relay masked Dijkstra.
+/// The graph's stored node costs are interpreted as the declared vector d.
+PaymentResult vcg_payments_naive(const graph::NodeGraph& g,
+                                 graph::NodeId source, graph::NodeId target);
+
+/// Engine selector for VcgUnicastMechanism.
+enum class PaymentEngine {
+  kNaive,  ///< per-relay Dijkstra (reference)
+  kFast,   ///< Algorithm 1, O(n log n + m)
+};
+
+/// UnicastMechanism adapter over the VCG payment scheme.
+class VcgUnicastMechanism final : public mech::UnicastMechanism {
+ public:
+  explicit VcgUnicastMechanism(PaymentEngine engine = PaymentEngine::kFast)
+      : engine_(engine) {}
+
+  mech::UnicastOutcome run(
+      const graph::NodeGraph& g, graph::NodeId source, graph::NodeId target,
+      const std::vector<graph::Cost>& declared) const override;
+
+  std::string name() const override;
+
+ private:
+  PaymentEngine engine_;
+};
+
+}  // namespace tc::core

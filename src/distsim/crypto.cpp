@@ -1,0 +1,47 @@
+#include "distsim/crypto.hpp"
+
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace tc::distsim {
+
+SigningKey derive_key(std::uint64_t master_seed, std::uint32_t node_id) {
+  std::uint64_t s = master_seed ^ (0x517cc1b727220a95ULL * (node_id + 1));
+  return SigningKey{util::splitmix64(s)};
+}
+
+namespace {
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+Signature sign(const SigningKey& key, std::string_view payload) {
+  return Signature{util::mix64(fnv1a(payload) ^ key.secret)};
+}
+
+bool verify(const SigningKey& key, std::string_view payload,
+            const Signature& sig) {
+  return sign(key, payload) == sig;
+}
+
+std::string packet_payload(std::uint64_t session, std::uint32_t source,
+                           std::uint64_t seq) {
+  std::string out;
+  out.reserve(32);
+  out += "pkt:";
+  out += std::to_string(session);
+  out += ':';
+  out += std::to_string(source);
+  out += ':';
+  out += std::to_string(seq);
+  return out;
+}
+
+}  // namespace tc::distsim

@@ -1,0 +1,41 @@
+// Toy message authentication standing in for the paper's signatures
+// (Section III.D / III.H assume signed messages so that tampering and
+// repudiation are detectable).
+//
+// This is NOT real cryptography: a keyed 64-bit mix gives unforgeability
+// only against the simulated adversaries in this repository, which is all
+// the mechanism-design experiments need. See DESIGN.md "Substitutions".
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace tc::distsim {
+
+/// 64-bit MAC tag.
+struct Signature {
+  std::uint64_t tag = 0;
+  friend bool operator==(const Signature&, const Signature&) = default;
+};
+
+/// Per-node secret key; in the simulation the key registry is held by the
+/// access point (which verifies and settles payments).
+struct SigningKey {
+  std::uint64_t secret = 0;
+};
+
+/// Deterministic key derivation for node `id` from a network master seed.
+SigningKey derive_key(std::uint64_t master_seed, std::uint32_t node_id);
+
+/// FNV-1a over the byte string, then keyed mixing.
+Signature sign(const SigningKey& key, std::string_view payload);
+
+bool verify(const SigningKey& key, std::string_view payload,
+            const Signature& sig);
+
+/// Convenience: canonical payload encoding for a (session, source, seq)
+/// packet header, used by the ledger tests.
+std::string packet_payload(std::uint64_t session, std::uint32_t source,
+                           std::uint64_t seq);
+
+}  // namespace tc::distsim

@@ -1,0 +1,88 @@
+#include "distsim/ledger.hpp"
+
+#include "util/check.hpp"
+
+namespace tc::distsim {
+
+using graph::Cost;
+using graph::NodeId;
+
+Ledger::Ledger(std::size_t num_nodes, std::uint64_t master_seed)
+    : balances_(num_nodes, 0.0) {
+  keys_.reserve(num_nodes);
+  for (std::uint32_t v = 0; v < num_nodes; ++v)
+    keys_.push_back(derive_key(master_seed, v));
+}
+
+void Ledger::fund_all(Cost amount) {
+  for (auto& b : balances_) b = amount;
+}
+
+SettlementResult Ledger::settle_upstream(
+    std::uint64_t session, NodeId source, std::uint64_t seq,
+    const Signature& source_sig,
+    const std::vector<std::pair<NodeId, Cost>>& relay_prices) {
+  SettlementResult result;
+  const std::string payload = packet_payload(session, source, seq);
+  if (!verify(keys_.at(source), payload, source_sig)) {
+    ++rejections_;
+    result.reject_reason = "bad source signature";
+    return result;
+  }
+  const auto packet_id = std::make_pair(session, seq);
+  if (seen_packets_.count(packet_id)) {
+    ++rejections_;
+    result.reject_reason = "replayed packet";
+    return result;
+  }
+  seen_packets_[packet_id] = true;
+
+  Cost total = 0.0;
+  for (const auto& [relay, price] : relay_prices) {
+    TC_CHECK_MSG(graph::finite_cost(price) && price >= 0.0,
+                 "relay price must be finite and non-negative");
+    balances_.at(relay) += price;
+    total += price;
+  }
+  balances_.at(source) -= total;
+  ++settlements_;
+  result.accepted = true;
+  result.charged = total;
+  return result;
+}
+
+SettlementResult Ledger::settle_downstream(
+    std::uint64_t session, NodeId requester, std::uint64_t seq,
+    const std::vector<std::tuple<NodeId, Cost, Signature>>& relay_acks) {
+  SettlementResult result;
+  const auto packet_id = std::make_pair(session | 0x8000000000000000ULL, seq);
+  if (seen_packets_.count(packet_id)) {
+    ++rejections_;
+    result.reject_reason = "replayed packet";
+    return result;
+  }
+
+  // Every relay must present a valid signed acknowledgment; otherwise the
+  // whole settlement is rejected (the data may not have been delivered).
+  Cost total = 0.0;
+  for (const auto& [relay, price, ack] : relay_acks) {
+    const std::string payload = packet_payload(session, relay, seq);
+    if (!verify(keys_.at(relay), payload, ack)) {
+      ++rejections_;
+      result.reject_reason = "missing or forged relay acknowledgment";
+      return result;
+    }
+    total += price;
+  }
+  seen_packets_[packet_id] = true;
+  for (const auto& [relay, price, ack] : relay_acks) {
+    balances_.at(relay) += price;
+  }
+  balances_.at(requester) -= total;
+  ++settlements_;
+  result.accepted = true;
+  result.charged = total;
+  return result;
+}
+
+}  // namespace tc::distsim

@@ -1,0 +1,70 @@
+// Access-point ledger (paper Section III.H, "Where to pay").
+//
+// All payment transactions are settled at the access point v_0: every node
+// holds a secure account there. For upstream traffic the AP verifies the
+// source's signature on each packet, then credits each relay on the LCP
+// with p_i^k and debits the source. For downstream traffic the AP waits
+// for the relay's signed acknowledgment before settling (countering the
+// free-riding attack: a relay cannot claim payment for data it never
+// forwarded, and a source cannot repudiate a transfer it signed).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "distsim/crypto.hpp"
+#include "graph/types.hpp"
+
+namespace tc::distsim {
+
+/// Result of attempting to settle one routed packet.
+struct SettlementResult {
+  bool accepted = false;
+  std::string reject_reason;
+  graph::Cost charged = 0.0;  ///< amount debited from the source
+};
+
+/// In-memory account book at the access point.
+class Ledger {
+ public:
+  /// `master_seed` seeds the per-node signing keys (the AP acts as the
+  /// key registry in this simulation).
+  explicit Ledger(std::size_t num_nodes, std::uint64_t master_seed);
+
+  /// Initial balance credit (all nodes start at `amount`).
+  void fund_all(graph::Cost amount);
+
+  graph::Cost balance(graph::NodeId v) const { return balances_.at(v); }
+
+  const SigningKey& key_of(graph::NodeId v) const { return keys_.at(v); }
+
+  /// Settles one upstream packet: verifies the source's signature over the
+  /// packet header; on success pays each relay its price and debits the
+  /// source by the total. Rejects bad signatures (counters "I never sent
+  /// that" repudiation) and replayed sequence numbers.
+  SettlementResult settle_upstream(
+      std::uint64_t session, graph::NodeId source, std::uint64_t seq,
+      const Signature& source_sig,
+      const std::vector<std::pair<graph::NodeId, graph::Cost>>& relay_prices);
+
+  /// Settles one downstream packet: requires the relay's signed
+  /// acknowledgment that it forwarded the data (counters free riding).
+  SettlementResult settle_downstream(
+      std::uint64_t session, graph::NodeId requester, std::uint64_t seq,
+      const std::vector<std::tuple<graph::NodeId, graph::Cost, Signature>>&
+          relay_acks);
+
+  std::size_t settlements() const { return settlements_; }
+  std::size_t rejections() const { return rejections_; }
+
+ private:
+  std::vector<graph::Cost> balances_;
+  std::vector<SigningKey> keys_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, bool> seen_packets_;
+  std::size_t settlements_ = 0;
+  std::size_t rejections_ = 0;
+};
+
+}  // namespace tc::distsim

@@ -1,0 +1,78 @@
+#include "distsim/nuglet_counter.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace tc::distsim {
+
+using graph::kInvalidNode;
+using graph::NodeId;
+
+NugletOutcomeStats simulate_nuglet_counters(const graph::NodeGraph& g,
+                                            NodeId access_point,
+                                            const NugletConfig& config) {
+  const std::size_t n = g.num_nodes();
+  TC_CHECK_MSG(access_point < n, "access point out of range");
+
+  // Hop-minimal routes toward the AP (fixed pricing ignores costs). The
+  // willing-relay set is fixed per simulation: a cost-rational node
+  // refuses forever once refusing dominates (its cost never changes).
+  std::vector<bool> willing(n, true);
+  if (config.cost_rational) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == access_point) continue;
+      willing[v] = g.node_cost(v) <= config.nuglet_value;
+    }
+  }
+
+  std::vector<std::size_t> hop(n, std::numeric_limits<std::size_t>::max());
+  std::vector<NodeId> next(n, kInvalidNode);
+  std::queue<NodeId> frontier;
+  hop[access_point] = 0;
+  frontier.push(access_point);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : g.neighbors(u)) {
+      if (hop[v] != std::numeric_limits<std::size_t>::max()) continue;
+      if (u != access_point && !willing[u]) continue;
+      hop[v] = hop[u] + 1;
+      next[v] = u;
+      frontier.push(v);
+    }
+  }
+
+  NugletOutcomeStats stats;
+  stats.final_counters.assign(n, config.initial_nuglets);
+  stats.per_node_delivered.assign(n, 0);
+
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    for (NodeId src = 0; src < n; ++src) {
+      if (src == access_point) continue;
+      ++stats.attempts;
+      if (hop[src] == std::numeric_limits<std::size_t>::max()) {
+        ++stats.blocked_refusal;  // stranded behind refusing relays
+        continue;
+      }
+      const auto relays = hop[src] - 1;  // nodes between src and the AP
+      const auto price = static_cast<double>(relays);
+      // Counter rule: the counter must stay positive after sending.
+      if (stats.final_counters[src] - price <= 0.0 && price > 0.0) {
+        ++stats.blocked_poor;
+        continue;
+      }
+      // Charge the originator, credit each relay one nuglet.
+      stats.final_counters[src] -= price;
+      for (NodeId k = next[src]; k != access_point; k = next[k]) {
+        stats.final_counters[k] += 1.0;
+      }
+      ++stats.delivered;
+      ++stats.per_node_delivered[src];
+    }
+  }
+  return stats;
+}
+
+}  // namespace tc::distsim

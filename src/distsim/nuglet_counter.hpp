@@ -1,0 +1,64 @@
+// Nuglet-counter dynamics (Buttyán-Hubaux, paper Section II.D).
+//
+// Each node carries a tamper-proof counter: sending an own packet as
+// originator costs h nuglets (one per relay on the route), relaying earns
+// one. A node may only originate while its counter stays positive, so it
+// must relay to keep communicating. The paper's critiques, which this
+// simulation makes measurable:
+//   * nodes that rarely originate have no incentive to relay at all
+//     (relaying earns nuglets they never spend);
+//   * a node whose true relay cost exceeds one nuglet's worth refuses
+//     even when it does need nuglets later, once refusing is cheaper than
+//     the blocked traffic is worth;
+//   * originators far from the AP starve: they need more nuglets per
+//     packet than nearby nodes, but earn at the same unit rate.
+//
+// The simulation runs sessions over hop-minimal routes (fixed pricing
+// sees no costs): each round, every node attempts to send one packet to
+// the access point; a packet goes through only if the originator can
+// afford it and every relay on the route *accepts* (its counter-driven
+// acceptance rule and its cost-rationality both say yes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/node_graph.hpp"
+
+namespace tc::distsim {
+
+struct NugletConfig {
+  double initial_nuglets = 20.0;
+  /// Monetary value of one nuglet relative to node costs: a rational
+  /// relay refuses when its true cost exceeds this value.
+  double nuglet_value = 2.0;
+  std::size_t rounds = 100;
+  /// When true, relays also apply cost rationality (refuse when
+  /// cost > nuglet_value); when false, only the counter rule applies —
+  /// the idealized cooperative behavior the original papers assume.
+  bool cost_rational = true;
+};
+
+struct NugletOutcomeStats {
+  std::size_t attempts = 0;
+  std::size_t delivered = 0;
+  std::size_t blocked_poor = 0;     ///< originator could not afford the route
+  std::size_t blocked_refusal = 0;  ///< some relay refused on cost grounds
+  std::vector<double> final_counters;
+  /// Per-node delivered packets (throughput).
+  std::vector<std::size_t> per_node_delivered;
+
+  double delivery_rate() const {
+    return attempts ? static_cast<double>(delivered) /
+                          static_cast<double>(attempts)
+                    : 0.0;
+  }
+};
+
+/// Simulates `config.rounds` rounds of everyone-sends-one-packet traffic
+/// toward `access_point` under the nuglet-counter regime.
+NugletOutcomeStats simulate_nuglet_counters(const graph::NodeGraph& g,
+                                            graph::NodeId access_point,
+                                            const NugletConfig& config);
+
+}  // namespace tc::distsim

@@ -1,0 +1,295 @@
+#include "distsim/payment_protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spath/dijkstra.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace tc::distsim {
+
+using graph::Cost;
+using graph::kInfCost;
+using graph::kInvalidNode;
+using graph::NodeId;
+
+namespace {
+constexpr double kEps = 1e-9;
+
+enum class Rule : std::uint8_t {
+  kNone = 0,
+  kFromParent,        // p_i^k <- p_j^k
+  kFromChild,         // p_i^k <- p_j^k + d_i + d_j
+  kFromOtherOnPath,   // p_i^k <- p_j^k + d_j + D_j - D_i
+  kFromOtherOffPath,  // p_i^k <- d_k + d_j + D_j - D_i
+};
+
+struct Trigger {
+  NodeId source = kInvalidNode;
+  Rule rule = Rule::kNone;
+};
+
+}  // namespace
+
+Cost PaymentOutcome::total_payment(NodeId i) const {
+  Cost total = 0.0;
+  for (const auto& [k, p] : payments.at(i)) {
+    if (!graph::finite_cost(p)) return kInfCost;
+    total += p;
+  }
+  return total;
+}
+
+SptOutcome exact_spt(const graph::NodeGraph& g, NodeId root) {
+  const spath::SptResult spt = spath::dijkstra_node(g, root);
+  SptOutcome out;
+  out.distance = spt.dist;
+  out.first_hop = spt.parent;  // predecessor toward the root
+  out.converged = true;
+  return out;
+}
+
+PaymentOutcome run_payment_protocol(const graph::NodeGraph& g, NodeId root,
+                                    const std::vector<Cost>& declared,
+                                    const SptOutcome& spt, PaymentMode mode,
+                                    const std::vector<PaymentBehavior>& behaviors,
+                                    std::size_t max_rounds,
+                                    const PaymentSchedule& schedule) {
+  const std::size_t n = g.num_nodes();
+  TC_CHECK_MSG(declared.size() == n, "declared size must match node count");
+  TC_CHECK_MSG(behaviors.empty() || behaviors.size() == n,
+               "behaviors size must match node count");
+  TC_CHECK_MSG(schedule.activation_probability > 0.0 &&
+                   schedule.activation_probability <= 1.0,
+               "activation probability must be in (0, 1]");
+  TC_CHECK_MSG(schedule.delivery_probability > 0.0 &&
+                   schedule.delivery_probability <= 1.0,
+               "delivery probability must be in (0, 1]");
+  const bool lossy = schedule.delivery_probability < 1.0;
+  TC_CHECK_MSG(!lossy || mode == PaymentMode::kBasic,
+               "lossy delivery requires the basic (non-audited) mode");
+  const std::size_t refresh =
+      schedule.refresh_interval ? schedule.refresh_interval : n / 4 + 2;
+  if (max_rounds == 0) {
+    max_rounds = static_cast<std::size_t>(
+        static_cast<double>(8 * n + 20) / schedule.activation_probability);
+    if (lossy) max_rounds = 4 * max_rounds + 40 * refresh;
+  }
+  util::Rng activation_rng(schedule.seed);
+
+  auto scale_of = [&](NodeId v, const std::vector<bool>& corrected) {
+    if (behaviors.empty() || corrected[v]) return 1.0;
+    return behaviors[v].broadcast_scale;
+  };
+
+  // Relays of each node from the stage-1 tree.
+  std::vector<std::vector<NodeId>> relays(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == root) continue;
+    const auto path = spt.path_of(v);
+    for (std::size_t idx = 1; idx + 1 < path.size(); ++idx)
+      relays[v].push_back(path[idx]);
+  }
+  const std::vector<Cost>& D = spt.distance;
+
+  PaymentOutcome out;
+  std::vector<bool> corrected(n, false);
+
+  // Outer loop: run to quiescence; in verified mode, audit; on new
+  // convictions, force the convicted nodes honest and restart (their
+  // understated broadcasts have already polluted min-entries, which a
+  // monotone protocol cannot raise back).
+  const std::size_t max_attempts = n + 1;
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    std::vector<std::map<NodeId, Cost>> entries(n);
+    std::vector<std::map<NodeId, Cost>> last_broadcast(n);
+    std::vector<std::map<NodeId, Trigger>> triggers(n);
+    for (NodeId v = 0; v < n; ++v) {
+      for (NodeId k : relays[v]) entries[v][k] = kInfCost;
+    }
+
+    std::vector<bool> pending(n, false);
+    for (NodeId v = 0; v < n; ++v) {
+      if (v != root) pending[v] = true;  // round-1 hello carries D and path
+    }
+
+    bool quiesced = false;
+    std::size_t last_change_round = 0;
+    for (std::size_t round = 1; round <= max_rounds; ++round) {
+      // Soft-state refresh under loss: periodically everyone rebroadcasts
+      // so that dropped updates are eventually re-delivered.
+      if (lossy && round % refresh == 0) {
+        for (NodeId v = 0; v < n; ++v) {
+          if (v != root) pending[v] = true;
+        }
+      }
+      bool any_pending = false;
+      std::vector<NodeId> speakers;
+      for (NodeId v = 0; v < n; ++v) {
+        if (!pending[v]) continue;
+        any_pending = true;
+        // Asynchronous schedules delay some broadcasts to later rounds.
+        if (schedule.activation_probability >= 1.0 ||
+            activation_rng.bernoulli(schedule.activation_probability)) {
+          speakers.push_back(v);
+          pending[v] = false;
+        }
+      }
+      if (!any_pending) {
+        if (!lossy) {
+          quiesced = true;
+          break;
+        }
+        // Under loss, an empty queue is not proof of convergence — a
+        // dropped update may still be outstanding. Idle until the next
+        // refresh or until the stability window closes.
+        if (round >= last_change_round + 6 * refresh + 6) {
+          quiesced = true;
+          break;
+        }
+        out.stats.rounds += 1;
+        continue;
+      }
+      if (speakers.empty()) {
+        out.stats.rounds += 1;  // an idle round still elapses
+        continue;
+      }
+      out.stats.rounds += 1;
+
+      // Broadcast: liars scale the payment entries they report.
+      for (NodeId j : speakers) {
+        ++out.stats.broadcasts;
+        const double scale = scale_of(j, corrected);
+        last_broadcast[j].clear();
+        for (const auto& [k, p] : entries[j]) {
+          last_broadcast[j][k] =
+              graph::finite_cost(p) ? p * scale : kInfCost;
+        }
+        out.stats.values_sent += entries[j].size() + 1;
+      }
+
+      // Delivery + min-updates.
+      bool changed_this_round = false;
+      for (NodeId j : speakers) {
+        for (NodeId i : g.neighbors(j)) {
+          if (i == root || relays[i].empty()) continue;
+          if (lossy && !activation_rng.bernoulli(schedule.delivery_probability))
+            continue;  // this copy of the broadcast was lost in the air
+          if (!behaviors.empty() && behaviors[i].denied_neighbor == j)
+            continue;  // consistent with the stage-1 adjacency lie
+          const bool j_is_parent = spt.first_hop[i] == j;
+          const bool j_is_child = spt.first_hop[j] == i;
+          for (NodeId k : relays[i]) {
+            if (k == j) continue;  // no route avoiding j goes through j
+            Cost cand = kInfCost;
+            Rule rule = Rule::kNone;
+            const auto it = last_broadcast[j].find(k);
+            const bool k_on_j_path = it != last_broadcast[j].end();
+            if (j_is_parent) {
+              if (k_on_j_path && graph::finite_cost(it->second)) {
+                cand = it->second;
+                rule = Rule::kFromParent;
+              }
+            } else if (j_is_child) {
+              if (k_on_j_path && graph::finite_cost(it->second)) {
+                cand = it->second + declared[i] + declared[j];
+                rule = Rule::kFromChild;
+              }
+            } else {
+              const Cost base = declared[j] + D[j] - D[i];
+              if (k_on_j_path) {
+                if (graph::finite_cost(it->second)) {
+                  cand = it->second + base;
+                  rule = Rule::kFromOtherOnPath;
+                }
+              } else {
+                cand = declared[k] + base;
+                rule = Rule::kFromOtherOffPath;
+              }
+            }
+            if (graph::finite_cost(cand) && cand + kEps < entries[i][k]) {
+              entries[i][k] = cand;
+              triggers[i][k] = Trigger{j, rule};
+              pending[i] = true;
+              changed_this_round = true;
+            }
+          }
+        }
+      }
+      if (changed_this_round) last_change_round = round;
+      // Under loss, refresh keeps re-arming the queue; declare quiescence
+      // only after a long stable window.
+      if (lossy && round >= last_change_round + 6 * refresh + 6) {
+        quiesced = true;
+        break;
+      }
+    }
+
+    const bool final_attempt =
+        mode == PaymentMode::kBasic || attempt + 1 == max_attempts;
+    bool convicted_someone = false;
+    if (!final_attempt && quiesced) {
+      // Algorithm 2 second stage: every converged entry names its trigger;
+      // the trigger recomputes the update rule from its own transcript and
+      // accuses on a mismatch.
+      for (NodeId i = 0; i < n && !convicted_someone; ++i) {
+        for (const auto& [k, trig] : triggers[i]) {
+          if (trig.rule == Rule::kNone) continue;
+          const auto claimed_it = last_broadcast[i].find(k);
+          if (claimed_it == last_broadcast[i].end()) continue;
+          const Cost claimed = claimed_it->second;
+          if (!graph::finite_cost(claimed)) continue;
+          const NodeId j = trig.source;
+          Cost expect = kInfCost;
+          switch (trig.rule) {
+            case Rule::kFromParent:
+              if (auto e = last_broadcast[j].find(k);
+                  e != last_broadcast[j].end())
+                expect = e->second;
+              break;
+            case Rule::kFromChild:
+              if (auto e = last_broadcast[j].find(k);
+                  e != last_broadcast[j].end())
+                expect = e->second + declared[i] + declared[j];
+              break;
+            case Rule::kFromOtherOnPath:
+              if (auto e = last_broadcast[j].find(k);
+                  e != last_broadcast[j].end())
+                expect = e->second + declared[j] + D[j] - D[i];
+              break;
+            case Rule::kFromOtherOffPath:
+              expect = declared[k] + declared[j] + D[j] - D[i];
+              break;
+            case Rule::kNone:
+              break;
+          }
+          if (!graph::finite_cost(expect) ||
+              std::fabs(expect - claimed) > 1e-6) {
+            out.stats.accusations.push_back(
+                {j, i, "payment entry does not match its trigger rule"});
+            corrected[i] = true;  // punished: forced honest on the rerun
+            convicted_someone = true;
+            break;
+          }
+        }
+      }
+    }
+
+    if (!convicted_someone) {
+      // Final state: a liar's own view of its payments is its *broadcast*
+      // (what it reports to the access point for settlement).
+      out.payments = std::move(last_broadcast);
+      // Nodes that never rebroadcast after their last update would leave
+      // stale reports; fold in the internal entries for honest nodes.
+      for (NodeId v = 0; v < n; ++v) {
+        if (scale_of(v, corrected) == 1.0) out.payments[v] = entries[v];
+      }
+      out.converged = quiesced;
+      return out;
+    }
+  }
+  return out;  // unreachable in practice
+}
+
+}  // namespace tc::distsim

@@ -1,0 +1,94 @@
+// Stage 2 of the distributed payment scheme (paper Section III.C): every
+// node v_i computes its VCG payment p_i^k to each relay v_k on its route
+// to the access point, by iterated min-updates over neighbor broadcasts:
+//
+//   from its parent v_j:        p_i^k <- min(p_i^k, p_j^k)
+//   from a child v_j:           p_i^k <- min(p_i^k, p_j^k + d_i + d_j)
+//   from another neighbor v_j:
+//     k on v_j's route:         p_i^k <- min(p_i^k, p_j^k + d_j + D_j - D_i)
+//     k not on v_j's route:     p_i^k <- min(p_i^k, d_k + d_j + D_j - D_i)
+//
+// Entries decrease monotonically and converge within n rounds to the
+// centralized VCG payments (differential-tested in
+// tests/distsim_payment_protocol_test.cpp).
+//
+// Verified mode implements Algorithm 2's second stage: each broadcast
+// update names the neighbor whose message triggered it; that neighbor
+// recomputes the update from its own signed transcript and accuses the
+// sender on a mismatch (catching nodes that understate what they owe).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "distsim/spt_protocol.hpp"
+#include "distsim/stats.hpp"
+#include "graph/node_graph.hpp"
+
+namespace tc::distsim {
+
+enum class PaymentMode {
+  kBasic,     ///< trusting: no cross-verification
+  kVerified,  ///< Algorithm 2 second stage with trigger re-checks
+};
+
+/// Per-node misbehavior for stage 2.
+struct PaymentBehavior {
+  /// Multiplies every broadcast payment entry (the node's own payments to
+  /// its relays) by this factor; < 1 understates what it owes. 1 = honest.
+  double broadcast_scale = 1.0;
+  /// A node that denied an adjacency in stage 1 must keep ignoring that
+  /// neighbor here or the lie becomes self-evident. kInvalidNode = none.
+  graph::NodeId denied_neighbor = graph::kInvalidNode;
+  bool honest() const {
+    return broadcast_scale == 1.0 &&
+           denied_neighbor == graph::kInvalidNode;
+  }
+};
+
+struct PaymentOutcome {
+  /// payments[i]: map from relay k on v_i's route to the converged p_i^k.
+  std::vector<std::map<graph::NodeId, graph::Cost>> payments;
+  bool converged = false;
+  ProtocolStats stats;
+
+  /// Total payment of source i (sum over its relays); kInfCost when any
+  /// entry failed to ground (disconnected after a removal).
+  graph::Cost total_payment(graph::NodeId i) const;
+};
+
+/// Scheduling of the min-update rounds.
+struct PaymentSchedule {
+  /// Probability that a node with pending updates actually broadcasts in
+  /// a given round. 1.0 = fully synchronous (every pending node speaks
+  /// every round); lower values model asynchronous networks with delayed
+  /// broadcasts. The fixpoint is schedule-independent because min-updates
+  /// commute; tests/distsim_payment_protocol_test.cpp verifies this.
+  double activation_probability = 1.0;
+  /// Probability that a broadcast reaches each individual neighbor
+  /// (radio loss). With loss (< 1.0) the protocol adds soft-state
+  /// refresh: every `refresh_interval` rounds all nodes rebroadcast, and
+  /// quiescence is declared only after a long stable window. Lossy
+  /// delivery is supported in kBasic mode only (the verification audit
+  /// assumes a reliable transcript).
+  double delivery_probability = 1.0;
+  /// Rounds between soft-state refresh rebroadcasts under loss; 0 picks
+  /// n/4 + 2 automatically.
+  std::size_t refresh_interval = 0;
+  std::uint64_t seed = 0x5c4ed;  ///< randomness for activation/loss draws
+};
+
+/// Runs stage 2 on top of a converged stage-1 outcome. `spt` must describe
+/// a loop-free tree toward `root` (e.g., from run_spt_protocol in verified
+/// mode, or built centrally).
+PaymentOutcome run_payment_protocol(
+    const graph::NodeGraph& g, graph::NodeId root,
+    const std::vector<graph::Cost>& declared, const SptOutcome& spt,
+    PaymentMode mode, const std::vector<PaymentBehavior>& behaviors = {},
+    std::size_t max_rounds = 0, const PaymentSchedule& schedule = {});
+
+/// Convenience: a stage-1 outcome computed centrally (exact SPT), for
+/// tests that want to exercise stage 2 in isolation.
+SptOutcome exact_spt(const graph::NodeGraph& g, graph::NodeId root);
+
+}  // namespace tc::distsim

@@ -1,0 +1,45 @@
+#include "distsim/session.hpp"
+
+namespace tc::distsim {
+
+using graph::Cost;
+using graph::NodeId;
+
+SessionResult run_session(const graph::NodeGraph& g, NodeId root,
+                          const std::vector<Cost>& declared, NodeId source,
+                          const SessionConfig& config) {
+  SessionResult result;
+
+  const SptOutcome spt = run_spt_protocol(g, root, declared, config.spt_mode,
+                                          config.spt_behaviors);
+  result.spt_stats = spt.stats;
+  result.route = spt.path_of(source);
+  if (result.route.empty()) return result;
+
+  Cost route_cost = 0.0;
+  for (std::size_t i = 1; i + 1 < result.route.size(); ++i)
+    route_cost += declared[result.route[i]];
+  result.route_cost = route_cost;
+
+  // A node that denied an adjacency in stage 1 keeps denying it in stage 2
+  // (using the hidden neighbor's broadcasts would expose the lie).
+  std::vector<PaymentBehavior> payment_behaviors = config.payment_behaviors;
+  if (!config.spt_behaviors.empty()) {
+    if (payment_behaviors.empty()) payment_behaviors.resize(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (config.spt_behaviors[v].denied_neighbor != graph::kInvalidNode) {
+        payment_behaviors[v].denied_neighbor =
+            config.spt_behaviors[v].denied_neighbor;
+      }
+    }
+  }
+
+  const PaymentOutcome payments =
+      run_payment_protocol(g, root, declared, spt, config.payment_mode,
+                           payment_behaviors);
+  result.payment_stats = payments.stats;
+  result.total_payment = payments.total_payment(source);
+  return result;
+}
+
+}  // namespace tc::distsim

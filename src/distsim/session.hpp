@@ -1,0 +1,42 @@
+// End-to-end distributed session: stage 1 (SPT) + stage 2 (payments) for
+// one source, as a node would actually run them before sending traffic.
+// This is the driver the adversarial examples and tests use to compare the
+// basic protocol against Algorithm 2 under misbehaving nodes.
+#pragma once
+
+#include <vector>
+
+#include "distsim/payment_protocol.hpp"
+#include "distsim/spt_protocol.hpp"
+
+namespace tc::distsim {
+
+struct SessionConfig {
+  SptMode spt_mode = SptMode::kBasic;
+  PaymentMode payment_mode = PaymentMode::kBasic;
+  std::vector<SptBehavior> spt_behaviors;          // empty = all honest
+  std::vector<PaymentBehavior> payment_behaviors;  // empty = all honest
+};
+
+struct SessionResult {
+  /// Route the source ends up using (source..root); empty if unreached.
+  std::vector<graph::NodeId> route;
+  /// Declared relay cost of that route.
+  graph::Cost route_cost = graph::kInfCost;
+  /// What the source pays in total for one packet along the route.
+  graph::Cost total_payment = graph::kInfCost;
+  ProtocolStats spt_stats;
+  ProtocolStats payment_stats;
+
+  bool cheating_detected() const {
+    return !spt_stats.accusations.empty() ||
+           !payment_stats.accusations.empty();
+  }
+};
+
+/// Runs both stages and extracts `source`'s route and total payment.
+SessionResult run_session(const graph::NodeGraph& g, graph::NodeId root,
+                          const std::vector<graph::Cost>& declared,
+                          graph::NodeId source, const SessionConfig& config);
+
+}  // namespace tc::distsim

@@ -1,0 +1,201 @@
+#include "distsim/spt_protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace tc::distsim {
+
+using graph::Cost;
+using graph::kInfCost;
+using graph::kInvalidNode;
+using graph::NodeId;
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+std::vector<NodeId> SptOutcome::path_of(NodeId v) const {
+  std::vector<NodeId> path{v};
+  std::vector<bool> seen(first_hop.size(), false);
+  seen[v] = true;
+  NodeId cur = v;
+  while (true) {
+    const NodeId next = first_hop[cur];
+    if (next == kInvalidNode) return {};  // unreached
+    path.push_back(next);
+    if (next == path.front()) return {};  // degenerate
+    if (seen[next]) return {};            // loop (inconsistent FH state)
+    seen[next] = true;
+    cur = next;
+    if (first_hop[cur] == kInvalidNode && distance[cur] == 0.0) break;
+    if (first_hop[cur] == kInvalidNode) return {};
+  }
+  return path;
+}
+
+SptOutcome run_spt_protocol(const graph::NodeGraph& g, NodeId root,
+                            const std::vector<Cost>& declared, SptMode mode,
+                            const std::vector<SptBehavior>& behaviors,
+                            std::size_t max_rounds,
+                            const SptSchedule& schedule) {
+  const std::size_t n = g.num_nodes();
+  TC_CHECK_MSG(declared.size() == n, "declared size must match node count");
+  TC_CHECK_MSG(behaviors.empty() || behaviors.size() == n,
+               "behaviors size must match node count");
+  TC_CHECK_MSG(schedule.activation_probability > 0.0 &&
+                   schedule.activation_probability <= 1.0,
+               "activation probability must be in (0, 1]");
+  if (max_rounds == 0) {
+    max_rounds = static_cast<std::size_t>(
+        static_cast<double>(8 * n + 20) / schedule.activation_probability);
+  }
+  util::Rng activation_rng(schedule.seed);
+
+  auto behavior_of = [&](NodeId v) {
+    return behaviors.empty() ? SptBehavior{} : behaviors[v];
+  };
+
+  SptOutcome out;
+  out.distance.assign(n, kInfCost);
+  out.first_hop.assign(n, kInvalidNode);
+  out.distance[root] = 0.0;  // the root is the destination, not an agent
+
+  // Last broadcast heard from each node: (claimed D, claimed FH). The
+  // verified-mode cross-checks run against these claims.
+  std::vector<Cost> claimed_d(n, kInfCost);
+  std::vector<NodeId> claimed_fh(n, kInvalidNode);
+  // Nodes that were caught and corrected stop lying (a second offense
+  // would be provable cheating on a signed transcript).
+  std::vector<bool> corrected(n, false);
+  std::set<std::pair<NodeId, NodeId>> accused_pairs;
+
+  // Value node v would broadcast this round.
+  auto broadcast_value = [&](NodeId v) -> Cost {
+    const SptBehavior b = behavior_of(v);
+    if (corrected[v] || b.distance_inflation == 1.0) return out.distance[v];
+    return out.distance[v] * b.distance_inflation;
+  };
+
+  std::vector<bool> pending(n, false);
+  pending[root] = true;  // the root announces itself in round 1
+
+  for (std::size_t round = 1; round <= max_rounds; ++round) {
+    // Snapshot this round's broadcasters, then deliver simultaneously.
+    // Under an asynchronous schedule, some pending broadcasts are delayed
+    // to later rounds.
+    bool any_pending = false;
+    std::vector<NodeId> speakers;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!pending[v]) continue;
+      any_pending = true;
+      if (schedule.activation_probability >= 1.0 ||
+          activation_rng.bernoulli(schedule.activation_probability)) {
+        speakers.push_back(v);
+        pending[v] = false;
+      }
+    }
+    if (!any_pending) {
+      out.converged = true;
+      break;
+    }
+    if (speakers.empty()) {
+      out.stats.rounds = round;
+      continue;
+    }
+    out.stats.rounds = round;
+
+    for (NodeId j : speakers) {
+      ++out.stats.broadcasts;
+      out.stats.values_sent += 2;
+      claimed_d[j] = broadcast_value(j);
+      claimed_fh[j] = out.first_hop[j];
+    }
+
+    // Relaxation against the freshly heard claims.
+    std::vector<Cost> new_d = out.distance;
+    std::vector<NodeId> new_fh = out.first_hop;
+    for (NodeId j : speakers) {
+      for (NodeId i : g.neighbors(j)) {
+        if (i == root) continue;
+        if (behavior_of(i).denied_neighbor == j && !corrected[i])
+          continue;  // the Fig. 2 lie: i pretends not to hear j
+        const Cost via =
+            (j == root) ? 0.0 : declared[j] + claimed_d[j];
+        if (graph::finite_cost(via) && via + kEps < new_d[i]) {
+          new_d[i] = via;
+          new_fh[i] = j;
+        }
+      }
+    }
+    bool changed = false;
+    for (NodeId v = 0; v < n; ++v) {
+      if (new_d[v] != out.distance[v] || new_fh[v] != out.first_hop[v]) {
+        out.distance[v] = new_d[v];
+        out.first_hop[v] = new_fh[v];
+        pending[v] = true;
+        changed = true;
+      }
+    }
+    if (changed) continue;
+    // Under an asynchronous schedule, wait for delayed broadcasts before
+    // judging the network quiescent.
+    if (std::any_of(pending.begin(), pending.end(),
+                    [](bool p) { return p; })) {
+      continue;
+    }
+
+    // Quiescent. In verified mode, run Algorithm 2's neighbor
+    // cross-checks; any demanded correction re-arms the loop.
+    if (mode == SptMode::kBasic) {
+      out.converged = true;
+      break;
+    }
+    bool contacted = false;
+    for (NodeId i = 0; i < n; ++i) {
+      const Cost my_claim = (i == root) ? 0.0 : claimed_d[i];
+      if (!graph::finite_cost(my_claim)) continue;
+      for (NodeId j : g.neighbors(i)) {
+        if (j == root) continue;
+        const Cost offer = (i == root) ? 0.0 : declared[i] + my_claim;
+        const Cost their_claim = claimed_d[j];
+        const bool case1 =
+            claimed_fh[j] != i && offer + kEps < their_claim;
+        const bool case2 = claimed_fh[j] == i &&
+                           std::fabs(offer - their_claim) > kEps;
+        if (!case1 && !case2) continue;
+        if (behavior_of(j).stubborn) {
+          // One demand per accuser; a refusal is provable cheating and
+          // re-demanding would spin forever.
+          if (accused_pairs.emplace(i, j).second) {
+            ++out.stats.direct_contacts;
+            out.stats.accusations.push_back(
+                {i, j, "refused demanded SPT correction"});
+          }
+          continue;
+        }
+        ++out.stats.direct_contacts;
+        contacted = true;
+        // The demanded update: route through i. A corrected node also
+        // stops applying its lying behavior (it is now on record).
+        corrected[j] = true;
+        if (offer + kEps < out.distance[j] ||
+            (case2 && std::fabs(offer - out.distance[j]) > kEps)) {
+          out.distance[j] = offer;
+          out.first_hop[j] = i;
+        }
+        pending[j] = true;  // rebroadcast the corrected state
+      }
+    }
+    if (!contacted) {
+      out.converged = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace tc::distsim

@@ -1,0 +1,80 @@
+// Stage 1 of the distributed payment scheme: building the shortest path
+// tree toward the access point (paper Sections III.C/III.D).
+//
+// Basic mode is plain distributed Bellman-Ford relaxation of
+// D(v) = min over neighbors u of (d_u + D(u)), with FH(v) the arg-min
+// first hop. A selfish node can cheat here — the paper's Figure 2 shows a
+// source that *denies an adjacency* so that a more expensive but
+// lower-payment route is chosen.
+//
+// Verified mode implements Algorithm 2's first stage: every broadcast
+// carries (D, FH), and every listener cross-checks its neighbors:
+//   case 1 (v_i != FH(v_j)): if D_i + d_i < D_j, v_i contacts v_j over the
+//          secure channel and demands the update;
+//   case 2 (v_i == FH(v_j)): if D_i + d_i != D_j, same.
+// A node that refuses a demanded correction is provably cheating (the
+// demand and its refusal are signed) and is recorded as an accusation.
+#pragma once
+
+#include <vector>
+
+#include "distsim/stats.hpp"
+#include "graph/node_graph.hpp"
+
+namespace tc::distsim {
+
+enum class SptMode {
+  kBasic,     ///< plain distributed Bellman-Ford; cheatable
+  kVerified,  ///< Algorithm 2 first stage with neighbor cross-checks
+};
+
+/// Per-node misbehavior for stage 1.
+struct SptBehavior {
+  /// Pretends this neighbor does not exist: ignores its broadcasts when
+  /// computing D/FH (the Fig. 2 lie). kInvalidNode = honest.
+  graph::NodeId denied_neighbor = graph::kInvalidNode;
+  /// Multiplies the broadcast D value (1.0 = honest). >1 repels transit
+  /// traffic, <1 attracts it (wormhole-style).
+  double distance_inflation = 1.0;
+  /// When true, the node ignores secure-channel correction demands, which
+  /// in verified mode turns the lie into a recorded accusation.
+  bool stubborn = false;
+
+  bool honest() const {
+    return denied_neighbor == graph::kInvalidNode &&
+           distance_inflation == 1.0 && !stubborn;
+  }
+};
+
+struct SptOutcome {
+  /// D(v): relay cost of v's chosen route to the root, as v believes it.
+  std::vector<graph::Cost> distance;
+  /// FH(v): v's first hop toward the root; kInvalidNode when unreached.
+  std::vector<graph::NodeId> first_hop;
+  bool converged = false;
+  ProtocolStats stats;
+
+  /// Full route v..root by chasing first hops; empty on a loop or an
+  /// unreached node.
+  std::vector<graph::NodeId> path_of(graph::NodeId v) const;
+};
+
+/// Scheduling of the relaxation rounds (see PaymentSchedule for the
+/// stage-2 analog): nodes with pending broadcasts speak each round with
+/// the given probability, modeling asynchronous delivery. Bellman-Ford
+/// relaxations commute, so the converged tree is schedule-independent.
+struct SptSchedule {
+  double activation_probability = 1.0;
+  std::uint64_t seed = 0x59751;
+};
+
+/// Runs stage 1 until quiescence (or max_rounds, default 4n). `declared`
+/// are the publicly declared relay costs d (broadcast at startup).
+SptOutcome run_spt_protocol(const graph::NodeGraph& g, graph::NodeId root,
+                            const std::vector<graph::Cost>& declared,
+                            SptMode mode,
+                            const std::vector<SptBehavior>& behaviors = {},
+                            std::size_t max_rounds = 0,
+                            const SptSchedule& schedule = {});
+
+}  // namespace tc::distsim

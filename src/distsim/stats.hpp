@@ -1,0 +1,30 @@
+// Accounting for the distributed protocol simulations: rounds to
+// convergence, message counts, and cheating-detection events.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace tc::distsim {
+
+/// A detected protocol violation (Algorithm 2's verification step).
+struct Accusation {
+  graph::NodeId accuser = graph::kInvalidNode;
+  graph::NodeId accused = graph::kInvalidNode;
+  std::string reason;
+};
+
+struct ProtocolStats {
+  std::size_t rounds = 0;            ///< synchronous rounds until quiescence
+  std::size_t broadcasts = 0;        ///< neighbor broadcasts sent
+  std::size_t values_sent = 0;       ///< scalar entries carried by broadcasts
+  std::size_t direct_contacts = 0;   ///< secure point-to-point corrections
+  std::vector<Accusation> accusations;
+
+  bool clean() const { return accusations.empty(); }
+};
+
+}  // namespace tc::distsim

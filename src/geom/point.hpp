@@ -1,0 +1,47 @@
+// 2-D geometry primitives for wireless deployments.
+//
+// Paper context: nodes are deployed uniformly at random in a square region
+// (2000m x 2000m in the paper's first simulation); link power cost is
+// alpha + beta * |v_i v_j|^kappa (Section III.F).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace tc::geom {
+
+/// A point in the deployment plane, meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+inline double squared_distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double distance(const Point& a, const Point& b) {
+  return std::sqrt(squared_distance(a, b));
+}
+
+/// Power-attenuation path loss: beta * d^kappa (+ alpha receiver overhead).
+/// kappa is typically in [2, 5]; the paper evaluates kappa in {2, 2.5}.
+inline double path_loss(double dist, double kappa, double alpha = 0.0,
+                        double beta = 1.0) {
+  return alpha + beta * std::pow(dist, kappa);
+}
+
+/// Axis-aligned deployment region [0,width] x [0,height].
+struct Region {
+  double width = 0.0;
+  double height = 0.0;
+};
+
+}  // namespace tc::geom

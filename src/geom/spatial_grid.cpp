@@ -1,0 +1,87 @@
+#include "geom/spatial_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace tc::geom {
+
+SpatialGrid::SpatialGrid(const std::vector<Point>& points, Region region,
+                         double cell)
+    : points_(points), cell_(cell) {
+  TC_CHECK_MSG(cell > 0.0, "SpatialGrid cell size must be positive");
+  TC_CHECK_MSG(region.width > 0.0 && region.height > 0.0,
+               "SpatialGrid region must be non-degenerate");
+  cols_ = std::max<std::size_t>(1,
+      static_cast<std::size_t>(std::ceil(region.width / cell)));
+  rows_ = std::max<std::size_t>(1,
+      static_cast<std::size_t>(std::ceil(region.height / cell)));
+
+  const std::size_t nbuckets = cols_ * rows_;
+  // Counting sort into CSR buckets: one pass to count, one to place.
+  std::vector<std::uint32_t> counts(nbuckets + 1, 0);
+  for (const Point& p : points_) ++counts[cell_of(p) + 1];
+  for (std::size_t i = 1; i <= nbuckets; ++i) counts[i] += counts[i - 1];
+  bucket_start_ = counts;
+  members_.resize(points_.size());
+  std::vector<std::uint32_t> cursor(bucket_start_.begin(),
+                                    bucket_start_.end() - 1);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    members_[cursor[cell_of(points_[i])]++] = static_cast<std::uint32_t>(i);
+  }
+}
+
+std::size_t SpatialGrid::cell_of(const Point& p) const {
+  auto clamp_idx = [](double v, double cell, std::size_t n) {
+    if (v <= 0.0) return std::size_t{0};
+    auto idx = static_cast<std::size_t>(v / cell);
+    return std::min(idx, n - 1);
+  };
+  const std::size_t cx = clamp_idx(p.x, cell_, cols_);
+  const std::size_t cy = clamp_idx(p.y, cell_, rows_);
+  return cy * cols_ + cx;
+}
+
+void SpatialGrid::query_radius(const Point& center, double radius,
+                               std::size_t exclude,
+                               std::vector<std::size_t>& out) const {
+  TC_CHECK_MSG(radius >= 0.0, "query_radius requires non-negative radius");
+  const double r2 = radius * radius;
+  // Number of cells the radius can span on either side of the center cell.
+  const auto span = static_cast<std::ptrdiff_t>(std::ceil(radius / cell_));
+  const std::size_t center_cell = cell_of(center);
+  const auto ccx = static_cast<std::ptrdiff_t>(center_cell % cols_);
+  const auto ccy = static_cast<std::ptrdiff_t>(center_cell / cols_);
+
+  for (std::ptrdiff_t dy = -span; dy <= span; ++dy) {
+    const std::ptrdiff_t cy = ccy + dy;
+    if (cy < 0 || cy >= static_cast<std::ptrdiff_t>(rows_)) continue;
+    for (std::ptrdiff_t dx = -span; dx <= span; ++dx) {
+      const std::ptrdiff_t cx = ccx + dx;
+      if (cx < 0 || cx >= static_cast<std::ptrdiff_t>(cols_)) continue;
+      const std::size_t bucket =
+          static_cast<std::size_t>(cy) * cols_ + static_cast<std::size_t>(cx);
+      for (std::uint32_t m = bucket_start_[bucket];
+           m < bucket_start_[bucket + 1]; ++m) {
+        const std::size_t idx = members_[m];
+        if (idx == exclude) continue;
+        if (squared_distance(points_[idx], center) <= r2) out.push_back(idx);
+      }
+    }
+  }
+}
+
+std::vector<Point> sample_uniform_points(std::size_t n, Region region,
+                                         std::uint64_t rng_seed) {
+  util::Rng rng(rng_seed);
+  std::vector<Point> points(n);
+  for (auto& p : points) {
+    p.x = rng.uniform(0.0, region.width);
+    p.y = rng.uniform(0.0, region.height);
+  }
+  return points;
+}
+
+}  // namespace tc::geom

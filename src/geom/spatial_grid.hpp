@@ -1,0 +1,50 @@
+// Uniform spatial hash grid over a rectangular region.
+//
+// Building a unit-disk graph naively is O(n^2) distance tests; with a grid
+// whose cell size equals the query radius, each node only tests the 3x3
+// block of neighboring cells, which is O(n + k) for k output edges under
+// uniform deployments. Heterogeneous-range graphs use the maximum range as
+// the cell size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.hpp"
+
+namespace tc::geom {
+
+/// Static spatial index: build once over a point set, then range-query.
+class SpatialGrid {
+ public:
+  /// `cell` must be positive; points outside the region are clamped into
+  /// the boundary cells (queries remain correct, only performance of
+  /// extreme outliers degrades).
+  SpatialGrid(const std::vector<Point>& points, Region region, double cell);
+
+  /// Appends the indices of all points within `radius` of `center`
+  /// (excluding `exclude`, pass SIZE_MAX to keep all) to `out`.
+  void query_radius(const Point& center, double radius, std::size_t exclude,
+                    std::vector<std::size_t>& out) const;
+
+  std::size_t cols() const { return cols_; }
+  std::size_t rows() const { return rows_; }
+
+ private:
+  std::size_t cell_of(const Point& p) const;
+
+  const std::vector<Point>& points_;
+  double cell_;
+  std::size_t cols_;
+  std::size_t rows_;
+  // CSR layout: bucket_start_[c]..bucket_start_[c+1] indexes into members_.
+  std::vector<std::uint32_t> bucket_start_;
+  std::vector<std::uint32_t> members_;
+};
+
+/// Samples `n` points uniformly in `region` using `rng_seed`-derived draws.
+std::vector<Point> sample_uniform_points(std::size_t n, Region region,
+                                         std::uint64_t rng_seed);
+
+}  // namespace tc::geom

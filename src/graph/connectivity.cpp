@@ -1,0 +1,128 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+#include <stack>
+
+#include "util/check.hpp"
+
+namespace tc::graph {
+
+std::vector<bool> reachable_from(const NodeGraph& g, NodeId source,
+                                 const NodeMask& mask) {
+  TC_CHECK_MSG(mask.allowed(source), "BFS source is masked out");
+  std::vector<bool> seen(g.num_nodes(), false);
+  std::vector<NodeId> frontier{source};
+  seen[source] = true;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.back();
+    frontier.pop_back();
+    for (NodeId v : g.neighbors(u)) {
+      if (!seen[v] && mask.allowed(v)) {
+        seen[v] = true;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+bool is_connected(const NodeGraph& g, const NodeMask& mask) {
+  const std::size_t n = g.num_nodes();
+  NodeId start = kInvalidNode;
+  std::size_t allowed = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (mask.allowed(v)) {
+      ++allowed;
+      if (start == kInvalidNode) start = v;
+    }
+  }
+  if (allowed <= 1) return true;
+  const auto seen = reachable_from(g, start, mask);
+  for (NodeId v = 0; v < n; ++v) {
+    if (mask.allowed(v) && !seen[v]) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> articulation_points(const NodeGraph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<int> disc(n, -1);
+  std::vector<int> low(n, 0);
+  std::vector<NodeId> parent(n, kInvalidNode);
+  std::vector<bool> is_cut(n, false);
+  int timer = 0;
+
+  // Iterative Tarjan DFS (explicit stack; graphs can have long paths and
+  // recursion would overflow on n in the tens of thousands).
+  struct Frame {
+    NodeId u;
+    std::size_t next_idx;
+    std::size_t child_count;
+  };
+  for (NodeId root = 0; root < n; ++root) {
+    if (disc[root] != -1) continue;
+    std::vector<Frame> stack;
+    disc[root] = low[root] = timer++;
+    stack.push_back({root, 0, 0});
+    std::size_t root_children = 0;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto nbrs = g.neighbors(f.u);
+      if (f.next_idx < nbrs.size()) {
+        const NodeId v = nbrs[f.next_idx++];
+        if (disc[v] == -1) {
+          parent[v] = f.u;
+          ++f.child_count;
+          if (f.u == root) ++root_children;
+          disc[v] = low[v] = timer++;
+          stack.push_back({v, 0, 0});
+        } else if (v != parent[f.u]) {
+          low[f.u] = std::min(low[f.u], disc[v]);
+        }
+      } else {
+        const NodeId u = f.u;
+        stack.pop_back();
+        if (!stack.empty()) {
+          const NodeId p = stack.back().u;
+          low[p] = std::min(low[p], low[u]);
+          if (p != root && low[u] >= disc[p]) is_cut[p] = true;
+        }
+      }
+    }
+    if (root_children > 1) is_cut[root] = true;
+  }
+
+  std::vector<NodeId> cuts;
+  for (NodeId v = 0; v < n; ++v) {
+    if (is_cut[v]) cuts.push_back(v);
+  }
+  return cuts;
+}
+
+bool is_biconnected(const NodeGraph& g) {
+  if (g.num_nodes() < 3) return false;
+  if (!is_connected(g)) return false;
+  return articulation_points(g).empty();
+}
+
+bool connected_without_node(const NodeGraph& g, NodeId v) {
+  NodeMask mask(g.num_nodes());
+  mask.block(v);
+  return is_connected(g, mask);
+}
+
+bool connected_without_neighborhood(const NodeGraph& g, NodeId v) {
+  NodeMask mask(g.num_nodes());
+  mask.block(v);
+  for (NodeId w : g.neighbors(v)) mask.block(w);
+  return is_connected(g, mask);
+}
+
+bool neighborhood_removal_safe(const NodeGraph& g) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!connected_without_neighborhood(g, v)) return false;
+  }
+  return true;
+}
+
+}  // namespace tc::graph

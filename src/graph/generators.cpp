@@ -1,0 +1,195 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geom/spatial_grid.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace tc::graph {
+
+NodeGraph make_path(std::size_t n, Cost cost) {
+  TC_CHECK_MSG(n >= 2, "path needs at least 2 nodes");
+  NodeGraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v) b.set_node_cost(v, cost);
+  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+NodeGraph make_ring(std::size_t n, Cost cost) {
+  TC_CHECK_MSG(n >= 3, "ring needs at least 3 nodes");
+  NodeGraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v) b.set_node_cost(v, cost);
+  for (NodeId v = 0; v < n; ++v) b.add_edge(v, static_cast<NodeId>((v + 1) % n));
+  return b.build();
+}
+
+NodeGraph make_grid(std::size_t rows, std::size_t cols, Cost cost) {
+  TC_CHECK_MSG(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+  const std::size_t n = rows * cols;
+  NodeGraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v) b.set_node_cost(v, cost);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+NodeGraph make_complete(std::size_t n, Cost cost) {
+  TC_CHECK_MSG(n >= 2, "complete graph needs at least 2 nodes");
+  NodeGraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v) b.set_node_cost(v, cost);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  return b.build();
+}
+
+NodeGraph make_erdos_renyi(std::size_t n, double p, Cost cost_lo, Cost cost_hi,
+                           std::uint64_t seed) {
+  TC_CHECK_MSG(n >= 2, "G(n,p) needs at least 2 nodes");
+  TC_CHECK_MSG(p >= 0.0 && p <= 1.0, "edge probability out of [0,1]");
+  util::Rng rng(seed);
+  NodeGraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v)
+    b.set_node_cost(v, rng.uniform(cost_lo, cost_hi));
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v)
+      if (rng.bernoulli(p)) b.add_edge(u, v);
+  return b.build();
+}
+
+namespace {
+
+/// Builds the undirected UDG edge set over `points` for a fixed range.
+std::vector<std::pair<NodeId, NodeId>> udg_edges(
+    const std::vector<geom::Point>& points, geom::Region region,
+    double range) {
+  geom::SpatialGrid grid(points, region, range);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<std::size_t> found;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    found.clear();
+    grid.query_radius(points[i], range, i, found);
+    for (std::size_t j : found) {
+      if (i < j)
+        edges.emplace_back(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+NodeGraph make_unit_disk_node(const UdgParams& params, Cost cost_lo,
+                              Cost cost_hi, std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto points =
+      geom::sample_uniform_points(params.n, params.region, rng.next_u64());
+  NodeGraphBuilder b(params.n);
+  for (NodeId v = 0; v < params.n; ++v)
+    b.set_node_cost(v, rng.uniform(cost_lo, cost_hi));
+  for (const auto& [u, v] : udg_edges(points, params.region, params.range_m))
+    b.add_edge(u, v);
+  b.set_positions(std::move(points));
+  return b.build();
+}
+
+LinkGraph make_unit_disk_link(const UdgParams& params, std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto points =
+      geom::sample_uniform_points(params.n, params.region, rng.next_u64());
+  LinkGraphBuilder b(params.n);
+  // Normalizing by (range/2)^kappa keeps costs O(1) for numerical hygiene;
+  // every metric in the paper's evaluation is a ratio, so the scale cancels.
+  const double norm = std::pow(params.range_m / 2.0, params.kappa);
+  for (const auto& [u, v] : udg_edges(points, params.region, params.range_m)) {
+    const double d = geom::distance(points[u], points[v]);
+    const Cost c = std::pow(d, params.kappa) / norm;
+    b.add_link(u, v, c, c);
+  }
+  b.set_positions(std::move(points));
+  return b.build();
+}
+
+LinkGraph make_hetero_geometric(const HeteroParams& params,
+                                std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto points =
+      geom::sample_uniform_points(params.n, params.region, rng.next_u64());
+
+  std::vector<double> range(params.n);
+  std::vector<double> c1(params.n);
+  std::vector<double> c2(params.n);
+  for (std::size_t i = 0; i < params.n; ++i) {
+    range[i] = rng.uniform(params.range_lo_m, params.range_hi_m);
+    c1[i] = rng.uniform(params.c1_lo, params.c1_hi);
+    c2[i] = rng.uniform(params.c2_lo, params.c2_hi);
+  }
+
+  geom::SpatialGrid grid(points, params.region, params.range_hi_m);
+  LinkGraphBuilder b(params.n);
+  std::vector<std::size_t> found;
+  for (std::size_t i = 0; i < params.n; ++i) {
+    found.clear();
+    grid.query_radius(points[i], range[i], i, found);
+    for (std::size_t j : found) {
+      const double d = geom::distance(points[i], points[j]);
+      // d rescaled to hectometers so c1 (300..500) and c2 * d^kappa
+      // (10..50 times up-to-5^2.5) are comparable, as in the paper's
+      // power-cost figures for 2 Mbps transmission.
+      const Cost cost = c1[i] + c2[i] * std::pow(d / 100.0, params.kappa);
+      b.add_arc(static_cast<NodeId>(i), static_cast<NodeId>(j), cost);
+    }
+  }
+  b.set_positions(std::move(points));
+  return b.build();
+}
+
+NodeGraph make_fig2_graph() {
+  // AP v0, source v1. Cheap three-relay chain v1-v4-v3-v2-v0 (costs 1,1,1),
+  // a single-relay alternative v1-v5-v0 (cost 4), and a backstop
+  // v1-v6-v0 (cost 5) that keeps payments finite when v1 hides edge v1-v4.
+  NodeGraphBuilder b(7);
+  const Cost costs[7] = {0.0, 0.0, 1.0, 1.0, 1.0, 4.0, 5.0};
+  for (NodeId v = 0; v < 7; ++v) b.set_node_cost(v, costs[v]);
+  b.add_edge(0, 2).add_edge(2, 3).add_edge(3, 4).add_edge(4, 1);
+  b.add_edge(0, 5).add_edge(5, 1);
+  b.add_edge(0, 6).add_edge(6, 1);
+  return b.build();
+}
+
+NodeGraph make_fig4_graph() {
+  // AP v0, source v8. LCP v8-v1-v2-v3-v0 (relay costs 1.5, 1, 1); each
+  // relay's avoiding path runs through v4-v5 (costs 5, 4), so
+  // p_8 = 7 + 6.5 + 6.5 = 20. v4's own LCP is v4-v5-v0 with payment
+  // p_4 = 6, and c_4 = 5, giving the paper's resale numbers exactly.
+  NodeGraphBuilder b(9);
+  const Cost costs[9] = {0.0, 1.5, 1.0, 1.0, 5.0, 4.0, 50.0, 50.0, 2.5};
+  for (NodeId v = 0; v < 9; ++v) b.set_node_cost(v, costs[v]);
+  b.add_edge(8, 1).add_edge(1, 2).add_edge(2, 3).add_edge(3, 0);
+  b.add_edge(8, 4).add_edge(4, 5).add_edge(5, 0);
+  b.add_edge(8, 7).add_edge(7, 6).add_edge(6, 0);
+  return b.build();
+}
+
+LinkGraph to_link_graph(const NodeGraph& g) {
+  LinkGraphBuilder b(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      b.add_arc(u, v, g.node_cost(u));
+    }
+  }
+  if (g.has_positions()) {
+    b.set_positions(g.positions());
+  }
+  return b.build();
+}
+
+}  // namespace tc::graph

@@ -1,0 +1,114 @@
+// Topology generators.
+//
+// The geometric generators reproduce the paper's simulation setups
+// (Section III.G):
+//  * unit-disk graph, n nodes uniform in 2000m x 2000m, range 300m, link
+//    cost |v_i v_j|^kappa with kappa in {2, 2.5}   (Fig. 3 a-d);
+//  * heterogeneous-range geometric graph, per-node range in [100m, 500m],
+//    link cost c1 + c2 |v_i v_j|^kappa with c1 in [300,500], c2 in [10,50]
+//    (Fig. 3 e-f).
+// The hand-built Fig. 2 and Fig. 4 instances reproduce the paper's worked
+// examples exactly (see tests/graph_generators_test.cpp for the numbers).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "geom/point.hpp"
+#include "graph/link_graph.hpp"
+#include "graph/node_graph.hpp"
+
+namespace tc::graph {
+
+// ---------------------------------------------------------------------------
+// Deterministic small topologies (node-weighted), used by tests.
+// ---------------------------------------------------------------------------
+
+/// Path v0 - v1 - ... - v_{n-1}, all node costs = `cost`.
+NodeGraph make_path(std::size_t n, Cost cost = 1.0);
+
+/// Cycle on n >= 3 nodes, all node costs = `cost`.
+NodeGraph make_ring(std::size_t n, Cost cost = 1.0);
+
+/// rows x cols grid, all node costs = `cost`.
+NodeGraph make_grid(std::size_t rows, std::size_t cols, Cost cost = 1.0);
+
+/// Complete graph K_n, all node costs = `cost`.
+NodeGraph make_complete(std::size_t n, Cost cost = 1.0);
+
+// ---------------------------------------------------------------------------
+// Random topologies.
+// ---------------------------------------------------------------------------
+
+/// G(n, p) with node costs uniform in [cost_lo, cost_hi]. Deterministic in
+/// `seed`. Note: may be disconnected for small p; callers that need
+/// connectivity should retry with a different seed (see helpers in sim/).
+NodeGraph make_erdos_renyi(std::size_t n, double p, Cost cost_lo, Cost cost_hi,
+                           std::uint64_t seed);
+
+/// Parameters for the paper's first simulation (UDG).
+struct UdgParams {
+  std::size_t n = 100;
+  geom::Region region{2000.0, 2000.0};
+  double range_m = 300.0;
+  double kappa = 2.0;
+};
+
+/// Node-weighted unit-disk graph: nodes uniform in region, edge when
+/// distance <= range, node cost uniform in [cost_lo, cost_hi].
+NodeGraph make_unit_disk_node(const UdgParams& params, Cost cost_lo,
+                              Cost cost_hi, std::uint64_t seed);
+
+/// Link-weighted unit-disk graph: arc cost d(u,v)^kappa both directions
+/// (the paper's Fig. 3 a-d cost model). Distances are in meters; costs are
+/// normalized by (range/2)^kappa to keep magnitudes O(1)-ish without
+/// changing any ratio metric.
+LinkGraph make_unit_disk_link(const UdgParams& params, std::uint64_t seed);
+
+/// Parameters for the paper's second simulation (heterogeneous ranges).
+struct HeteroParams {
+  std::size_t n = 100;
+  geom::Region region{2000.0, 2000.0};
+  double range_lo_m = 100.0;
+  double range_hi_m = 500.0;
+  double kappa = 2.0;
+  double c1_lo = 300.0;
+  double c1_hi = 500.0;
+  double c2_lo = 10.0;
+  double c2_hi = 50.0;
+};
+
+/// Heterogeneous-range geometric graph. Arc u->v exists when
+/// d(u,v) <= range(u); cost(u->v) = c1_u + c2_u * (d/100m)^kappa, matching
+/// the paper's c1 + c2 d^kappa model (d rescaled to hectometers so c1 and
+/// the attenuation term have comparable magnitude, as the paper's 2 Mbps
+/// power figures intend).
+LinkGraph make_hetero_geometric(const HeteroParams& params,
+                                std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Paper's worked examples.
+// ---------------------------------------------------------------------------
+
+/// Figure 2 instance (lying about adjacency): AP v0, source v1; truthful
+/// routing pays 2+2+2 = 6 along v1-v4-v3-v2-v0, while hiding edge v1-v4
+/// makes the source pay only 5 via v1-v5-v0.
+NodeGraph make_fig2_graph();
+
+/// The edge the Fig. 2 source profitably denies.
+inline constexpr std::pair<NodeId, NodeId> kFig2DeniedEdge{1, 4};
+
+/// Figure 4 instance (resale-the-path): p_8 = 20, p_4 = 6, p_8^4 = 0,
+/// c_4 = 5; v8 can route through v4 for a total outlay of 15.5.
+NodeGraph make_fig4_graph();
+
+// ---------------------------------------------------------------------------
+// Conversions.
+// ---------------------------------------------------------------------------
+
+/// Lifts a node-weighted graph to an equivalent link-weighted directed
+/// graph: arc u->v carries u's node cost. Shortest paths agree up to the
+/// endpoint-cost convention (see spath/dijkstra.hpp).
+LinkGraph to_link_graph(const NodeGraph& g);
+
+}  // namespace tc::graph

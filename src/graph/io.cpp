@@ -1,0 +1,76 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tc::graph {
+
+void write_text(std::ostream& out, const NodeGraph& g) {
+  out << "node_graph " << g.num_nodes() << '\n';
+  out.precision(17);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out << "c " << v << ' ' << g.node_cost(v) << '\n';
+  }
+  for (const auto& [u, v] : g.edges()) {
+    out << "e " << u << ' ' << v << '\n';
+  }
+}
+
+NodeGraph read_text(std::istream& in) {
+  std::string tag;
+  std::size_t n = 0;
+  if (!(in >> tag >> n) || tag != "node_graph") {
+    throw std::invalid_argument("read_text: missing node_graph header");
+  }
+  NodeGraphBuilder b(n);
+  std::string kind;
+  while (in >> kind) {
+    if (kind == "c") {
+      NodeId v;
+      Cost c;
+      if (!(in >> v >> c)) throw std::invalid_argument("read_text: bad cost");
+      b.set_node_cost(v, c);
+    } else if (kind == "e") {
+      NodeId u, v;
+      if (!(in >> u >> v)) throw std::invalid_argument("read_text: bad edge");
+      b.add_edge(u, v);
+    } else {
+      throw std::invalid_argument("read_text: unknown record '" + kind + "'");
+    }
+  }
+  return b.build();
+}
+
+std::string to_dot(const NodeGraph& g) {
+  std::ostringstream out;
+  out << "graph truthcast {\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out << "  v" << v << " [label=\"v" << v << "\\nc=" << g.node_cost(v)
+        << "\"];\n";
+  }
+  for (const auto& [u, v] : g.edges()) {
+    out << "  v" << u << " -- v" << v << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_dot(const LinkGraph& g) {
+  std::ostringstream out;
+  out << "digraph truthcast {\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out << "  v" << v << ";\n";
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Arc& a : g.out_arcs(u)) {
+      out << "  v" << u << " -> v" << a.to << " [label=\"" << a.cost
+          << "\"];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace tc::graph

@@ -1,0 +1,28 @@
+// Graph serialization: a line-oriented text format (round-trippable) and
+// Graphviz DOT export for debugging topologies.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/link_graph.hpp"
+#include "graph/node_graph.hpp"
+
+namespace tc::graph {
+
+/// Text format:
+///   node_graph <n>
+///   c <id> <cost>            (one per node)
+///   e <u> <v>                (one per undirected edge)
+void write_text(std::ostream& out, const NodeGraph& g);
+
+/// Parses the text format above. Throws std::invalid_argument on errors.
+NodeGraph read_text(std::istream& in);
+
+/// Graphviz DOT with node costs as labels.
+std::string to_dot(const NodeGraph& g);
+
+/// Directed DOT with arc costs as labels.
+std::string to_dot(const LinkGraph& g);
+
+}  // namespace tc::graph

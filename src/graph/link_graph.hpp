@@ -1,0 +1,93 @@
+// Link-weighted directed graph: the paper's Section III.F model, where each
+// node v_i is an agent whose private type is the *vector* of power costs
+// c_{i,j} = alpha_i + beta_i * |v_i v_j|^kappa for each outgoing link.
+//
+// The cost of a directed path is the sum of the costs of its arcs; the
+// valuation of a node is determined solely by which of its outgoing arcs
+// the chosen path uses.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "graph/types.hpp"
+
+namespace tc::graph {
+
+class LinkGraphBuilder;
+
+/// A directed arc with a mutable cost (the owning node's declared cost for
+/// transmitting over this link).
+struct Arc {
+  NodeId to = kInvalidNode;
+  Cost cost = 0.0;
+};
+
+/// Immutable directed topology with mutable arc costs (CSR of out-arcs).
+class LinkGraph {
+ public:
+  std::size_t num_nodes() const { return offsets_.size() - 1; }
+  std::size_t num_arcs() const { return arcs_.size(); }
+
+  std::span<const Arc> out_arcs(NodeId v) const {
+    return {arcs_.data() + offsets_.at(v), offsets_.at(v + 1) - offsets_.at(v)};
+  }
+
+  std::size_t out_degree(NodeId v) const {
+    return offsets_.at(v + 1) - offsets_.at(v);
+  }
+
+  /// Cost of arc u->v; kInfCost when the arc does not exist.
+  Cost arc_cost(NodeId u, NodeId v) const;
+
+  /// Sets the cost of arc u->v. Throws if the arc does not exist.
+  void set_arc_cost(NodeId u, NodeId v, Cost c);
+
+  /// Sets the cost of every out-arc of `u` to `c` (used to model
+  /// "remove node v_k" by declaring d_{k,*} = infinity, Section III.F).
+  void set_all_out_costs(NodeId u, Cost c);
+
+  /// Snapshot of all arc costs in CSR order (for save/restore during
+  /// counterfactual evaluations).
+  std::vector<Cost> arc_costs() const;
+  void restore_arc_costs(const std::vector<Cost>& costs);
+
+  bool has_positions() const { return !positions_.empty(); }
+  const geom::Point& position(NodeId v) const { return positions_.at(v); }
+
+ private:
+  friend class LinkGraphBuilder;
+  LinkGraph() = default;
+
+  std::vector<std::size_t> offsets_;  // size num_nodes + 1
+  std::vector<Arc> arcs_;
+  std::vector<geom::Point> positions_;
+};
+
+/// Builder for LinkGraph; duplicate arcs keep the lowest cost.
+class LinkGraphBuilder {
+ public:
+  explicit LinkGraphBuilder(std::size_t num_nodes) : num_nodes_(num_nodes) {}
+
+  LinkGraphBuilder& add_arc(NodeId from, NodeId to, Cost cost);
+  /// Adds both u->v and v->u with the given per-direction costs.
+  LinkGraphBuilder& add_link(NodeId u, NodeId v, Cost cost_uv, Cost cost_vu);
+  LinkGraphBuilder& set_positions(std::vector<geom::Point> positions);
+
+  std::size_t num_nodes() const { return num_nodes_; }
+
+  LinkGraph build() const;
+
+ private:
+  struct RawArc {
+    NodeId from;
+    NodeId to;
+    Cost cost;
+  };
+  std::size_t num_nodes_;
+  std::vector<RawArc> raw_;
+  std::vector<geom::Point> positions_;
+};
+
+}  // namespace tc::graph

@@ -1,0 +1,58 @@
+// Node masks: cheap "remove these vertices" views used throughout the
+// VCG payment computations (P_{-v_k}, P_{-N(v_k)}, P_{-Q(v_k)}).
+//
+// Rebuilding a graph per removed node would dominate the naive payment
+// algorithm's cost; a mask instead filters nodes during traversal.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace tc::graph {
+
+/// Set of blocked nodes over a fixed-size node universe.
+class NodeMask {
+ public:
+  NodeMask() = default;
+
+  /// All nodes allowed.
+  explicit NodeMask(std::size_t num_nodes) : blocked_(num_nodes, 0) {}
+
+  static NodeMask all_allowed(std::size_t num_nodes) {
+    return NodeMask(num_nodes);
+  }
+
+  /// Mask with exactly the given nodes blocked.
+  static NodeMask blocking(std::size_t num_nodes,
+                           std::initializer_list<NodeId> nodes) {
+    NodeMask m(num_nodes);
+    for (NodeId v : nodes) m.block(v);
+    return m;
+  }
+
+  bool empty() const { return blocked_.empty(); }
+  std::size_t size() const { return blocked_.size(); }
+
+  void block(NodeId v) { blocked_.at(v) = 1; }
+  void unblock(NodeId v) { blocked_.at(v) = 0; }
+
+  /// True when `v` participates in the masked graph. An empty mask allows
+  /// everything (the common "no removal" fast path).
+  bool allowed(NodeId v) const {
+    return blocked_.empty() || blocked_[v] == 0;
+  }
+
+  std::size_t blocked_count() const {
+    std::size_t n = 0;
+    for (auto b : blocked_) n += b;
+    return n;
+  }
+
+ private:
+  std::vector<std::uint8_t> blocked_;
+};
+
+}  // namespace tc::graph

@@ -1,0 +1,91 @@
+// Node-weighted undirected graph: the paper's primary network model
+// (Section II.B). Each wireless node v_i has a scalar relay cost c_i; the
+// cost of a path excludes its two endpoints (Section II.C).
+//
+// Storage is CSR (compressed sparse row): contiguous neighbor arrays give
+// cache-friendly Dijkstra scans, which matters because the naive VCG
+// payment computation runs one Dijkstra per relay node.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "graph/types.hpp"
+
+namespace tc::graph {
+
+class NodeGraphBuilder;
+
+/// Immutable topology with mutable node costs.
+///
+/// Topology is fixed at build time; declared costs change per mechanism
+/// evaluation (agents re-declare), so `set_node_cost` stays cheap.
+class NodeGraph {
+ public:
+  std::size_t num_nodes() const { return costs_.size(); }
+  /// Number of undirected edges.
+  std::size_t num_edges() const { return adjacency_.size() / 2; }
+
+  Cost node_cost(NodeId v) const { return costs_.at(v); }
+  void set_node_cost(NodeId v, Cost c) { costs_.at(v) = c; }
+
+  const std::vector<Cost>& costs() const { return costs_; }
+  /// Replaces all node costs (size must match). Used by the mechanism
+  /// layer to install declared-cost vectors.
+  void set_costs(std::vector<Cost> costs);
+
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {adjacency_.data() + offsets_.at(v),
+            offsets_.at(v + 1) - offsets_.at(v)};
+  }
+
+  std::size_t degree(NodeId v) const {
+    return offsets_.at(v + 1) - offsets_.at(v);
+  }
+
+  /// O(deg) membership test.
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Deployment coordinates when the graph was built geometrically.
+  bool has_positions() const { return !positions_.empty(); }
+  const geom::Point& position(NodeId v) const { return positions_.at(v); }
+  const std::vector<geom::Point>& positions() const { return positions_; }
+
+  /// All undirected edges as (u, v) with u < v, in deterministic order.
+  std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+ private:
+  friend class NodeGraphBuilder;
+  NodeGraph() = default;
+
+  std::vector<Cost> costs_;
+  std::vector<std::size_t> offsets_;   // size num_nodes + 1
+  std::vector<NodeId> adjacency_;      // size 2 * num_edges
+  std::vector<geom::Point> positions_;  // empty or size num_nodes
+};
+
+/// Incremental builder; deduplicates parallel edges and rejects self-loops.
+class NodeGraphBuilder {
+ public:
+  explicit NodeGraphBuilder(std::size_t num_nodes);
+
+  NodeGraphBuilder& set_node_cost(NodeId v, Cost c);
+  NodeGraphBuilder& set_costs(std::vector<Cost> costs);
+  NodeGraphBuilder& add_edge(NodeId u, NodeId v);
+  NodeGraphBuilder& set_positions(std::vector<geom::Point> positions);
+
+  std::size_t num_nodes() const { return costs_.size(); }
+
+  /// Finalizes into CSR form. The builder may be reused afterwards.
+  NodeGraph build() const;
+
+ private:
+  std::vector<Cost> costs_;
+  std::vector<std::pair<NodeId, NodeId>> edge_list_;
+  std::vector<geom::Point> positions_;
+};
+
+}  // namespace tc::graph

@@ -1,0 +1,23 @@
+// Shared identifier and cost types for the graph layer.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tc::graph {
+
+/// Node identifier; node 0 conventionally denotes the access point v_0.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node" (e.g., root's parent in an SPT).
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Relay/link cost. Costs are non-negative; kInfCost marks unreachable.
+using Cost = double;
+
+inline constexpr Cost kInfCost = std::numeric_limits<Cost>::infinity();
+
+/// True when `c` represents a finite, usable cost.
+inline bool finite_cost(Cost c) { return c < kInfCost; }
+
+}  // namespace tc::graph

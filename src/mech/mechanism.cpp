@@ -1,0 +1,25 @@
+#include "mech/mechanism.hpp"
+
+namespace tc::mech {
+
+graph::Cost UnicastOutcome::total_payment() const {
+  graph::Cost total = 0.0;
+  for (graph::Cost p : payments) total += p;
+  return total;
+}
+
+bool UnicastOutcome::is_relay(graph::NodeId k) const {
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    if (path[i] == k) return true;
+  }
+  return false;
+}
+
+graph::Cost agent_utility(const UnicastOutcome& outcome, graph::NodeId k,
+                          graph::Cost true_cost) {
+  const graph::Cost payment =
+      k < outcome.payments.size() ? outcome.payments[k] : 0.0;
+  return outcome.is_relay(k) ? payment - true_cost : payment;
+}
+
+}  // namespace tc::mech

@@ -1,0 +1,56 @@
+// Mechanism-design abstractions (paper Section II.A).
+//
+// An agent's private type is its relay cost; a mechanism maps declared
+// costs to an output (here: the routing path) and a payment vector. The
+// UnicastMechanism interface is implemented by the VCG scheme (III.A) and
+// the neighbor-collusion-resistant scheme p~ (III.E); the truthfulness
+// harness (truthfulness.hpp) checks IC and IR empirically against any
+// implementation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/node_graph.hpp"
+#include "graph/types.hpp"
+
+namespace tc::mech {
+
+/// Output + payments of one mechanism evaluation for a (source, target)
+/// unicast request under a declared cost profile.
+struct UnicastOutcome {
+  /// The chosen route source..target inclusive; empty if disconnected.
+  std::vector<graph::NodeId> path;
+  /// Interior (relay) cost of `path` under the declared profile.
+  graph::Cost path_cost = graph::kInfCost;
+  /// payments[k]: what the source pays node k. Size = num_nodes.
+  std::vector<graph::Cost> payments;
+
+  bool connected() const { return graph::finite_cost(path_cost); }
+  graph::Cost total_payment() const;
+  /// True when node k relays on the chosen path (excludes endpoints).
+  bool is_relay(graph::NodeId k) const;
+};
+
+/// Strategy interface: a unicast pricing mechanism over the node-weighted
+/// model. Implementations must be deterministic functions of
+/// (topology, declared costs, source, target).
+class UnicastMechanism {
+ public:
+  virtual ~UnicastMechanism() = default;
+
+  /// Evaluates the mechanism. `declared` has one entry per node (the
+  /// declared cost vector d); the graph's stored costs are ignored.
+  virtual UnicastOutcome run(const graph::NodeGraph& g,
+                             graph::NodeId source, graph::NodeId target,
+                             const std::vector<graph::Cost>& declared) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Utility of agent k with true cost `true_cost` under `outcome`
+/// (Section II.C): payment minus true cost if k relays, else payment.
+graph::Cost agent_utility(const UnicastOutcome& outcome, graph::NodeId k,
+                          graph::Cost true_cost);
+
+}  // namespace tc::mech

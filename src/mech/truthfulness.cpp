@@ -1,0 +1,158 @@
+#include "mech/truthfulness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace tc::mech {
+
+using graph::Cost;
+using graph::NodeId;
+
+std::string IcViolation::to_string() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "agent v%u gains by lying %.6g -> %.6g (utility %.6g -> %.6g)",
+                agent, true_cost, lied_cost, truthful_utility, lying_utility);
+  return buf;
+}
+
+const PairCollusion& CollusionReport::best() const {
+  TC_CHECK_MSG(!collusions.empty(), "best() on empty collusion report");
+  const PairCollusion* best = &collusions.front();
+  for (const auto& c : collusions) {
+    if (c.gain() > best->gain()) best = &c;
+  }
+  return *best;
+}
+
+TruthfulnessReport check_truthfulness(
+    const UnicastMechanism& mechanism, const graph::NodeGraph& g,
+    NodeId source, NodeId target, const std::vector<Cost>& true_costs,
+    util::Rng& rng, const TruthfulnessOptions& options) {
+  TC_CHECK_MSG(true_costs.size() == g.num_nodes(),
+               "profile size must match node count");
+  TruthfulnessReport report;
+
+  const UnicastOutcome truthful = mechanism.run(g, source, target, true_costs);
+
+  // IR: truthful utility of every agent must be non-negative.
+  for (NodeId k = 0; k < g.num_nodes(); ++k) {
+    if (k == source || k == target) continue;
+    const Cost u = agent_utility(truthful, k, true_costs[k]);
+    if (u < -options.tolerance) {
+      report.ir_violations.push_back({k, u});
+    }
+  }
+
+  // IC: sample unilateral deviations per agent.
+  std::vector<Cost> declared = true_costs;
+  for (NodeId k = 0; k < g.num_nodes(); ++k) {
+    if (k == source || k == target) continue;
+    const Cost truthful_utility = agent_utility(truthful, k, true_costs[k]);
+
+    std::vector<Cost> lies;
+    const Cost c = true_costs[k];
+    lies.push_back(0.0);
+    lies.push_back(c / 2.0);
+    lies.push_back(c * 2.0);
+    lies.push_back(c + 1e6);
+    if (options.probe_thresholds) {
+      // For VCG-style schemes the on/off-LCP threshold equals the truthful
+      // payment; probing just around it exercises the boundary where a lie
+      // flips the output.
+      const Cost p = truthful.payments[k];
+      if (graph::finite_cost(p)) {
+        lies.push_back(std::max(0.0, p - options.threshold_epsilon));
+        lies.push_back(p + options.threshold_epsilon);
+      }
+    }
+    for (std::size_t i = 0; i < options.random_deviations_per_agent; ++i) {
+      const double f = rng.uniform(1.0 / options.deviation_factor,
+                                   options.deviation_factor);
+      lies.push_back(std::max(0.0, c * f + rng.uniform(-0.5, 0.5)));
+    }
+
+    for (Cost lie : lies) {
+      if (lie == c) continue;
+      declared[k] = lie;
+      const UnicastOutcome outcome =
+          mechanism.run(g, source, target, declared);
+      ++report.deviations_tried;
+      const Cost lying_utility = agent_utility(outcome, k, true_costs[k]);
+      if (lying_utility > truthful_utility + options.tolerance) {
+        report.ic_violations.push_back(
+            {k, c, lie, truthful_utility, lying_utility});
+      }
+    }
+    declared[k] = c;
+  }
+  return report;
+}
+
+CollusionReport find_pair_collusions(
+    const UnicastMechanism& mechanism, const graph::NodeGraph& g,
+    NodeId source, NodeId target, const std::vector<Cost>& true_costs,
+    util::Rng& rng, const CollusionOptions& options) {
+  TC_CHECK_MSG(true_costs.size() == g.num_nodes(),
+               "profile size must match node count");
+  CollusionReport report;
+
+  const UnicastOutcome truthful = mechanism.run(g, source, target, true_costs);
+
+  std::vector<Cost> declared = true_costs;
+  for (NodeId a = 0; a < g.num_nodes(); ++a) {
+    if (a == source || a == target) continue;
+    for (NodeId b = a + 1; b < g.num_nodes(); ++b) {
+      if (b == source || b == target) continue;
+      if (options.neighbors_only && !g.has_edge(a, b)) continue;
+      ++report.pairs_tried;
+
+      const Cost truthful_joint = agent_utility(truthful, a, true_costs[a]) +
+                                  agent_utility(truthful, b, true_costs[b]);
+
+      // Targeted joint lies first: one colluder inflates massively while
+      // the other stays truthful — the canonical Theorem 7 pattern where
+      // an off-path neighbor lifts the avoiding-path cost, inflating the
+      // on-path partner's VCG payment.
+      std::vector<std::pair<Cost, Cost>> lies;
+      lies.emplace_back(true_costs[a] + 1e5, true_costs[b]);
+      lies.emplace_back(true_costs[a], true_costs[b] + 1e5);
+      lies.emplace_back(true_costs[a] + 1e5, true_costs[b] + 1e5);
+      if (!options.overdeclare_only) {
+        lies.emplace_back(0.0, true_costs[b] + 1e5);
+        lies.emplace_back(true_costs[a] + 1e5, 0.0);
+        lies.emplace_back(0.0, 0.0);
+      }
+      const double min_factor =
+          options.overdeclare_only ? 1.0 : 1.0 / options.deviation_factor;
+      for (std::size_t i = 0; i < options.random_deviations_per_pair; ++i) {
+        const double fa = rng.uniform(min_factor, options.deviation_factor);
+        const double fb = rng.uniform(min_factor, options.deviation_factor);
+        lies.emplace_back(std::max(0.0, true_costs[a] * fa),
+                          std::max(0.0, true_costs[b] * fb));
+      }
+
+      for (const auto& [la, lb] : lies) {
+        if (la == true_costs[a] && lb == true_costs[b]) continue;
+        declared[a] = la;
+        declared[b] = lb;
+        const UnicastOutcome outcome =
+            mechanism.run(g, source, target, declared);
+        ++report.deviations_tried;
+        const Cost joint = agent_utility(outcome, a, true_costs[a]) +
+                           agent_utility(outcome, b, true_costs[b]);
+        if (joint > truthful_joint + options.tolerance) {
+          report.collusions.push_back(
+              {a, b, la, lb, truthful_joint, joint});
+        }
+      }
+      declared[a] = true_costs[a];
+      declared[b] = true_costs[b];
+    }
+  }
+  return report;
+}
+
+}  // namespace tc::mech

@@ -1,0 +1,122 @@
+// Empirical truthfulness checking.
+//
+// Strategyproofness (IC) says truth-telling dominates *every* unilateral
+// deviation; we can't enumerate the continuum, so the harness samples
+// random deviations (plus targeted ones at decision boundaries: just
+// above/below the threshold where the agent leaves or joins the LCP) and
+// reports any utility gain. Individual Rationality (IR) is checked exactly
+// under truthful play. The collusion tester implements the paper's
+// Definition 1 (k-agent strategyproofness) for pairs: it searches joint
+// deviations of two agents for a *combined* utility gain, demonstrating
+// Theorem 7 on the plain VCG scheme and the absence of neighbor-pair gains
+// under p~ (Theorem 8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mech/mechanism.hpp"
+#include "util/rng.hpp"
+
+namespace tc::mech {
+
+/// One discovered IC violation (an agent gained by lying).
+struct IcViolation {
+  graph::NodeId agent = graph::kInvalidNode;
+  graph::Cost true_cost = 0.0;
+  graph::Cost lied_cost = 0.0;
+  graph::Cost truthful_utility = 0.0;
+  graph::Cost lying_utility = 0.0;
+  std::string to_string() const;
+};
+
+/// One discovered IR violation (truthful agent with negative utility).
+struct IrViolation {
+  graph::NodeId agent = graph::kInvalidNode;
+  graph::Cost utility = 0.0;
+};
+
+struct TruthfulnessReport {
+  std::size_t deviations_tried = 0;
+  std::vector<IcViolation> ic_violations;
+  std::vector<IrViolation> ir_violations;
+  bool ok() const { return ic_violations.empty() && ir_violations.empty(); }
+};
+
+struct TruthfulnessOptions {
+  /// Random unilateral deviations per agent.
+  std::size_t random_deviations_per_agent = 8;
+  /// Multiplicative range for random lies: d_k in [cost/factor, cost*factor]
+  /// plus additive jitter, so both under- and over-declaration are probed.
+  double deviation_factor = 4.0;
+  /// Also probe the agent's threshold cost (the declared value at which it
+  /// exactly enters/leaves the LCP) plus/minus epsilon.
+  bool probe_thresholds = true;
+  double threshold_epsilon = 1e-6;
+  /// Utility must improve by more than this to count as a violation
+  /// (guards against floating-point noise).
+  double tolerance = 1e-9;
+};
+
+/// Checks IC and IR for every agent on one instance. `true_costs` is the
+/// private profile c; the mechanism sees declared vectors derived from it.
+TruthfulnessReport check_truthfulness(const UnicastMechanism& mechanism,
+                                      const graph::NodeGraph& g,
+                                      graph::NodeId source,
+                                      graph::NodeId target,
+                                      const std::vector<graph::Cost>& true_costs,
+                                      util::Rng& rng,
+                                      const TruthfulnessOptions& options = {});
+
+/// One discovered profitable pair collusion (joint utility increased).
+struct PairCollusion {
+  graph::NodeId agent_a = graph::kInvalidNode;
+  graph::NodeId agent_b = graph::kInvalidNode;
+  graph::Cost lied_cost_a = 0.0;
+  graph::Cost lied_cost_b = 0.0;
+  graph::Cost truthful_joint_utility = 0.0;
+  graph::Cost colluding_joint_utility = 0.0;
+  graph::Cost gain() const {
+    return colluding_joint_utility - truthful_joint_utility;
+  }
+};
+
+struct CollusionOptions {
+  std::size_t random_deviations_per_pair = 16;
+  double deviation_factor = 8.0;
+  double tolerance = 1e-9;
+  /// When true, only pairs of adjacent nodes are searched (the scenario
+  /// the p~ scheme must defeat); otherwise all pairs.
+  bool neighbors_only = false;
+  /// When true, only deviations with d >= c are tried. This is the attack
+  /// the paper's Theorem 8 targets (an accomplice lifting its declared
+  /// cost to inflate a partner's avoiding-path payment). Any Groves-style
+  /// scheme — p~ included — still admits *mutual under-declaration* among
+  /// pairs whose declarations enter the chosen path's cost: each agent's
+  /// own deflation is individually utility-neutral but raises its
+  /// partner's payment, so the unrestricted search reports those too (see
+  /// tests/core_collusion_test.cpp for both sides of this boundary).
+  bool overdeclare_only = false;
+};
+
+struct CollusionReport {
+  std::size_t pairs_tried = 0;
+  std::size_t deviations_tried = 0;
+  std::vector<PairCollusion> collusions;
+  bool ok() const { return collusions.empty(); }
+  /// The most profitable collusion found (largest gain); collusions must
+  /// be non-empty.
+  const PairCollusion& best() const;
+};
+
+/// Searches for profitable 2-agent collusions under `mechanism`.
+CollusionReport find_pair_collusions(const UnicastMechanism& mechanism,
+                                     const graph::NodeGraph& g,
+                                     graph::NodeId source,
+                                     graph::NodeId target,
+                                     const std::vector<graph::Cost>& true_costs,
+                                     util::Rng& rng,
+                                     const CollusionOptions& options = {});
+
+}  // namespace tc::mech

@@ -1,0 +1,134 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tc::sim {
+
+using core::OverpaymentResult;
+
+namespace {
+
+std::uint64_t instance_seed(const OverpaymentExperiment& config,
+                            std::size_t instance_index) {
+  // Deterministic in (seed, model, n, kappa, index); independent across
+  // indices so parallel evaluation order is irrelevant.
+  std::uint64_t s = config.seed;
+  s = util::mix64(s ^ static_cast<std::uint64_t>(config.model));
+  s = util::mix64(s ^ config.n);
+  s = util::mix64(s ^ static_cast<std::uint64_t>(config.kappa * 4096.0));
+  s = util::mix64(s ^ (instance_index + 1));
+  return s;
+}
+
+}  // namespace
+
+OverpaymentResult run_single_instance(const OverpaymentExperiment& config,
+                                      std::size_t instance_index) {
+  const std::uint64_t seed = instance_seed(config, instance_index);
+  // Node 0 — a uniformly random deployment point — acts as the access
+  // point, as in the paper's setup.
+  switch (config.model) {
+    case TopologyModel::kUdgLink: {
+      graph::UdgParams params;
+      params.n = config.n;
+      params.region = config.region;
+      params.range_m = config.udg_range_m;
+      params.kappa = config.kappa;
+      const auto g = graph::make_unit_disk_link(params, seed);
+      return core::overpayment_link_model(g, 0);
+    }
+    case TopologyModel::kHeteroLink: {
+      graph::HeteroParams params;
+      params.n = config.n;
+      params.region = config.region;
+      params.range_lo_m = config.hetero_range_lo_m;
+      params.range_hi_m = config.hetero_range_hi_m;
+      params.kappa = config.kappa;
+      const auto g = graph::make_hetero_geometric(params, seed);
+      return core::overpayment_link_model(g, 0);
+    }
+    case TopologyModel::kNodeUniform: {
+      graph::UdgParams params;
+      params.n = config.n;
+      params.region = config.region;
+      params.range_m = config.udg_range_m;
+      params.kappa = config.kappa;
+      const auto g = graph::make_unit_disk_node(
+          params, config.node_cost_lo, config.node_cost_hi, seed);
+      return core::overpayment_node_model(g, 0);
+    }
+  }
+  return {};
+}
+
+OverpaymentAggregate run_overpayment_experiment(
+    const OverpaymentExperiment& config) {
+  std::vector<OverpaymentResult> results(config.instances);
+  util::default_pool().parallel_for(0, config.instances, [&](std::size_t i) {
+    results[i] = run_single_instance(config, i);
+  });
+
+  OverpaymentAggregate agg;
+  agg.n = config.n;
+  agg.kappa = config.kappa;
+  agg.instances = config.instances;
+  util::Accumulator ior, tor, worst;
+  std::vector<double> ior_samples, tor_samples;
+  for (const OverpaymentResult& r : results) {
+    if (r.metrics.sources_counted == 0) continue;  // degenerate instance
+    ior.add(r.metrics.ior);
+    tor.add(r.metrics.tor);
+    worst.add(r.metrics.worst);
+    ior_samples.push_back(r.metrics.ior);
+    tor_samples.push_back(r.metrics.tor);
+    agg.worst_overall = std::max(agg.worst_overall, r.metrics.worst);
+    agg.monopoly_sources += r.metrics.monopoly_sources;
+    agg.skipped_sources += r.metrics.sources_skipped;
+  }
+  agg.ior = ior.summary();
+  agg.tor = tor.summary();
+  agg.worst = worst.summary();
+  if (!ior_samples.empty()) {
+    agg.ior_ci = util::bootstrap_mean_ci(ior_samples);
+    agg.tor_ci = util::bootstrap_mean_ci(tor_samples);
+  }
+  return agg;
+}
+
+HopDistanceAggregate run_hop_distance_experiment(
+    const OverpaymentExperiment& config) {
+  std::vector<OverpaymentResult> results(config.instances);
+  util::default_pool().parallel_for(0, config.instances, [&](std::size_t i) {
+    results[i] = run_single_instance(config, i);
+  });
+
+  HopDistanceAggregate out;
+  // Totals reuse the same per-instance results.
+  util::Accumulator ior, tor, worst;
+  out.totals.n = config.n;
+  out.totals.kappa = config.kappa;
+  out.totals.instances = config.instances;
+  std::vector<core::SourceOverpayment> pooled;
+  for (const OverpaymentResult& r : results) {
+    if (r.metrics.sources_counted > 0) {
+      ior.add(r.metrics.ior);
+      tor.add(r.metrics.tor);
+      worst.add(r.metrics.worst);
+      out.totals.worst_overall =
+          std::max(out.totals.worst_overall, r.metrics.worst);
+    }
+    pooled.insert(pooled.end(), r.per_source.begin(), r.per_source.end());
+  }
+  out.totals.ior = ior.summary();
+  out.totals.tor = tor.summary();
+  out.totals.worst = worst.summary();
+  out.buckets = core::bucket_by_hops(pooled);
+  return out;
+}
+
+}  // namespace tc::sim

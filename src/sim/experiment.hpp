@@ -1,0 +1,75 @@
+// Monte Carlo experiment driver for the Section III.G overpayment study.
+//
+// Every data point in the paper's Figure 3 averages 100 random instances;
+// this module generates instances deterministically from (base seed, n,
+// instance index), evaluates them in parallel on the shared thread pool,
+// and aggregates the IOR / TOR / worst-ratio metrics. Results are
+// identical for any worker count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/overpayment.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+
+namespace tc::sim {
+
+/// Which network/cost model an experiment instantiates.
+enum class TopologyModel {
+  kUdgLink,      ///< Fig. 3 a-d: fixed-range UDG, link cost d^kappa
+  kHeteroLink,   ///< Fig. 3 e-f: random ranges, link cost c1 + c2 d^kappa
+  kNodeUniform,  ///< ablation: UDG with uniform scalar node costs
+};
+
+struct OverpaymentExperiment {
+  TopologyModel model = TopologyModel::kUdgLink;
+  std::size_t n = 100;
+  double kappa = 2.0;
+  std::size_t instances = 100;
+  std::uint64_t seed = 0x7ca57ca57ca5ULL;
+  /// Region/range defaults follow the paper; override for ablations.
+  geom::Region region{2000.0, 2000.0};
+  double udg_range_m = 300.0;
+  double hetero_range_lo_m = 100.0;
+  double hetero_range_hi_m = 500.0;
+  /// Node-cost range for the kNodeUniform ablation.
+  double node_cost_lo = 1.0;
+  double node_cost_hi = 100.0;
+};
+
+/// Aggregate of one experiment (one figure data point).
+struct OverpaymentAggregate {
+  std::size_t n = 0;
+  double kappa = 0.0;
+  std::size_t instances = 0;
+  util::Summary ior;    ///< distribution of per-instance IOR
+  util::Summary tor;    ///< distribution of per-instance TOR
+  util::Summary worst;  ///< distribution of per-instance worst ratio
+  /// Bootstrap 95% confidence intervals of the IOR/TOR means.
+  util::ConfidenceInterval ior_ci;
+  util::ConfidenceInterval tor_ci;
+  double worst_overall = 0.0;  ///< max worst-ratio over all instances
+  std::size_t monopoly_sources = 0;
+  std::size_t skipped_sources = 0;
+};
+
+/// Runs one experiment (all instances) and aggregates.
+OverpaymentAggregate run_overpayment_experiment(
+    const OverpaymentExperiment& config);
+
+/// Runs one experiment and additionally returns the pooled per-source
+/// ratios bucketed by hop distance (Fig. 3d).
+struct HopDistanceAggregate {
+  OverpaymentAggregate totals;
+  std::vector<core::HopBucket> buckets;  ///< pooled over all instances
+};
+HopDistanceAggregate run_hop_distance_experiment(
+    const OverpaymentExperiment& config);
+
+/// Evaluates one instance of the experiment (exposed for tests).
+core::OverpaymentResult run_single_instance(
+    const OverpaymentExperiment& config, std::size_t instance_index);
+
+}  // namespace tc::sim

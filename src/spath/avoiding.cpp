@@ -1,0 +1,56 @@
+#include "spath/avoiding.hpp"
+
+#include "util/check.hpp"
+
+namespace tc::spath {
+
+using graph::NodeId;
+
+AvoidingPath avoiding_path_node(const graph::NodeGraph& g, NodeId s, NodeId t,
+                                NodeId avoid) {
+  TC_CHECK_MSG(avoid != s && avoid != t,
+               "cannot avoid an endpoint of the path");
+  graph::NodeMask mask(g.num_nodes());
+  mask.block(avoid);
+  const SptResult spt = dijkstra_node(g, s, mask);
+  AvoidingPath result;
+  if (spt.reached(t)) {
+    result.cost = spt.dist[t];
+    result.path = spt.path_to(t);
+  }
+  return result;
+}
+
+AvoidingPath avoiding_path_node_set(const graph::NodeGraph& g, NodeId s,
+                                    NodeId t,
+                                    const std::vector<NodeId>& avoid_set) {
+  graph::NodeMask mask(g.num_nodes());
+  for (NodeId v : avoid_set) {
+    TC_CHECK_MSG(v != s && v != t, "cannot avoid an endpoint of the path");
+    mask.block(v);
+  }
+  const SptResult spt = dijkstra_node(g, s, mask);
+  AvoidingPath result;
+  if (spt.reached(t)) {
+    result.cost = spt.dist[t];
+    result.path = spt.path_to(t);
+  }
+  return result;
+}
+
+AvoidingPath avoiding_path_link(const graph::LinkGraph& g, NodeId s, NodeId t,
+                                NodeId avoid) {
+  TC_CHECK_MSG(avoid != s && avoid != t,
+               "cannot avoid an endpoint of the path");
+  graph::NodeMask mask(g.num_nodes());
+  mask.block(avoid);
+  const SptResult spt = dijkstra_link(g, s, mask);
+  AvoidingPath result;
+  if (spt.reached(t)) {
+    result.cost = spt.dist[t];
+    result.path = spt.path_to(t);
+  }
+  return result;
+}
+
+}  // namespace tc::spath

@@ -1,0 +1,40 @@
+// Vertex-avoiding shortest paths, computed by re-running Dijkstra on the
+// masked graph. These are the reference ("naive") implementations that the
+// fast Algorithm 1 engine is differential-tested against, and the building
+// blocks of the neighbor-collusion payment (P_{-N(v_k)}) where no
+// subquadratic algorithm is given by the paper.
+#pragma once
+
+#include <vector>
+
+#include "graph/link_graph.hpp"
+#include "graph/mask.hpp"
+#include "graph/node_graph.hpp"
+#include "spath/dijkstra.hpp"
+
+namespace tc::spath {
+
+/// Cost and witness path of P_{-avoid}(s, t) in the node-weighted model.
+struct AvoidingPath {
+  graph::Cost cost = graph::kInfCost;
+  std::vector<graph::NodeId> path;  ///< empty when no avoiding path exists
+};
+
+/// Least-cost s->t path that avoids node `avoid`. `avoid` must differ from
+/// both endpoints.
+AvoidingPath avoiding_path_node(const graph::NodeGraph& g, graph::NodeId s,
+                                graph::NodeId t, graph::NodeId avoid);
+
+/// Least-cost s->t path avoiding every node in `avoid_set` (endpoints must
+/// not be in the set).
+AvoidingPath avoiding_path_node_set(const graph::NodeGraph& g,
+                                    graph::NodeId s, graph::NodeId t,
+                                    const std::vector<graph::NodeId>& avoid_set);
+
+/// Least-cost directed s->t path in the link model avoiding node `avoid`
+/// (all of avoid's arcs are unusable, matching d_{k,*} = infinity in
+/// Section III.F).
+AvoidingPath avoiding_path_link(const graph::LinkGraph& g, graph::NodeId s,
+                                graph::NodeId t, graph::NodeId avoid);
+
+}  // namespace tc::spath

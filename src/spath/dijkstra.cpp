@@ -1,0 +1,154 @@
+#include "spath/dijkstra.hpp"
+
+#include <algorithm>
+
+#include "spath/heap.hpp"
+#include "spath/pairing_heap.hpp"
+#include "util/check.hpp"
+
+namespace tc::spath {
+
+using graph::Cost;
+using graph::kInfCost;
+using graph::kInvalidNode;
+using graph::NodeId;
+
+std::vector<NodeId> SptResult::path_to(NodeId t) const {
+  if (!reached(t)) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = t; v != kInvalidNode; v = parent[v]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  TC_DCHECK(path.front() == source);
+  return path;
+}
+
+namespace {
+
+template <typename Heap>
+SptResult dijkstra_node_impl(const graph::NodeGraph& g, NodeId source,
+                             const graph::NodeMask& mask) {
+  const std::size_t n = g.num_nodes();
+  TC_CHECK_MSG(source < n, "dijkstra source out of range");
+  TC_CHECK_MSG(mask.allowed(source), "dijkstra source is masked out");
+
+  SptResult r;
+  r.source = source;
+  r.dist.assign(n, kInfCost);
+  r.parent.assign(n, kInvalidNode);
+
+  Heap heap(n);
+  std::vector<bool> settled(n, false);
+  r.dist[source] = 0.0;
+  heap.push_or_decrease(source, 0.0);
+
+  while (!heap.empty()) {
+    const auto [du, u] = heap.pop_min();
+    if (settled[u]) continue;
+    settled[u] = true;
+    // Expanding u makes u interior on any extension, so its own cost is
+    // charged now — except for the source, whose cost is excluded by the
+    // path-cost convention.
+    const Cost through = du + (u == source ? 0.0 : g.node_cost(u));
+    for (NodeId v : g.neighbors(u)) {
+      if (settled[v] || !mask.allowed(v)) continue;
+      if (through < r.dist[v]) {
+        r.dist[v] = through;
+        r.parent[v] = u;
+        heap.push_or_decrease(v, through);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+SptResult dijkstra_node(const graph::NodeGraph& g, NodeId source,
+                        const graph::NodeMask& mask) {
+  return dijkstra_node_impl<BinaryHeap>(g, source, mask);
+}
+
+SptResult dijkstra_node_quad(const graph::NodeGraph& g, NodeId source,
+                             const graph::NodeMask& mask) {
+  return dijkstra_node_impl<QuadHeap>(g, source, mask);
+}
+
+SptResult dijkstra_node_pairing(const graph::NodeGraph& g, NodeId source,
+                                const graph::NodeMask& mask) {
+  return dijkstra_node_impl<PairingHeap>(g, source, mask);
+}
+
+SptResult dijkstra_link(const graph::LinkGraph& g, NodeId source,
+                        const graph::NodeMask& mask) {
+  const std::size_t n = g.num_nodes();
+  TC_CHECK_MSG(source < n, "dijkstra source out of range");
+  TC_CHECK_MSG(mask.allowed(source), "dijkstra source is masked out");
+
+  SptResult r;
+  r.source = source;
+  r.dist.assign(n, kInfCost);
+  r.parent.assign(n, kInvalidNode);
+
+  BinaryHeap heap(n);
+  std::vector<bool> settled(n, false);
+  r.dist[source] = 0.0;
+  heap.push_or_decrease(source, 0.0);
+
+  while (!heap.empty()) {
+    const auto [du, u] = heap.pop_min();
+    if (settled[u]) continue;
+    settled[u] = true;
+    for (const graph::Arc& a : g.out_arcs(u)) {
+      if (settled[a.to] || !mask.allowed(a.to)) continue;
+      if (!graph::finite_cost(a.cost)) continue;
+      const Cost cand = du + a.cost;
+      if (cand < r.dist[a.to]) {
+        r.dist[a.to] = cand;
+        r.parent[a.to] = u;
+        heap.push_or_decrease(a.to, cand);
+      }
+    }
+  }
+  return r;
+}
+
+graph::LinkGraph reverse_graph(const graph::LinkGraph& g) {
+  graph::LinkGraphBuilder b(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const graph::Arc& a : g.out_arcs(u)) {
+      b.add_arc(a.to, u, a.cost);
+    }
+  }
+  return b.build();
+}
+
+SptResult dijkstra_link_to_target(const graph::LinkGraph& g, NodeId target,
+                                  const graph::NodeMask& mask) {
+  const graph::LinkGraph rev = reverse_graph(g);
+  return dijkstra_link(rev, target, mask);
+}
+
+Cost path_interior_cost(const graph::NodeGraph& g,
+                        const std::vector<NodeId>& path) {
+  if (path.size() < 2) return 0.0;
+  Cost total = 0.0;
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    TC_DCHECK(g.has_edge(path[i - 1], path[i]));
+    total += g.node_cost(path[i]);
+  }
+  TC_DCHECK(g.has_edge(path[path.size() - 2], path.back()));
+  return total;
+}
+
+Cost path_arc_cost(const graph::LinkGraph& g,
+                   const std::vector<NodeId>& path) {
+  Cost total = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const Cost c = g.arc_cost(path[i], path[i + 1]);
+    if (!graph::finite_cost(c)) return kInfCost;
+    total += c;
+  }
+  return total;
+}
+
+}  // namespace tc::spath

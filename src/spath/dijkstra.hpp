@@ -1,0 +1,80 @@
+// Dijkstra shortest paths for both network models.
+//
+// Node-weighted convention (paper Section II.C): the cost of a path
+// excludes the source and target nodes' own costs; only interior (relay)
+// node costs count. Hence dist[v] below is "total relay cost of the best
+// s->v path", dist[neighbor of s] = 0, and relaxing u->v adds c_u (u
+// becomes interior) except when u is the source.
+//
+// Link-weighted convention (Section III.F): the cost of a directed path is
+// the sum of its arc costs.
+#pragma once
+
+#include <vector>
+
+#include "graph/link_graph.hpp"
+#include "graph/mask.hpp"
+#include "graph/node_graph.hpp"
+
+namespace tc::spath {
+
+/// Shortest-path tree from a single source.
+struct SptResult {
+  graph::NodeId source = graph::kInvalidNode;
+  /// dist[v]: interior/arc cost of the best source->v path (model-specific
+  /// convention above); kInfCost if unreachable.
+  std::vector<graph::Cost> dist;
+  /// parent[v]: predecessor of v on its best path; kInvalidNode for the
+  /// source and unreachable nodes.
+  std::vector<graph::NodeId> parent;
+
+  bool reached(graph::NodeId v) const {
+    return graph::finite_cost(dist.at(v));
+  }
+
+  /// Node sequence source..t inclusive; empty when t is unreachable.
+  std::vector<graph::NodeId> path_to(graph::NodeId t) const;
+};
+
+/// Node-weighted Dijkstra from `source`, skipping masked nodes entirely
+/// (a masked node neither relays nor terminates a path). The source must
+/// be allowed by the mask.
+SptResult dijkstra_node(const graph::NodeGraph& g, graph::NodeId source,
+                        const graph::NodeMask& mask = {});
+
+/// As above, with heap arity 4 (for the ablation bench).
+SptResult dijkstra_node_quad(const graph::NodeGraph& g, graph::NodeId source,
+                             const graph::NodeMask& mask = {});
+
+/// As above, with a pairing heap (O(1) amortized decrease-key; see
+/// bench/ablation_heaps for whether that ever pays off here).
+SptResult dijkstra_node_pairing(const graph::NodeGraph& g,
+                                graph::NodeId source,
+                                const graph::NodeMask& mask = {});
+
+/// Link-weighted Dijkstra over out-arcs from `source`. Masked nodes are
+/// skipped (cannot be traversed or reached).
+SptResult dijkstra_link(const graph::LinkGraph& g, graph::NodeId source,
+                        const graph::NodeMask& mask = {});
+
+/// Link-weighted Dijkstra on the *reverse* graph: dist[v] = cost of the
+/// best directed path v -> target in `g`. parent[v] is v's successor
+/// toward the target. Builds the reverse adjacency internally; for
+/// repeated calls, prebuild with `reverse_graph`.
+SptResult dijkstra_link_to_target(const graph::LinkGraph& g,
+                                  graph::NodeId target,
+                                  const graph::NodeMask& mask = {});
+
+/// Explicit arc-reversed copy of `g`.
+graph::LinkGraph reverse_graph(const graph::LinkGraph& g);
+
+/// Total interior (relay) cost of a node path under graph costs; the path
+/// must be a valid node sequence (adjacency is checked in debug builds).
+graph::Cost path_interior_cost(const graph::NodeGraph& g,
+                               const std::vector<graph::NodeId>& path);
+
+/// Total arc cost of a directed path in `g`; kInfCost if an arc is absent.
+graph::Cost path_arc_cost(const graph::LinkGraph& g,
+                          const std::vector<graph::NodeId>& path);
+
+}  // namespace tc::spath

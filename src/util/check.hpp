@@ -1,0 +1,41 @@
+// Lightweight runtime check macros used across truthcast.
+//
+// TC_CHECK(cond)        - always-on invariant check; aborts with location.
+// TC_CHECK_MSG(cond, m) - same, with an extra human-readable message.
+// TC_DCHECK(cond)       - debug-only check, compiled out in NDEBUG builds.
+//
+// These are for programmer errors (broken invariants), not for recoverable
+// conditions; recoverable conditions throw std::invalid_argument et al.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tc::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "truthcast CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace tc::util
+
+#define TC_CHECK(cond)                                                \
+  do {                                                                \
+    if (!(cond)) ::tc::util::check_failed(#cond, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define TC_CHECK_MSG(cond, msg)                                        \
+  do {                                                                 \
+    if (!(cond)) ::tc::util::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define TC_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#else
+#define TC_DCHECK(cond) TC_CHECK(cond)
+#endif

@@ -1,0 +1,63 @@
+#include "util/csv.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace tc::util {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  for (const auto& n : names) field(n);
+  end_row();
+}
+
+CsvWriter& CsvWriter::field(const std::string& value) {
+  if (row_open_) *out_ << ',';
+  *out_ << csv_escape(value);
+  row_open_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(const char* value) {
+  return field(std::string(value));
+}
+
+CsvWriter& CsvWriter::field(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return field(std::string(buf));
+}
+
+CsvWriter& CsvWriter::field(std::int64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  return field(std::string(buf));
+}
+
+CsvWriter& CsvWriter::field(std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return field(std::string(buf));
+}
+
+void CsvWriter::end_row() {
+  *out_ << '\n';
+  row_open_ = false;
+  ++rows_;
+}
+
+}  // namespace tc::util

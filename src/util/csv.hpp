@@ -1,0 +1,42 @@
+// Minimal CSV writer for benchmark/experiment output.
+//
+// Values are quoted only when needed (comma, quote, newline). Numeric
+// convenience overloads format with enough digits to round-trip.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tc::util {
+
+/// Escapes one CSV field per RFC 4180.
+std::string csv_escape(const std::string& field);
+
+/// Row-at-a-time CSV writer bound to an output stream (not owned).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes the header row. Call at most once, before any data row.
+  void header(const std::vector<std::string>& names);
+
+  CsvWriter& field(const std::string& value);
+  CsvWriter& field(const char* value);
+  CsvWriter& field(double value);
+  CsvWriter& field(std::int64_t value);
+  CsvWriter& field(std::uint64_t value);
+  CsvWriter& field(int value) { return field(static_cast<std::int64_t>(value)); }
+
+  /// Terminates the current row.
+  void end_row();
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ostream* out_;
+  bool row_open_ = false;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace tc::util

@@ -1,0 +1,187 @@
+#include "util/flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace tc::util {
+
+Flags::Flags(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+Flags& Flags::add_int(const std::string& name, std::int64_t default_value,
+                      const std::string& help) {
+  Flag f;
+  f.kind = Kind::kInt;
+  f.help = help;
+  f.int_value = default_value;
+  TC_CHECK_MSG(flags_.emplace(name, std::move(f)).second, "duplicate flag");
+  order_.push_back(name);
+  return *this;
+}
+
+Flags& Flags::add_double(const std::string& name, double default_value,
+                         const std::string& help) {
+  Flag f;
+  f.kind = Kind::kDouble;
+  f.help = help;
+  f.double_value = default_value;
+  TC_CHECK_MSG(flags_.emplace(name, std::move(f)).second, "duplicate flag");
+  order_.push_back(name);
+  return *this;
+}
+
+Flags& Flags::add_string(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help) {
+  Flag f;
+  f.kind = Kind::kString;
+  f.help = help;
+  f.string_value = default_value;
+  TC_CHECK_MSG(flags_.emplace(name, std::move(f)).second, "duplicate flag");
+  order_.push_back(name);
+  return *this;
+}
+
+Flags& Flags::add_bool(const std::string& name, bool default_value,
+                       const std::string& help) {
+  Flag f;
+  f.kind = Kind::kBool;
+  f.help = help;
+  f.bool_value = default_value;
+  TC_CHECK_MSG(flags_.emplace(name, std::move(f)).second, "duplicate flag");
+  order_.push_back(name);
+  return *this;
+}
+
+bool Flags::assign(Flag& flag, const std::string& text) {
+  char* end = nullptr;
+  switch (flag.kind) {
+    case Kind::kInt:
+      flag.int_value = std::strtoll(text.c_str(), &end, 10);
+      return end && *end == '\0';
+    case Kind::kDouble:
+      flag.double_value = std::strtod(text.c_str(), &end);
+      return end && *end == '\0';
+    case Kind::kString:
+      flag.string_value = text;
+      return true;
+    case Kind::kBool:
+      if (text == "true" || text == "1") {
+        flag.bool_value = true;
+        return true;
+      }
+      if (text == "false" || text == "0") {
+        flag.bool_value = false;
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+bool Flags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n",
+                   arg.c_str());
+      print_usage(argv[0]);
+      return false;
+    }
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(2, eq - 2);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = arg.substr(2);
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      print_usage(argv[0]);
+      return false;
+    }
+    Flag& flag = it->second;
+    if (!has_value) {
+      if (flag.kind == Kind::kBool) {
+        flag.bool_value = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s needs a value\n", name.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!assign(flag, value)) {
+      std::fprintf(stderr, "bad value for --%s: %s\n", name.c_str(),
+                   value.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+const Flags::Flag& Flags::lookup(const std::string& name, Kind kind) const {
+  auto it = flags_.find(name);
+  TC_CHECK_MSG(it != flags_.end(), "flag not registered");
+  TC_CHECK_MSG(it->second.kind == kind, "flag type mismatch");
+  return it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name) const {
+  return lookup(name, Kind::kInt).int_value;
+}
+
+double Flags::get_double(const std::string& name) const {
+  return lookup(name, Kind::kDouble).double_value;
+}
+
+const std::string& Flags::get_string(const std::string& name) const {
+  return lookup(name, Kind::kString).string_value;
+}
+
+bool Flags::get_bool(const std::string& name) const {
+  return lookup(name, Kind::kBool).bool_value;
+}
+
+void Flags::print_usage(const std::string& argv0) const {
+  std::fprintf(stderr, "usage: %s [flags]\n", argv0.c_str());
+  if (!description_.empty()) std::fprintf(stderr, "%s\n", description_.c_str());
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    std::string def;
+    switch (f.kind) {
+      case Kind::kInt:
+        def = std::to_string(f.int_value);
+        break;
+      case Kind::kDouble: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%g", f.double_value);
+        def = buf;
+        break;
+      }
+      case Kind::kString:
+        def = f.string_value.empty() ? "\"\"" : f.string_value;
+        break;
+      case Kind::kBool:
+        def = f.bool_value ? "true" : "false";
+        break;
+    }
+    std::fprintf(stderr, "  --%-24s %s (default: %s)\n", name.c_str(),
+                 f.help.c_str(), def.c_str());
+  }
+}
+
+}  // namespace tc::util

@@ -1,0 +1,57 @@
+// Tiny command-line flag parser for the bench and example binaries.
+//
+// Supported syntax: --name=value, --name value, and bare --name for bools.
+// Unknown flags are an error (catches typos in sweep scripts).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tc::util {
+
+/// Declarative flag set. Register flags, then parse(argc, argv).
+class Flags {
+ public:
+  explicit Flags(std::string program_description = {});
+
+  Flags& add_int(const std::string& name, std::int64_t default_value,
+                 const std::string& help);
+  Flags& add_double(const std::string& name, double default_value,
+                    const std::string& help);
+  Flags& add_string(const std::string& name, const std::string& default_value,
+                    const std::string& help);
+  Flags& add_bool(const std::string& name, bool default_value,
+                  const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) on --help or error.
+  bool parse(int argc, const char* const* argv);
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  void print_usage(const std::string& argv0) const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+    bool bool_value = false;
+  };
+
+  const Flag& lookup(const std::string& name, Kind kind) const;
+  bool assign(Flag& flag, const std::string& text);
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace tc::util

@@ -1,0 +1,27 @@
+// Leveled stderr logger. Level comes from TRUTHCAST_LOG (error, warn, info,
+// debug) and defaults to warn so library users see problems but not chatter.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace tc::util {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Current process log level.
+LogLevel log_level();
+
+/// Overrides the process log level (tests use this).
+void set_log_level(LogLevel level);
+
+/// printf-style log statement; no-op when `level` is above the threshold.
+void logf(LogLevel level, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace tc::util
+
+#define TC_LOG_ERROR(...) ::tc::util::logf(::tc::util::LogLevel::kError, __VA_ARGS__)
+#define TC_LOG_WARN(...) ::tc::util::logf(::tc::util::LogLevel::kWarn, __VA_ARGS__)
+#define TC_LOG_INFO(...) ::tc::util::logf(::tc::util::LogLevel::kInfo, __VA_ARGS__)
+#define TC_LOG_DEBUG(...) ::tc::util::logf(::tc::util::LogLevel::kDebug, __VA_ARGS__)

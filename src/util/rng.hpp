@@ -1,0 +1,81 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// truthcast experiments must be reproducible bit-for-bit across runs and
+// across thread counts, so every Monte Carlo instance derives its own
+// independent stream from (seed, instance index) via Rng::split().
+//
+// The generator is xoshiro256** (Blackman & Vigna), seeded through
+// splitmix64 so that low-entropy seeds still produce well-mixed state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace tc::util {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless 64-bit mix of a single value (one splitmix64 round).
+std::uint64_t mix64(std::uint64_t value);
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator so it can be
+/// plugged into <random> distributions, though the member helpers below are
+/// preferred (they are stable across standard library implementations).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64();
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_double();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased method.
+  /// bound == 0 returns 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Standard normal via Box-Muller (no cached spare; stateless per call
+  /// pair so splitting streams stays reproducible).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Derives an independent child stream. Children of distinct `key`s (and
+  /// of generators with distinct states) are statistically independent,
+  /// which gives per-instance streams that do not depend on scheduling.
+  Rng split(std::uint64_t key) const;
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace tc::util

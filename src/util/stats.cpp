@@ -1,0 +1,157 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace tc::util {
+
+std::string Summary::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.6g sd=%.6g min=%.6g max=%.6g", count, mean,
+                stddev, count ? min : 0.0, count ? max : 0.0);
+  return buf;
+}
+
+void Accumulator::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel variance combination.
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Accumulator::reset() { *this = Accumulator{}; }
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+Summary Accumulator::summary() const {
+  Summary s;
+  s.count = count_;
+  s.mean = mean();
+  s.variance = variance();
+  s.stddev = stddev();
+  s.min = min_;
+  s.max = max_;
+  s.sum = sum_;
+  return s;
+}
+
+void Percentiles::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void Percentiles::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Percentiles::percentile(double p) const {
+  TC_CHECK_MSG(!samples_.empty(), "percentile of empty sample set");
+  TC_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile p out of [0,100]");
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_[0];
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+ConfidenceInterval bootstrap_mean_ci(const std::vector<double>& samples,
+                                     double alpha, std::size_t resamples,
+                                     std::uint64_t seed) {
+  TC_CHECK_MSG(!samples.empty(), "bootstrap of empty sample set");
+  TC_CHECK_MSG(alpha > 0.0 && alpha < 1.0, "alpha out of (0,1)");
+  ConfidenceInterval ci;
+  double total = 0.0;
+  for (double x : samples) total += x;
+  ci.mean = total / static_cast<double>(samples.size());
+  if (samples.size() == 1) {
+    ci.lo = ci.hi = ci.mean;
+    return ci;
+  }
+
+  Rng rng(seed);
+  Percentiles means;
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      sum += samples[rng.next_below(samples.size())];
+    }
+    means.add(sum / static_cast<double>(samples.size()));
+  }
+  ci.lo = means.percentile(100.0 * alpha / 2.0);
+  ci.hi = means.percentile(100.0 * (1.0 - alpha / 2.0));
+  return ci;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0.0) {
+  TC_CHECK_MSG(hi > lo, "Histogram requires hi > lo");
+  TC_CHECK_MSG(bins > 0, "Histogram requires at least one bin");
+}
+
+void Histogram::add(double x, double weight) {
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  auto b = static_cast<std::size_t>((x - lo_) / width_);
+  if (b >= counts_.size()) b = counts_.size() - 1;  // float edge case
+  counts_[b] += weight;
+}
+
+double Histogram::bin_lo(std::size_t b) const {
+  return lo_ + width_ * static_cast<double>(b);
+}
+
+double Histogram::bin_hi(std::size_t b) const {
+  return lo_ + width_ * static_cast<double>(b + 1);
+}
+
+double Histogram::total() const {
+  double t = underflow_ + overflow_;
+  for (double c : counts_) t += c;
+  return t;
+}
+
+}  // namespace tc::util

@@ -1,0 +1,116 @@
+// Online and batch statistics used by the overpayment studies.
+//
+// Accumulator  - Welford one-pass mean/variance plus min/max/count; O(1)
+//                memory, suitable for streaming millions of samples.
+// Summary      - immutable snapshot of an Accumulator.
+// Percentiles  - batch percentile computation (stores samples).
+// Histogram    - fixed-bin histogram for per-hop-distance breakdowns.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace tc::util {
+
+/// Immutable statistics snapshot.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< Sample variance (n-1 denominator); 0 if n < 2.
+  double stddev = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+
+  std::string to_string() const;
+};
+
+/// One-pass (Welford) accumulator: numerically stable mean and variance.
+class Accumulator {
+ public:
+  void add(double x);
+  /// Merges another accumulator (parallel reduction friendly).
+  void merge(const Accumulator& other);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double variance() const;  ///< Sample variance; 0 when count < 2.
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  Summary summary() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Batch percentile helper. Keeps all samples; use for per-figure series
+/// where sample counts are modest (<= a few million).
+class Percentiles {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void add_all(const std::vector<double>& xs);
+  std::size_t count() const { return samples_.size(); }
+
+  /// Linear-interpolated percentile, p in [0, 100]. Requires count() > 0.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Bootstrap confidence interval for the mean of a sample (percentile
+/// method): resamples with replacement `resamples` times using a
+/// deterministic seed, and returns the [alpha/2, 1-alpha/2] percentile
+/// band of the resampled means. Used by the figure benches to report
+/// mean +/- CI over the 100 Monte Carlo instances.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  double half_width() const { return (hi - lo) / 2.0; }
+};
+
+ConfidenceInterval bootstrap_mean_ci(const std::vector<double>& samples,
+                                     double alpha = 0.05,
+                                     std::size_t resamples = 2000,
+                                     std::uint64_t seed = 0xb007);
+
+/// Histogram over [lo, hi) with `bins` equal-width buckets plus explicit
+/// under/overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t b) const;
+  double bin_hi(std::size_t b) const;
+  double bin_count(std::size_t b) const { return counts_.at(b); }
+  double underflow() const { return underflow_; }
+  double overflow() const { return overflow_; }
+  double total() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+};
+
+}  // namespace tc::util

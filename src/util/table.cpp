@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace tc::util {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  TC_CHECK_MSG(!headers_.empty(), "TextTable needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  TC_CHECK_MSG(cells.size() == headers_.size(),
+               "row arity does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << cells[c];
+      if (c + 1 < cells.size())
+        out << std::string(widths[c] - cells[c].size() + 2, ' ');
+    }
+    out << '\n';
+  };
+
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TextTable::to_cell(double v) { return fmt(v); }
+
+std::string TextTable::to_cell(int v) { return std::to_string(v); }
+std::string TextTable::to_cell(std::int64_t v) { return std::to_string(v); }
+std::string TextTable::to_cell(std::uint64_t v) { return std::to_string(v); }
+
+std::string fmt(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace tc::util

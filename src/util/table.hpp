@@ -1,0 +1,48 @@
+// Aligned plain-text tables for bench/example console output.
+//
+// The benchmark harnesses print one table per paper figure; this keeps the
+// output readable in a terminal and greppable in bench_output.txt.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tc::util {
+
+/// Column-aligned text table. Collects rows, then renders once.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: builds a row from already-formatted cells.
+  template <typename... Args>
+  void row(Args&&... args) {
+    add_row(std::vector<std::string>{to_cell(std::forward<Args>(args))...});
+  }
+
+  /// Renders with a header rule and 2-space column gaps.
+  void print(std::ostream& out) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(double v);
+  static std::string to_cell(int v);
+  static std::string to_cell(std::int64_t v);
+  static std::string to_cell(std::uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (used across bench output so
+/// paper-vs-measured comparisons line up).
+std::string fmt(double v, int precision = 4);
+
+}  // namespace tc::util

@@ -1,0 +1,65 @@
+// Fixed-size worker pool with a blocking task queue plus a static-chunked
+// parallel_for. The Monte Carlo sweeps (100 instances per data point) are
+// embarrassingly parallel; each instance derives its RNG stream from its
+// index, so results are identical for any worker count, including 1.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tc::util {
+
+/// Simple thread pool. Tasks are std::function<void()>; submit() returns a
+/// future. Destruction drains the queue and joins all workers.
+class ThreadPool {
+ public:
+  /// `workers == 0` means hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Enqueues a task; returns a future for its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs body(i) for i in [begin, end) across the pool, in contiguous
+  /// chunks; blocks until all iterations complete. Exceptions propagate
+  /// (the first one thrown is rethrown on the calling thread).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide default pool, sized from the TRUTHCAST_THREADS environment
+/// variable when set, else hardware concurrency.
+ThreadPool& default_pool();
+
+}  // namespace tc::util

@@ -1,0 +1,166 @@
+// Edge-agent VCG (Nisan-Ronen baseline): naive vs fast differential plus
+// structural properties.
+#include "core/edge_vcg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fast_link_payment.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace tc::core {
+namespace {
+
+using graph::Cost;
+using graph::NodeId;
+
+graph::LinkGraph symmetric_random(std::size_t n, int edges,
+                                  std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::LinkGraphBuilder b(n);
+  for (int e = 0; e < edges; ++e) {
+    const auto u = static_cast<NodeId>(rng.next_below(n));
+    const auto v = static_cast<NodeId>(rng.next_below(n));
+    if (u == v) continue;
+    const double w = rng.uniform(0.2, 6.0);
+    b.add_link(u, v, w, w);
+  }
+  return b.build();
+}
+
+void expect_same(const EdgeVcgResult& a, const EdgeVcgResult& b,
+                 const std::string& context) {
+  ASSERT_EQ(a.path, b.path) << context;
+  ASSERT_EQ(a.payments.size(), b.payments.size()) << context;
+  for (std::size_t i = 0; i < a.payments.size(); ++i) {
+    EXPECT_EQ(a.payments[i].u, b.payments[i].u) << context;
+    EXPECT_EQ(a.payments[i].v, b.payments[i].v) << context;
+    if (std::isinf(a.payments[i].payment) ||
+        std::isinf(b.payments[i].payment)) {
+      EXPECT_EQ(std::isinf(a.payments[i].payment),
+                std::isinf(b.payments[i].payment))
+          << context << " edge " << i;
+    } else {
+      EXPECT_NEAR(a.payments[i].payment, b.payments[i].payment, 1e-9)
+          << context << " edge " << i;
+    }
+  }
+}
+
+TEST(EdgeVcg, DiamondExact) {
+  graph::LinkGraphBuilder b(4);
+  b.add_link(0, 1, 1.0, 1.0).add_link(1, 3, 2.0, 2.0);
+  b.add_link(0, 2, 2.0, 2.0).add_link(2, 3, 3.0, 3.0);
+  const auto g = b.build();
+  const auto r = edge_vcg_payments_naive(g, 0, 3);
+  ASSERT_EQ(r.path, (std::vector<NodeId>{0, 1, 3}));
+  ASSERT_EQ(r.payments.size(), 2u);
+  // Removing either path edge forces the 5-cost detour: p = 5 - 3 + w.
+  EXPECT_DOUBLE_EQ(r.payments[0].payment, 3.0);  // w=1
+  EXPECT_DOUBLE_EQ(r.payments[1].payment, 4.0);  // w=2
+  EXPECT_DOUBLE_EQ(r.total_payment(), 7.0);
+}
+
+TEST(EdgeVcg, BridgeEdgeInfinite) {
+  graph::LinkGraphBuilder b(3);
+  b.add_link(0, 1, 1.0, 1.0).add_link(1, 2, 1.0, 1.0);
+  const auto g = b.build();
+  const auto r = edge_vcg_payments_naive(g, 0, 2);
+  for (const auto& p : r.payments) EXPECT_TRUE(std::isinf(p.payment));
+}
+
+TEST(EdgeVcg, PaymentAtLeastDeclared) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto g = symmetric_random(20, 60, seed);
+    const auto r = edge_vcg_payments_naive(g, 1, 0);
+    if (!r.connected()) continue;
+    for (const auto& p : r.payments) {
+      if (std::isinf(p.payment)) continue;
+      EXPECT_GE(p.payment, p.declared - 1e-12);
+    }
+  }
+}
+
+TEST(EdgeVcg, RejectsAsymmetric) {
+  graph::LinkGraphBuilder b(3);
+  b.add_link(0, 1, 1.0, 2.0).add_link(1, 2, 1.0, 1.0);
+  const auto g = b.build();
+  EXPECT_THROW(edge_vcg_payments_naive(g, 0, 2), std::invalid_argument);
+  EXPECT_THROW(edge_vcg_payments_fast(g, 0, 2), std::invalid_argument);
+}
+
+TEST(EdgeVcg, FastMatchesNaiveRandom) {
+  int checked = 0;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    const auto g = symmetric_random(22, 66, seed * 13);
+    util::Rng rng(seed);
+    const auto s = static_cast<NodeId>(rng.next_below(22));
+    const auto t = static_cast<NodeId>(rng.next_below(22));
+    if (s == t) continue;
+    expect_same(edge_vcg_payments_naive(g, s, t),
+                edge_vcg_payments_fast(g, s, t),
+                "seed " + std::to_string(seed));
+    ++checked;
+  }
+  EXPECT_GT(checked, 40);
+}
+
+TEST(EdgeVcg, FastMatchesNaiveUnitDisk) {
+  graph::UdgParams params;
+  params.n = 100;
+  params.region = {900.0, 900.0};
+  params.range_m = 220.0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto g = graph::make_unit_disk_link(params, seed);
+    expect_same(edge_vcg_payments_naive(g, 7, 0),
+                edge_vcg_payments_fast(g, 7, 0),
+                "udg seed " + std::to_string(seed));
+  }
+}
+
+TEST(EdgeVcg, FastMatchesNaiveSparse) {
+  // Sparse graphs exercise bridge (infinite) detours.
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const auto g = symmetric_random(16, 20, seed * 7 + 3);
+    expect_same(edge_vcg_payments_naive(g, 1, 0),
+                edge_vcg_payments_fast(g, 1, 0),
+                "sparse seed " + std::to_string(seed));
+  }
+}
+
+TEST(EdgeVcg, NodeAgentPaymentsDominateEdgeAgents) {
+  // On a lifted node-cost graph, removing a node removes *all* its edges,
+  // so the node-agent avoiding path is at least as expensive: per-hop,
+  // node payments >= corresponding edge payments. (Sanity relation
+  // between the paper's model and the Nisan-Ronen baseline.)
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    util::Rng rng(seed);
+    graph::LinkGraphBuilder b(18);
+    for (int e = 0; e < 60; ++e) {
+      const auto u = static_cast<NodeId>(rng.next_below(18));
+      const auto v = static_cast<NodeId>(rng.next_below(18));
+      if (u == v) continue;
+      const double w = rng.uniform(0.5, 4.0);
+      b.add_link(u, v, w, w);
+    }
+    const auto g = b.build();
+    const auto edges = edge_vcg_payments_fast(g, 1, 0);
+    if (!edges.connected()) continue;
+    const auto nodes = fast_link_payments(g, 1, 0);
+    ASSERT_EQ(nodes.path, edges.path);
+    // Edge e_l = (r_l, r_{l+1}) carries relay r_l's forwarding arc; the
+    // node payment to r_l covers at least that edge's payment for
+    // interior l >= 1.
+    for (std::size_t l = 1; l + 1 < edges.path.size(); ++l) {
+      const NodeId relay = edges.path[l];
+      if (std::isinf(nodes.payments[relay])) continue;
+      EXPECT_GE(nodes.payments[relay], edges.payments[l].payment - 1e-9)
+          << "seed " << seed << " hop " << l;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tc::core

@@ -1,0 +1,155 @@
+// Differential tests: the symmetric-link fast engine vs the per-relay
+// Dijkstra reference (link_vcg_payments).
+#include "core/fast_link_payment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/link_vcg.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace tc::core {
+namespace {
+
+using graph::NodeId;
+
+void expect_same(const PaymentResult& a, const PaymentResult& b,
+                 const std::string& context) {
+  ASSERT_EQ(a.path, b.path) << context;
+  for (std::size_t k = 0; k < a.payments.size(); ++k) {
+    if (std::isinf(a.payments[k]) || std::isinf(b.payments[k])) {
+      EXPECT_EQ(std::isinf(a.payments[k]), std::isinf(b.payments[k]))
+          << context << " node " << k;
+    } else {
+      EXPECT_NEAR(a.payments[k], b.payments[k], 1e-9)
+          << context << " node " << k;
+    }
+  }
+}
+
+TEST(FastLinkPayment, SymmetryDetection) {
+  graph::LinkGraphBuilder sym(3);
+  sym.add_link(0, 1, 2.0, 2.0).add_link(1, 2, 3.0, 3.0);
+  EXPECT_TRUE(is_symmetric(sym.build()));
+
+  graph::LinkGraphBuilder asym(3);
+  asym.add_link(0, 1, 2.0, 2.5);
+  EXPECT_FALSE(is_symmetric(asym.build()));
+
+  graph::LinkGraphBuilder oneway(2);
+  oneway.add_arc(0, 1, 1.0);
+  EXPECT_FALSE(is_symmetric(oneway.build()));
+}
+
+TEST(FastLinkPayment, RejectsAsymmetric) {
+  graph::LinkGraphBuilder b(3);
+  b.add_link(0, 1, 2.0, 2.5).add_link(1, 2, 1.0, 1.0);
+  const auto g = b.build();
+  EXPECT_THROW(fast_link_payments(g, 0, 2), std::invalid_argument);
+}
+
+TEST(FastLinkPayment, SimpleDiamond) {
+  graph::LinkGraphBuilder b(4);
+  b.add_link(0, 1, 1.0, 1.0).add_link(1, 3, 2.0, 2.0);
+  b.add_link(0, 2, 2.0, 2.0).add_link(2, 3, 3.0, 3.0);
+  const auto g = b.build();
+  expect_same(link_vcg_payments(g, 0, 3), fast_link_payments(g, 0, 3),
+              "diamond");
+  const auto r = fast_link_payments(g, 0, 3);
+  EXPECT_DOUBLE_EQ(r.payments[1], 4.0);  // 2 + (5 - 3)
+}
+
+TEST(FastLinkPayment, DifferentialUnitDisk) {
+  // The paper's Fig. 3 a-d graphs: symmetric distance-power costs.
+  graph::UdgParams params;
+  params.n = 120;
+  params.region = {1000.0, 1000.0};
+  params.range_m = 230.0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    params.kappa = (seed % 2) ? 2.0 : 2.5;
+    const auto g = graph::make_unit_disk_link(params, seed);
+    ASSERT_TRUE(is_symmetric(g));
+    util::Rng rng(seed);
+    for (int trial = 0; trial < 4; ++trial) {
+      const auto s = static_cast<NodeId>(rng.next_below(params.n));
+      const auto t = static_cast<NodeId>(rng.next_below(params.n));
+      if (s == t) continue;
+      expect_same(link_vcg_payments(g, s, t), fast_link_payments(g, s, t),
+                  "udg seed " + std::to_string(seed));
+    }
+  }
+}
+
+TEST(FastLinkPayment, DifferentialRandomSymmetric) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    util::Rng rng(seed * 17);
+    graph::LinkGraphBuilder b(24);
+    for (int e = 0; e < 70; ++e) {
+      const auto u = static_cast<NodeId>(rng.next_below(24));
+      const auto v = static_cast<NodeId>(rng.next_below(24));
+      if (u == v) continue;
+      const double w = rng.uniform(0.1, 5.0);
+      b.add_link(u, v, w, w);
+    }
+    const auto g = b.build();
+    expect_same(link_vcg_payments(g, 1, 0), fast_link_payments(g, 1, 0),
+                "random seed " + std::to_string(seed));
+  }
+}
+
+TEST(FastLinkPayment, MonopolyChain) {
+  graph::LinkGraphBuilder b(4);
+  b.add_link(0, 1, 1.0, 1.0).add_link(1, 2, 1.0, 1.0)
+      .add_link(2, 3, 1.0, 1.0);
+  const auto g = b.build();
+  const auto r = fast_link_payments(g, 0, 3);
+  EXPECT_TRUE(std::isinf(r.payments[1]));
+  EXPECT_TRUE(std::isinf(r.payments[2]));
+}
+
+TEST(FastLinkPayment, LiftedNodeGraphAgrees) {
+  // to_link_graph of a node-weighted graph is asymmetric in general
+  // (arc cost = sender cost), so build a symmetric variant: edge weight =
+  // average of endpoint costs (still a valid symmetric instance).
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto node_g = graph::make_erdos_renyi(20, 0.25, 0.5, 5.0, seed);
+    graph::LinkGraphBuilder b(20);
+    for (const auto& [u, v] : node_g.edges()) {
+      const double w = (node_g.node_cost(u) + node_g.node_cost(v)) / 2.0;
+      b.add_link(u, v, w, w);
+    }
+    const auto g = b.build();
+    expect_same(link_vcg_payments(g, 2, 0), fast_link_payments(g, 2, 0),
+                "lifted seed " + std::to_string(seed));
+  }
+}
+
+class FastLinkDensity : public ::testing::TestWithParam<int> {};
+
+TEST_P(FastLinkDensity, DifferentialAcrossDensities) {
+  const int edges = GetParam();
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    util::Rng rng(seed * 101 + edges);
+    graph::LinkGraphBuilder b(18);
+    for (int e = 0; e < edges; ++e) {
+      const auto u = static_cast<NodeId>(rng.next_below(18));
+      const auto v = static_cast<NodeId>(rng.next_below(18));
+      if (u == v) continue;
+      const double w = rng.uniform(0.5, 4.0);
+      b.add_link(u, v, w, w);
+    }
+    const auto g = b.build();
+    expect_same(link_vcg_payments(g, 1, 0), fast_link_payments(g, 1, 0),
+                "edges=" + std::to_string(edges) + " seed " +
+                    std::to_string(seed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, FastLinkDensity,
+                         ::testing::Values(20, 40, 80, 150));
+
+}  // namespace
+}  // namespace tc::core

@@ -1,0 +1,210 @@
+// Structural tests of Algorithm 1's level labelling (paper step 2) and the
+// paper's Lemmas 1 and 2 on random instances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/fast_payment.hpp"
+#include "graph/generators.hpp"
+#include "spath/avoiding.hpp"
+#include "spath/dijkstra.hpp"
+
+namespace tc::core {
+namespace {
+
+using graph::NodeId;
+
+TEST(Levels, PathNodesGetTheirIndex) {
+  const auto g = graph::make_ring(8);
+  const LevelLabels labels = compute_levels(g, 0, 4);
+  ASSERT_EQ(labels.path.size(), 5u);
+  for (std::uint32_t l = 0; l < labels.path.size(); ++l) {
+    EXPECT_EQ(labels.levels[labels.path[l]], l);
+  }
+}
+
+TEST(Levels, OffPathNodesInheritBranchPoint) {
+  // Ring 8: LCP 0..4 one way; nodes 7, 6, 5 hang off the root side of
+  // SPT(0) until they attach near 4.
+  const auto g = graph::make_ring(8);
+  const LevelLabels labels = compute_levels(g, 0, 4);
+  // Node 7 is a direct neighbor of 0 => level 0.
+  EXPECT_EQ(labels.levels[7], 0u);
+}
+
+TEST(Levels, DisconnectedTargetEmpty) {
+  graph::NodeGraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  const LevelLabels labels = compute_levels(b.build(), 0, 3);
+  EXPECT_TRUE(labels.path.empty());
+}
+
+TEST(Levels, UnreachableNodesInvalid) {
+  graph::NodeGraphBuilder b(5);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(3, 4);
+  const LevelLabels labels = compute_levels(b.build(), 0, 2);
+  EXPECT_EQ(labels.levels[3], LevelLabels::kInvalidLevel);
+  EXPECT_EQ(labels.levels[4], LevelLabels::kInvalidLevel);
+}
+
+TEST(Levels, EveryReachableNodeHasLevelWithinPath) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto g = graph::make_erdos_renyi(30, 0.15, 0.5, 4.0, seed);
+    const LevelLabels labels = compute_levels(g, 0, 15);
+    if (labels.path.empty()) continue;
+    const auto spt = spath::dijkstra_node(g, 0);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (!spt.reached(v)) continue;
+      ASSERT_NE(labels.levels[v], LevelLabels::kInvalidLevel) << v;
+      EXPECT_LT(labels.levels[v], labels.path.size()) << v;
+    }
+  }
+}
+
+TEST(Levels, RemovalStrandsExactlyLevelNodes) {
+  // Defining property: removing r_l from SPT(s) strands, among off-path
+  // nodes, exactly those with level l (they connect to neither side within
+  // the tree).
+  const auto g = graph::make_erdos_renyi(26, 0.16, 0.5, 4.0, 7);
+  const LevelLabels labels = compute_levels(g, 0, 13);
+  ASSERT_GE(labels.path.size(), 3u);
+  const auto spt = spath::dijkstra_node(g, 0);
+
+  // Build tree adjacency.
+  std::vector<std::vector<NodeId>> children(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (spt.parent[v] != graph::kInvalidNode) children[spt.parent[v]].push_back(v);
+  }
+  std::vector<bool> on_path(g.num_nodes(), false);
+  for (NodeId v : labels.path) on_path[v] = true;
+
+  for (std::uint32_t l = 1; l + 1 < labels.path.size(); ++l) {
+    const NodeId removed = labels.path[l];
+    // BFS over the tree from the source, skipping `removed`.
+    std::vector<bool> reach_s(g.num_nodes(), false);
+    std::vector<NodeId> stack{0};
+    reach_s[0] = true;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId w : children[u]) {
+        if (w == removed) continue;
+        reach_s[w] = true;
+        stack.push_back(w);
+      }
+    }
+    // The subtree under r_{l+1} stays attached to the target side.
+    std::vector<bool> reach_t(g.num_nodes(), false);
+    stack.assign(1, labels.path[l + 1]);
+    reach_t[labels.path[l + 1]] = true;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId w : children[u]) {
+        reach_t[w] = true;
+        stack.push_back(w);
+      }
+    }
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (v == removed || on_path[v]) continue;
+      if (labels.levels[v] == LevelLabels::kInvalidLevel) continue;
+      const bool stranded = !reach_s[v] && !reach_t[v];
+      EXPECT_EQ(stranded, labels.levels[v] == l)
+          << "node " << v << " level " << labels.levels[v] << " removed r_"
+          << l;
+    }
+  }
+}
+
+TEST(Lemma1, AvoidingPathLevelsThresholdMonotone) {
+  // Once the r_l-avoiding path reaches a node of level >= l, every later
+  // node also has level >= l.
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const auto g = graph::make_erdos_renyi(26, 0.2, 0.5, 5.0, seed);
+    const LevelLabels labels = compute_levels(g, 0, 13);
+    if (labels.path.size() < 4) continue;
+    for (std::uint32_t l = 1; l + 1 < labels.path.size(); ++l) {
+      const auto avoid =
+          spath::avoiding_path_node(g, 0, 13, labels.path[l]);
+      if (avoid.path.empty()) continue;
+      bool crossed = false;
+      for (NodeId v : avoid.path) {
+        const bool high = labels.levels[v] >= l;
+        if (crossed) {
+          EXPECT_TRUE(high) << "seed " << seed << " l " << l;
+        }
+        crossed |= high;
+      }
+    }
+  }
+}
+
+TEST(Lemma3, LowLevelDetoursExcludeNodeFromAvoidingPath) {
+  // If P(v_k, t, G \ r_l) passes through a node of lower level than v_k,
+  // then v_k is not on the s->t avoiding path P_{-r_l}(s, t).
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const auto g = graph::make_erdos_renyi(24, 0.2, 0.5, 5.0, seed * 29);
+    const LevelLabels labels = compute_levels(g, 0, 12);
+    if (labels.path.size() < 4) continue;
+    for (std::uint32_t l = 1; l + 1 < labels.path.size(); ++l) {
+      const NodeId removed = labels.path[l];
+      const auto avoid = spath::avoiding_path_node(g, 0, 12, removed);
+      if (avoid.path.empty()) continue;
+      std::vector<bool> on_avoiding(g.num_nodes(), false);
+      for (NodeId v : avoid.path) on_avoiding[v] = true;
+
+      graph::NodeMask mask(g.num_nodes());
+      mask.block(removed);
+      const auto from_t = spath::dijkstra_node(g, 12, mask);
+      for (NodeId k = 0; k < g.num_nodes(); ++k) {
+        if (k == 0 || k == 12 || k == removed) continue;
+        if (labels.levels[k] == LevelLabels::kInvalidLevel) continue;
+        if (!from_t.reached(k)) continue;
+        const auto detour = from_t.path_to(k);  // t..k, membership symmetric
+        bool dips_lower = false;
+        for (NodeId w : detour) {
+          if (w == k) continue;
+          if (labels.levels[w] != LevelLabels::kInvalidLevel &&
+              labels.levels[w] < labels.levels[k]) {
+            dips_lower = true;
+            break;
+          }
+        }
+        if (dips_lower) {
+          EXPECT_FALSE(on_avoiding[k])
+              << "seed " << seed << " l " << l << " node " << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(Lemma2, ShortestPathToTargetAvoidsLowerLevels) {
+  // P(v_k, t, G) contains no LCP node r_a with a < level(v_k) (strictly
+  // positive costs).
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const auto g = graph::make_erdos_renyi(26, 0.2, 0.5, 5.0, seed * 13);
+    const LevelLabels labels = compute_levels(g, 0, 13);
+    if (labels.path.size() < 3) continue;
+    std::vector<std::uint32_t> path_index(g.num_nodes(),
+                                          LevelLabels::kInvalidLevel);
+    for (std::uint32_t l = 0; l < labels.path.size(); ++l)
+      path_index[labels.path[l]] = l;
+    const auto sptT = spath::dijkstra_node(g, 13);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (labels.levels[v] == LevelLabels::kInvalidLevel || !sptT.reached(v))
+        continue;
+      const auto path = sptT.path_to(v);  // t..v; membership is symmetric
+      for (NodeId w : path) {
+        if (w == v) continue;
+        if (path_index[w] != LevelLabels::kInvalidLevel) {
+          EXPECT_GE(path_index[w], labels.levels[v])
+              << "seed " << seed << " node " << v;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tc::core

@@ -1,0 +1,112 @@
+#include "core/multi_gateway.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fast_payment.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace tc::core {
+namespace {
+
+using graph::Cost;
+using graph::NodeId;
+
+TEST(MultiGateway, SingleGatewayReducesToUnicast) {
+  const auto g = graph::make_fig2_graph();
+  const auto multi = multi_gateway_payments(g, 1, {0});
+  const auto single = vcg_payments_fast(g, 1, 0);
+  ASSERT_TRUE(multi.connected());
+  EXPECT_EQ(multi.gateway, 0u);
+  EXPECT_EQ(multi.path, single.path);
+  EXPECT_DOUBLE_EQ(multi.path_cost, single.path_cost);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(multi.payments[v], single.payments[v]) << "node " << v;
+  }
+}
+
+TEST(MultiGateway, PicksCheaperGateway) {
+  // Path 0 .. 7; gateways at both ends; source near one end.
+  const auto g = graph::make_path(8, 1.0);
+  const auto r = multi_gateway_payments(g, 2, {0, 7});
+  ASSERT_TRUE(r.connected());
+  EXPECT_EQ(r.gateway, 0u);  // one relay vs four
+  EXPECT_EQ(r.path, (std::vector<NodeId>{2, 1, 0}));
+}
+
+TEST(MultiGateway, SecondGatewayCapsPayments) {
+  // With one gateway the chain relay is a monopolist; a second gateway
+  // bounds every payment by the alternative route.
+  auto g = graph::make_path(5, 1.0);
+  g.set_node_cost(3, 2.0);  // break the tie: via-0 route is cheaper
+  const auto one = multi_gateway_payments(g, 2, {0});
+  EXPECT_TRUE(std::isinf(one.total_payment()));
+  const auto two = multi_gateway_payments(g, 2, {0, 4});
+  ASSERT_TRUE(two.connected());
+  EXPECT_FALSE(std::isinf(two.total_payment()));
+  EXPECT_EQ(two.gateway, 0u);
+  // Gateways are free infrastructure: route 2-1-0 costs 1 (relay 1 only),
+  // detour 2-3-4 costs 2, so p_1 = 2 - 1 + 1 = 2; the gateway earns 0.
+  EXPECT_DOUBLE_EQ(two.path_cost, 1.0);
+  EXPECT_DOUBLE_EQ(two.payments[1], 2.0);
+  EXPECT_DOUBLE_EQ(two.payments[0], 0.0);
+}
+
+TEST(MultiGateway, GatewayChoiceRespondsToDeclarations) {
+  auto g = graph::make_path(8, 1.0);
+  const auto before = multi_gateway_payments(g, 2, {0, 7});
+  EXPECT_EQ(before.gateway, 0u);
+  // Price the short side off.
+  g.set_node_cost(1, 50.0);
+  const auto after = multi_gateway_payments(g, 2, {0, 7});
+  EXPECT_EQ(after.gateway, 7u);
+}
+
+TEST(MultiGateway, NoGatewayReachable) {
+  graph::NodeGraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  const auto r = multi_gateway_payments(b.build(), 0, {3});
+  EXPECT_FALSE(r.connected());
+  EXPECT_TRUE(r.path.empty());
+}
+
+TEST(MultiGateway, UnilateralLiesStillUnprofitable) {
+  // The augmented-sink construction preserves strategyproofness.
+  util::Rng rng(3);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto g = graph::make_erdos_renyi(16, 0.3, 0.5, 5.0, seed);
+    const std::vector<NodeId> gateways{0, 15};
+    const auto truthful = multi_gateway_payments(g, 7, gateways);
+    if (!truthful.connected()) continue;
+    const auto costs = g.costs();
+    for (int trial = 0; trial < 12; ++trial) {
+      const auto k = static_cast<NodeId>(1 + rng.next_below(14));
+      if (k == 7) continue;
+      const bool was_relay =
+          std::find(truthful.path.begin() + 1, truthful.path.end() - 1, k) !=
+          truthful.path.end() - 1;
+      const Cost truthful_utility =
+          (std::isinf(truthful.payments[k]) ? 0.0 : truthful.payments[k]) -
+          (was_relay ? costs[k] : 0.0);
+      auto lied = costs;
+      lied[k] = std::max(0.0, costs[k] * rng.uniform(0.3, 3.0));
+      g.set_costs(lied);
+      const auto out = multi_gateway_payments(g, 7, gateways);
+      g.set_costs(costs);
+      if (!out.connected() || std::isinf(out.payments[k])) continue;
+      const bool is_relay =
+          std::find(out.path.begin() + 1, out.path.end() - 1, k) !=
+          out.path.end() - 1;
+      const Cost lied_utility =
+          out.payments[k] - (is_relay ? costs[k] : 0.0);
+      if (std::isinf(truthful.payments[k])) continue;
+      EXPECT_LE(lied_utility, truthful_utility + 1e-9)
+          << "seed " << seed << " node " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tc::core

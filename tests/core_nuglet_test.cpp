@@ -1,0 +1,94 @@
+#include "core/nuglet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace tc::core {
+namespace {
+
+using graph::NodeId;
+
+TEST(Nuglet, HighPriceEveryoneRelays) {
+  const auto g = graph::make_ring(8, 1.0);
+  const auto out = evaluate_nuglet_scheme(g, 0, 2.0);
+  EXPECT_EQ(out.refusing_relays, 0u);
+  EXPECT_EQ(out.delivered, 7u);
+  EXPECT_DOUBLE_EQ(out.delivery_rate(), 1.0);
+}
+
+TEST(Nuglet, LowPriceCausesRefusals) {
+  // Paper's critique of fixed pricing: relays with cost above the nuglet
+  // value refuse, and the network partitions.
+  graph::NodeGraphBuilder b(5);
+  b.set_node_cost(1, 0.5).set_node_cost(2, 3.0).set_node_cost(3, 0.5);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3).add_edge(3, 4);
+  const auto g = b.build();
+  const auto out = evaluate_nuglet_scheme(g, 0, 1.0);
+  EXPECT_EQ(out.refusing_relays, 1u);  // node 2
+  // Nodes 3 and 4 are cut off behind the refusing relay.
+  EXPECT_EQ(out.delivered, 2u);  // nodes 1 and 2 still reach the AP
+}
+
+TEST(Nuglet, RefusingNodeCanStillSend) {
+  // A node too expensive to relay still originates its own traffic.
+  graph::NodeGraphBuilder b(3);
+  b.set_node_cost(1, 0.5).set_node_cost(2, 9.0);
+  b.add_edge(0, 1).add_edge(1, 2);
+  const auto out = evaluate_nuglet_scheme(b.build(), 0, 1.0);
+  EXPECT_EQ(out.refusing_relays, 1u);
+  EXPECT_EQ(out.delivered, 2u);  // node 2 sends via willing relay 1
+}
+
+TEST(Nuglet, RoutesMinimizeHopsNotCost) {
+  // Two routes: 2 hops with expensive-but-willing relay vs 3 hops with
+  // cheap relays. Fixed pricing charges per hop, so the source picks the
+  // expensive 2-hop route — a social-cost loss VCG routing avoids.
+  graph::NodeGraphBuilder b(6);
+  b.set_node_cost(1, 2.0);                          // pricey single relay
+  b.set_node_cost(2, 0.1).set_node_cost(3, 0.1);    // cheap chain
+  b.add_edge(0, 1).add_edge(1, 5);
+  b.add_edge(0, 2).add_edge(2, 3).add_edge(3, 5);
+  const auto g = b.build();
+  const auto out = evaluate_nuglet_scheme(g, 0, 2.5);
+  // Source 5's path contributes relay cost 2.0 (via node 1), not 0.2.
+  const auto vcg = evaluate_vcg_reference(g, 0);
+  EXPECT_GT(out.social_cost, vcg.social_cost);
+}
+
+TEST(Nuglet, SurplusNonNegative) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto g = graph::make_erdos_renyi(20, 0.25, 0.2, 3.0, seed);
+    const auto out = evaluate_nuglet_scheme(g, 0, 1.5);
+    EXPECT_GE(out.relay_surplus, -1e-9);
+    EXPECT_NEAR(out.total_paid, out.social_cost + out.relay_surplus, 1e-9);
+  }
+}
+
+TEST(Nuglet, DeliveryMonotoneInPrice) {
+  const auto g = graph::make_erdos_renyi(30, 0.15, 0.5, 5.0, 4);
+  std::size_t prev = 0;
+  for (double price : {0.5, 1.0, 2.0, 5.0}) {
+    const auto out = evaluate_nuglet_scheme(g, 0, price);
+    EXPECT_GE(out.delivered, prev) << "price " << price;
+    prev = out.delivered;
+  }
+}
+
+TEST(Nuglet, VcgReferenceMatchesStudy) {
+  const auto g = graph::make_ring(8, 1.0);
+  const auto ref = evaluate_vcg_reference(g, 0);
+  EXPECT_EQ(ref.delivered, 7u);
+  EXPECT_GT(ref.total_paid, 0.0);
+  EXPECT_GE(ref.total_paid, ref.social_cost);
+}
+
+TEST(Nuglet, ZeroPriceOnlyDirectNeighborsDeliver) {
+  const auto g = graph::make_ring(8, 1.0);
+  const auto out = evaluate_nuglet_scheme(g, 0, 0.0);
+  EXPECT_EQ(out.delivered, 2u);  // the AP's two ring neighbors
+  EXPECT_EQ(out.refusing_relays, 7u);
+}
+
+}  // namespace
+}  // namespace tc::core

@@ -1,0 +1,138 @@
+#include "core/overpayment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fast_payment.hpp"
+#include "core/link_vcg.hpp"
+#include "graph/generators.hpp"
+
+namespace tc::core {
+namespace {
+
+using graph::NodeId;
+
+TEST(Overpayment, NodeModelMatchesPerSourceEngine) {
+  // The batched study must agree with running the fast engine per source.
+  const auto g = graph::make_erdos_renyi(24, 0.25, 0.5, 5.0, 3);
+  const OverpaymentResult study = overpayment_node_model(g, 0);
+  for (const SourceOverpayment& s : study.per_source) {
+    const PaymentResult direct = vcg_payments_fast(g, s.source, 0);
+    ASSERT_TRUE(direct.connected());
+    EXPECT_NEAR(s.lcp_cost, direct.path_cost, 1e-9) << "source " << s.source;
+    EXPECT_NEAR(s.payment, direct.total_payment(), 1e-9)
+        << "source " << s.source;
+    EXPECT_EQ(s.hops, direct.path.size() - 1);
+  }
+}
+
+TEST(Overpayment, LinkModelMatchesPerSourceEngine) {
+  graph::UdgParams params;
+  params.n = 60;
+  params.region = {800.0, 800.0};
+  params.range_m = 250.0;
+  const auto g = graph::make_unit_disk_link(params, 5);
+  const OverpaymentResult study = overpayment_link_model(g, 0);
+  for (const SourceOverpayment& s : study.per_source) {
+    const PaymentResult direct = link_vcg_payments(g, s.source, 0);
+    ASSERT_TRUE(direct.connected());
+    // The study's denominator excludes the source's own first-arc cost.
+    const double own = g.arc_cost(direct.path[0], direct.path[1]);
+    EXPECT_NEAR(s.lcp_cost, direct.path_cost - own, 1e-9)
+        << "source " << s.source;
+    if (!std::isinf(direct.total_payment())) {
+      EXPECT_NEAR(s.payment, direct.total_payment(), 1e-9)
+          << "source " << s.source;
+    }
+  }
+}
+
+TEST(Overpayment, RatiosAtLeastOne) {
+  // Every relay is paid at least its cost, so p_i >= c(i,0) and all three
+  // ratio metrics are >= 1 whenever defined.
+  const auto g = graph::make_erdos_renyi(30, 0.2, 0.5, 5.0, 7);
+  const OverpaymentResult study = overpayment_node_model(g, 0);
+  ASSERT_GT(study.metrics.sources_counted, 0u);
+  EXPECT_GE(study.metrics.tor, 1.0);
+  EXPECT_GE(study.metrics.ior, 1.0);
+  EXPECT_GE(study.metrics.worst, study.metrics.ior);
+}
+
+TEST(Overpayment, OneHopSourcesExcludedFromIor) {
+  // Star + one far node: most sources are 1 hop from the AP.
+  graph::NodeGraphBuilder b(6);
+  b.set_node_cost(1, 1.0).set_node_cost(2, 1.0);
+  for (NodeId v = 1; v <= 4; ++v) b.add_edge(0, v);
+  b.add_edge(1, 5).add_edge(2, 5);
+  const OverpaymentResult study = overpayment_node_model(b.build(), 0);
+  // Only node 5 has relays.
+  EXPECT_EQ(study.metrics.sources_counted, 1u);
+  EXPECT_GT(study.metrics.sources_skipped, 0u);
+}
+
+TEST(Overpayment, MonopolySourcesExcluded) {
+  // Path graph: every multi-hop source has an irreplaceable relay.
+  const auto g = graph::make_path(5, 1.0);
+  const OverpaymentResult study = overpayment_node_model(g, 0);
+  EXPECT_GT(study.metrics.monopoly_sources, 0u);
+  for (const auto& s : study.per_source) {
+    EXPECT_FALSE(std::isinf(s.payment));
+  }
+}
+
+TEST(Overpayment, RingExactRatios) {
+  // 6-ring, unit costs, AP = 0. Both halves tie, so every relay is paid
+  // exactly its cost and the opposite node's ratio is 1 (no overpayment).
+  const auto g = graph::make_ring(6, 1.0);
+  const OverpaymentResult study = overpayment_node_model(g, 0);
+  bool saw_opposite = false;
+  for (const auto& s : study.per_source) {
+    if (s.source == 3) {
+      saw_opposite = true;
+      EXPECT_DOUBLE_EQ(s.payment, 2.0);
+      EXPECT_DOUBLE_EQ(s.lcp_cost, 2.0);
+    }
+  }
+  EXPECT_TRUE(saw_opposite);
+}
+
+TEST(Overpayment, SummarizeHandlesEmpty) {
+  const OverpaymentMetrics m = summarize_overpayment({}, 2, 3);
+  EXPECT_EQ(m.sources_counted, 0u);
+  EXPECT_EQ(m.monopoly_sources, 2u);
+  EXPECT_EQ(m.sources_skipped, 3u);
+  EXPECT_EQ(m.tor, 0.0);
+}
+
+TEST(Overpayment, BucketByHopsAggregates) {
+  std::vector<SourceOverpayment> sources;
+  sources.push_back({1, 4.0, 2.0, 2});   // ratio 2
+  sources.push_back({2, 6.0, 2.0, 2});   // ratio 3
+  sources.push_back({3, 5.0, 5.0, 3});   // ratio 1
+  sources.push_back({4, 0.0, 0.0, 1});   // undefined, skipped
+  const auto buckets = bucket_by_hops(sources);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].hops, 2u);
+  EXPECT_DOUBLE_EQ(buckets[0].mean_ratio, 2.5);
+  EXPECT_DOUBLE_EQ(buckets[0].max_ratio, 3.0);
+  EXPECT_EQ(buckets[0].count, 2u);
+  EXPECT_EQ(buckets[1].hops, 3u);
+  EXPECT_DOUBLE_EQ(buckets[1].mean_ratio, 1.0);
+}
+
+TEST(Overpayment, LinkModelUdgRatiosSane) {
+  graph::UdgParams params;
+  params.n = 100;
+  params.range_m = 300.0;
+  const auto g = graph::make_unit_disk_link(params, 17);
+  const OverpaymentResult study = overpayment_link_model(g, 0);
+  if (study.metrics.sources_counted < 10) GTEST_SKIP();
+  EXPECT_GE(study.metrics.tor, 1.0);
+  EXPECT_LT(study.metrics.tor, 10.0);  // gross sanity: no runaway ratios
+  EXPECT_GE(study.metrics.ior, 1.0);
+  EXPECT_LT(study.metrics.ior, 10.0);
+}
+
+}  // namespace
+}  // namespace tc::core

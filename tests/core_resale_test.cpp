@@ -1,0 +1,122 @@
+// Resale-the-path collusion (paper Section III.H, Figure 4).
+#include "core/resale.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/fast_payment.hpp"
+#include "graph/generators.hpp"
+
+namespace tc::core {
+namespace {
+
+using graph::NodeId;
+
+TEST(Resale, Fig4PaperNumbersExactly) {
+  const auto g = graph::make_fig4_graph();
+  const AllPayments all = compute_all_payments(g, 0);
+
+  // p_8 = 20, p_4 = 6, p_8^4 = 0, c_4 = 5 — the paper's example values.
+  EXPECT_DOUBLE_EQ(all.per_source[8].total_payment(), 20.0);
+  EXPECT_DOUBLE_EQ(all.per_source[4].total_payment(), 6.0);
+  EXPECT_DOUBLE_EQ(all.per_source[8].payments[4], 0.0);
+  EXPECT_DOUBLE_EQ(g.node_cost(4), 5.0);
+
+  const auto deals = find_resale_deals(g, 0, all);
+  ASSERT_FALSE(deals.empty());
+  // The paper's worked deal: v8 resells through v4. (The backstop chain
+  // v6-v7 creates additional — even larger — deals for source v7; the
+  // paper discusses only the v8/v4 one.)
+  const auto it = std::find_if(deals.begin(), deals.end(),
+                               [](const ResaleDeal& d) {
+                                 return d.source == 8 && d.reseller == 4;
+                               });
+  ASSERT_NE(it, deals.end());
+  const ResaleDeal& deal = *it;
+  EXPECT_DOUBLE_EQ(deal.direct_payment, 20.0);
+  EXPECT_DOUBLE_EQ(deal.reseller_payment, 6.0);
+  EXPECT_DOUBLE_EQ(deal.compensation, 5.0);  // max(p_8^4, c_4) = max(0, 5)
+  EXPECT_DOUBLE_EQ(deal.savings(), 9.0);
+  // v8 ends up paying 15.5 and v4 gains 4.5, as in the paper.
+  EXPECT_DOUBLE_EQ(deal.source_outlay_after_split(), 15.5);
+  EXPECT_DOUBLE_EQ(deal.reseller_gain_after_split(), 4.5);
+}
+
+TEST(Resale, NoDealsWhenEveryoneIsOneHop) {
+  // Complete graph: everyone reaches the AP directly, nobody pays anyone,
+  // so no resale is profitable.
+  const auto g = graph::make_complete(6, 1.0);
+  const AllPayments all = compute_all_payments(g, 0);
+  EXPECT_TRUE(find_resale_deals(g, 0, all).empty());
+}
+
+TEST(Resale, UniformRingHasDealNearTheSeam) {
+  // Even a symmetric ring resells: a node two hops out pays 3 per relay
+  // (long detour), while its outward neighbor sits on the cost tie and
+  // overpays nothing — routing through it is cheaper.
+  const auto g = graph::make_ring(8, 1.0);
+  const AllPayments all = compute_all_payments(g, 0);
+  const auto deals = find_resale_deals(g, 0, all);
+  ASSERT_FALSE(deals.empty());
+  for (const auto& d : deals) {
+    EXPECT_GT(d.savings(), 0.0);
+    EXPECT_TRUE(g.has_edge(d.source, d.reseller));
+  }
+}
+
+TEST(Resale, DealConditionMatchesDefinition) {
+  // Cross-check each reported deal against the paper's inequality and
+  // confirm no unreported neighbor pair satisfies it.
+  const auto g = graph::make_fig4_graph();
+  const AllPayments all = compute_all_payments(g, 0);
+  const auto deals = find_resale_deals(g, 0, all);
+
+  auto is_reported = [&](NodeId i, NodeId j) {
+    for (const auto& d : deals)
+      if (d.source == i && d.reseller == j) return true;
+    return false;
+  };
+
+  for (NodeId i = 1; i < g.num_nodes(); ++i) {
+    const double p_i = all.per_source[i].total_payment();
+    for (NodeId j : g.neighbors(i)) {
+      if (j == 0) continue;
+      const double p_j = all.per_source[j].total_payment();
+      const double comp =
+          std::max(all.per_source[i].payments[j], g.node_cost(j));
+      const bool profitable = p_i > p_j + comp + 1e-9;
+      EXPECT_EQ(profitable, is_reported(i, j))
+          << "pair " << i << " -> " << j;
+    }
+  }
+}
+
+TEST(Resale, DealsSortedBySavings) {
+  const auto g = graph::make_fig4_graph();
+  const AllPayments all = compute_all_payments(g, 0);
+  const auto deals = find_resale_deals(g, 0, all);
+  for (std::size_t i = 1; i < deals.size(); ++i) {
+    EXPECT_GE(deals[i - 1].savings(), deals[i].savings());
+  }
+}
+
+TEST(Resale, AllPaymentsSkipsAccessPoint) {
+  const auto g = graph::make_ring(5, 1.0);
+  const AllPayments all = compute_all_payments(g, 0);
+  EXPECT_TRUE(all.per_source[0].path.empty());
+  EXPECT_FALSE(all.per_source[2].path.empty());
+}
+
+TEST(Resale, SavingsArithmetic) {
+  ResaleDeal deal;
+  deal.direct_payment = 20.0;
+  deal.reseller_payment = 6.0;
+  deal.compensation = 5.0;
+  EXPECT_DOUBLE_EQ(deal.savings(), 9.0);
+  EXPECT_DOUBLE_EQ(deal.source_outlay_after_split(), 15.5);
+  EXPECT_DOUBLE_EQ(deal.reseller_gain_after_split(), 4.5);
+}
+
+}  // namespace
+}  // namespace tc::core

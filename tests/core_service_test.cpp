@@ -1,0 +1,135 @@
+#include "core/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/fast_payment.hpp"
+#include "core/neighbor_collusion.hpp"
+#include "graph/generators.hpp"
+
+namespace tc::core {
+namespace {
+
+using graph::NodeId;
+
+TEST(UnicastService, QuoteMatchesEngine) {
+  const auto g = graph::make_fig2_graph();
+  UnicastService service(g, 0);
+  const auto quote = service.quote(1);
+  ASSERT_TRUE(quote.has_value());
+  const auto direct = vcg_payments_fast(g, 1, 0);
+  EXPECT_EQ(quote->path, direct.path);
+  EXPECT_DOUBLE_EQ(quote->path_cost, direct.path_cost);
+  EXPECT_EQ(quote->payments, direct.payments);
+  EXPECT_DOUBLE_EQ(quote->total_per_packet(), 6.0);
+  EXPECT_DOUBLE_EQ(quote->total_for_packets(10), 60.0);
+}
+
+TEST(UnicastService, NeighborResistantSchemeQuotes) {
+  const auto g = graph::make_grid(3, 3, 2.0);
+  UnicastService service(g, 0, PricingScheme::kNeighborResistant);
+  const auto quote = service.quote(8);
+  ASSERT_TRUE(quote.has_value());
+  const auto direct = neighbor_resistant_payments(g, 8, 0);
+  EXPECT_EQ(quote->payments, direct.payments);
+}
+
+TEST(UnicastService, CachesUntilRedeclaration) {
+  const auto g = graph::make_fig2_graph();
+  UnicastService service(g, 0);
+  const auto q1 = service.quote(1);
+  ASSERT_TRUE(q1.has_value());
+  EXPECT_EQ(q1->profile_version, service.profile_version());
+
+  // Second quote at the same version comes from cache (same version tag).
+  const auto q2 = service.quote(1);
+  EXPECT_EQ(q2->profile_version, q1->profile_version);
+
+  // Re-declaration bumps the version and changes the quote.
+  service.declare_cost(4, 10.0);  // prices the cheap chain off
+  const auto q3 = service.quote(1);
+  ASSERT_TRUE(q3.has_value());
+  EXPECT_GT(q3->profile_version, q1->profile_version);
+  EXPECT_EQ(q3->path, (std::vector<NodeId>{1, 5, 0}));
+}
+
+TEST(UnicastService, NoopDeclarationKeepsVersion) {
+  const auto g = graph::make_fig2_graph();
+  UnicastService service(g, 0);
+  const auto v = service.profile_version();
+  service.declare_cost(4, service.declared_cost(4));
+  EXPECT_EQ(service.profile_version(), v);
+}
+
+TEST(UnicastService, BulkDeclaration) {
+  const auto g = graph::make_ring(6, 1.0);
+  UnicastService service(g, 0);
+  std::vector<graph::Cost> declared(6, 1.0);
+  declared[1] = 50.0;
+  service.declare_costs(declared);
+  const auto quote = service.quote(2);
+  ASSERT_TRUE(quote.has_value());
+  // Route must now avoid node 1.
+  for (NodeId v : quote->path) EXPECT_NE(v, 1u);
+}
+
+TEST(UnicastService, UnroutableSourceIsNullopt) {
+  graph::NodeGraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  UnicastService service(b.build(), 0);
+  EXPECT_FALSE(service.quote(3).has_value());
+  EXPECT_TRUE(service.quote(1).has_value());
+}
+
+TEST(UnicastService, MonopolyFreeChecks) {
+  UnicastService ring(graph::make_ring(8), 0);
+  EXPECT_TRUE(ring.monopoly_free());
+  UnicastService path(graph::make_path(5), 0);
+  EXPECT_FALSE(path.monopoly_free());
+  // Neighbor-resistant needs the stronger neighborhood condition.
+  UnicastService small_ring(graph::make_ring(5), 0,
+                            PricingScheme::kNeighborResistant);
+  EXPECT_TRUE(small_ring.monopoly_free());
+  UnicastService path2(graph::make_path(5), 0,
+                       PricingScheme::kNeighborResistant);
+  EXPECT_FALSE(path2.monopoly_free());
+}
+
+TEST(UnicastService, QuoteAllCoversEverySource) {
+  const auto g = graph::make_ring(7, 2.0);
+  UnicastService service(g, 0);
+  const auto quotes = service.quote_all();
+  ASSERT_EQ(quotes.size(), 7u);
+  EXPECT_FALSE(quotes[0].has_value());  // the AP itself
+  for (NodeId v = 1; v < 7; ++v) {
+    ASSERT_TRUE(quotes[v].has_value()) << v;
+    EXPECT_EQ(quotes[v]->path.front(), v);
+    EXPECT_EQ(quotes[v]->path.back(), 0u);
+  }
+}
+
+TEST(UnicastService, QuotePairArbitraryEndpoints) {
+  const auto g = graph::make_ring(8, 1.0);
+  UnicastService service(g, 0);
+  const auto quote = service.quote_pair(2, 6);
+  ASSERT_TRUE(quote.has_value());
+  EXPECT_EQ(quote->path.front(), 2u);
+  EXPECT_EQ(quote->path.back(), 6u);
+  const auto direct = vcg_payments_fast(g, 2, 6);
+  EXPECT_EQ(quote->payments, direct.payments);
+}
+
+TEST(UnicastService, QuotePairUnroutable) {
+  graph::NodeGraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  UnicastService service(b.build(), 0);
+  EXPECT_FALSE(service.quote_pair(1, 3).has_value());
+}
+
+TEST(UnicastService, RejectsBadInputs) {
+  const auto g = graph::make_ring(5);
+  UnicastService service(g, 0);
+  EXPECT_DEATH(service.quote(0), "access point");
+}
+
+}  // namespace
+}  // namespace tc::core

@@ -1,0 +1,112 @@
+#include "core/transit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fast_payment.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+
+namespace tc::core {
+namespace {
+
+using graph::Cost;
+using graph::NodeId;
+
+TEST(Transit, UniformTrafficMatrixShape) {
+  const auto t = uniform_traffic(4, 2.5);
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_DOUBLE_EQ(t[1][2], 2.5);
+  EXPECT_DOUBLE_EQ(t[2][2], 0.0);
+}
+
+TEST(Transit, SingleFlowMatchesMechanism) {
+  const auto g = graph::make_fig4_graph();
+  TrafficMatrix t(9, std::vector<double>(9, 0.0));
+  t[8][0] = 1.0;  // one packet v8 -> v0
+  const auto result = transit_payments(g, t);
+  const auto direct = vcg_payments_fast(g, 8, 0);
+  EXPECT_NEAR(result.total_payment, direct.total_payment(), 1e-9);
+  EXPECT_NEAR(result.total_traffic_cost, direct.path_cost, 1e-9);
+  for (NodeId k = 0; k < 9; ++k) {
+    EXPECT_NEAR(result.compensation[k], direct.payments[k], 1e-9)
+        << "node " << k;
+  }
+}
+
+TEST(Transit, IntensityScalesLinearly) {
+  // s packets cost s * p_k (Section II.C).
+  const auto g = graph::make_fig4_graph();
+  TrafficMatrix t(9, std::vector<double>(9, 0.0));
+  t[8][0] = 7.0;
+  const auto result = transit_payments(g, t);
+  EXPECT_NEAR(result.total_payment, 7.0 * 20.0, 1e-9);
+}
+
+TEST(Transit, AllPairsMatchesPerPairSum) {
+  const auto g = graph::make_erdos_renyi(14, 0.35, 0.5, 5.0, 5);
+  ASSERT_TRUE(graph::is_connected(g));
+  const auto result = transit_payments(g, uniform_traffic(14));
+
+  std::vector<Cost> expected(14, 0.0);
+  Cost expected_total = 0.0;
+  std::size_t monopolies = 0;
+  for (NodeId i = 0; i < 14; ++i) {
+    for (NodeId j = 0; j < 14; ++j) {
+      if (i == j) continue;
+      const auto r = vcg_payments_fast(g, i, j);
+      if (!r.connected()) continue;
+      if (std::isinf(r.total_payment())) {
+        ++monopolies;
+        continue;
+      }
+      for (NodeId k = 0; k < 14; ++k) expected[k] += r.payments[k];
+      expected_total += r.total_payment();
+    }
+  }
+  EXPECT_EQ(result.monopoly_flows, monopolies);
+  EXPECT_NEAR(result.total_payment, expected_total, 1e-6);
+  for (NodeId k = 0; k < 14; ++k) {
+    EXPECT_NEAR(result.compensation[k], expected[k], 1e-6) << "node " << k;
+  }
+}
+
+TEST(Transit, UnroutableFlowsCounted) {
+  graph::NodeGraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  const auto result = transit_payments(b.build(), uniform_traffic(4));
+  // 8 of the 12 ordered pairs cross the component boundary.
+  EXPECT_EQ(result.unroutable_flows, 8u);
+}
+
+TEST(Transit, OverpaymentRatioAtLeastOne) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto g = graph::make_erdos_renyi(16, 0.3, 0.5, 5.0, seed);
+    const auto result = transit_payments(g, uniform_traffic(16));
+    if (result.total_traffic_cost <= 0.0) continue;
+    EXPECT_GE(result.overpayment_ratio(), 1.0 - 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Transit, ZeroIntensityCostsNothing) {
+  const auto g = graph::make_ring(6, 1.0);
+  TrafficMatrix t(6, std::vector<double>(6, 0.0));
+  const auto result = transit_payments(g, t);
+  EXPECT_DOUBLE_EQ(result.total_payment, 0.0);
+  for (Cost c : result.compensation) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(Transit, AsymmetricTrafficWeighting) {
+  // Heavier traffic toward a hub compensates the hub's relays more.
+  const auto g = graph::make_ring(8, 1.0);
+  TrafficMatrix light = uniform_traffic(8, 1.0);
+  TrafficMatrix heavy = uniform_traffic(8, 1.0);
+  for (NodeId i = 1; i < 8; ++i) heavy[i][0] = 10.0;
+  const auto a = transit_payments(g, light);
+  const auto b = transit_payments(g, heavy);
+  EXPECT_GT(b.total_payment, a.total_payment);
+}
+
+}  // namespace
+}  // namespace tc::core

@@ -1,0 +1,147 @@
+#include "core/vcg_unicast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+
+namespace tc::core {
+namespace {
+
+using graph::NodeId;
+
+TEST(VcgNaive, Fig2TruthfulPayments) {
+  // The paper's Figure 2 numbers: LCP v1-v4-v3-v2-v0 (cost 3), payments
+  // to v2, v3, v4 are 2 each, total 6.
+  const auto g = graph::make_fig2_graph();
+  const PaymentResult r = vcg_payments_naive(g, 1, 0);
+  EXPECT_EQ(r.path, (std::vector<NodeId>{1, 4, 3, 2, 0}));
+  EXPECT_DOUBLE_EQ(r.path_cost, 3.0);
+  EXPECT_DOUBLE_EQ(r.payments[2], 2.0);
+  EXPECT_DOUBLE_EQ(r.payments[3], 2.0);
+  EXPECT_DOUBLE_EQ(r.payments[4], 2.0);
+  EXPECT_DOUBLE_EQ(r.total_payment(), 6.0);
+  EXPECT_DOUBLE_EQ(r.payments[5], 0.0);  // off-path nodes earn nothing
+  EXPECT_DOUBLE_EQ(r.payments[6], 0.0);
+}
+
+TEST(VcgNaive, PaymentAtLeastDeclaredCost) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto g = graph::make_erdos_renyi(25, 0.25, 0.5, 5.0, seed);
+    const PaymentResult r = vcg_payments_naive(g, 1, 0);
+    if (!r.connected()) continue;
+    for (std::size_t i = 1; i + 1 < r.path.size(); ++i) {
+      const NodeId k = r.path[i];
+      EXPECT_GE(r.payments[k], g.node_cost(k) - 1e-12);
+    }
+  }
+}
+
+TEST(VcgNaive, TwoNodePathNoRelays) {
+  graph::NodeGraphBuilder b(3);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2);
+  const PaymentResult r = vcg_payments_naive(b.build(), 0, 2);
+  EXPECT_EQ(r.path.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.total_payment(), 0.0);
+}
+
+TEST(VcgNaive, DisconnectedGraphNoOutput) {
+  graph::NodeGraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  const PaymentResult r = vcg_payments_naive(b.build(), 0, 3);
+  EXPECT_FALSE(r.connected());
+  EXPECT_TRUE(r.path.empty());
+}
+
+TEST(VcgNaive, MonopolyRelayInfinitePayment) {
+  const auto g = graph::make_path(3, 2.0);
+  const PaymentResult r = vcg_payments_naive(g, 0, 2);
+  EXPECT_TRUE(std::isinf(r.payments[1]));
+}
+
+TEST(VcgNaive, RingPaymentFormula) {
+  // 6-ring, unit costs: both halves cost 2, so avoiding any relay on the
+  // chosen half costs 2 and each relay is paid exactly its cost:
+  // p_k = 2 - 2 + 1 = 1 (zero overpayment under a perfect tie).
+  const auto g = graph::make_ring(6);
+  const PaymentResult r = vcg_payments_naive(g, 0, 3);
+  EXPECT_DOUBLE_EQ(r.path_cost, 2.0);
+  for (std::size_t i = 1; i + 1 < r.path.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r.payments[r.path[i]], 1.0);
+  }
+  // An asymmetric 6-cycle (cheap side 1,1; dear side 4,4) has real
+  // overpayment: each cheap relay earns the full detour difference.
+  const auto h = [] {
+    graph::NodeGraphBuilder hb(6);
+    hb.set_node_cost(1, 1.0).set_node_cost(2, 1.0);
+    hb.set_node_cost(4, 4.0).set_node_cost(5, 4.0);
+    hb.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3);
+    hb.add_edge(0, 5).add_edge(5, 4).add_edge(4, 3);
+    return hb.build();
+  }();
+  const PaymentResult rh = vcg_payments_naive(h, 0, 3);
+  EXPECT_DOUBLE_EQ(rh.path_cost, 2.0);
+  // p_k = 8 - 2 + 1 = 7 for both relays.
+  EXPECT_DOUBLE_EQ(rh.payments[1], 7.0);
+  EXPECT_DOUBLE_EQ(rh.payments[2], 7.0);
+}
+
+TEST(VcgNaive, OverpaymentNonNegative) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto g = graph::make_erdos_renyi(30, 0.2, 1.0, 4.0, seed);
+    const PaymentResult r = vcg_payments_naive(g, 2, 0);
+    if (!r.connected() || std::isinf(r.total_payment())) continue;
+    EXPECT_GE(r.overpayment(), -1e-9);
+  }
+}
+
+TEST(VcgMechanism, AdapterMatchesEngine) {
+  const auto g = graph::make_fig2_graph();
+  VcgUnicastMechanism naive_mech(PaymentEngine::kNaive);
+  VcgUnicastMechanism fast_mech(PaymentEngine::kFast);
+  const auto out_naive = naive_mech.run(g, 1, 0, g.costs());
+  const auto out_fast = fast_mech.run(g, 1, 0, g.costs());
+  EXPECT_EQ(out_naive.path, out_fast.path);
+  EXPECT_EQ(out_naive.payments, out_fast.payments);
+  EXPECT_DOUBLE_EQ(out_naive.total_payment(), 6.0);
+}
+
+TEST(VcgMechanism, DeclaredCostsOverrideStored) {
+  auto g = graph::make_ring(6);
+  VcgUnicastMechanism mech(PaymentEngine::kNaive);
+  std::vector<graph::Cost> declared(6, 1.0);
+  declared[1] = 100.0;  // price itself off the 0->3 LCP
+  const auto out = mech.run(g, 0, 3, declared);
+  EXPECT_EQ(out.path, (std::vector<NodeId>{0, 5, 4, 3}));
+  EXPECT_DOUBLE_EQ(out.payments[1], 0.0);
+}
+
+TEST(VcgMechanism, NamesDistinguishEngines) {
+  EXPECT_NE(VcgUnicastMechanism(PaymentEngine::kNaive).name(),
+            VcgUnicastMechanism(PaymentEngine::kFast).name());
+}
+
+TEST(UnicastOutcome, RelayDetection) {
+  mech::UnicastOutcome out;
+  out.path = {3, 1, 2, 0};
+  out.payments = {0, 5, 6, 0};
+  out.path_cost = 2.0;
+  EXPECT_TRUE(out.is_relay(1));
+  EXPECT_TRUE(out.is_relay(2));
+  EXPECT_FALSE(out.is_relay(3));  // source
+  EXPECT_FALSE(out.is_relay(0));  // target
+  EXPECT_DOUBLE_EQ(out.total_payment(), 11.0);
+}
+
+TEST(UnicastOutcome, UtilityDefinition) {
+  mech::UnicastOutcome out;
+  out.path = {3, 1, 0};
+  out.payments = {0, 5, 0, 0};
+  out.path_cost = 1.0;
+  EXPECT_DOUBLE_EQ(mech::agent_utility(out, 1, 2.0), 3.0);  // relay: p - c
+  EXPECT_DOUBLE_EQ(mech::agent_utility(out, 2, 9.0), 0.0);  // off path: p
+}
+
+}  // namespace
+}  // namespace tc::core

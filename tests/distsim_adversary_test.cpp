@@ -1,0 +1,115 @@
+// Adversarial scenarios across both protocol stages: what each lie buys
+// under the basic protocol, and how Algorithm 2 neutralizes it.
+#include <gtest/gtest.h>
+
+#include "core/vcg_unicast.hpp"
+#include "distsim/session.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace tc::distsim {
+namespace {
+
+using graph::Cost;
+using graph::NodeId;
+
+TEST(Adversary, CostLiarGainsNothingEvenInBasicMode) {
+  // Declared-cost lies are already futile under VCG (that is the
+  // mechanism's own guarantee, independent of the protocol hardening):
+  // while v1 stays on the LCP, its payment is pinned by the others'
+  // declarations.
+  const auto g = graph::make_fig4_graph();
+  const auto spt_truth = exact_spt(g, 0);
+  const auto truthful = run_payment_protocol(g, 0, g.costs(), spt_truth,
+                                             PaymentMode::kBasic);
+  EXPECT_NEAR(truthful.payments[8].at(1), 7.0, 1e-9);
+
+  auto lied_costs = g.costs();
+  lied_costs[1] = 3.0;  // true cost 1.5; LCP stays 3 + 1 + 1 = 5 < 9
+  graph::NodeGraph lied_graph = g;
+  lied_graph.set_costs(lied_costs);
+  const auto spt_lied = exact_spt(lied_graph, 0);
+  const auto lied = run_payment_protocol(lied_graph, 0, lied_costs, spt_lied,
+                                         PaymentMode::kBasic);
+  // Payment to v1 is unchanged: d_1 + (9 - 5) = 7, so utility is too.
+  EXPECT_NEAR(lied.payments[8].at(1), 7.0, 1e-9);
+}
+
+TEST(Adversary, CostLiarPricesItselfOffRoute) {
+  const auto g = graph::make_fig4_graph();
+  SessionConfig config;
+  auto lied_costs = g.costs();
+  lied_costs[1] = 8.0;  // 8 + 1 + 1 = 10 > 9: the v4-v5 route wins
+  const SessionResult lied = run_session(g, 0, lied_costs, 8, config);
+  EXPECT_EQ(lied.route, (std::vector<NodeId>{8, 4, 5, 0}));
+}
+
+TEST(Adversary, DistanceInflationDivertsTrafficInBasicMode) {
+  // An inflating relay repels transit traffic (and thus loses income);
+  // a deflating one attracts traffic it will be paid for. Either way the
+  // verified protocol pins distances to the truth.
+  graph::NodeGraphBuilder b(6);
+  b.set_node_cost(1, 1.0).set_node_cost(2, 1.0);
+  b.set_node_cost(3, 1.5).set_node_cost(4, 1.5);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 5);
+  b.add_edge(0, 3).add_edge(3, 4).add_edge(4, 5);
+  const auto g = b.build();
+
+  SessionConfig lying;
+  lying.spt_behaviors.assign(g.num_nodes(), {});
+  // Node 2 (one hop deep: D = 1) inflates its broadcast distance; node 1
+  // would be pointless to inflate since D(1) = 0.
+  lying.spt_behaviors[2].distance_inflation = 20.0;
+  const SessionResult basic = run_session(g, 0, g.costs(), 5, lying);
+  EXPECT_EQ(basic.route, (std::vector<NodeId>{5, 4, 3, 0}));
+
+  lying.spt_mode = SptMode::kVerified;
+  const SessionResult verified = run_session(g, 0, g.costs(), 5, lying);
+  EXPECT_EQ(verified.route, (std::vector<NodeId>{5, 2, 1, 0}));
+}
+
+TEST(Adversary, WormholeDeflationCaughtByVerification) {
+  // Node 3 claims an impossibly small distance to attract traffic.
+  const auto g = graph::make_ring(8, 2.0);
+  SessionConfig lying;
+  lying.spt_behaviors.assign(g.num_nodes(), {});
+  lying.spt_behaviors[3].distance_inflation = 0.05;
+  lying.spt_mode = SptMode::kVerified;
+  const SessionResult verified = run_session(g, 0, g.costs(), 4, lying);
+  EXPECT_GT(verified.spt_stats.direct_contacts, 0u);
+  // Distances restored: route cost equals the honest one.
+  SessionConfig honest;
+  const SessionResult truth = run_session(g, 0, g.costs(), 4, honest);
+  EXPECT_DOUBLE_EQ(verified.route_cost, truth.route_cost);
+}
+
+TEST(Adversary, CombinedLiarsAllNeutralized) {
+  // Stage-1 denier + stage-2 understater, both active, verified protocol.
+  const auto g = graph::make_fig2_graph();
+  SessionConfig config;
+  config.spt_mode = SptMode::kVerified;
+  config.payment_mode = PaymentMode::kVerified;
+  config.spt_behaviors.assign(g.num_nodes(), {});
+  config.spt_behaviors[1].denied_neighbor = 4;
+  config.payment_behaviors.assign(g.num_nodes(), {});
+  config.payment_behaviors[1].broadcast_scale = 0.25;
+  const SessionResult session = run_session(g, 0, g.costs(), 1, config);
+  EXPECT_TRUE(session.cheating_detected());
+  EXPECT_DOUBLE_EQ(session.total_payment, 6.0);
+}
+
+TEST(Adversary, HonestMajorityUnaffectedByOneLiar) {
+  // Other sources' payments stay correct even while one node lies about
+  // its own (the lie only distorts the liar's own reporting).
+  const auto g = graph::make_fig4_graph();
+  const auto spt = exact_spt(g, 0);
+  std::vector<PaymentBehavior> behaviors(g.num_nodes());
+  behaviors[8].broadcast_scale = 0.5;
+  const auto out = run_payment_protocol(g, 0, g.costs(), spt,
+                                        PaymentMode::kBasic, behaviors);
+  // v4's own payment entries are grounded independently of v8's lies.
+  EXPECT_NEAR(out.total_payment(4), 6.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace tc::distsim

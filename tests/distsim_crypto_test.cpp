@@ -1,0 +1,53 @@
+#include "distsim/crypto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tc::distsim {
+namespace {
+
+TEST(Crypto, SignVerifyRoundTrip) {
+  const SigningKey key = derive_key(42, 7);
+  const Signature sig = sign(key, "hello");
+  EXPECT_TRUE(verify(key, "hello", sig));
+}
+
+TEST(Crypto, TamperedPayloadRejected) {
+  const SigningKey key = derive_key(42, 7);
+  const Signature sig = sign(key, "pay relay 5 units");
+  EXPECT_FALSE(verify(key, "pay relay 9 units", sig));
+}
+
+TEST(Crypto, WrongKeyRejected) {
+  const Signature sig = sign(derive_key(42, 7), "msg");
+  EXPECT_FALSE(verify(derive_key(42, 8), "msg", sig));
+  EXPECT_FALSE(verify(derive_key(43, 7), "msg", sig));
+}
+
+TEST(Crypto, KeysDeterministic) {
+  EXPECT_EQ(derive_key(1, 2).secret, derive_key(1, 2).secret);
+  EXPECT_NE(derive_key(1, 2).secret, derive_key(1, 3).secret);
+  EXPECT_NE(derive_key(1, 2).secret, derive_key(2, 2).secret);
+}
+
+TEST(Crypto, EmptyPayloadSignable) {
+  const SigningKey key = derive_key(9, 0);
+  EXPECT_TRUE(verify(key, "", sign(key, "")));
+}
+
+TEST(Crypto, PacketPayloadCanonical) {
+  EXPECT_EQ(packet_payload(10, 3, 99), "pkt:10:3:99");
+  EXPECT_NE(packet_payload(10, 3, 99), packet_payload(10, 3, 98));
+  // No ambiguity between (1, 23) and (12, 3).
+  EXPECT_NE(packet_payload(1, 23, 4), packet_payload(12, 3, 4));
+}
+
+TEST(Crypto, SignatureSensitiveToEveryByte) {
+  const SigningKey key = derive_key(5, 5);
+  const Signature base = sign(key, "abcdef");
+  EXPECT_NE(base.tag, sign(key, "abcdeg").tag);
+  EXPECT_NE(base.tag, sign(key, "abcde").tag);
+  EXPECT_NE(base.tag, sign(key, "Abcdef").tag);
+}
+
+}  // namespace
+}  // namespace tc::distsim

@@ -1,0 +1,109 @@
+#include "distsim/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tc::distsim {
+namespace {
+
+TEST(Ledger, FundAndBalance) {
+  Ledger ledger(4, 1);
+  ledger.fund_all(100.0);
+  for (graph::NodeId v = 0; v < 4; ++v) {
+    EXPECT_DOUBLE_EQ(ledger.balance(v), 100.0);
+  }
+}
+
+TEST(Ledger, UpstreamSettlementMovesMoney) {
+  Ledger ledger(5, 2);
+  ledger.fund_all(50.0);
+  const Signature sig = sign(ledger.key_of(3), packet_payload(1, 3, 0));
+  const auto result = ledger.settle_upstream(1, 3, 0, sig, {{1, 2.5}, {2, 4.0}});
+  ASSERT_TRUE(result.accepted);
+  EXPECT_DOUBLE_EQ(result.charged, 6.5);
+  EXPECT_DOUBLE_EQ(ledger.balance(3), 43.5);
+  EXPECT_DOUBLE_EQ(ledger.balance(1), 52.5);
+  EXPECT_DOUBLE_EQ(ledger.balance(2), 54.0);
+  EXPECT_EQ(ledger.settlements(), 1u);
+}
+
+TEST(Ledger, ForgedSourceSignatureRejected) {
+  // A relay cannot bill traffic to someone else's account: it lacks the
+  // source's key (counters the "I never initiated this" dispute from the
+  // other side too — the AP holds proof).
+  Ledger ledger(5, 2);
+  ledger.fund_all(50.0);
+  const Signature forged = sign(ledger.key_of(4), packet_payload(1, 3, 0));
+  const auto result = ledger.settle_upstream(1, 3, 0, forged, {{1, 2.5}});
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reject_reason, "bad source signature");
+  EXPECT_DOUBLE_EQ(ledger.balance(3), 50.0);
+  EXPECT_EQ(ledger.rejections(), 1u);
+}
+
+TEST(Ledger, ReplayRejected) {
+  Ledger ledger(4, 3);
+  ledger.fund_all(10.0);
+  const Signature sig = sign(ledger.key_of(2), packet_payload(7, 2, 5));
+  EXPECT_TRUE(ledger.settle_upstream(7, 2, 5, sig, {{1, 1.0}}).accepted);
+  const auto replay = ledger.settle_upstream(7, 2, 5, sig, {{1, 1.0}});
+  EXPECT_FALSE(replay.accepted);
+  EXPECT_EQ(replay.reject_reason, "replayed packet");
+  EXPECT_DOUBLE_EQ(ledger.balance(1), 11.0);  // paid once
+}
+
+TEST(Ledger, DownstreamNeedsAllAcks) {
+  Ledger ledger(5, 4);
+  ledger.fund_all(20.0);
+  const Signature good = sign(ledger.key_of(1), packet_payload(2, 1, 0));
+  const Signature bad = sign(ledger.key_of(3), packet_payload(2, 1, 0));
+  // Relay 2's ack is forged (free-riding attempt): whole settlement fails.
+  const auto result =
+      ledger.settle_downstream(2, 4, 0, {{1, 3.0, good}, {2, 2.0, bad}});
+  EXPECT_FALSE(result.accepted);
+  EXPECT_DOUBLE_EQ(ledger.balance(1), 20.0);
+  EXPECT_DOUBLE_EQ(ledger.balance(4), 20.0);
+}
+
+TEST(Ledger, DownstreamSettlesWithValidAcks) {
+  Ledger ledger(5, 4);
+  ledger.fund_all(20.0);
+  const Signature a1 = sign(ledger.key_of(1), packet_payload(2, 1, 0));
+  const Signature a2 = sign(ledger.key_of(2), packet_payload(2, 2, 0));
+  const auto result =
+      ledger.settle_downstream(2, 4, 0, {{1, 3.0, a1}, {2, 2.0, a2}});
+  ASSERT_TRUE(result.accepted);
+  EXPECT_DOUBLE_EQ(ledger.balance(4), 15.0);
+  EXPECT_DOUBLE_EQ(ledger.balance(1), 23.0);
+  EXPECT_DOUBLE_EQ(ledger.balance(2), 22.0);
+}
+
+TEST(Ledger, DownstreamReplayRejected) {
+  Ledger ledger(3, 5);
+  ledger.fund_all(20.0);
+  const Signature a1 = sign(ledger.key_of(1), packet_payload(2, 1, 0));
+  EXPECT_TRUE(ledger.settle_downstream(2, 2, 0, {{1, 3.0, a1}}).accepted);
+  EXPECT_FALSE(ledger.settle_downstream(2, 2, 0, {{1, 3.0, a1}}).accepted);
+}
+
+TEST(Ledger, UpstreamAndDownstreamSequencesIndependent) {
+  // The same (session, seq) can settle once upstream and once downstream.
+  Ledger ledger(3, 6);
+  ledger.fund_all(20.0);
+  const Signature up = sign(ledger.key_of(1), packet_payload(4, 1, 0));
+  const Signature ack = sign(ledger.key_of(2), packet_payload(4, 2, 0));
+  EXPECT_TRUE(ledger.settle_upstream(4, 1, 0, up, {{2, 1.0}}).accepted);
+  EXPECT_TRUE(ledger.settle_downstream(4, 1, 0, {{2, 1.0, ack}}).accepted);
+}
+
+TEST(Ledger, BalancesConserveTotal) {
+  Ledger ledger(6, 7);
+  ledger.fund_all(100.0);
+  const Signature sig = sign(ledger.key_of(5), packet_payload(9, 5, 1));
+  ledger.settle_upstream(9, 5, 1, sig, {{1, 7.0}, {2, 3.5}, {3, 0.5}});
+  double total = 0.0;
+  for (graph::NodeId v = 0; v < 6; ++v) total += ledger.balance(v);
+  EXPECT_DOUBLE_EQ(total, 600.0);  // payments are transfers, not creation
+}
+
+}  // namespace
+}  // namespace tc::distsim

@@ -1,0 +1,97 @@
+// End-to-end distributed sessions (stage 1 + stage 2 together).
+#include "distsim/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/vcg_unicast.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+
+namespace tc::distsim {
+namespace {
+
+using graph::NodeId;
+
+TEST(Session, HonestSessionMatchesCentralizedMechanism) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto g = graph::make_erdos_renyi(16, 0.3, 0.5, 5.0, seed);
+    if (!graph::is_connected(g)) continue;
+    SessionConfig config;
+    const SessionResult session = run_session(g, 0, g.costs(), 5, config);
+    const auto central = core::vcg_payments_naive(g, 5, 0);
+    ASSERT_TRUE(central.connected());
+    if (std::isinf(central.total_payment())) continue;
+    ASSERT_FALSE(session.route.empty()) << "seed " << seed;
+    EXPECT_NEAR(session.route_cost, central.path_cost, 1e-9);
+    EXPECT_NEAR(session.total_payment, central.total_payment(), 1e-6)
+        << "seed " << seed;
+    EXPECT_FALSE(session.cheating_detected());
+  }
+}
+
+TEST(Session, Fig2BasicProtocolRewardsLying) {
+  // The paper's core motivation for Algorithm 2: under the basic
+  // protocol, v1 saves 1 unit (pays 5 instead of 6) by denying an edge.
+  const auto g = graph::make_fig2_graph();
+
+  SessionConfig honest;
+  const SessionResult truth = run_session(g, 0, g.costs(), 1, honest);
+  EXPECT_DOUBLE_EQ(truth.total_payment, 6.0);
+
+  SessionConfig lying;
+  lying.spt_behaviors.assign(g.num_nodes(), {});
+  lying.spt_behaviors[1].denied_neighbor = 4;
+  const SessionResult lied = run_session(g, 0, g.costs(), 1, lying);
+  EXPECT_EQ(lied.route, (std::vector<NodeId>{1, 5, 0}));
+  EXPECT_DOUBLE_EQ(lied.total_payment, 5.0);
+  EXPECT_FALSE(lied.cheating_detected());
+}
+
+TEST(Session, Fig2VerifiedProtocolRestoresTruthfulPayment) {
+  const auto g = graph::make_fig2_graph();
+  SessionConfig config;
+  config.spt_mode = SptMode::kVerified;
+  config.payment_mode = PaymentMode::kVerified;
+  config.spt_behaviors.assign(g.num_nodes(), {});
+  config.spt_behaviors[1].denied_neighbor = 4;
+  const SessionResult session = run_session(g, 0, g.costs(), 1, config);
+  EXPECT_EQ(session.route, (std::vector<NodeId>{1, 4, 3, 2, 0}));
+  EXPECT_DOUBLE_EQ(session.total_payment, 6.0);
+  EXPECT_GT(session.spt_stats.direct_contacts, 0u);
+}
+
+TEST(Session, StatsAccumulateMessages) {
+  const auto g = graph::make_ring(10, 1.0);
+  SessionConfig config;
+  const SessionResult session = run_session(g, 0, g.costs(), 5, config);
+  EXPECT_GT(session.spt_stats.broadcasts, 0u);
+  EXPECT_GT(session.payment_stats.broadcasts, 0u);
+  EXPECT_GT(session.payment_stats.values_sent,
+            session.payment_stats.broadcasts);
+}
+
+TEST(Session, UnreachableSourceReported) {
+  graph::NodeGraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  const auto g = b.build();
+  SessionConfig config;
+  const SessionResult session = run_session(g, 0, g.costs(), 3, config);
+  EXPECT_TRUE(session.route.empty());
+  EXPECT_TRUE(std::isinf(session.total_payment));
+}
+
+TEST(Session, MessageComplexityGrowsWithNetwork) {
+  SessionConfig config;
+  std::size_t prev = 0;
+  for (std::size_t n : {8, 16, 32}) {
+    const auto g = graph::make_ring(n, 1.0);
+    const SessionResult s = run_session(g, 0, g.costs(), 1, config);
+    const std::size_t total =
+        s.spt_stats.broadcasts + s.payment_stats.broadcasts;
+    EXPECT_GT(total, prev);
+    prev = total;
+  }
+}
+
+}  // namespace
+}  // namespace tc::distsim

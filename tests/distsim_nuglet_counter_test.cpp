@@ -1,0 +1,95 @@
+#include "distsim/nuglet_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace tc::distsim {
+namespace {
+
+using graph::NodeId;
+
+TEST(NugletCounter, OneHopTrafficAlwaysFree) {
+  // Direct neighbors of the AP pay nothing and never block.
+  const auto g = graph::make_complete(5, 1.0);
+  NugletConfig config;
+  config.rounds = 10;
+  const auto stats = simulate_nuglet_counters(g, 0, config);
+  EXPECT_EQ(stats.delivered, stats.attempts);
+  EXPECT_EQ(stats.blocked_poor, 0u);
+}
+
+TEST(NugletCounter, FarNodesStarve) {
+  // A long chain: the far end needs many nuglets per packet but earns
+  // nothing (nobody routes through the last node), so it runs dry.
+  const auto g = graph::make_path(8, 1.0);
+  NugletConfig config;
+  config.initial_nuglets = 13.0;
+  config.rounds = 50;
+  config.cost_rational = false;  // isolate the counter dynamics
+  const auto stats = simulate_nuglet_counters(g, 0, config);
+  // Node 7 (6 relays per packet, earns nothing) affords exactly two
+  // packets on 13 nuglets; the counter must stay strictly positive.
+  EXPECT_EQ(stats.per_node_delivered[7], 2u);
+  // Node 1 sends for free (no relays) every round.
+  EXPECT_EQ(stats.per_node_delivered[1], 50u);
+  EXPECT_GT(stats.blocked_poor, 0u);
+}
+
+TEST(NugletCounter, RelayingFundsSending) {
+  // An interior node earns more than it spends and never blocks.
+  const auto g = graph::make_path(4, 1.0);
+  NugletConfig config;
+  config.initial_nuglets = 5.0;
+  config.rounds = 30;
+  config.cost_rational = false;
+  const auto stats = simulate_nuglet_counters(g, 0, config);
+  // Node 1 relays for 2 and 3 (earning 2/round) and pays 0 (one hop).
+  EXPECT_GT(stats.final_counters[1], config.initial_nuglets);
+  EXPECT_EQ(stats.per_node_delivered[1], 30u);
+}
+
+TEST(NugletCounter, CostRationalityStrandsTraffic) {
+  // With heterogeneous costs, expensive relays refuse and strand whole
+  // branches — the paper's core critique of fixed-value nuglets.
+  graph::NodeGraphBuilder b(5);
+  b.set_node_cost(1, 1.0).set_node_cost(2, 5.0).set_node_cost(3, 1.0);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3).add_edge(3, 4);
+  const auto g = b.build();
+  NugletConfig config;
+  config.nuglet_value = 2.0;  // node 2 (cost 5) refuses
+  config.rounds = 5;
+  const auto stats = simulate_nuglet_counters(g, 0, config);
+  EXPECT_EQ(stats.per_node_delivered[3], 0u);
+  EXPECT_EQ(stats.per_node_delivered[4], 0u);
+  EXPECT_GT(stats.blocked_refusal, 0u);
+  // The same network with idealized cooperation delivers everything the
+  // counters allow.
+  config.cost_rational = false;
+  const auto ideal = simulate_nuglet_counters(g, 0, config);
+  EXPECT_GT(ideal.per_node_delivered[4], 0u);
+}
+
+TEST(NugletCounter, CountersConserveTotal) {
+  // Nuglets are transfers between nodes: total = initial total minus what
+  // originators paid plus what relays earned — equal when every charged
+  // nuglet lands at a relay (all routes end at the free AP).
+  const auto g = graph::make_ring(8, 1.0);
+  NugletConfig config;
+  config.rounds = 20;
+  config.cost_rational = false;
+  const auto stats = simulate_nuglet_counters(g, 0, config);
+  double total = 0.0;
+  for (double c : stats.final_counters) total += c;
+  EXPECT_NEAR(total, config.initial_nuglets * 8, 1e-9);
+}
+
+TEST(NugletCounter, DeliveryRateDefinition) {
+  NugletOutcomeStats stats;
+  stats.attempts = 10;
+  stats.delivered = 4;
+  EXPECT_DOUBLE_EQ(stats.delivery_rate(), 0.4);
+}
+
+}  // namespace
+}  // namespace tc::distsim

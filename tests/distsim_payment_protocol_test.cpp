@@ -1,0 +1,260 @@
+#include "distsim/payment_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/vcg_unicast.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+
+namespace tc::distsim {
+namespace {
+
+using graph::Cost;
+using graph::NodeId;
+
+// Compares the converged distributed entries p_i^k against centralized VCG
+// payments computed per source.
+void expect_matches_centralized(const graph::NodeGraph& g, NodeId root,
+                                const PaymentOutcome& out,
+                                const std::string& context) {
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    if (i == root) continue;
+    const auto central = core::vcg_payments_naive(g, i, root);
+    if (!central.connected()) continue;
+    Cost central_total = 0.0;
+    bool central_monopoly = false;
+    for (std::size_t idx = 1; idx + 1 < central.path.size(); ++idx) {
+      const NodeId k = central.path[idx];
+      if (std::isinf(central.payments[k])) central_monopoly = true;
+      central_total += central.payments[k];
+      const auto it = out.payments[i].find(k);
+      ASSERT_NE(it, out.payments[i].end())
+          << context << " source " << i << " missing relay " << k;
+      if (std::isinf(central.payments[k])) {
+        EXPECT_TRUE(std::isinf(it->second)) << context;
+      } else {
+        EXPECT_NEAR(it->second, central.payments[k], 1e-6)
+            << context << " source " << i << " relay " << k;
+      }
+    }
+    if (!central_monopoly) {
+      EXPECT_NEAR(out.total_payment(i), central_total, 1e-6)
+          << context << " source " << i;
+    }
+  }
+}
+
+TEST(PaymentProtocol, MatchesCentralizedOnFig2) {
+  const auto g = graph::make_fig2_graph();
+  const auto spt = exact_spt(g, 0);
+  const auto out =
+      run_payment_protocol(g, 0, g.costs(), spt, PaymentMode::kBasic);
+  EXPECT_TRUE(out.converged);
+  expect_matches_centralized(g, 0, out, "fig2");
+  EXPECT_DOUBLE_EQ(out.total_payment(1), 6.0);
+}
+
+TEST(PaymentProtocol, MatchesCentralizedOnFig4) {
+  const auto g = graph::make_fig4_graph();
+  const auto spt = exact_spt(g, 0);
+  const auto out =
+      run_payment_protocol(g, 0, g.costs(), spt, PaymentMode::kBasic);
+  EXPECT_TRUE(out.converged);
+  expect_matches_centralized(g, 0, out, "fig4");
+  EXPECT_DOUBLE_EQ(out.total_payment(8), 20.0);
+  EXPECT_DOUBLE_EQ(out.total_payment(4), 6.0);
+}
+
+TEST(PaymentProtocol, MatchesCentralizedOnRandomGraphs) {
+  int tested = 0;
+  for (std::uint64_t seed = 1; seed <= 20 && tested < 8; ++seed) {
+    const auto g = graph::make_erdos_renyi(16, 0.3, 0.5, 5.0, seed);
+    if (!graph::is_connected(g)) continue;
+    const auto spt = exact_spt(g, 0);
+    const auto out =
+        run_payment_protocol(g, 0, g.costs(), spt, PaymentMode::kBasic);
+    EXPECT_TRUE(out.converged) << "seed " << seed;
+    expect_matches_centralized(g, 0, out, "seed " + std::to_string(seed));
+    ++tested;
+  }
+  EXPECT_GE(tested, 6);
+}
+
+TEST(PaymentProtocol, WorksOnDistributedStage1Too) {
+  const auto g = graph::make_erdos_renyi(14, 0.35, 0.5, 5.0, 9);
+  ASSERT_TRUE(graph::is_connected(g));
+  const auto spt =
+      run_spt_protocol(g, 0, g.costs(), SptMode::kBasic);
+  ASSERT_TRUE(spt.converged);
+  const auto out =
+      run_payment_protocol(g, 0, g.costs(), spt, PaymentMode::kBasic);
+  EXPECT_TRUE(out.converged);
+  expect_matches_centralized(g, 0, out, "dist-stage1");
+}
+
+TEST(PaymentProtocol, ConvergesWithinLinearRounds) {
+  const auto g = graph::make_ring(20, 1.0);
+  const auto spt = exact_spt(g, 0);
+  const auto out =
+      run_payment_protocol(g, 0, g.costs(), spt, PaymentMode::kBasic);
+  EXPECT_TRUE(out.converged);
+  EXPECT_LE(out.stats.rounds, 2 * 20 + 2u);
+}
+
+TEST(PaymentProtocol, MonopolyEntriesStayInfinite) {
+  const auto g = graph::make_path(5, 1.0);
+  const auto spt = exact_spt(g, 0);
+  const auto out =
+      run_payment_protocol(g, 0, g.costs(), spt, PaymentMode::kBasic);
+  EXPECT_TRUE(out.converged);
+  EXPECT_TRUE(std::isinf(out.total_payment(4)));
+}
+
+TEST(PaymentProtocol, OneHopSourcesHaveNoEntries) {
+  const auto g = graph::make_ring(6, 1.0);
+  const auto spt = exact_spt(g, 0);
+  const auto out =
+      run_payment_protocol(g, 0, g.costs(), spt, PaymentMode::kBasic);
+  EXPECT_TRUE(out.payments[1].empty());
+  EXPECT_DOUBLE_EQ(out.total_payment(1), 0.0);
+}
+
+TEST(PaymentProtocol, UnderstatingLiarUndetectedInBasicMode) {
+  const auto g = graph::make_fig4_graph();
+  const auto spt = exact_spt(g, 0);
+  std::vector<PaymentBehavior> behaviors(g.num_nodes());
+  behaviors[8].broadcast_scale = 0.5;  // v8 reports half of what it owes
+  const auto out = run_payment_protocol(g, 0, g.costs(), spt,
+                                        PaymentMode::kBasic, behaviors);
+  EXPECT_TRUE(out.stats.clean());
+  EXPECT_NEAR(out.total_payment(8), 10.0, 1e-6);  // the lie sticks
+}
+
+TEST(PaymentProtocol, UnderstatingLiarCaughtInVerifiedMode) {
+  const auto g = graph::make_fig4_graph();
+  const auto spt = exact_spt(g, 0);
+  std::vector<PaymentBehavior> behaviors(g.num_nodes());
+  behaviors[8].broadcast_scale = 0.5;
+  const auto out = run_payment_protocol(g, 0, g.costs(), spt,
+                                        PaymentMode::kVerified, behaviors);
+  ASSERT_FALSE(out.stats.accusations.empty());
+  EXPECT_EQ(out.stats.accusations[0].accused, 8u);
+  // After punishment + rerun, payments are correct again.
+  EXPECT_NEAR(out.total_payment(8), 20.0, 1e-6);
+  expect_matches_centralized(g, 0, out, "verified-liar");
+}
+
+TEST(PaymentProtocol, OverstatingLiarAlsoCaught) {
+  const auto g = graph::make_fig4_graph();
+  const auto spt = exact_spt(g, 0);
+  std::vector<PaymentBehavior> behaviors(g.num_nodes());
+  behaviors[1].broadcast_scale = 3.0;  // inflates entries others consume
+  const auto out = run_payment_protocol(g, 0, g.costs(), spt,
+                                        PaymentMode::kVerified, behaviors);
+  ASSERT_FALSE(out.stats.accusations.empty());
+  EXPECT_EQ(out.stats.accusations[0].accused, 1u);
+  expect_matches_centralized(g, 0, out, "verified-overstater");
+}
+
+TEST(PaymentProtocol, VerifiedModeQuietOnHonestNetwork) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto g = graph::make_erdos_renyi(14, 0.35, 0.5, 5.0, seed);
+    if (!graph::is_connected(g)) continue;
+    const auto spt = exact_spt(g, 0);
+    const auto out = run_payment_protocol(g, 0, g.costs(), spt,
+                                          PaymentMode::kVerified);
+    EXPECT_TRUE(out.stats.clean()) << "seed " << seed;
+    expect_matches_centralized(g, 0, out,
+                               "verified-honest seed " + std::to_string(seed));
+  }
+}
+
+TEST(PaymentProtocol, AsynchronousScheduleSameFixpoint) {
+  // Min-updates commute, so delayed broadcasts change the round count but
+  // not the converged payments.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto g = graph::make_erdos_renyi(16, 0.3, 0.5, 5.0, seed);
+    if (!graph::is_connected(g)) continue;
+    const auto spt = exact_spt(g, 0);
+    const auto sync =
+        run_payment_protocol(g, 0, g.costs(), spt, PaymentMode::kBasic);
+    for (const double p : {0.7, 0.3}) {
+      PaymentSchedule schedule;
+      schedule.activation_probability = p;
+      schedule.seed = seed * 31;
+      const auto async = run_payment_protocol(g, 0, g.costs(), spt,
+                                              PaymentMode::kBasic, {}, 0,
+                                              schedule);
+      ASSERT_TRUE(async.converged) << "seed " << seed << " p " << p;
+      EXPECT_GE(async.stats.rounds, sync.stats.rounds);
+      for (NodeId i = 0; i < g.num_nodes(); ++i) {
+        ASSERT_EQ(async.payments[i].size(), sync.payments[i].size());
+        for (const auto& [k, v] : sync.payments[i]) {
+          if (std::isinf(v)) {
+            EXPECT_TRUE(std::isinf(async.payments[i].at(k)));
+          } else {
+            EXPECT_NEAR(async.payments[i].at(k), v, 1e-9)
+                << "seed " << seed << " p " << p << " i " << i << " k " << k;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PaymentProtocol, LossyDeliveryConvergesToSameFixpoint) {
+  // Radio loss drops individual broadcast copies; soft-state refresh
+  // re-delivers them, so the converged payments match the lossless run.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto g = graph::make_erdos_renyi(14, 0.35, 0.5, 5.0, seed);
+    if (!graph::is_connected(g)) continue;
+    const auto spt = exact_spt(g, 0);
+    const auto reliable =
+        run_payment_protocol(g, 0, g.costs(), spt, PaymentMode::kBasic);
+    PaymentSchedule schedule;
+    schedule.delivery_probability = 0.7;
+    schedule.seed = seed * 13;
+    const auto lossy = run_payment_protocol(g, 0, g.costs(), spt,
+                                            PaymentMode::kBasic, {}, 0,
+                                            schedule);
+    ASSERT_TRUE(lossy.converged) << "seed " << seed;
+    EXPECT_GE(lossy.stats.broadcasts, reliable.stats.broadcasts);
+    for (NodeId i = 0; i < g.num_nodes(); ++i) {
+      for (const auto& [k, v] : reliable.payments[i]) {
+        if (std::isinf(v)) {
+          EXPECT_TRUE(std::isinf(lossy.payments[i].at(k)));
+        } else {
+          EXPECT_NEAR(lossy.payments[i].at(k), v, 1e-9)
+              << "seed " << seed << " i " << i << " k " << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(PaymentProtocol, LossyDeliveryRejectsVerifiedMode) {
+  const auto g = graph::make_ring(6, 1.0);
+  const auto spt = exact_spt(g, 0);
+  PaymentSchedule schedule;
+  schedule.delivery_probability = 0.5;
+  EXPECT_DEATH(run_payment_protocol(g, 0, g.costs(), spt,
+                                    PaymentMode::kVerified, {}, 0, schedule),
+               "lossy delivery");
+}
+
+TEST(PaymentProtocol, TwoLiarsBothCaught) {
+  const auto g = graph::make_fig4_graph();
+  const auto spt = exact_spt(g, 0);
+  std::vector<PaymentBehavior> behaviors(g.num_nodes());
+  behaviors[8].broadcast_scale = 0.5;
+  behaviors[4].broadcast_scale = 0.7;
+  const auto out = run_payment_protocol(g, 0, g.costs(), spt,
+                                        PaymentMode::kVerified, behaviors);
+  EXPECT_GE(out.stats.accusations.size(), 2u);
+  expect_matches_centralized(g, 0, out, "two-liars");
+}
+
+}  // namespace
+}  // namespace tc::distsim

@@ -1,0 +1,185 @@
+#include "distsim/spt_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "spath/dijkstra.hpp"
+
+namespace tc::distsim {
+namespace {
+
+using graph::Cost;
+using graph::NodeId;
+
+std::vector<Cost> costs_of(const graph::NodeGraph& g) { return g.costs(); }
+
+TEST(SptProtocol, ConvergesToDijkstraOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const auto g = graph::make_erdos_renyi(24, 0.2, 0.5, 5.0, seed);
+    const auto out =
+        run_spt_protocol(g, 0, costs_of(g), SptMode::kBasic);
+    EXPECT_TRUE(out.converged);
+    const auto reference = spath::dijkstra_node(g, 0);
+    for (NodeId v = 1; v < g.num_nodes(); ++v) {
+      if (reference.reached(v)) {
+        EXPECT_NEAR(out.distance[v], reference.dist[v], 1e-9)
+            << "seed " << seed << " node " << v;
+      } else {
+        EXPECT_FALSE(graph::finite_cost(out.distance[v]));
+      }
+    }
+  }
+}
+
+TEST(SptProtocol, FirstHopsFormTreePaths) {
+  const auto g = graph::make_erdos_renyi(20, 0.25, 0.5, 5.0, 3);
+  const auto out = run_spt_protocol(g, 0, costs_of(g), SptMode::kBasic);
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    if (!graph::finite_cost(out.distance[v])) continue;
+    const auto path = out.path_of(v);
+    ASSERT_FALSE(path.empty()) << "node " << v;
+    EXPECT_EQ(path.front(), v);
+    EXPECT_EQ(path.back(), 0u);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+    }
+  }
+}
+
+TEST(SptProtocol, ConvergesWithinLinearRounds) {
+  const auto g = graph::make_path(30, 1.0);
+  const auto out = run_spt_protocol(g, 0, costs_of(g), SptMode::kBasic);
+  EXPECT_TRUE(out.converged);
+  EXPECT_LE(out.stats.rounds, 2 * 30 + 2u);
+  EXPECT_GT(out.stats.broadcasts, 0u);
+}
+
+TEST(SptProtocol, RootNeighborsHaveZeroDistance) {
+  const auto g = graph::make_ring(6, 3.0);
+  const auto out = run_spt_protocol(g, 0, costs_of(g), SptMode::kBasic);
+  EXPECT_DOUBLE_EQ(out.distance[1], 0.0);
+  EXPECT_DOUBLE_EQ(out.distance[5], 0.0);
+}
+
+TEST(SptProtocol, Fig2LieChangesRouteInBasicMode) {
+  // The Fig. 2 scenario: source v1 denies its adjacency with v4, steering
+  // its route to v1-v5-v0 — the basic protocol cannot tell.
+  const auto g = graph::make_fig2_graph();
+  std::vector<SptBehavior> behaviors(g.num_nodes());
+  behaviors[1].denied_neighbor = 4;
+  const auto out =
+      run_spt_protocol(g, 0, costs_of(g), SptMode::kBasic, behaviors);
+  EXPECT_TRUE(out.converged);
+  EXPECT_EQ(out.path_of(1), (std::vector<NodeId>{1, 5, 0}));
+  EXPECT_DOUBLE_EQ(out.distance[1], 4.0);
+  EXPECT_TRUE(out.stats.clean());  // nobody noticed
+}
+
+TEST(SptProtocol, Fig2LieCorrectedInVerifiedMode) {
+  // Algorithm 2: v4 hears v1 claim D=4 while D(v4)+d4 = 3 < 4 and
+  // FH(v1) != v4 — case 1 forces the correction over the secure channel.
+  const auto g = graph::make_fig2_graph();
+  std::vector<SptBehavior> behaviors(g.num_nodes());
+  behaviors[1].denied_neighbor = 4;
+  const auto out =
+      run_spt_protocol(g, 0, costs_of(g), SptMode::kVerified, behaviors);
+  EXPECT_TRUE(out.converged);
+  EXPECT_GT(out.stats.direct_contacts, 0u);
+  EXPECT_EQ(out.path_of(1), (std::vector<NodeId>{1, 4, 3, 2, 0}));
+  EXPECT_DOUBLE_EQ(out.distance[1], 3.0);
+}
+
+TEST(SptProtocol, StubbornLiarAccused) {
+  const auto g = graph::make_fig2_graph();
+  std::vector<SptBehavior> behaviors(g.num_nodes());
+  behaviors[1].denied_neighbor = 4;
+  behaviors[1].stubborn = true;
+  const auto out =
+      run_spt_protocol(g, 0, costs_of(g), SptMode::kVerified, behaviors);
+  ASSERT_FALSE(out.stats.accusations.empty());
+  EXPECT_EQ(out.stats.accusations[0].accused, 1u);
+  EXPECT_EQ(out.stats.accusations[0].accuser, 4u);
+}
+
+TEST(SptProtocol, DistanceInflatorCorrectedInVerifiedMode) {
+  // A relay inflating its broadcast distance (to repel transit traffic)
+  // is caught by case-1/2 checks and corrected.
+  const auto g = graph::make_ring(8, 1.0);
+  std::vector<SptBehavior> behaviors(g.num_nodes());
+  behaviors[2].distance_inflation = 10.0;
+  const auto basic =
+      run_spt_protocol(g, 0, costs_of(g), SptMode::kBasic, behaviors);
+  const auto verified =
+      run_spt_protocol(g, 0, costs_of(g), SptMode::kVerified, behaviors);
+  const auto reference = spath::dijkstra_node(g, 0);
+  // Basic mode: node 3 believes the wrong distance via 2's inflated claim
+  // or detours; verified mode must restore the Dijkstra distances.
+  bool basic_wrong = false;
+  for (NodeId v = 1; v < 8; ++v) {
+    if (std::abs(basic.distance[v] - reference.dist[v]) > 1e-9)
+      basic_wrong = true;
+    EXPECT_NEAR(verified.distance[v], reference.dist[v], 1e-9) << v;
+  }
+  EXPECT_TRUE(basic_wrong);
+  EXPECT_GT(verified.stats.direct_contacts, 0u);
+}
+
+TEST(SptProtocol, VerifiedModeQuietOnHonestNetwork) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto g = graph::make_erdos_renyi(18, 0.25, 0.5, 5.0, seed);
+    const auto out = run_spt_protocol(g, 0, costs_of(g), SptMode::kVerified);
+    EXPECT_TRUE(out.converged);
+    EXPECT_TRUE(out.stats.clean()) << "seed " << seed;
+    // Honest convergence needs no secure-channel corrections.
+    EXPECT_EQ(out.stats.direct_contacts, 0u) << "seed " << seed;
+  }
+}
+
+TEST(SptProtocol, AsynchronousScheduleSameTreeDistances) {
+  // Bellman-Ford relaxations commute: delayed broadcasts change only the
+  // round count, never the converged distances.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto g = graph::make_erdos_renyi(20, 0.25, 0.5, 5.0, seed);
+    const auto sync = run_spt_protocol(g, 0, costs_of(g), SptMode::kBasic);
+    for (const double p : {0.6, 0.25}) {
+      SptSchedule schedule;
+      schedule.activation_probability = p;
+      schedule.seed = seed * 77;
+      const auto async = run_spt_protocol(g, 0, costs_of(g), SptMode::kBasic,
+                                          {}, 0, schedule);
+      ASSERT_TRUE(async.converged) << "seed " << seed << " p " << p;
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (graph::finite_cost(sync.distance[v])) {
+          EXPECT_NEAR(async.distance[v], sync.distance[v], 1e-9)
+              << "seed " << seed << " p " << p << " node " << v;
+        } else {
+          EXPECT_FALSE(graph::finite_cost(async.distance[v]));
+        }
+      }
+    }
+  }
+}
+
+TEST(SptProtocol, AsynchronousVerifiedStillCorrectsLiar) {
+  const auto g = graph::make_fig2_graph();
+  std::vector<SptBehavior> behaviors(g.num_nodes());
+  behaviors[1].denied_neighbor = 4;
+  SptSchedule schedule;
+  schedule.activation_probability = 0.5;
+  const auto out = run_spt_protocol(g, 0, costs_of(g), SptMode::kVerified,
+                                    behaviors, 0, schedule);
+  EXPECT_TRUE(out.converged);
+  EXPECT_DOUBLE_EQ(out.distance[1], 3.0);  // lie defeated despite delays
+}
+
+TEST(SptProtocol, DisconnectedNodesStayInfinite) {
+  graph::NodeGraphBuilder b(5);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(3, 4);
+  const auto g = b.build();
+  const auto out = run_spt_protocol(g, 0, g.costs(), SptMode::kBasic);
+  EXPECT_FALSE(graph::finite_cost(out.distance[3]));
+  EXPECT_TRUE(out.path_of(3).empty());
+}
+
+}  // namespace
+}  // namespace tc::distsim

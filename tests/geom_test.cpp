@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/point.hpp"
+#include "geom/spatial_grid.hpp"
+#include "util/rng.hpp"
+
+namespace tc::geom {
+namespace {
+
+TEST(Point, DistanceBasics) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(squared_distance({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(Point, DistanceSymmetric) {
+  Point a{2.5, -1.0}, b{-3.0, 7.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), distance(b, a));
+}
+
+TEST(PathLoss, PowerLaw) {
+  EXPECT_DOUBLE_EQ(path_loss(2.0, 2.0), 4.0);
+  EXPECT_DOUBLE_EQ(path_loss(2.0, 3.0), 8.0);
+  EXPECT_DOUBLE_EQ(path_loss(10.0, 2.0, 5.0, 0.5), 55.0);
+}
+
+TEST(PathLoss, MonotoneInDistance) {
+  double prev = 0.0;
+  for (double d = 1.0; d < 10.0; d += 0.5) {
+    const double p = path_loss(d, 2.5);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(SampleUniform, InRegionAndDeterministic) {
+  const Region region{2000.0, 1000.0};
+  auto pts1 = sample_uniform_points(500, region, 7);
+  auto pts2 = sample_uniform_points(500, region, 7);
+  ASSERT_EQ(pts1.size(), 500u);
+  EXPECT_EQ(pts1[13].x, pts2[13].x);
+  for (const Point& p : pts1) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 2000.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 1000.0);
+  }
+}
+
+TEST(SampleUniform, DifferentSeedsDiffer) {
+  const Region region{100.0, 100.0};
+  auto a = sample_uniform_points(10, region, 1);
+  auto b = sample_uniform_points(10, region, 2);
+  EXPECT_FALSE(a[0] == b[0]);
+}
+
+// Brute-force reference for radius queries.
+std::vector<std::size_t> brute_radius(const std::vector<Point>& pts,
+                                      const Point& c, double r,
+                                      std::size_t exclude) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (i == exclude) continue;
+    if (squared_distance(pts[i], c) <= r * r) out.push_back(i);
+  }
+  return out;
+}
+
+TEST(SpatialGrid, MatchesBruteForce) {
+  const Region region{2000.0, 2000.0};
+  auto pts = sample_uniform_points(400, region, 99);
+  SpatialGrid grid(pts, region, 300.0);
+  std::vector<std::size_t> got;
+  for (std::size_t i = 0; i < pts.size(); i += 17) {
+    got.clear();
+    grid.query_radius(pts[i], 300.0, i, got);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, brute_radius(pts, pts[i], 300.0, i)) << "query " << i;
+  }
+}
+
+TEST(SpatialGrid, RadiusLargerThanCell) {
+  const Region region{1000.0, 1000.0};
+  auto pts = sample_uniform_points(200, region, 5);
+  SpatialGrid grid(pts, region, 100.0);  // cell smaller than query radius
+  std::vector<std::size_t> got;
+  grid.query_radius(pts[0], 450.0, 0, got);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, brute_radius(pts, pts[0], 450.0, 0));
+}
+
+TEST(SpatialGrid, ZeroRadiusFindsOnlyCoincident) {
+  std::vector<Point> pts{{1, 1}, {1, 1}, {2, 2}};
+  SpatialGrid grid(pts, {10, 10}, 1.0);
+  std::vector<std::size_t> got;
+  grid.query_radius(pts[0], 0.0, 0, got);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 1u);
+}
+
+TEST(SpatialGrid, ExcludeSentinelKeepsAll) {
+  std::vector<Point> pts{{0, 0}, {1, 0}};
+  SpatialGrid grid(pts, {10, 10}, 5.0);
+  std::vector<std::size_t> got;
+  grid.query_radius({0, 0}, 2.0, static_cast<std::size_t>(-1), got);
+  EXPECT_EQ(got.size(), 2u);
+}
+
+TEST(SpatialGrid, QueryNearBoundary) {
+  const Region region{100.0, 100.0};
+  std::vector<Point> pts{{0.5, 0.5}, {99.5, 99.5}, {0.5, 99.5}};
+  SpatialGrid grid(pts, region, 30.0);
+  std::vector<std::size_t> got;
+  grid.query_radius({0.0, 0.0}, 1.0, static_cast<std::size_t>(-1), got);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 0u);
+  got.clear();
+  grid.query_radius({100.0, 100.0}, 1.0, static_cast<std::size_t>(-1), got);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 1u);
+}
+
+class GridCellSizeParam : public ::testing::TestWithParam<double> {};
+
+TEST_P(GridCellSizeParam, CorrectForAnyCellSize) {
+  const Region region{500.0, 500.0};
+  auto pts = sample_uniform_points(150, region, 31);
+  SpatialGrid grid(pts, region, GetParam());
+  std::vector<std::size_t> got;
+  for (std::size_t i = 0; i < 10; ++i) {
+    got.clear();
+    grid.query_radius(pts[i], 120.0, i, got);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, brute_radius(pts, pts[i], 120.0, i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CellSizes, GridCellSizeParam,
+                         ::testing::Values(10.0, 50.0, 120.0, 300.0, 1000.0));
+
+}  // namespace
+}  // namespace tc::geom

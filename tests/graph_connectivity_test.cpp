@@ -1,0 +1,146 @@
+#include "graph/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+
+namespace tc::graph {
+namespace {
+
+TEST(Connectivity, PathIsConnected) {
+  EXPECT_TRUE(is_connected(make_path(6)));
+}
+
+TEST(Connectivity, DisconnectedDetected) {
+  NodeGraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  EXPECT_FALSE(is_connected(b.build()));
+}
+
+TEST(Connectivity, MaskedDisconnection) {
+  const NodeGraph g = make_path(5);
+  NodeMask m(5);
+  m.block(2);
+  EXPECT_FALSE(is_connected(g, m));
+}
+
+TEST(Connectivity, MaskedStillConnected) {
+  const NodeGraph g = make_ring(5);
+  NodeMask m(5);
+  m.block(2);
+  EXPECT_TRUE(is_connected(g, m));
+}
+
+TEST(Connectivity, SingleAllowedNodeIsConnected) {
+  const NodeGraph g = make_path(3);
+  NodeMask m(3);
+  m.block(0);
+  m.block(2);
+  EXPECT_TRUE(is_connected(g, m));
+}
+
+TEST(ReachableFrom, MarksComponent) {
+  NodeGraphBuilder b(5);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(3, 4);
+  const auto seen = reachable_from(b.build(), 0);
+  EXPECT_TRUE(seen[0]);
+  EXPECT_TRUE(seen[2]);
+  EXPECT_FALSE(seen[3]);
+}
+
+TEST(ArticulationPoints, PathInteriorAreCuts) {
+  const auto cuts = articulation_points(make_path(5));
+  EXPECT_EQ(cuts, (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(ArticulationPoints, RingHasNone) {
+  EXPECT_TRUE(articulation_points(make_ring(8)).empty());
+}
+
+TEST(ArticulationPoints, BridgeNode) {
+  // Two triangles joined at node 2.
+  NodeGraphBuilder b(5);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0);
+  b.add_edge(2, 3).add_edge(3, 4).add_edge(4, 2);
+  const auto cuts = articulation_points(b.build());
+  EXPECT_EQ(cuts, (std::vector<NodeId>{2}));
+}
+
+TEST(ArticulationPoints, StarCenter) {
+  NodeGraphBuilder b(5);
+  for (NodeId v = 1; v < 5; ++v) b.add_edge(0, v);
+  const auto cuts = articulation_points(b.build());
+  EXPECT_EQ(cuts, (std::vector<NodeId>{0}));
+}
+
+TEST(Biconnected, RingYesPathNo) {
+  EXPECT_TRUE(is_biconnected(make_ring(6)));
+  EXPECT_FALSE(is_biconnected(make_path(6)));
+}
+
+TEST(Biconnected, RequiresThreeNodes) {
+  EXPECT_FALSE(is_biconnected(make_path(2)));
+}
+
+TEST(Biconnected, DisconnectedIsNot) {
+  NodeGraphBuilder b(6);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0);
+  b.add_edge(3, 4).add_edge(4, 5).add_edge(5, 3);
+  EXPECT_FALSE(is_biconnected(b.build()));
+}
+
+TEST(Biconnected, CompleteGraph) {
+  EXPECT_TRUE(is_biconnected(make_complete(5)));
+}
+
+TEST(Biconnected, GridIsBiconnected) {
+  EXPECT_TRUE(is_biconnected(make_grid(4, 5)));
+}
+
+TEST(ConnectedWithoutNode, MatchesArticulation) {
+  const NodeGraph g = make_path(5);
+  EXPECT_TRUE(connected_without_node(g, 0));
+  EXPECT_FALSE(connected_without_node(g, 2));
+}
+
+TEST(ConnectedWithoutNeighborhood, RingFiveStillConnected) {
+  // Removing N(v) from a 5-ring leaves a connected 2-path.
+  EXPECT_TRUE(connected_without_neighborhood(make_ring(5), 0));
+}
+
+TEST(ConnectedWithoutNeighborhood, PathInteriorDisconnects) {
+  // Removing N(2) = {1,2,3} from a 5-path strands {0} from {4}.
+  EXPECT_FALSE(connected_without_neighborhood(make_path(5), 2));
+  EXPECT_FALSE(neighborhood_removal_safe(make_path(5)));
+}
+
+TEST(ConnectedWithoutNeighborhood, LargeRingOk) {
+  // A 6-ring leaves a connected 3-path after removing any N(v).
+  EXPECT_TRUE(connected_without_neighborhood(make_ring(6), 0));
+  EXPECT_TRUE(neighborhood_removal_safe(make_ring(6)));
+}
+
+TEST(ConnectedWithoutNeighborhood, CompleteGraphDegenerate) {
+  // Removing N(v) from K_n removes everything; trivially "connected".
+  EXPECT_TRUE(connected_without_neighborhood(make_complete(4), 0));
+}
+
+TEST(ArticulationPoints, RandomGraphCrossCheck) {
+  // Differential: v is an articulation point iff removing it disconnects.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const NodeGraph g = make_erdos_renyi(24, 0.12, 1.0, 2.0, seed);
+    if (!is_connected(g)) continue;
+    const auto cuts = articulation_points(g);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const bool is_cut =
+          std::find(cuts.begin(), cuts.end(), v) != cuts.end();
+      EXPECT_EQ(is_cut, !connected_without_node(g, v))
+          << "seed " << seed << " node " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tc::graph

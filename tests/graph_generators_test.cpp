@@ -1,0 +1,181 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/point.hpp"
+#include "graph/connectivity.hpp"
+
+namespace tc::graph {
+namespace {
+
+TEST(Generators, PathShape) {
+  const NodeGraph g = make_path(5, 2.0);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_DOUBLE_EQ(g.node_cost(3), 2.0);
+}
+
+TEST(Generators, RingShape) {
+  const NodeGraph g = make_ring(7);
+  EXPECT_EQ(g.num_edges(), 7u);
+  for (NodeId v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(Generators, GridShape) {
+  const NodeGraph g = make_grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  // 3*3 horizontal + 2*4 vertical = 17 edges.
+  EXPECT_EQ(g.num_edges(), 17u);
+  EXPECT_EQ(g.degree(0), 2u);   // corner
+  EXPECT_EQ(g.degree(5), 4u);   // interior
+}
+
+TEST(Generators, CompleteShape) {
+  const NodeGraph g = make_complete(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(Generators, ErdosRenyiDeterministic) {
+  const NodeGraph a = make_erdos_renyi(30, 0.2, 1.0, 5.0, 7);
+  const NodeGraph b = make_erdos_renyi(30, 0.2, 1.0, 5.0, 7);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_DOUBLE_EQ(a.node_cost(13), b.node_cost(13));
+}
+
+TEST(Generators, ErdosRenyiEdgeDensity) {
+  const NodeGraph g = make_erdos_renyi(100, 0.1, 1.0, 2.0, 11);
+  const double expected = 0.1 * (100.0 * 99.0 / 2.0);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.25);
+}
+
+TEST(Generators, ErdosRenyiCostsInRange) {
+  const NodeGraph g = make_erdos_renyi(50, 0.2, 3.0, 4.0, 13);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE(g.node_cost(v), 3.0);
+    EXPECT_LT(g.node_cost(v), 4.0);
+  }
+}
+
+TEST(Generators, ErdosRenyiExtremeProbabilities) {
+  EXPECT_EQ(make_erdos_renyi(10, 0.0, 1.0, 2.0, 1).num_edges(), 0u);
+  EXPECT_EQ(make_erdos_renyi(10, 1.0, 1.0, 2.0, 1).num_edges(), 45u);
+}
+
+TEST(Generators, UnitDiskEdgesRespectRange) {
+  UdgParams params;
+  params.n = 150;
+  params.range_m = 300.0;
+  const NodeGraph g = make_unit_disk_node(params, 1.0, 2.0, 21);
+  ASSERT_TRUE(g.has_positions());
+  for (const auto& [u, v] : g.edges()) {
+    EXPECT_LE(geom::distance(g.position(u), g.position(v)), 300.0 + 1e-9);
+  }
+}
+
+TEST(Generators, UnitDiskContainsAllCloseNodes) {
+  UdgParams params;
+  params.n = 100;
+  params.range_m = 400.0;
+  const NodeGraph g = make_unit_disk_node(params, 1.0, 2.0, 22);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = u + 1; v < g.num_nodes(); ++v) {
+      if (geom::distance(g.position(u), g.position(v)) <= 400.0) {
+        EXPECT_TRUE(g.has_edge(u, v)) << u << "-" << v;
+      }
+    }
+  }
+}
+
+TEST(Generators, UnitDiskLinkCostsFollowPowerLaw) {
+  UdgParams params;
+  params.n = 120;
+  params.range_m = 300.0;
+  params.kappa = 2.5;
+  const LinkGraph g = make_unit_disk_link(params, 23);
+  const double norm = std::pow(150.0, 2.5);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Arc& a : g.out_arcs(u)) {
+      const double d = geom::distance(g.position(u), g.position(a.to));
+      EXPECT_NEAR(a.cost, std::pow(d, 2.5) / norm, 1e-9);
+      // Symmetric in the fixed-range model.
+      EXPECT_NEAR(g.arc_cost(a.to, u), a.cost, 1e-12);
+    }
+  }
+}
+
+TEST(Generators, HeteroGraphArcsRespectSenderRange) {
+  HeteroParams params;
+  params.n = 150;
+  const LinkGraph g = make_hetero_geometric(params, 31);
+  // Arcs can be asymmetric: sender's range decides existence.
+  std::size_t asymmetric = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Arc& a : g.out_arcs(u)) {
+      const double d = geom::distance(g.position(u), g.position(a.to));
+      EXPECT_LE(d, params.range_hi_m + 1e-9);
+      EXPECT_GE(a.cost, params.c1_lo);  // c1 floor
+      if (!finite_cost(g.arc_cost(a.to, u))) ++asymmetric;
+    }
+  }
+  EXPECT_GT(asymmetric, 0u) << "heterogeneous ranges should induce "
+                               "one-directional links";
+}
+
+TEST(Generators, Fig2TruthfulPaymentsMatchPaper) {
+  // See DESIGN.md: truthful routing pays 2+2+2 = 6 along v1-v4-v3-v2-v0.
+  const NodeGraph g = make_fig2_graph();
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_TRUE(is_biconnected(g));
+  EXPECT_DOUBLE_EQ(g.node_cost(5), 4.0);
+  EXPECT_TRUE(g.has_edge(kFig2DeniedEdge.first, kFig2DeniedEdge.second));
+}
+
+TEST(Generators, Fig4ShapeMatchesPaper) {
+  const NodeGraph g = make_fig4_graph();
+  EXPECT_EQ(g.num_nodes(), 9u);
+  EXPECT_TRUE(is_biconnected(g));
+  EXPECT_DOUBLE_EQ(g.node_cost(4), 5.0);  // c_4 = 5 as in the paper
+}
+
+TEST(Generators, ToLinkGraphCarriesOwnerCost) {
+  const NodeGraph g = make_path(4, 3.0);
+  const LinkGraph lg = to_link_graph(g);
+  EXPECT_EQ(lg.num_arcs(), 2 * g.num_edges());
+  EXPECT_DOUBLE_EQ(lg.arc_cost(1, 2), 3.0);
+  EXPECT_DOUBLE_EQ(lg.arc_cost(2, 1), 3.0);
+}
+
+class UdgSizeParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(UdgSizeParam, Paper2000mDeploymentHasGiantComponent) {
+  // At range 300m in a 2000x2000m region, n = 100 averages degree ~7: a
+  // few stragglers may be isolated, but a giant component must dominate.
+  UdgParams params;
+  params.n = GetParam();
+  const NodeGraph g = make_unit_disk_node(params, 1.0, 2.0, 1234);
+  std::size_t largest = 0;
+  std::vector<bool> assigned(g.num_nodes(), false);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (assigned[v]) continue;
+    const auto seen = reachable_from(g, v);
+    std::size_t size = 0;
+    for (NodeId w = 0; w < g.num_nodes(); ++w) {
+      if (seen[w]) {
+        assigned[w] = true;
+        ++size;
+      }
+    }
+    largest = std::max(largest, size);
+  }
+  EXPECT_GE(largest, g.num_nodes() * 9 / 10) << "n=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSizes, UdgSizeParam,
+                         ::testing::Values(100, 200, 300, 400, 500));
+
+}  // namespace
+}  // namespace tc::graph

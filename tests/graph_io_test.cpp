@@ -1,0 +1,61 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+
+namespace tc::graph {
+namespace {
+
+TEST(GraphIo, TextRoundTrip) {
+  const NodeGraph g = make_fig4_graph();
+  std::stringstream buffer;
+  write_text(buffer, g);
+  const NodeGraph h = read_text(buffer);
+  ASSERT_EQ(h.num_nodes(), g.num_nodes());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(h.node_cost(v), g.node_cost(v));
+  }
+  EXPECT_EQ(h.edges(), g.edges());
+}
+
+TEST(GraphIo, CostPrecisionPreserved) {
+  NodeGraphBuilder b(2);
+  b.set_node_cost(0, 1.0 / 3.0).add_edge(0, 1);
+  std::stringstream buffer;
+  write_text(buffer, b.build());
+  const NodeGraph h = read_text(buffer);
+  EXPECT_DOUBLE_EQ(h.node_cost(0), 1.0 / 3.0);
+}
+
+TEST(GraphIo, RejectsMissingHeader) {
+  std::stringstream buffer("garbage 3\n");
+  EXPECT_THROW(read_text(buffer), std::invalid_argument);
+}
+
+TEST(GraphIo, RejectsUnknownRecord) {
+  std::stringstream buffer("node_graph 2\nz 0 1\n");
+  EXPECT_THROW(read_text(buffer), std::invalid_argument);
+}
+
+TEST(GraphIo, DotContainsNodesAndEdges) {
+  const std::string dot = to_dot(make_path(3, 1.5));
+  EXPECT_NE(dot.find("graph truthcast"), std::string::npos);
+  EXPECT_NE(dot.find("v0 -- v1"), std::string::npos);
+  EXPECT_NE(dot.find("c=1.5"), std::string::npos);
+}
+
+TEST(GraphIo, DotDirectedForLinkGraph) {
+  LinkGraphBuilder b(2);
+  b.add_arc(0, 1, 2.5);
+  const std::string dot = to_dot(b.build());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("v0 -> v1"), std::string::npos);
+  EXPECT_NE(dot.find("2.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tc::graph

@@ -1,0 +1,98 @@
+#include "graph/link_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace tc::graph {
+namespace {
+
+LinkGraph diamond() {
+  // 0 -> 1 -> 3, 0 -> 2 -> 3 with asymmetric back edges.
+  LinkGraphBuilder b(4);
+  b.add_arc(0, 1, 1.0).add_arc(1, 3, 2.0);
+  b.add_arc(0, 2, 1.5).add_arc(2, 3, 1.0);
+  b.add_arc(3, 0, 10.0);
+  return b.build();
+}
+
+TEST(LinkGraph, CountsAndDegrees) {
+  const LinkGraph g = diamond();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_arcs(), 5u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(3), 1u);
+  EXPECT_EQ(g.out_degree(1), 1u);
+}
+
+TEST(LinkGraph, ArcCostLookup) {
+  const LinkGraph g = diamond();
+  EXPECT_DOUBLE_EQ(g.arc_cost(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(g.arc_cost(2, 3), 1.0);
+  EXPECT_TRUE(std::isinf(g.arc_cost(1, 0)));  // directed: no reverse arc
+}
+
+TEST(LinkGraph, SetArcCost) {
+  LinkGraph g = diamond();
+  g.set_arc_cost(0, 1, 5.5);
+  EXPECT_DOUBLE_EQ(g.arc_cost(0, 1), 5.5);
+}
+
+TEST(LinkGraph, SetArcCostMissingThrows) {
+  LinkGraph g = diamond();
+  EXPECT_THROW(g.set_arc_cost(1, 2, 1.0), std::invalid_argument);
+}
+
+TEST(LinkGraph, SetAllOutCostsModelsRemoval) {
+  LinkGraph g = diamond();
+  g.set_all_out_costs(1, kInfCost);
+  EXPECT_TRUE(std::isinf(g.arc_cost(1, 3)));
+  EXPECT_DOUBLE_EQ(g.arc_cost(0, 1), 1.0);  // inbound arcs untouched
+}
+
+TEST(LinkGraph, SnapshotRestore) {
+  LinkGraph g = diamond();
+  const auto snapshot = g.arc_costs();
+  g.set_all_out_costs(0, 99.0);
+  EXPECT_DOUBLE_EQ(g.arc_cost(0, 1), 99.0);
+  g.restore_arc_costs(snapshot);
+  EXPECT_DOUBLE_EQ(g.arc_cost(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(g.arc_cost(0, 2), 1.5);
+}
+
+TEST(LinkGraph, ParallelArcsKeepCheapest) {
+  LinkGraphBuilder b(2);
+  b.add_arc(0, 1, 5.0).add_arc(0, 1, 2.0).add_arc(0, 1, 8.0);
+  const LinkGraph g = b.build();
+  EXPECT_EQ(g.num_arcs(), 1u);
+  EXPECT_DOUBLE_EQ(g.arc_cost(0, 1), 2.0);
+}
+
+TEST(LinkGraph, AddLinkBothDirections) {
+  LinkGraphBuilder b(2);
+  b.add_link(0, 1, 3.0, 4.0);
+  const LinkGraph g = b.build();
+  EXPECT_DOUBLE_EQ(g.arc_cost(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(g.arc_cost(1, 0), 4.0);
+}
+
+TEST(LinkGraphBuilder, Rejections) {
+  LinkGraphBuilder b(2);
+  EXPECT_THROW(b.add_arc(0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(b.add_arc(0, 9, 1.0), std::invalid_argument);
+  EXPECT_THROW(b.add_arc(0, 1, -2.0), std::invalid_argument);
+}
+
+TEST(LinkGraph, OutArcsSortedByTarget) {
+  LinkGraphBuilder b(4);
+  b.add_arc(0, 3, 1.0).add_arc(0, 1, 1.0).add_arc(0, 2, 1.0);
+  const LinkGraph g = b.build();
+  const auto arcs = g.out_arcs(0);
+  ASSERT_EQ(arcs.size(), 3u);
+  EXPECT_EQ(arcs[0].to, 1u);
+  EXPECT_EQ(arcs[1].to, 2u);
+  EXPECT_EQ(arcs[2].to, 3u);
+}
+
+}  // namespace
+}  // namespace tc::graph

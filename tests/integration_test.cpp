@@ -1,0 +1,125 @@
+// Cross-module integration: generator -> mechanism -> distributed
+// protocol -> ledger settlement, end to end on one network.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fast_payment.hpp"
+#include "core/overpayment.hpp"
+#include "core/resale.hpp"
+#include "core/vcg_unicast.hpp"
+#include "distsim/ledger.hpp"
+#include "distsim/session.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "mech/truthfulness.hpp"
+#include "util/rng.hpp"
+
+namespace tc {
+namespace {
+
+using graph::Cost;
+using graph::NodeId;
+
+TEST(Integration, CampusNetworkFullFlow) {
+  // 1. Deploy a campus-scale UDG with node 0 as the access point.
+  graph::UdgParams params;
+  params.n = 60;
+  params.region = {800.0, 800.0};
+  params.range_m = 260.0;
+  const auto g = graph::make_unit_disk_node(params, 1.0, 10.0, 2024);
+  ASSERT_TRUE(graph::is_connected(g));
+
+  // 2. Centralized fast payments for one source.
+  const NodeId source = 17;
+  const auto central = core::vcg_payments_fast(g, source, 0);
+  ASSERT_TRUE(central.connected());
+  if (std::isinf(central.total_payment())) GTEST_SKIP();
+
+  // 3. The distributed session agrees with the centralized mechanism.
+  distsim::SessionConfig config;
+  config.spt_mode = distsim::SptMode::kVerified;
+  config.payment_mode = distsim::PaymentMode::kVerified;
+  const auto session = distsim::run_session(g, 0, g.costs(), source, config);
+  ASSERT_FALSE(session.route.empty());
+  EXPECT_NEAR(session.route_cost, central.path_cost, 1e-9);
+  EXPECT_NEAR(session.total_payment, central.total_payment(), 1e-6);
+  EXPECT_FALSE(session.cheating_detected());
+
+  // 4. Settle the session at the AP's ledger with a signed packet.
+  distsim::Ledger ledger(g.num_nodes(), 77);
+  ledger.fund_all(1000.0);
+  std::vector<std::pair<NodeId, Cost>> relay_prices;
+  for (std::size_t i = 1; i + 1 < central.path.size(); ++i) {
+    const NodeId k = central.path[i];
+    relay_prices.emplace_back(k, central.payments[k]);
+  }
+  const auto sig = distsim::sign(ledger.key_of(source),
+                                 distsim::packet_payload(1, source, 0));
+  const auto settlement =
+      ledger.settle_upstream(1, source, 0, sig, relay_prices);
+  ASSERT_TRUE(settlement.accepted);
+  EXPECT_NEAR(settlement.charged, central.total_payment(), 1e-9);
+  EXPECT_NEAR(ledger.balance(source), 1000.0 - central.total_payment(),
+              1e-9);
+}
+
+TEST(Integration, TruthfulnessOnGeneratedTopology) {
+  graph::UdgParams params;
+  params.n = 30;
+  params.region = {500.0, 500.0};
+  params.range_m = 220.0;
+  const auto g = graph::make_unit_disk_node(params, 1.0, 8.0, 5);
+  if (!graph::is_connected(g)) GTEST_SKIP();
+  core::VcgUnicastMechanism mech;
+  util::Rng rng(5);
+  const auto report = mech::check_truthfulness(mech, g, 7, 0, g.costs(), rng);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(Integration, OverpaymentStudyAgreesWithResaleInputs) {
+  // compute_all_payments (per-source fast engine) and the batched
+  // overpayment study must tell the same story.
+  const auto g = graph::make_erdos_renyi(20, 0.3, 0.5, 5.0, 11);
+  ASSERT_TRUE(graph::is_connected(g));
+  const auto all = core::compute_all_payments(g, 0);
+  const auto study = core::overpayment_node_model(g, 0);
+  for (const auto& s : study.per_source) {
+    if (std::isinf(all.per_source[s.source].total_payment())) continue;
+    EXPECT_NEAR(s.payment, all.per_source[s.source].total_payment(), 1e-9)
+        << "source " << s.source;
+  }
+}
+
+TEST(Integration, ResaleOpportunitiesShrinkPayments) {
+  // Every reported deal, executed, strictly reduces the source's outlay
+  // and strictly raises the reseller's utility.
+  const auto g = graph::make_fig4_graph();
+  const auto all = core::compute_all_payments(g, 0);
+  const auto deals = core::find_resale_deals(g, 0, all);
+  for (const auto& deal : deals) {
+    EXPECT_LT(deal.source_outlay_after_split(), deal.direct_payment);
+    EXPECT_GT(deal.reseller_gain_after_split(), 0.0);
+  }
+}
+
+TEST(Integration, BiconnectivityPreventsInfinitePayments) {
+  // On biconnected topologies no VCG payment is infinite: the paper's
+  // monopoly-prevention rationale for requiring biconnectivity.
+  int tested = 0;
+  for (std::uint64_t seed = 1; seed <= 40 && tested < 10; ++seed) {
+    const auto g = graph::make_erdos_renyi(18, 0.3, 0.5, 5.0, seed);
+    if (!graph::is_biconnected(g)) continue;
+    ++tested;
+    for (NodeId s = 1; s < g.num_nodes(); ++s) {
+      const auto r = core::vcg_payments_fast(g, s, 0);
+      ASSERT_TRUE(r.connected());
+      EXPECT_FALSE(std::isinf(r.total_payment()))
+          << "seed " << seed << " source " << s;
+    }
+  }
+  EXPECT_GE(tested, 5);
+}
+
+}  // namespace
+}  // namespace tc

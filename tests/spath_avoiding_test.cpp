@@ -1,0 +1,92 @@
+#include "spath/avoiding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace tc::spath {
+namespace {
+
+using graph::NodeId;
+
+TEST(AvoidingNode, DetoursAroundBlockedRelay) {
+  // Two parallel 2-relay routes with different costs.
+  graph::NodeGraphBuilder b(6);
+  b.set_node_cost(1, 1.0).set_node_cost(2, 1.0);
+  b.set_node_cost(3, 2.0).set_node_cost(4, 2.0);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 5);
+  b.add_edge(0, 3).add_edge(3, 4).add_edge(4, 5);
+  const auto g = b.build();
+  const AvoidingPath direct = avoiding_path_node(g, 0, 5, 3);
+  EXPECT_DOUBLE_EQ(direct.cost, 2.0);  // cheap route untouched
+  const AvoidingPath detour = avoiding_path_node(g, 0, 5, 1);
+  EXPECT_DOUBLE_EQ(detour.cost, 4.0);
+  EXPECT_EQ(detour.path, (std::vector<NodeId>{0, 3, 4, 5}));
+}
+
+TEST(AvoidingNode, NoAvoidingPathOnCutVertex) {
+  const auto g = graph::make_path(4, 1.0);
+  const AvoidingPath r = avoiding_path_node(g, 0, 3, 2);
+  EXPECT_TRUE(std::isinf(r.cost));
+  EXPECT_TRUE(r.path.empty());
+}
+
+TEST(AvoidingNode, AvoidingOffPathNodeChangesNothing) {
+  const auto g = graph::make_ring(6);
+  const AvoidingPath base = avoiding_path_node(g, 0, 2, 4);
+  // Path 0-1-2 doesn't use 4.
+  EXPECT_DOUBLE_EQ(base.cost, 1.0);
+}
+
+TEST(AvoidingNode, SetAvoidance) {
+  const auto g = graph::make_ring(8);  // two arcs between 0 and 4
+  const AvoidingPath both =
+      avoiding_path_node_set(g, 0, 4, std::vector<NodeId>{2, 6});
+  EXPECT_TRUE(std::isinf(both.cost));
+  const AvoidingPath one =
+      avoiding_path_node_set(g, 0, 4, std::vector<NodeId>{2});
+  EXPECT_DOUBLE_EQ(one.cost, 3.0);  // forced around 5,6,7
+}
+
+TEST(AvoidingNode, EmptySetIsPlainShortestPath) {
+  const auto g = graph::make_ring(6);
+  const AvoidingPath r = avoiding_path_node_set(g, 0, 3, {});
+  EXPECT_DOUBLE_EQ(r.cost, 2.0);
+}
+
+TEST(AvoidingLink, DirectedDetour) {
+  graph::LinkGraphBuilder b(4);
+  b.add_arc(0, 1, 1.0).add_arc(1, 3, 1.0);
+  b.add_arc(0, 2, 5.0).add_arc(2, 3, 5.0);
+  const AvoidingPath r = avoiding_path_link(b.build(), 0, 3, 1);
+  EXPECT_DOUBLE_EQ(r.cost, 10.0);
+  EXPECT_EQ(r.path, (std::vector<NodeId>{0, 2, 3}));
+}
+
+TEST(AvoidingNode, CostNeverBelowUnrestricted) {
+  // Removing a node can only increase the distance (monotonicity).
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto g = graph::make_erdos_renyi(30, 0.2, 0.2, 6.0, seed);
+    const SptResult base = dijkstra_node(g, 0);
+    util::Rng rng(seed);
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto t = static_cast<NodeId>(1 + rng.next_below(29));
+      const auto avoid = static_cast<NodeId>(1 + rng.next_below(29));
+      if (t == avoid || !base.reached(t)) continue;
+      const AvoidingPath r = avoiding_path_node(g, 0, t, avoid);
+      if (!r.path.empty()) {
+        EXPECT_GE(r.cost, base.dist[t] - 1e-12);
+        // Witness path really avoids the node.
+        EXPECT_EQ(std::count(r.path.begin(), r.path.end(), avoid), 0);
+        EXPECT_NEAR(path_interior_cost(g, r.path), r.cost, 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tc::spath

@@ -1,0 +1,187 @@
+#include "spath/heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spath/pairing_heap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tc::spath {
+namespace {
+
+TEST(BinaryHeap, EmptyInitially) {
+  BinaryHeap h(10);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+}
+
+TEST(BinaryHeap, PushPopSingle) {
+  BinaryHeap h(4);
+  h.push_or_decrease(2, 5.0);
+  EXPECT_TRUE(h.contains(2));
+  const auto [p, k] = h.pop_min();
+  EXPECT_EQ(k, 2u);
+  EXPECT_DOUBLE_EQ(p, 5.0);
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.contains(2));
+}
+
+TEST(BinaryHeap, PopsInPriorityOrder) {
+  BinaryHeap h(5);
+  h.push_or_decrease(0, 3.0);
+  h.push_or_decrease(1, 1.0);
+  h.push_or_decrease(2, 2.0);
+  EXPECT_EQ(h.pop_min().second, 1u);
+  EXPECT_EQ(h.pop_min().second, 2u);
+  EXPECT_EQ(h.pop_min().second, 0u);
+}
+
+TEST(BinaryHeap, DecreaseKeyReorders) {
+  BinaryHeap h(3);
+  h.push_or_decrease(0, 10.0);
+  h.push_or_decrease(1, 5.0);
+  h.push_or_decrease(0, 1.0);  // decrease
+  EXPECT_DOUBLE_EQ(h.priority_of(0), 1.0);
+  EXPECT_EQ(h.pop_min().second, 0u);
+}
+
+TEST(BinaryHeap, EqualPrioritiesAllPopped) {
+  BinaryHeap h(4);
+  for (graph::NodeId k = 0; k < 4; ++k) h.push_or_decrease(k, 7.0);
+  std::vector<graph::NodeId> popped;
+  while (!h.empty()) popped.push_back(h.pop_min().second);
+  std::sort(popped.begin(), popped.end());
+  EXPECT_EQ(popped, (std::vector<graph::NodeId>{0, 1, 2, 3}));
+}
+
+template <typename Heap>
+void random_sort_check(std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::size_t n = 500;
+  Heap h(n);
+  std::vector<double> priorities(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    priorities[k] = rng.uniform(0.0, 100.0);
+    h.push_or_decrease(static_cast<graph::NodeId>(k), priorities[k] + 50.0);
+  }
+  // Random decreases down to final priority.
+  for (std::size_t k = 0; k < n; ++k) {
+    h.push_or_decrease(static_cast<graph::NodeId>(k), priorities[k]);
+  }
+  double prev = -1.0;
+  std::size_t count = 0;
+  while (!h.empty()) {
+    const auto [p, k] = h.pop_min();
+    EXPECT_GE(p, prev);
+    EXPECT_DOUBLE_EQ(p, priorities[k]);
+    prev = p;
+    ++count;
+  }
+  EXPECT_EQ(count, n);
+}
+
+TEST(BinaryHeap, RandomizedHeapSort) { random_sort_check<BinaryHeap>(17); }
+TEST(QuadHeap, RandomizedHeapSort) { random_sort_check<QuadHeap>(18); }
+TEST(PairingHeap, RandomizedHeapSort) { random_sort_check<PairingHeap>(19); }
+
+TEST(PairingHeap, BasicOperations) {
+  PairingHeap h(5);
+  EXPECT_TRUE(h.empty());
+  h.push_or_decrease(3, 7.0);
+  h.push_or_decrease(1, 9.0);
+  h.push_or_decrease(4, 8.0);
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_TRUE(h.contains(3));
+  EXPECT_DOUBLE_EQ(h.priority_of(1), 9.0);
+  h.push_or_decrease(1, 1.0);  // decrease to the top
+  EXPECT_EQ(h.pop_min().second, 1u);
+  EXPECT_EQ(h.pop_min().second, 3u);
+  EXPECT_EQ(h.pop_min().second, 4u);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(PairingHeap, DecreaseDeepNode) {
+  // Build a heap with structure, then decrease a deep non-root node.
+  PairingHeap h(8);
+  for (graph::NodeId k = 0; k < 8; ++k) {
+    h.push_or_decrease(k, 10.0 + k);
+  }
+  EXPECT_EQ(h.pop_min().second, 0u);  // forces two-pass restructuring
+  h.push_or_decrease(7, 0.5);
+  EXPECT_EQ(h.pop_min().second, 7u);
+  EXPECT_EQ(h.pop_min().second, 1u);
+}
+
+TEST(PairingHeap, ReinsertAfterPop) {
+  PairingHeap h(3);
+  h.push_or_decrease(0, 1.0);
+  EXPECT_EQ(h.pop_min().second, 0u);
+  h.push_or_decrease(0, 2.0);  // higher priority is fine on reinsert
+  EXPECT_FALSE(h.empty());
+  EXPECT_EQ(h.pop_min().second, 0u);
+}
+
+TEST(PairingHeap, MatchesBinaryOnInterleavedOps) {
+  util::Rng rng(33);
+  BinaryHeap b(200);
+  PairingHeap p(200);
+  std::vector<double> prio(200, 1e18);
+  for (int step = 0; step < 3000; ++step) {
+    if (!b.empty() && rng.bernoulli(0.3)) {
+      const auto [bp, bk] = b.pop_min();
+      const auto [pp, pk] = p.pop_min();
+      EXPECT_DOUBLE_EQ(bp, pp);
+      prio[bk] = 1e18;
+      // Keys with equal priorities may pop in different orders; priorities
+      // themselves must match. Re-sync by asserting sets are consistent:
+      if (bk != pk) {
+        EXPECT_DOUBLE_EQ(prio[bk], 1e18);
+      }
+    } else {
+      const auto k = static_cast<graph::NodeId>(rng.next_below(200));
+      const double new_p = rng.uniform(0.0, 100.0);
+      const bool in_b = b.contains(k);
+      EXPECT_EQ(in_b, p.contains(k));
+      if (in_b && new_p > prio[k]) continue;  // never raise
+      prio[k] = new_p;
+      b.push_or_decrease(k, new_p);
+      p.push_or_decrease(k, new_p);
+    }
+  }
+}
+
+TEST(QuadHeap, MatchesBinaryOrdering) {
+  util::Rng rng(9);
+  BinaryHeap b(100);
+  QuadHeap q(100);
+  for (graph::NodeId k = 0; k < 100; ++k) {
+    const double p = rng.uniform(0.0, 10.0);
+    b.push_or_decrease(k, p);
+    q.push_or_decrease(k, p);
+  }
+  while (!b.empty()) {
+    ASSERT_FALSE(q.empty());
+    EXPECT_DOUBLE_EQ(b.pop_min().first, q.pop_min().first);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BinaryHeap, InterleavedPushPop) {
+  BinaryHeap h(6);
+  h.push_or_decrease(0, 4.0);
+  h.push_or_decrease(1, 2.0);
+  EXPECT_EQ(h.pop_min().second, 1u);
+  h.push_or_decrease(2, 1.0);
+  h.push_or_decrease(3, 3.0);
+  EXPECT_EQ(h.pop_min().second, 2u);
+  h.push_or_decrease(1, 0.5);  // reinsert a previously popped key
+  EXPECT_EQ(h.pop_min().second, 1u);
+  EXPECT_EQ(h.pop_min().second, 3u);
+  EXPECT_EQ(h.pop_min().second, 0u);
+}
+
+}  // namespace
+}  // namespace tc::spath

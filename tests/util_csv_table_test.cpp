@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace tc::util {
+namespace {
+
+TEST(CsvEscape, PlainFieldUntouched) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscape, CommaQuoted) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, QuoteDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineQuoted) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.header({"n", "ior", "label"});
+  w.field(100).field(1.5).field("udg");
+  w.end_row();
+  EXPECT_EQ(out.str(), "n,ior,label\n100,1.5,udg\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(CsvWriter, DoubleRoundTripPrecision) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.field(1.0 / 3.0);
+  w.end_row();
+  const double parsed = std::stod(out.str());
+  EXPECT_NEAR(parsed, 1.0 / 3.0, 1e-9);
+}
+
+TEST(CsvWriter, UnsignedAndSigned) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.field(std::int64_t{-5}).field(std::uint64_t{18446744073709551615ULL});
+  w.end_row();
+  EXPECT_EQ(out.str(), "-5,18446744073709551615\n");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.row("x", 1);
+  t.row("longer", 22);
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTable, MixedCellTypes) {
+  TextTable t({"a", "b", "c"});
+  t.row(1.23456789, std::size_t{7}, "str");
+  EXPECT_EQ(t.num_rows(), 1u);
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("1.2346"), std::string::npos);
+}
+
+TEST(Fmt, RespectsPrecision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(1.0, 4), "1.0000");
+}
+
+}  // namespace
+}  // namespace tc::util

@@ -1,0 +1,96 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tc::util {
+namespace {
+
+Flags make_flags() {
+  Flags f("test program");
+  f.add_int("n", 100, "node count")
+      .add_double("kappa", 2.0, "path loss exponent")
+      .add_string("out", "results.csv", "output path")
+      .add_bool("verbose", false, "chatty output");
+  return f;
+}
+
+TEST(Flags, DefaultsWhenUnparsed) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog"};
+  EXPECT_TRUE(f.parse(1, argv));
+  EXPECT_EQ(f.get_int("n"), 100);
+  EXPECT_DOUBLE_EQ(f.get_double("kappa"), 2.0);
+  EXPECT_EQ(f.get_string("out"), "results.csv");
+  EXPECT_FALSE(f.get_bool("verbose"));
+}
+
+TEST(Flags, EqualsSyntax) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--n=250", "--kappa=2.5"};
+  EXPECT_TRUE(f.parse(3, argv));
+  EXPECT_EQ(f.get_int("n"), 250);
+  EXPECT_DOUBLE_EQ(f.get_double("kappa"), 2.5);
+}
+
+TEST(Flags, SpaceSyntax) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--n", "42", "--out", "x.csv"};
+  EXPECT_TRUE(f.parse(5, argv));
+  EXPECT_EQ(f.get_int("n"), 42);
+  EXPECT_EQ(f.get_string("out"), "x.csv");
+}
+
+TEST(Flags, BareBoolSetsTrue) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--verbose"};
+  EXPECT_TRUE(f.parse(2, argv));
+  EXPECT_TRUE(f.get_bool("verbose"));
+}
+
+TEST(Flags, BoolExplicitValues) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--verbose=true"};
+  EXPECT_TRUE(f.parse(2, argv));
+  EXPECT_TRUE(f.get_bool("verbose"));
+
+  Flags f2 = make_flags();
+  const char* argv2[] = {"prog", "--verbose=false"};
+  EXPECT_TRUE(f2.parse(2, argv2));
+  EXPECT_FALSE(f2.get_bool("verbose"));
+}
+
+TEST(Flags, UnknownFlagRejected) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_FALSE(f.parse(2, argv));
+}
+
+TEST(Flags, BadIntRejected) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_FALSE(f.parse(2, argv));
+}
+
+TEST(Flags, HelpReturnsFalse) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(f.parse(2, argv));
+}
+
+TEST(Flags, PositionalRejected) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_FALSE(f.parse(2, argv));
+}
+
+TEST(Flags, NegativeNumbers) {
+  Flags f("t");
+  f.add_int("x", 0, "x").add_double("y", 0.0, "y");
+  const char* argv[] = {"prog", "--x=-5", "--y=-2.5"};
+  EXPECT_TRUE(f.parse(3, argv));
+  EXPECT_EQ(f.get_int("x"), -5);
+  EXPECT_DOUBLE_EQ(f.get_double("y"), -2.5);
+}
+
+}  // namespace
+}  // namespace tc::util

@@ -1,0 +1,47 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace tc::util {
+namespace {
+
+TEST(Log, LevelRoundTrip) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(original);
+}
+
+TEST(Log, SuppressedLevelsDoNotCrash) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  // These must be no-ops (and must not evaluate into UB).
+  TC_LOG_DEBUG("invisible %d", 42);
+  TC_LOG_INFO("also invisible %s", "text");
+  TC_LOG_WARN("still invisible");
+  set_log_level(original);
+}
+
+TEST(Log, ErrorAlwaysAllowedToFormat) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  TC_LOG_ERROR("formatted %d %s %.2f", 1, "two", 3.0);
+  set_log_level(original);
+}
+
+TEST(Check, PassingCheckIsSilent) {
+  TC_CHECK(1 + 1 == 2);
+  TC_CHECK_MSG(true, "never shown");
+}
+
+TEST(CheckDeath, FailingCheckAborts) {
+  EXPECT_DEATH(TC_CHECK(false), "CHECK failed");
+  EXPECT_DEATH(TC_CHECK_MSG(2 > 3, "math broke"), "math broke");
+}
+
+}  // namespace
+}  // namespace tc::util

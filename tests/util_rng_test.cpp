@@ -1,0 +1,166 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace tc::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(300.0, 500.0);
+    EXPECT_GE(x, 300.0);
+    EXPECT_LT(x, 500.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatelyCentered) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) sum += rng.uniform(0.0, 10.0);
+  EXPECT_NEAR(sum / trials, 5.0, 0.05);
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.next_below(37), 37u);
+}
+
+TEST(Rng, NextBelowZeroBound) {
+  Rng rng(17);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(19);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(23);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(31);
+  int heads = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) heads += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(heads) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(37);
+  double sum = 0.0, sum2 = 0.0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / trials;
+  const double var = sum2 / trials - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, SplitIndependentOfParentConsumption) {
+  // split() must not perturb the parent stream, and children of equal keys
+  // from equal states must coincide.
+  Rng parent(99);
+  Rng child1 = parent.split(5);
+  const std::uint64_t next = parent.next_u64();
+  Rng parent2(99);
+  Rng child2 = parent2.split(5);
+  EXPECT_EQ(child1.next_u64(), child2.next_u64());
+  EXPECT_EQ(parent2.next_u64(), next);
+}
+
+TEST(Rng, SplitDifferentKeysDiverge) {
+  Rng parent(99);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(41);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(43);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  auto w = v;
+  rng.shuffle(w);
+  EXPECT_NE(v, w);
+}
+
+TEST(Rng, Mix64Deterministic) {
+  EXPECT_EQ(mix64(123), mix64(123));
+  EXPECT_NE(mix64(123), mix64(124));
+}
+
+class RngBoundParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundParam, NextBelowAlwaysInRange) {
+  Rng rng(GetParam() * 31 + 7);
+  const std::uint64_t bound = GetParam();
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundParam,
+                         ::testing::Values(1, 2, 3, 10, 100, 1000, 1u << 20));
+
+}  // namespace
+}  // namespace tc::util

@@ -1,0 +1,202 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace tc::util {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(4.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_EQ(acc.mean(), 4.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.min(), 4.0);
+  EXPECT_EQ(acc.max(), 4.0);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance with n-1: sum of squared deviations = 32, / 7.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(acc.min(), 2.0);
+  EXPECT_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Rng rng(5);
+  Accumulator whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5.0, 20.0);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Accumulator, NumericallyStableLargeOffset) {
+  // Welford should not catastrophically cancel with a large common offset.
+  Accumulator acc;
+  const double offset = 1e9;
+  for (double x : {1.0, 2.0, 3.0}) acc.add(offset + x);
+  EXPECT_NEAR(acc.variance(), 1.0, 1e-6);
+}
+
+TEST(Summary, ToStringContainsFields) {
+  Accumulator acc;
+  acc.add(1.0);
+  acc.add(2.0);
+  const std::string s = acc.summary().to_string();
+  EXPECT_NE(s.find("n=2"), std::string::npos);
+  EXPECT_NE(s.find("mean="), std::string::npos);
+}
+
+TEST(Percentiles, SingleSample) {
+  Percentiles p;
+  p.add(7.0);
+  EXPECT_EQ(p.percentile(0), 7.0);
+  EXPECT_EQ(p.percentile(50), 7.0);
+  EXPECT_EQ(p.percentile(100), 7.0);
+}
+
+TEST(Percentiles, MedianOfOddCount) {
+  Percentiles p;
+  for (double x : {5.0, 1.0, 3.0}) p.add(x);
+  EXPECT_DOUBLE_EQ(p.median(), 3.0);
+}
+
+TEST(Percentiles, InterpolatesBetweenSamples) {
+  Percentiles p;
+  p.add(0.0);
+  p.add(10.0);
+  EXPECT_DOUBLE_EQ(p.percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(p.percentile(25), 2.5);
+}
+
+TEST(Percentiles, ExtremesAreMinMax) {
+  Percentiles p;
+  Rng rng(9);
+  double lo = 1e18, hi = -1e18;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(-50.0, 50.0);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    p.add(x);
+  }
+  EXPECT_DOUBLE_EQ(p.percentile(0), lo);
+  EXPECT_DOUBLE_EQ(p.percentile(100), hi);
+}
+
+TEST(Percentiles, AddAfterQueryResorts) {
+  Percentiles p;
+  p.add(1.0);
+  p.add(3.0);
+  EXPECT_DOUBLE_EQ(p.median(), 2.0);
+  p.add(100.0);
+  EXPECT_DOUBLE_EQ(p.median(), 3.0);
+}
+
+TEST(BootstrapCi, SingleSampleDegenerate) {
+  const auto ci = bootstrap_mean_ci({3.0});
+  EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+  EXPECT_DOUBLE_EQ(ci.lo, 3.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 3.0);
+}
+
+TEST(BootstrapCi, BracketsTheMean) {
+  Rng rng(77);
+  std::vector<double> samples;
+  for (int i = 0; i < 100; ++i) samples.push_back(rng.uniform(1.0, 2.0));
+  const auto ci = bootstrap_mean_ci(samples);
+  EXPECT_GE(ci.mean, ci.lo);
+  EXPECT_LE(ci.mean, ci.hi);
+  EXPECT_NEAR(ci.mean, 1.5, 0.05);
+  // Half-width of a uniform(1,2) mean over 100 samples: ~1.96*0.289/10.
+  EXPECT_NEAR(ci.half_width(), 0.057, 0.02);
+}
+
+TEST(BootstrapCi, DeterministicForSeed) {
+  std::vector<double> samples{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto a = bootstrap_mean_ci(samples, 0.05, 500, 9);
+  const auto b = bootstrap_mean_ci(samples, 0.05, 500, 9);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(BootstrapCi, TighterWithMoreSamples) {
+  Rng rng(5);
+  std::vector<double> small, large;
+  for (int i = 0; i < 20; ++i) small.push_back(rng.uniform(0.0, 1.0));
+  for (int i = 0; i < 2000; ++i) large.push_back(rng.uniform(0.0, 1.0));
+  EXPECT_GT(bootstrap_mean_ci(small).half_width(),
+            bootstrap_mean_ci(large).half_width());
+}
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bins(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+}
+
+TEST(Histogram, CountsFallInCorrectBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(1.9);
+  h.add(2.0);  // boundary goes to the upper bin
+  h.add(9.99);
+  EXPECT_DOUBLE_EQ(h.bin_count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_count(4), 1.0);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.1);
+  h.add(1.0);  // hi is exclusive
+  h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(Histogram, WeightedAdds) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(1.5, 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_count(1), 2.5);
+  EXPECT_DOUBLE_EQ(h.total(), 2.5);
+}
+
+}  // namespace
+}  // namespace tc::util
