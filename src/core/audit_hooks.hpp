@@ -1,0 +1,57 @@
+// Debug-only postcondition audits for the payment engines.
+//
+// Each engine ends with TC_DCHECK(internal::audit_ok(...)): in debug and
+// sanitizer builds every payment profile the engine emits is run through
+// the mechanism invariant auditors (mech/invariants.hpp) — structural
+// soundness, least-cost output, individual rationality, off-path zero and
+// monopoly consistency. In NDEBUG builds the TC_DCHECK operand is
+// ODR-used but never evaluated, so release binaries pay nothing.
+//
+// The expensive cross-engine and perturbation checks are *not* run here
+// (they would recurse into the engines); tests/mech_invariants_test.cpp
+// exercises those.
+#pragma once
+
+#include <cstdio>
+
+#include "core/payment.hpp"
+#include "graph/link_graph.hpp"
+#include "graph/node_graph.hpp"
+#include "mech/invariants.hpp"
+
+namespace tc::core::internal {
+
+[[nodiscard]] inline mech::UnicastOutcome to_outcome(const PaymentResult& r) {
+  mech::UnicastOutcome out;
+  out.path = r.path;
+  out.path_cost = r.path_cost;
+  out.payments = r.payments;
+  return out;
+}
+
+/// Audits a node-weighted payment profile; logs violations to stderr so
+/// the TC_DCHECK failure message points at the reason.
+inline bool audit_ok(const graph::NodeGraph& g, graph::NodeId source,
+                     graph::NodeId target, const PaymentResult& r) {
+  const mech::AuditReport report =
+      mech::audit_unicast_payment(g, source, target, to_outcome(r));
+  if (!report.ok()) {
+    std::fprintf(stderr, "payment audit failed:\n%s\n",
+                 report.to_string().c_str());
+  }
+  return report.ok();
+}
+
+/// Audits a link-weighted payment profile.
+inline bool audit_ok(const graph::LinkGraph& g, graph::NodeId source,
+                     graph::NodeId target, const PaymentResult& r) {
+  const mech::AuditReport report =
+      mech::audit_link_payment(g, source, target, to_outcome(r));
+  if (!report.ok()) {
+    std::fprintf(stderr, "link payment audit failed:\n%s\n",
+                 report.to_string().c_str());
+  }
+  return report.ok();
+}
+
+}  // namespace tc::core::internal

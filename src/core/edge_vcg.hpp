@@ -37,15 +37,17 @@ struct EdgeVcgResult {
   graph::Cost path_cost = graph::kInfCost;
   std::vector<EdgePayment> payments;  ///< one per path edge, in order
 
-  bool connected() const { return graph::finite_cost(path_cost); }
-  graph::Cost total_payment() const;
+  [[nodiscard]] bool connected() const {
+    return graph::finite_cost(path_cost);
+  }
+  [[nodiscard]] graph::Cost total_payment() const;
 };
 
 /// Reference engine: one edge-masked Dijkstra per path edge.
 /// Requires symmetric arc costs (checked).
-EdgeVcgResult edge_vcg_payments_naive(const graph::LinkGraph& g,
-                                      graph::NodeId source,
-                                      graph::NodeId target);
+[[nodiscard]] EdgeVcgResult edge_vcg_payments_naive(const graph::LinkGraph& g,
+                                                    graph::NodeId source,
+                                                    graph::NodeId target);
 
 /// Hershberger-Suri fast engine: all replacement paths D_{G-e}(s,t) for
 /// path edges e in one pass. Edge levels are simpler than Algorithm 1's
@@ -54,8 +56,8 @@ EdgeVcgResult edge_vcg_payments_naive(const graph::LinkGraph& g,
 /// edges strictly between level(a) and level(b); a sweep with a min-heap
 /// yields each removed edge's best detour. Identical output to the naive
 /// engine (differential-tested).
-EdgeVcgResult edge_vcg_payments_fast(const graph::LinkGraph& g,
-                                     graph::NodeId source,
-                                     graph::NodeId target);
+[[nodiscard]] EdgeVcgResult edge_vcg_payments_fast(const graph::LinkGraph& g,
+                                                   graph::NodeId source,
+                                                   graph::NodeId target);
 
 }  // namespace tc::core

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/audit_hooks.hpp"
 #include "spath/dijkstra.hpp"
 #include "util/check.hpp"
 
@@ -181,6 +182,7 @@ PaymentResult fast_link_payments(const graph::LinkGraph& g, NodeId source,
     if (l == 1) break;
   }
 
+  TC_DCHECK(internal::audit_ok(g, source, target, result));
   return result;
 }
 

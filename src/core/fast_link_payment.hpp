@@ -19,14 +19,15 @@
 namespace tc::core {
 
 /// True when every arc u->v has a reverse arc v->u of equal cost.
-bool is_symmetric(const graph::LinkGraph& g);
+[[nodiscard]] bool is_symmetric(const graph::LinkGraph& g);
 
 /// Computes the least-cost path s->t and every on-path node-agent's VCG
 /// payment (own forwarding arc + avoiding-path difference) in a single
 /// O(n log n + m) pass. Requires is_symmetric(g); throws
 /// std::invalid_argument otherwise. Identical output to
 /// link_vcg_payments.
-PaymentResult fast_link_payments(const graph::LinkGraph& g,
-                                 graph::NodeId source, graph::NodeId target);
+[[nodiscard]] PaymentResult fast_link_payments(const graph::LinkGraph& g,
+                                               graph::NodeId source,
+                                               graph::NodeId target);
 
 }  // namespace tc::core

@@ -4,6 +4,7 @@
 #include <queue>
 #include <vector>
 
+#include "core/audit_hooks.hpp"
 #include "spath/dijkstra.hpp"
 #include "spath/heap.hpp"
 #include "util/check.hpp"
@@ -233,6 +234,7 @@ PaymentResult vcg_payments_fast(const graph::NodeGraph& g, NodeId source,
     if (l == 1) break;
   }
 
+  TC_DCHECK(internal::audit_ok(g, source, target, result));
   return result;
 }
 

@@ -35,8 +35,9 @@ namespace tc::core {
 /// Computes the LCP and all VCG payments in O(n log n + m). Interprets the
 /// graph's stored node costs as the declared vector d. Identical output to
 /// vcg_payments_naive.
-PaymentResult vcg_payments_fast(const graph::NodeGraph& g,
-                                graph::NodeId source, graph::NodeId target);
+[[nodiscard]] PaymentResult vcg_payments_fast(const graph::NodeGraph& g,
+                                              graph::NodeId source,
+                                              graph::NodeId target);
 
 /// Internal structure exposed for testing: the level labelling of step 2.
 /// levels[v] = index of the last LCP node on v's SPT(s) tree path; LCP
@@ -50,7 +51,8 @@ struct LevelLabels {
 
 /// Computes the step-2 level labels (used by tests and by the distributed
 /// verification protocol's audit step).
-LevelLabels compute_levels(const graph::NodeGraph& g, graph::NodeId source,
-                           graph::NodeId target);
+[[nodiscard]] LevelLabels compute_levels(const graph::NodeGraph& g,
+                                         graph::NodeId source,
+                                         graph::NodeId target);
 
 }  // namespace tc::core

@@ -1,5 +1,6 @@
 #include "core/link_vcg.hpp"
 
+#include "core/audit_hooks.hpp"
 #include "spath/dijkstra.hpp"
 #include "util/check.hpp"
 
@@ -47,6 +48,7 @@ PaymentResult link_vcg_payments(const graph::LinkGraph& g, NodeId source,
     const Cost own_arcs = node_arc_cost_on_path(g, result.path, k);
     result.payments[k] = own_arcs + (avoid_cost - result.path_cost);
   }
+  TC_DCHECK(internal::audit_ok(g, source, target, result));
   return result;
 }
 

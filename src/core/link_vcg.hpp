@@ -21,13 +21,14 @@ namespace tc::core {
 /// payments using the graph's current arc costs as declarations.
 /// payments[k] is 0 for nodes not on the path; source/target are never
 /// paid.
-PaymentResult link_vcg_payments(const graph::LinkGraph& g,
-                                graph::NodeId source, graph::NodeId target);
+[[nodiscard]] PaymentResult link_vcg_payments(const graph::LinkGraph& g,
+                                              graph::NodeId source,
+                                              graph::NodeId target);
 
 /// Per-arc declared-cost of the path (sum of x_{k,j} d_{k,j} for node k):
 /// convenience for tests. Returns 0 when k is not on `path`.
-graph::Cost node_arc_cost_on_path(const graph::LinkGraph& g,
-                                  const std::vector<graph::NodeId>& path,
-                                  graph::NodeId k);
+[[nodiscard]] graph::Cost node_arc_cost_on_path(
+    const graph::LinkGraph& g, const std::vector<graph::NodeId>& path,
+    graph::NodeId k);
 
 }  // namespace tc::core

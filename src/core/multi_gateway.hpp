@@ -28,15 +28,17 @@ struct GatewayResult {
   /// payments[k] for every node of the original graph.
   std::vector<graph::Cost> payments;
 
-  bool connected() const { return graph::finite_cost(path_cost); }
-  graph::Cost total_payment() const;
+  [[nodiscard]] bool connected() const {
+    return graph::finite_cost(path_cost);
+  }
+  [[nodiscard]] graph::Cost total_payment() const;
 };
 
 /// Computes the least-cost route from `source` to the cheapest gateway
 /// and VCG payments to its relays. `gateways` must be non-empty and must
 /// not contain `source`.
-GatewayResult multi_gateway_payments(const graph::NodeGraph& g,
-                                     graph::NodeId source,
-                                     const std::vector<graph::NodeId>& gateways);
+[[nodiscard]] GatewayResult multi_gateway_payments(
+    const graph::NodeGraph& g, graph::NodeId source,
+    const std::vector<graph::NodeId>& gateways);
 
 }  // namespace tc::core

@@ -34,28 +34,31 @@ using CollusionSetFn =
                                              graph::NodeId)>;
 
 /// Q(v) = closed neighborhood {v} ∪ N(v).
-std::vector<graph::NodeId> closed_neighborhood(const graph::NodeGraph& g,
-                                               graph::NodeId v);
+[[nodiscard]] std::vector<graph::NodeId> closed_neighborhood(
+    const graph::NodeGraph& g, graph::NodeId v);
 
 /// Computes the p~ payments for all nodes (on-path relays via the formula
 /// above; off-path nodes get max(0, ||P_{-N}|| - ||P||)). Uses the graph's
 /// stored costs as the declared vector.
-PaymentResult neighbor_resistant_payments(const graph::NodeGraph& g,
-                                          graph::NodeId source,
-                                          graph::NodeId target);
+[[nodiscard]] PaymentResult neighbor_resistant_payments(
+    const graph::NodeGraph& g, graph::NodeId source, graph::NodeId target);
 
 /// Generalized Q-set payments.
-PaymentResult q_set_payments(const graph::NodeGraph& g, graph::NodeId source,
-                             graph::NodeId target, const CollusionSetFn& q);
+[[nodiscard]] PaymentResult q_set_payments(const graph::NodeGraph& g,
+                                           graph::NodeId source,
+                                           graph::NodeId target,
+                                           const CollusionSetFn& q);
 
 /// UnicastMechanism adapter over the p~ scheme, usable with the
 /// truthfulness/collusion harness.
 class NeighborResistantMechanism final : public mech::UnicastMechanism {
  public:
-  mech::UnicastOutcome run(
+  [[nodiscard]] mech::UnicastOutcome run(
       const graph::NodeGraph& g, graph::NodeId source, graph::NodeId target,
       const std::vector<graph::Cost>& declared) const override;
-  std::string name() const override { return "neighbor-resistant"; }
+  [[nodiscard]] std::string name() const override {
+    return "neighbor-resistant";
+  }
 };
 
 }  // namespace tc::core

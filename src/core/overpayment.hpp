@@ -31,8 +31,8 @@ struct SourceOverpayment {
   graph::Cost payment = 0.0;   ///< p_i: total VCG payment of this source
   graph::Cost lcp_cost = 0.0;  ///< c(i,0): declared cost of its LCP
   std::size_t hops = 0;        ///< path length in hops (>= 1)
-  bool ratio_defined() const { return lcp_cost > 0.0; }
-  double ratio() const { return payment / lcp_cost; }
+  [[nodiscard]] bool ratio_defined() const { return lcp_cost > 0.0; }
+  [[nodiscard]] double ratio() const { return payment / lcp_cost; }
 };
 
 struct OverpaymentMetrics {
@@ -50,12 +50,12 @@ struct OverpaymentResult {
 };
 
 /// Node-weighted study: VCG payments from every source to `access_point`.
-OverpaymentResult overpayment_node_model(const graph::NodeGraph& g,
-                                         graph::NodeId access_point);
+[[nodiscard]] OverpaymentResult overpayment_node_model(
+    const graph::NodeGraph& g, graph::NodeId access_point);
 
 /// Link-weighted study (Section III.F payments).
-OverpaymentResult overpayment_link_model(const graph::LinkGraph& g,
-                                         graph::NodeId access_point);
+[[nodiscard]] OverpaymentResult overpayment_link_model(
+    const graph::LinkGraph& g, graph::NodeId access_point);
 
 /// Fig. 3(d): overpayment ratio bucketed by hop distance to the source.
 struct HopBucket {
@@ -65,11 +65,11 @@ struct HopBucket {
   std::size_t count = 0;
 };
 
-std::vector<HopBucket> bucket_by_hops(
+[[nodiscard]] std::vector<HopBucket> bucket_by_hops(
     const std::vector<SourceOverpayment>& per_source);
 
 /// Aggregates the per-source list into the three ratios.
-OverpaymentMetrics summarize_overpayment(
+[[nodiscard]] OverpaymentMetrics summarize_overpayment(
     const std::vector<SourceOverpayment>& per_source,
     std::size_t monopoly_sources, std::size_t skipped_sources);
 

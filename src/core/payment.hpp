@@ -19,9 +19,11 @@ struct PaymentResult {
   /// cannot happen on biconnected graphs).
   std::vector<graph::Cost> payments;
 
-  bool connected() const { return graph::finite_cost(path_cost); }
+  [[nodiscard]] bool connected() const {
+    return graph::finite_cost(path_cost);
+  }
 
-  graph::Cost total_payment() const {
+  [[nodiscard]] graph::Cost total_payment() const {
     graph::Cost total = 0.0;
     for (graph::Cost p : payments) total += p;
     return total;
@@ -30,7 +32,9 @@ struct PaymentResult {
   /// Overpayment = total payment minus the path's declared cost (what a
   /// non-strategic "pay cost" scheme would charge). Section III.G studies
   /// the ratio total_payment / path_cost.
-  graph::Cost overpayment() const { return total_payment() - path_cost; }
+  [[nodiscard]] graph::Cost overpayment() const {
+    return total_payment() - path_cost;
+  }
 };
 
 }  // namespace tc::core

@@ -1,5 +1,6 @@
 #include "core/vcg_unicast.hpp"
 
+#include "core/audit_hooks.hpp"
 #include "core/fast_payment.hpp"
 #include "spath/avoiding.hpp"
 #include "spath/dijkstra.hpp"
@@ -31,6 +32,7 @@ PaymentResult vcg_payments_naive(const graph::NodeGraph& g, NodeId source,
                              ? avoid.cost - result.path_cost + g.node_cost(k)
                              : graph::kInfCost;
   }
+  TC_DCHECK(internal::audit_ok(g, source, target, result));
   return result;
 }
 

@@ -22,8 +22,9 @@ namespace tc::core {
 
 /// Computes the LCP and VCG payments with per-relay masked Dijkstra.
 /// The graph's stored node costs are interpreted as the declared vector d.
-PaymentResult vcg_payments_naive(const graph::NodeGraph& g,
-                                 graph::NodeId source, graph::NodeId target);
+[[nodiscard]] PaymentResult vcg_payments_naive(const graph::NodeGraph& g,
+                                               graph::NodeId source,
+                                               graph::NodeId target);
 
 /// Engine selector for VcgUnicastMechanism.
 enum class PaymentEngine {
@@ -37,11 +38,11 @@ class VcgUnicastMechanism final : public mech::UnicastMechanism {
   explicit VcgUnicastMechanism(PaymentEngine engine = PaymentEngine::kFast)
       : engine_(engine) {}
 
-  mech::UnicastOutcome run(
+  [[nodiscard]] mech::UnicastOutcome run(
       const graph::NodeGraph& g, graph::NodeId source, graph::NodeId target,
       const std::vector<graph::Cost>& declared) const override;
 
-  std::string name() const override;
+  [[nodiscard]] std::string name() const override;
 
  private:
   PaymentEngine engine_;

@@ -54,7 +54,7 @@ struct PaymentOutcome {
 
   /// Total payment of source i (sum over its relays); kInfCost when any
   /// entry failed to ground (disconnected after a removal).
-  graph::Cost total_payment(graph::NodeId i) const;
+  [[nodiscard]] graph::Cost total_payment(graph::NodeId i) const;
 };
 
 /// Scheduling of the min-update rounds.

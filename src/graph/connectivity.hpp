@@ -14,29 +14,31 @@ namespace tc::graph {
 
 /// True when the masked graph restricted to allowed nodes is connected
 /// (ignoring fully-masked graphs, which count as trivially connected).
-bool is_connected(const NodeGraph& g, const NodeMask& mask = {});
+[[nodiscard]] bool is_connected(const NodeGraph& g, const NodeMask& mask = {});
 
 /// True when every pair of allowed nodes remains connected after removing
 /// any single allowed node: no articulation points (and at least 3 nodes).
-bool is_biconnected(const NodeGraph& g);
+[[nodiscard]] bool is_biconnected(const NodeGraph& g);
 
 /// Articulation points of the (unmasked) graph, via Tarjan's low-link DFS.
 /// Returned sorted ascending.
-std::vector<NodeId> articulation_points(const NodeGraph& g);
+[[nodiscard]] std::vector<NodeId> articulation_points(const NodeGraph& g);
 
 /// True when removing node v (only) keeps the rest connected.
-bool connected_without_node(const NodeGraph& g, NodeId v);
+[[nodiscard]] bool connected_without_node(const NodeGraph& g, NodeId v);
 
 /// True when removing the closed neighborhood N(v) = {v} ∪ neighbors(v)
 /// keeps the rest connected. Required by the neighbor-collusion scheme.
-bool connected_without_neighborhood(const NodeGraph& g, NodeId v);
+[[nodiscard]] bool connected_without_neighborhood(const NodeGraph& g,
+                                                  NodeId v);
 
 /// True when connected_without_neighborhood holds for every node.
-bool neighborhood_removal_safe(const NodeGraph& g);
+[[nodiscard]] bool neighborhood_removal_safe(const NodeGraph& g);
 
 /// Nodes reachable from `source` under `mask` (BFS); result[v] true if
 /// reachable. Source must be allowed.
-std::vector<bool> reachable_from(const NodeGraph& g, NodeId source,
-                                 const NodeMask& mask = {});
+[[nodiscard]] std::vector<bool> reachable_from(const NodeGraph& g,
+                                               NodeId source,
+                                               const NodeMask& mask = {});
 
 }  // namespace tc::graph

@@ -1,0 +1,442 @@
+#include "mech/invariants.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "graph/connectivity.hpp"
+#include "graph/mask.hpp"
+#include "spath/dijkstra.hpp"
+#include "util/rng.hpp"
+
+namespace tc::mech {
+
+using graph::Cost;
+using graph::NodeId;
+
+namespace {
+
+/// Tolerant comparison: exact on infinities, relative-scaled otherwise.
+bool approx_eq(Cost a, Cost b, double tol) {
+  if (std::isinf(a) || std::isinf(b)) return std::isinf(a) == std::isinf(b);
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  return std::abs(a - b) <= tol * scale;
+}
+
+/// Collects violation strings with printf-free formatting.
+class Auditor {
+ public:
+  explicit Auditor(AuditReport& report) : report_(report) {}
+
+  template <typename... Parts>
+  void fail(const Parts&... parts) {
+    std::ostringstream out;
+    (out << ... << parts);
+    report_.violations.push_back(out.str());
+  }
+
+  [[nodiscard]] bool ok() const { return report_.violations.empty(); }
+
+ private:
+  AuditReport& report_;
+};
+
+/// True when node v is an interior (relay) position of `path`.
+bool is_interior(const std::vector<NodeId>& path, NodeId v) {
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    if (path[i] == v) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string AuditReport::to_string() const {
+  std::string joined;
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i) joined += '\n';
+    joined += violations[i];
+  }
+  return joined;
+}
+
+AuditReport audit_unicast_payment(const graph::NodeGraph& g, NodeId source,
+                                  NodeId target, const UnicastOutcome& outcome,
+                                  const AuditOptions& options) {
+  AuditReport report;
+  Auditor audit(report);
+  const std::size_t n = g.num_nodes();
+  const double tol = options.tolerance;
+
+  if (source >= n || target >= n || source == target) {
+    audit.fail("invalid request: source=", source, " target=", target,
+               " n=", n);
+    return report;
+  }
+  if (outcome.payments.size() != n) {
+    audit.fail("payment vector has ", outcome.payments.size(),
+               " entries, graph has ", n, " nodes");
+    return report;  // nothing below is safe to index
+  }
+
+  const std::vector<NodeId>& path = outcome.path;
+
+  // --- Structural soundness (always on). -------------------------------
+  if (path.empty()) {
+    if (graph::finite_cost(outcome.path_cost)) {
+      audit.fail("empty path but finite path_cost ", outcome.path_cost);
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (outcome.payments[v] != 0.0) {
+        audit.fail("disconnected outcome pays node ", v, " amount ",
+                   outcome.payments[v]);
+      }
+    }
+    if (options.check_least_cost_path) {
+      const auto reach = graph::reachable_from(g, source);
+      if (reach[target]) {
+        audit.fail("no path reported but target ", target,
+                   " is reachable from source ", source);
+      }
+    }
+    return report;
+  }
+
+  if (path.front() != source || path.back() != target) {
+    audit.fail("path endpoints (", path.front(), ", ", path.back(),
+               ") do not match request (", source, ", ", target, ")");
+    return report;
+  }
+  {
+    std::vector<bool> seen(n, false);
+    Cost interior_sum = 0.0;
+    bool structurally_ok = true;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      const NodeId v = path[i];
+      if (v >= n) {
+        audit.fail("path node ", v, " out of range");
+        return report;
+      }
+      if (seen[v]) {
+        audit.fail("path visits node ", v, " twice");
+        structurally_ok = false;
+      }
+      seen[v] = true;
+      if (i + 1 < path.size() && !g.has_edge(v, path[i + 1])) {
+        audit.fail("path edge (", v, ", ", path[i + 1],
+                   ") does not exist in the graph");
+        structurally_ok = false;
+      }
+      if (i > 0 && i + 1 < path.size()) interior_sum += g.node_cost(v);
+    }
+    if (structurally_ok && !approx_eq(interior_sum, outcome.path_cost, tol)) {
+      audit.fail("declared path_cost ", outcome.path_cost,
+                 " != interior cost sum ", interior_sum);
+    }
+  }
+
+  // --- Least-cost output (mechanism output is the LCP, Section III.A). --
+  if (options.check_least_cost_path) {
+    const spath::SptResult spt = spath::dijkstra_node(g, source);
+    const Cost best = spt.reached(target) ? spt.dist[target] : graph::kInfCost;
+    if (!approx_eq(best, outcome.path_cost, tol)) {
+      audit.fail("path_cost ", outcome.path_cost,
+                 " is not the least-cost value ", best);
+    }
+  }
+
+  // --- Per-node payment postconditions. --------------------------------
+  for (NodeId v = 0; v < n; ++v) {
+    const Cost p = outcome.payments[v];
+    const bool relay = is_interior(path, v);
+
+    if (!relay) {
+      if (options.check_off_path_zero && !approx_eq(p, 0.0, tol)) {
+        audit.fail("off-path node ", v, " paid ", p, " (must be 0)");
+      }
+      continue;
+    }
+    if (std::isinf(p)) {
+      if (options.check_monopoly_consistency) {
+        graph::NodeMask mask(n);
+        mask.block(v);
+        const auto reach = graph::reachable_from(g, source, mask);
+        if (reach[target]) {
+          audit.fail("relay ", v,
+                     " paid infinity but is not a monopoly (graph stays "
+                     "connected without it)");
+        }
+      }
+      continue;
+    }
+    if (p < 0.0) {
+      audit.fail("relay ", v, " paid negative amount ", p);
+      continue;
+    }
+    if (options.check_individual_rationality) {
+      const Cost declared = g.node_cost(v);
+      if (p + tol * std::max(1.0, declared) < declared) {
+        audit.fail("IR violation: relay ", v, " paid ", p,
+                   " below its declared cost ", declared);
+      }
+    }
+  }
+
+  // --- Reference-engine agreement. --------------------------------------
+  if (options.reference != nullptr) {
+    const UnicastOutcome ref =
+        options.reference->run(g, source, target, g.costs());
+    if (!approx_eq(ref.path_cost, outcome.path_cost, tol)) {
+      audit.fail("reference engine path cost ", ref.path_cost,
+                 " != audited path cost ", outcome.path_cost);
+    }
+    if (ref.payments.size() == outcome.payments.size()) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (!approx_eq(ref.payments[v], outcome.payments[v], tol)) {
+          audit.fail("reference engine pays node ", v, " amount ",
+                     ref.payments[v], " but audited profile pays ",
+                     outcome.payments[v]);
+        }
+      }
+    } else {
+      audit.fail("reference engine payment vector size ",
+                 ref.payments.size(), " != ", outcome.payments.size());
+    }
+  }
+
+  // --- Bid-independence spot checks (strategyproofness, Theorem 2). -----
+  // Lowering a relay's own declaration keeps it on every least-cost path
+  // (all paths through it get strictly cheaper; paths avoiding it do not
+  // change), and the VCG payment p^k = ||P_{-v_k}|| - (||P|| - d_k) is a
+  // function of the *other* agents' declarations only — so the payment
+  // must not move.
+  if (options.perturbation_trials > 0 && options.mechanism != nullptr &&
+      path.size() > 2) {
+    util::Rng rng(options.perturbation_seed);
+    for (std::size_t trial = 0; trial < options.perturbation_trials; ++trial) {
+      const std::size_t idx =
+          1 + static_cast<std::size_t>(rng.next_below(path.size() - 2));
+      const NodeId k = path[idx];
+      const Cost original = outcome.payments[k];
+      if (std::isinf(original) || g.node_cost(k) <= 0.0) continue;
+
+      std::vector<Cost> declared = g.costs();
+      declared[k] *= rng.uniform(0.1, 0.9);
+      const UnicastOutcome perturbed =
+          options.mechanism->run(g, source, target, declared);
+      if (!is_interior(perturbed.path, k)) {
+        audit.fail("bid independence: relay ", k,
+                   " fell off the path after lowering its own bid");
+        continue;
+      }
+      if (!approx_eq(perturbed.payments[k], original, tol)) {
+        audit.fail("bid independence violated: relay ", k, " paid ",
+                   original, " truthfully but ", perturbed.payments[k],
+                   " after lowering its own bid to ", declared[k]);
+      }
+    }
+  }
+
+  return report;
+}
+
+AuditReport audit_link_payment(const graph::LinkGraph& g, NodeId source,
+                               NodeId target, const UnicastOutcome& outcome,
+                               const LinkAuditOptions& options) {
+  AuditReport report;
+  Auditor audit(report);
+  const std::size_t n = g.num_nodes();
+  const double tol = options.tolerance;
+
+  if (source >= n || target >= n || source == target) {
+    audit.fail("invalid request: source=", source, " target=", target,
+               " n=", n);
+    return report;
+  }
+  if (outcome.payments.size() != n) {
+    audit.fail("payment vector has ", outcome.payments.size(),
+               " entries, graph has ", n, " nodes");
+    return report;
+  }
+
+  const std::vector<NodeId>& path = outcome.path;
+
+  // --- Structural soundness. -------------------------------------------
+  if (path.empty()) {
+    if (graph::finite_cost(outcome.path_cost)) {
+      audit.fail("empty path but finite path_cost ", outcome.path_cost);
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (outcome.payments[v] != 0.0) {
+        audit.fail("disconnected outcome pays node ", v, " amount ",
+                   outcome.payments[v]);
+      }
+    }
+    if (options.check_least_cost_path) {
+      const spath::SptResult spt = spath::dijkstra_link(g, source);
+      if (spt.reached(target)) {
+        audit.fail("no path reported but target ", target,
+                   " is reachable from source ", source);
+      }
+    }
+    return report;
+  }
+
+  if (path.front() != source || path.back() != target) {
+    audit.fail("path endpoints (", path.front(), ", ", path.back(),
+               ") do not match request (", source, ", ", target, ")");
+    return report;
+  }
+  {
+    std::vector<bool> seen(n, false);
+    Cost arc_sum = 0.0;
+    bool structurally_ok = true;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      const NodeId v = path[i];
+      if (v >= n) {
+        audit.fail("path node ", v, " out of range");
+        return report;
+      }
+      if (seen[v]) {
+        audit.fail("path visits node ", v, " twice");
+        structurally_ok = false;
+      }
+      seen[v] = true;
+      if (i + 1 < path.size()) {
+        const Cost c = g.arc_cost(v, path[i + 1]);
+        if (!graph::finite_cost(c)) {
+          audit.fail("path arc (", v, " -> ", path[i + 1],
+                     ") does not exist in the graph");
+          structurally_ok = false;
+        } else {
+          arc_sum += c;
+        }
+      }
+    }
+    if (structurally_ok && !approx_eq(arc_sum, outcome.path_cost, tol)) {
+      audit.fail("declared path_cost ", outcome.path_cost,
+                 " != arc cost sum ", arc_sum);
+    }
+  }
+
+  // --- Least-cost output. ----------------------------------------------
+  if (options.check_least_cost_path) {
+    const spath::SptResult spt = spath::dijkstra_link(g, source);
+    const Cost best = spt.reached(target) ? spt.dist[target] : graph::kInfCost;
+    if (!approx_eq(best, outcome.path_cost, tol)) {
+      audit.fail("path_cost ", outcome.path_cost,
+                 " is not the least-cost value ", best);
+    }
+  }
+
+  // Declared cost of the forwarding arcs node v contributes to `path`.
+  auto own_arc_cost = [&](NodeId v) {
+    Cost total = 0.0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (path[i] == v) total += g.arc_cost(path[i], path[i + 1]);
+    }
+    return total;
+  };
+
+  // --- Per-node payment postconditions. --------------------------------
+  for (NodeId v = 0; v < n; ++v) {
+    const Cost p = outcome.payments[v];
+    const bool relay = is_interior(path, v);
+
+    if (!relay) {
+      if (options.check_off_path_zero && !approx_eq(p, 0.0, tol)) {
+        audit.fail("off-path node ", v, " paid ", p, " (must be 0)");
+      }
+      continue;
+    }
+    if (std::isinf(p)) {
+      if (options.check_monopoly_consistency) {
+        graph::NodeMask mask(n);
+        mask.block(v);
+        const spath::SptResult avoid = spath::dijkstra_link(g, source, mask);
+        if (avoid.reached(target)) {
+          audit.fail("relay ", v,
+                     " paid infinity but is not a monopoly (a path avoiding "
+                     "it exists)");
+        }
+      }
+      continue;
+    }
+    if (p < 0.0) {
+      audit.fail("relay ", v, " paid negative amount ", p);
+      continue;
+    }
+    if (options.check_individual_rationality) {
+      const Cost declared = own_arc_cost(v);
+      if (p + tol * std::max(1.0, declared) < declared) {
+        audit.fail("IR violation: relay ", v, " paid ", p,
+                   " below the declared cost ", declared,
+                   " of its forwarding arcs");
+      }
+    }
+  }
+
+  // --- Reference-engine agreement. --------------------------------------
+  if (options.reference) {
+    const UnicastOutcome ref = options.reference(g, source, target);
+    if (!approx_eq(ref.path_cost, outcome.path_cost, tol)) {
+      audit.fail("reference engine path cost ", ref.path_cost,
+                 " != audited path cost ", outcome.path_cost);
+    }
+    if (ref.payments.size() == outcome.payments.size()) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (!approx_eq(ref.payments[v], outcome.payments[v], tol)) {
+          audit.fail("reference engine pays node ", v, " amount ",
+                     ref.payments[v], " but audited profile pays ",
+                     outcome.payments[v]);
+        }
+      }
+    } else {
+      audit.fail("reference engine payment vector size ",
+                 ref.payments.size(), " != ", outcome.payments.size());
+    }
+  }
+
+  // --- Bid-independence spot checks. ------------------------------------
+  // Lowering the declared cost of the forwarding arc a relay already
+  // contributes keeps it on the least-cost path and must leave its
+  // payment p^k = own_arcs + ||P_{-v_k}|| - ||P|| unchanged (the drop in
+  // own_arcs cancels the drop in ||P||).
+  if (options.perturbation_trials > 0 && options.engine && path.size() > 2) {
+    util::Rng rng(options.perturbation_seed);
+    for (std::size_t trial = 0; trial < options.perturbation_trials; ++trial) {
+      const std::size_t idx =
+          1 + static_cast<std::size_t>(rng.next_below(path.size() - 2));
+      const NodeId k = path[idx];
+      const NodeId next = path[idx + 1];
+      const Cost original = outcome.payments[k];
+      const Cost arc = g.arc_cost(k, next);
+      if (std::isinf(original) || arc <= 0.0) continue;
+
+      graph::LinkGraph perturbed_graph = g;
+      const Cost lowered = arc * rng.uniform(0.1, 0.9);
+      perturbed_graph.set_arc_cost(k, next, lowered);
+      // Keep symmetric-cost instances symmetric so symmetric-only engines
+      // (fast_link_payments) remain applicable.
+      if (g.arc_cost(next, k) == arc) {
+        perturbed_graph.set_arc_cost(next, k, lowered);
+      }
+      const UnicastOutcome perturbed =
+          options.engine(perturbed_graph, source, target);
+      if (!is_interior(perturbed.path, k)) {
+        audit.fail("bid independence: relay ", k,
+                   " fell off the path after lowering its own arc bid");
+        continue;
+      }
+      if (!approx_eq(perturbed.payments[k], original, tol)) {
+        audit.fail("bid independence violated: relay ", k, " paid ",
+                   original, " truthfully but ", perturbed.payments[k],
+                   " after lowering its arc bid ", arc, " to ", lowered);
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace tc::mech

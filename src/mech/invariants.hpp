@@ -1,0 +1,125 @@
+// Mechanism invariant auditors: machine-checkable postconditions of the
+// paper's payment schemes.
+//
+// The paper's contribution is a *correctness property* — the payment
+// profile is strategyproof (Theorem 2) and individually rational — so a
+// regression here is a silent logic bug, not a crash. These auditors pin
+// the Lemma-level postconditions down mechanically, for any computed
+// payment profile:
+//
+//  * structural soundness: the output path is a real path of the graph
+//    from source to target and the reported cost matches it;
+//  * least-cost output: the path cost equals the Dijkstra optimum;
+//  * individual rationality: every relay is paid at least its declared
+//    cost (Section II.C — truthful agents never lose);
+//  * off-path zero: nodes that do not relay are paid exactly nothing;
+//  * monopoly consistency: an infinite payment is reported only when the
+//    relay really is a cut vertex separating source from target;
+//  * bid independence (spot-checked by perturbation): a relay's payment
+//    does not move when its own declaration changes, as long as it stays
+//    on the least-cost path — the heart of strategyproofness;
+//  * reference agreement: the profile matches a second, independent
+//    engine (e.g. fast_payment vs. the naive per-node VCG recomputation).
+//
+// They are callable from tests and from TC_DCHECK-gated hooks inside the
+// payment engines themselves (see core/audit_hooks.hpp), so every debug /
+// sanitizer run audits every payment it computes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/link_graph.hpp"
+#include "graph/node_graph.hpp"
+#include "mech/mechanism.hpp"
+
+namespace tc::mech {
+
+/// Result of one audit: empty `violations` means every enabled check held.
+struct AuditReport {
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// All violations joined with newlines ("" when ok).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Configuration for audit_unicast_payment (node-weighted model).
+///
+/// The default configuration runs every self-contained check (structure,
+/// least-cost, IR, off-path zero, monopoly consistency); the cross-engine
+/// and perturbation checks need collaborators and are off until provided.
+struct AuditOptions {
+  /// Absolute-ish tolerance: values a, b agree when
+  /// |a - b| <= tolerance * max(1, |a|, |b|).
+  double tolerance = 1e-7;
+  /// Recompute the source SPT and require path_cost to be optimal.
+  bool check_least_cost_path = true;
+  /// Every relay's payment >= its declared cost.
+  bool check_individual_rationality = true;
+  /// Every non-relay (including both endpoints) is paid exactly zero.
+  bool check_off_path_zero = true;
+  /// Infinite payments must coincide with genuine monopolies (removing
+  /// the relay disconnects source from target).
+  bool check_monopoly_consistency = true;
+  /// Number of own-bid perturbation spot checks (0 disables). Each trial
+  /// lowers one relay's declared cost — which provably keeps it on the
+  /// least-cost path — re-runs `mechanism`, and requires the relay's
+  /// payment to be unchanged.
+  std::size_t perturbation_trials = 0;
+  std::uint64_t perturbation_seed = 0x7ca11ed5eedULL;
+  /// Mechanism used to re-evaluate perturbed declarations; required when
+  /// perturbation_trials > 0.
+  const UnicastMechanism* mechanism = nullptr;
+  /// Independent reference engine; when set, its payments on the same
+  /// declarations must agree with the audited profile element-wise.
+  const UnicastMechanism* reference = nullptr;
+};
+
+/// Audits one node-weighted payment profile. The graph's stored node
+/// costs are interpreted as the declared vector d (the same convention the
+/// payment engines use); `outcome` is the profile under audit.
+[[nodiscard]] AuditReport audit_unicast_payment(const graph::NodeGraph& g,
+                                                graph::NodeId source,
+                                                graph::NodeId target,
+                                                const UnicastOutcome& outcome,
+                                                const AuditOptions& options = {});
+
+/// Re-evaluation callback for the link-weighted audits: computes the
+/// payment profile of (graph, source, target) with some engine. Kept as a
+/// std::function so the mech layer does not depend on the core engines.
+using LinkPaymentFn = std::function<UnicastOutcome(
+    const graph::LinkGraph&, graph::NodeId, graph::NodeId)>;
+
+/// Configuration for audit_link_payment (link-weighted model,
+/// Section III.F). Mirrors AuditOptions; IR here means each relay is paid
+/// at least the declared cost of its own forwarding arcs the path uses.
+struct LinkAuditOptions {
+  double tolerance = 1e-7;
+  bool check_least_cost_path = true;
+  bool check_individual_rationality = true;
+  bool check_off_path_zero = true;
+  bool check_monopoly_consistency = true;
+  /// Perturbation spot checks lower the used forwarding arc of one relay
+  /// (both directions when the reverse arc has symmetric cost, preserving
+  /// the symmetric-model invariant) and require its payment unchanged.
+  std::size_t perturbation_trials = 0;
+  std::uint64_t perturbation_seed = 0x7ca11ed5eedULL;
+  /// Engine used to re-evaluate perturbed declarations; required when
+  /// perturbation_trials > 0.
+  LinkPaymentFn engine;
+  /// Independent reference engine for element-wise payment agreement.
+  LinkPaymentFn reference;
+};
+
+/// Audits one link-weighted payment profile. The graph's stored arc costs
+/// are the declared costs; `outcome` is the profile under audit.
+[[nodiscard]] AuditReport audit_link_payment(const graph::LinkGraph& g,
+                                             graph::NodeId source,
+                                             graph::NodeId target,
+                                             const UnicastOutcome& outcome,
+                                             const LinkAuditOptions& options = {});
+
+}  // namespace tc::mech

@@ -26,10 +26,12 @@ struct UnicastOutcome {
   /// payments[k]: what the source pays node k. Size = num_nodes.
   std::vector<graph::Cost> payments;
 
-  bool connected() const { return graph::finite_cost(path_cost); }
-  graph::Cost total_payment() const;
+  [[nodiscard]] bool connected() const {
+    return graph::finite_cost(path_cost);
+  }
+  [[nodiscard]] graph::Cost total_payment() const;
   /// True when node k relays on the chosen path (excludes endpoints).
-  bool is_relay(graph::NodeId k) const;
+  [[nodiscard]] bool is_relay(graph::NodeId k) const;
 };
 
 /// Strategy interface: a unicast pricing mechanism over the node-weighted
@@ -41,16 +43,17 @@ class UnicastMechanism {
 
   /// Evaluates the mechanism. `declared` has one entry per node (the
   /// declared cost vector d); the graph's stored costs are ignored.
-  virtual UnicastOutcome run(const graph::NodeGraph& g,
-                             graph::NodeId source, graph::NodeId target,
-                             const std::vector<graph::Cost>& declared) const = 0;
+  [[nodiscard]] virtual UnicastOutcome run(
+      const graph::NodeGraph& g, graph::NodeId source, graph::NodeId target,
+      const std::vector<graph::Cost>& declared) const = 0;
 
-  virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
 };
 
 /// Utility of agent k with true cost `true_cost` under `outcome`
 /// (Section II.C): payment minus true cost if k relays, else payment.
-graph::Cost agent_utility(const UnicastOutcome& outcome, graph::NodeId k,
-                          graph::Cost true_cost);
+[[nodiscard]] graph::Cost agent_utility(const UnicastOutcome& outcome,
+                                        graph::NodeId k,
+                                        graph::Cost true_cost);
 
 }  // namespace tc::mech

@@ -28,7 +28,7 @@ struct IcViolation {
   graph::Cost lied_cost = 0.0;
   graph::Cost truthful_utility = 0.0;
   graph::Cost lying_utility = 0.0;
-  std::string to_string() const;
+  [[nodiscard]] std::string to_string() const;
 };
 
 /// One discovered IR violation (truthful agent with negative utility).
@@ -41,7 +41,9 @@ struct TruthfulnessReport {
   std::size_t deviations_tried = 0;
   std::vector<IcViolation> ic_violations;
   std::vector<IrViolation> ir_violations;
-  bool ok() const { return ic_violations.empty() && ir_violations.empty(); }
+  [[nodiscard]] bool ok() const {
+    return ic_violations.empty() && ir_violations.empty();
+  }
 };
 
 struct TruthfulnessOptions {
@@ -61,13 +63,11 @@ struct TruthfulnessOptions {
 
 /// Checks IC and IR for every agent on one instance. `true_costs` is the
 /// private profile c; the mechanism sees declared vectors derived from it.
-TruthfulnessReport check_truthfulness(const UnicastMechanism& mechanism,
-                                      const graph::NodeGraph& g,
-                                      graph::NodeId source,
-                                      graph::NodeId target,
-                                      const std::vector<graph::Cost>& true_costs,
-                                      util::Rng& rng,
-                                      const TruthfulnessOptions& options = {});
+[[nodiscard]] TruthfulnessReport check_truthfulness(
+    const UnicastMechanism& mechanism, const graph::NodeGraph& g,
+    graph::NodeId source, graph::NodeId target,
+    const std::vector<graph::Cost>& true_costs, util::Rng& rng,
+    const TruthfulnessOptions& options = {});
 
 /// One discovered profitable pair collusion (joint utility increased).
 struct PairCollusion {
@@ -77,7 +77,7 @@ struct PairCollusion {
   graph::Cost lied_cost_b = 0.0;
   graph::Cost truthful_joint_utility = 0.0;
   graph::Cost colluding_joint_utility = 0.0;
-  graph::Cost gain() const {
+  [[nodiscard]] graph::Cost gain() const {
     return colluding_joint_utility - truthful_joint_utility;
   }
 };
@@ -104,19 +104,17 @@ struct CollusionReport {
   std::size_t pairs_tried = 0;
   std::size_t deviations_tried = 0;
   std::vector<PairCollusion> collusions;
-  bool ok() const { return collusions.empty(); }
+  [[nodiscard]] bool ok() const { return collusions.empty(); }
   /// The most profitable collusion found (largest gain); collusions must
   /// be non-empty.
-  const PairCollusion& best() const;
+  [[nodiscard]] const PairCollusion& best() const;
 };
 
 /// Searches for profitable 2-agent collusions under `mechanism`.
-CollusionReport find_pair_collusions(const UnicastMechanism& mechanism,
-                                     const graph::NodeGraph& g,
-                                     graph::NodeId source,
-                                     graph::NodeId target,
-                                     const std::vector<graph::Cost>& true_costs,
-                                     util::Rng& rng,
-                                     const CollusionOptions& options = {});
+[[nodiscard]] CollusionReport find_pair_collusions(
+    const UnicastMechanism& mechanism, const graph::NodeGraph& g,
+    graph::NodeId source, graph::NodeId target,
+    const std::vector<graph::Cost>& true_costs, util::Rng& rng,
+    const CollusionOptions& options = {});
 
 }  // namespace tc::mech

@@ -69,7 +69,7 @@ HopDistanceAggregate run_hop_distance_experiment(
     const OverpaymentExperiment& config);
 
 /// Evaluates one instance of the experiment (exposed for tests).
-core::OverpaymentResult run_single_instance(
+[[nodiscard]] core::OverpaymentResult run_single_instance(
     const OverpaymentExperiment& config, std::size_t instance_index);
 
 }  // namespace tc::sim

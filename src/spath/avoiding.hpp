@@ -22,19 +22,21 @@ struct AvoidingPath {
 
 /// Least-cost s->t path that avoids node `avoid`. `avoid` must differ from
 /// both endpoints.
-AvoidingPath avoiding_path_node(const graph::NodeGraph& g, graph::NodeId s,
-                                graph::NodeId t, graph::NodeId avoid);
+[[nodiscard]] AvoidingPath avoiding_path_node(const graph::NodeGraph& g,
+                                              graph::NodeId s, graph::NodeId t,
+                                              graph::NodeId avoid);
 
 /// Least-cost s->t path avoiding every node in `avoid_set` (endpoints must
 /// not be in the set).
-AvoidingPath avoiding_path_node_set(const graph::NodeGraph& g,
-                                    graph::NodeId s, graph::NodeId t,
-                                    const std::vector<graph::NodeId>& avoid_set);
+[[nodiscard]] AvoidingPath avoiding_path_node_set(
+    const graph::NodeGraph& g, graph::NodeId s, graph::NodeId t,
+    const std::vector<graph::NodeId>& avoid_set);
 
 /// Least-cost directed s->t path in the link model avoiding node `avoid`
 /// (all of avoid's arcs are unusable, matching d_{k,*} = infinity in
 /// Section III.F).
-AvoidingPath avoiding_path_link(const graph::LinkGraph& g, graph::NodeId s,
-                                graph::NodeId t, graph::NodeId avoid);
+[[nodiscard]] AvoidingPath avoiding_path_link(const graph::LinkGraph& g,
+                                              graph::NodeId s, graph::NodeId t,
+                                              graph::NodeId avoid);
 
 }  // namespace tc::spath

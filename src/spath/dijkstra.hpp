@@ -28,53 +28,56 @@ struct SptResult {
   /// source and unreachable nodes.
   std::vector<graph::NodeId> parent;
 
-  bool reached(graph::NodeId v) const {
+  [[nodiscard]] bool reached(graph::NodeId v) const {
     return graph::finite_cost(dist.at(v));
   }
 
   /// Node sequence source..t inclusive; empty when t is unreachable.
-  std::vector<graph::NodeId> path_to(graph::NodeId t) const;
+  [[nodiscard]] std::vector<graph::NodeId> path_to(graph::NodeId t) const;
 };
 
 /// Node-weighted Dijkstra from `source`, skipping masked nodes entirely
 /// (a masked node neither relays nor terminates a path). The source must
 /// be allowed by the mask.
-SptResult dijkstra_node(const graph::NodeGraph& g, graph::NodeId source,
-                        const graph::NodeMask& mask = {});
+[[nodiscard]] SptResult dijkstra_node(const graph::NodeGraph& g,
+                                      graph::NodeId source,
+                                      const graph::NodeMask& mask = {});
 
 /// As above, with heap arity 4 (for the ablation bench).
-SptResult dijkstra_node_quad(const graph::NodeGraph& g, graph::NodeId source,
-                             const graph::NodeMask& mask = {});
+[[nodiscard]] SptResult dijkstra_node_quad(const graph::NodeGraph& g,
+                                           graph::NodeId source,
+                                           const graph::NodeMask& mask = {});
 
 /// As above, with a pairing heap (O(1) amortized decrease-key; see
 /// bench/ablation_heaps for whether that ever pays off here).
-SptResult dijkstra_node_pairing(const graph::NodeGraph& g,
-                                graph::NodeId source,
-                                const graph::NodeMask& mask = {});
+[[nodiscard]] SptResult dijkstra_node_pairing(const graph::NodeGraph& g,
+                                              graph::NodeId source,
+                                              const graph::NodeMask& mask = {});
 
 /// Link-weighted Dijkstra over out-arcs from `source`. Masked nodes are
 /// skipped (cannot be traversed or reached).
-SptResult dijkstra_link(const graph::LinkGraph& g, graph::NodeId source,
-                        const graph::NodeMask& mask = {});
+[[nodiscard]] SptResult dijkstra_link(const graph::LinkGraph& g,
+                                      graph::NodeId source,
+                                      const graph::NodeMask& mask = {});
 
 /// Link-weighted Dijkstra on the *reverse* graph: dist[v] = cost of the
 /// best directed path v -> target in `g`. parent[v] is v's successor
 /// toward the target. Builds the reverse adjacency internally; for
 /// repeated calls, prebuild with `reverse_graph`.
-SptResult dijkstra_link_to_target(const graph::LinkGraph& g,
-                                  graph::NodeId target,
-                                  const graph::NodeMask& mask = {});
+[[nodiscard]] SptResult dijkstra_link_to_target(
+    const graph::LinkGraph& g, graph::NodeId target,
+    const graph::NodeMask& mask = {});
 
 /// Explicit arc-reversed copy of `g`.
-graph::LinkGraph reverse_graph(const graph::LinkGraph& g);
+[[nodiscard]] graph::LinkGraph reverse_graph(const graph::LinkGraph& g);
 
 /// Total interior (relay) cost of a node path under graph costs; the path
 /// must be a valid node sequence (adjacency is checked in debug builds).
-graph::Cost path_interior_cost(const graph::NodeGraph& g,
-                               const std::vector<graph::NodeId>& path);
+[[nodiscard]] graph::Cost path_interior_cost(
+    const graph::NodeGraph& g, const std::vector<graph::NodeId>& path);
 
 /// Total arc cost of a directed path in `g`; kInfCost if an arc is absent.
-graph::Cost path_arc_cost(const graph::LinkGraph& g,
-                          const std::vector<graph::NodeId>& path);
+[[nodiscard]] graph::Cost path_arc_cost(const graph::LinkGraph& g,
+                                        const std::vector<graph::NodeId>& path);
 
 }  // namespace tc::spath

@@ -33,8 +33,12 @@ namespace tc::util {
   } while (0)
 
 #ifdef NDEBUG
-#define TC_DCHECK(cond) \
-  do {                  \
+// The condition must stay ODR-used (so release builds don't warn about
+// operands that exist only for the check) but unevaluated (so it costs
+// nothing); sizeof over the negated condition does exactly that.
+#define TC_DCHECK(cond)           \
+  do {                            \
+    (void)sizeof(!(cond));        \
   } while (0)
 #else
 #define TC_DCHECK(cond) TC_CHECK(cond)

@@ -1,0 +1,456 @@
+// Tests for the mechanism invariant auditors (mech/invariants.hpp): every
+// seed payment output must be accepted, every deliberately corrupted
+// profile must be rejected with the right violation, and a non-VCG
+// "pay your bid" mechanism must fail the bid-independence spot check.
+//
+// Also contains the ThreadSanitizer-targeted stress tests for
+// util::ThreadPool::parallel_for with shared accumulators.
+#include "mech/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "core/audit_hooks.hpp"
+#include "core/fast_link_payment.hpp"
+#include "core/fast_payment.hpp"
+#include "core/link_vcg.hpp"
+#include "core/vcg_unicast.hpp"
+#include "graph/generators.hpp"
+#include "spath/dijkstra.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tc::mech {
+namespace {
+
+using core::internal::to_outcome;
+using graph::Cost;
+using graph::NodeId;
+
+// gmock is not available in this toolchain, so substring matching on the
+// audit report is done with a plain gtest assertion helper.
+::testing::AssertionResult mentions(const AuditReport& report,
+                                    const std::string& needle) {
+  const std::string text = report.to_string();
+  if (text.find(needle) != std::string::npos) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << "expected a violation mentioning \"" << needle
+         << "\", report was: " << text;
+}
+
+// Full-strength audit configuration: every self-contained check plus
+// naive-reference agreement and bid-independence perturbation.
+AuditOptions full_options(const UnicastMechanism& mechanism,
+                          const UnicastMechanism& reference) {
+  AuditOptions options;
+  options.mechanism = &mechanism;
+  options.reference = &reference;
+  options.perturbation_trials = 6;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Node-weighted model: seed outputs must pass.
+// ---------------------------------------------------------------------------
+
+TEST(UnicastAudit, AcceptsFig2FastEngine) {
+  const auto g = graph::make_fig2_graph();
+  const core::VcgUnicastMechanism fast(core::PaymentEngine::kFast);
+  const core::VcgUnicastMechanism naive(core::PaymentEngine::kNaive);
+  const auto outcome = to_outcome(core::vcg_payments_fast(g, 1, 0));
+  const AuditReport report =
+      audit_unicast_payment(g, 1, 0, outcome, full_options(fast, naive));
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(UnicastAudit, AcceptsFig4BothEngines) {
+  const auto g = graph::make_fig4_graph();
+  const core::VcgUnicastMechanism fast(core::PaymentEngine::kFast);
+  const core::VcgUnicastMechanism naive(core::PaymentEngine::kNaive);
+  for (const auto* engine : {&fast, &naive}) {
+    const auto outcome = to_outcome(engine == &fast
+                                        ? core::vcg_payments_fast(g, 8, 0)
+                                        : core::vcg_payments_naive(g, 8, 0));
+    const AuditReport report =
+        audit_unicast_payment(g, 8, 0, outcome, full_options(fast, naive));
+    EXPECT_TRUE(report.ok()) << engine->name() << ": " << report.to_string();
+  }
+}
+
+TEST(UnicastAudit, AcceptsRandomInstances) {
+  const core::VcgUnicastMechanism fast(core::PaymentEngine::kFast);
+  const core::VcgUnicastMechanism naive(core::PaymentEngine::kNaive);
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const auto g = graph::make_erdos_renyi(24, 0.2, 0.3, 6.0, seed);
+    const auto outcome = to_outcome(core::vcg_payments_fast(g, 1, 0));
+    const AuditReport report =
+        audit_unicast_payment(g, 1, 0, outcome, full_options(fast, naive));
+    EXPECT_TRUE(report.ok())
+        << "seed " << seed << ": " << report.to_string();
+  }
+}
+
+TEST(UnicastAudit, AcceptsDisconnectedOutcome) {
+  graph::NodeGraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  const auto g = b.build();
+  const auto outcome = to_outcome(core::vcg_payments_fast(g, 0, 3));
+  const AuditReport report = audit_unicast_payment(g, 0, 3, outcome);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(UnicastAudit, AcceptsMonopolyInfinitePayments) {
+  // On a path graph every relay is a monopoly; infinite payments are the
+  // correct output and must be accepted.
+  const auto g = graph::make_path(5, 1.0);
+  const auto outcome = to_outcome(core::vcg_payments_fast(g, 0, 4));
+  const AuditReport report = audit_unicast_payment(g, 0, 4, outcome);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Node-weighted model: corrupted profiles must be rejected.
+// ---------------------------------------------------------------------------
+
+class CorruptedFig2 : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = graph::make_fig2_graph();
+    outcome_ = to_outcome(core::vcg_payments_fast(g_, 1, 0));
+    ASSERT_FALSE(outcome_.path.empty());
+  }
+
+  graph::NodeGraph g_ = graph::make_fig2_graph();
+  UnicastOutcome outcome_;
+};
+
+TEST_F(CorruptedFig2, RejectsPaymentBelowDeclaredCost) {
+  const NodeId relay = outcome_.path[1];
+  outcome_.payments[relay] = g_.node_cost(relay) - 0.5;
+  const AuditReport report = audit_unicast_payment(g_, 1, 0, outcome_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "IR violation"));
+}
+
+TEST_F(CorruptedFig2, RejectsNegativePayment) {
+  outcome_.payments[outcome_.path[1]] = -1.0;
+  const AuditReport report = audit_unicast_payment(g_, 1, 0, outcome_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "negative"));
+}
+
+TEST_F(CorruptedFig2, RejectsOffPathPayment) {
+  // Node 5 is off the truthful LCP v1-v4-v3-v2-v0.
+  ASSERT_FALSE(outcome_.is_relay(5));
+  outcome_.payments[5] = 1.0;
+  const AuditReport report = audit_unicast_payment(g_, 1, 0, outcome_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "off-path"));
+}
+
+TEST_F(CorruptedFig2, RejectsInflatedPathCost) {
+  outcome_.path_cost += 1.0;
+  const AuditReport report = audit_unicast_payment(g_, 1, 0, outcome_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "path_cost"));
+}
+
+TEST_F(CorruptedFig2, RejectsOverpaymentAgainstReference) {
+  // +1 on one relay keeps IR and structure intact; only the agreement
+  // check against the independent naive recomputation catches it.
+  const core::VcgUnicastMechanism naive(core::PaymentEngine::kNaive);
+  outcome_.payments[outcome_.path[1]] += 1.0;
+  AuditOptions options;
+  options.reference = &naive;
+  const AuditReport report = audit_unicast_payment(g_, 1, 0, outcome_, options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "reference engine"));
+}
+
+TEST_F(CorruptedFig2, RejectsFakeMonopolyInfinity) {
+  // Fig. 2 is biconnected: no relay is a monopoly, so an infinite payment
+  // must be flagged as inconsistent.
+  outcome_.payments[outcome_.path[1]] = graph::kInfCost;
+  const AuditReport report = audit_unicast_payment(g_, 1, 0, outcome_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "monopoly"));
+}
+
+TEST_F(CorruptedFig2, RejectsWrongSizePaymentVector) {
+  outcome_.payments.pop_back();
+  const AuditReport report = audit_unicast_payment(g_, 1, 0, outcome_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "entries"));
+}
+
+TEST_F(CorruptedFig2, RejectsNonExistentPathEdge) {
+  // Splice node 5 into the middle of the path; v5 is not adjacent to the
+  // spliced neighbors, so the path is structurally invalid.
+  outcome_.path.insert(outcome_.path.begin() + 2, 5);
+  const AuditReport report = audit_unicast_payment(g_, 1, 0, outcome_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "does not exist"));
+}
+
+TEST_F(CorruptedFig2, RejectsNonOptimalPath) {
+  // Reroute over the expensive detour v1-v5-v0 (cost 5 > 4... actually
+  // the truthful LCP costs 6 in payments but 4 in declared relay cost);
+  // hand the auditor a valid-but-suboptimal path with self-consistent
+  // cost and payments: least-cost check must fire.
+  UnicastOutcome detour;
+  detour.path = {1, 5, 0};
+  detour.path_cost = g_.node_cost(5);
+  detour.payments.assign(g_.num_nodes(), 0.0);
+  detour.payments[5] = g_.node_cost(5) + 1.0;
+  const AuditReport report = audit_unicast_payment(g_, 1, 0, detour);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "least-cost"));
+}
+
+// ---------------------------------------------------------------------------
+// Bid independence: a pay-your-bid mechanism must be caught.
+// ---------------------------------------------------------------------------
+
+// First-price ("pay your bid") routing: routes on the LCP but pays each
+// relay exactly its declaration. IR holds with equality, off-path nodes
+// get zero, the path is least-cost — every static check passes. It is
+// nevertheless manipulable, and the perturbation audit must expose that
+// a relay's payment tracks its own bid.
+class PayYourBidMechanism final : public UnicastMechanism {
+ public:
+  [[nodiscard]] UnicastOutcome run(
+      const graph::NodeGraph& g, NodeId source, NodeId target,
+      const std::vector<Cost>& declared) const override {
+    graph::NodeGraph work = g;
+    work.set_costs(declared);
+    UnicastOutcome out;
+    out.payments.assign(g.num_nodes(), 0.0);
+    const spath::SptResult spt = spath::dijkstra_node(work, source);
+    if (!spt.reached(target)) return out;
+    out.path = spt.path_to(target);
+    out.path_cost = spt.dist[target];
+    for (std::size_t i = 1; i + 1 < out.path.size(); ++i) {
+      out.payments[out.path[i]] = declared[out.path[i]];
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::string name() const override { return "pay-your-bid"; }
+};
+
+TEST(UnicastAudit, PerturbationCatchesPayYourBid) {
+  const auto g = graph::make_fig2_graph();
+  const PayYourBidMechanism first_price;
+  const auto outcome = first_price.run(g, 1, 0, g.costs());
+
+  AuditOptions static_only;  // without perturbation everything passes
+  EXPECT_TRUE(audit_unicast_payment(g, 1, 0, outcome, static_only).ok());
+
+  AuditOptions with_perturbation;
+  with_perturbation.mechanism = &first_price;
+  with_perturbation.perturbation_trials = 6;
+  const AuditReport report =
+      audit_unicast_payment(g, 1, 0, outcome, with_perturbation);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "bid independence"));
+}
+
+TEST(UnicastAudit, PerturbationAcceptsTruthfulVcg) {
+  const core::VcgUnicastMechanism fast(core::PaymentEngine::kFast);
+  for (std::uint64_t seed = 3; seed <= 8; ++seed) {
+    const auto g = graph::make_erdos_renyi(20, 0.25, 0.5, 5.0, seed);
+    const auto outcome = to_outcome(core::vcg_payments_fast(g, 1, 0));
+    AuditOptions options;
+    options.mechanism = &fast;
+    options.perturbation_trials = 10;
+    options.perturbation_seed = seed;
+    const AuditReport report =
+        audit_unicast_payment(g, 1, 0, outcome, options);
+    EXPECT_TRUE(report.ok())
+        << "seed " << seed << ": " << report.to_string();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Link-weighted model.
+// ---------------------------------------------------------------------------
+
+graph::LinkGraph make_symmetric_square() {
+  // 0 -1- 1 -1- 2 -1- 3 with chords 0-2 (2.5) and 1-3 (2.5): LCP 0-1-2-3,
+  // relays 1 and 2 each paid 1 + 3.5 - 3 = 1.5.
+  graph::LinkGraphBuilder b(4);
+  b.add_link(0, 1, 1.0, 1.0)
+      .add_link(1, 2, 1.0, 1.0)
+      .add_link(2, 3, 1.0, 1.0)
+      .add_link(0, 2, 2.5, 2.5)
+      .add_link(1, 3, 2.5, 2.5);
+  return b.build();
+}
+
+LinkAuditOptions full_link_options() {
+  LinkAuditOptions options;
+  options.engine = [](const graph::LinkGraph& g, NodeId s, NodeId t) {
+    return to_outcome(core::fast_link_payments(g, s, t));
+  };
+  options.reference = [](const graph::LinkGraph& g, NodeId s, NodeId t) {
+    return to_outcome(core::link_vcg_payments(g, s, t));
+  };
+  options.perturbation_trials = 6;
+  return options;
+}
+
+TEST(LinkAudit, AcceptsSymmetricSquareBothEngines) {
+  const auto g = make_symmetric_square();
+  const auto fast = to_outcome(core::fast_link_payments(g, 0, 3));
+  const auto naive = to_outcome(core::link_vcg_payments(g, 0, 3));
+  for (const auto& outcome : {fast, naive}) {
+    const AuditReport report =
+        audit_link_payment(g, 0, 3, outcome, full_link_options());
+    EXPECT_TRUE(report.ok()) << report.to_string();
+  }
+}
+
+TEST(LinkAudit, AcceptsRandomUnitDiskInstances) {
+  graph::UdgParams params;
+  params.n = 40;
+  params.region = {800.0, 800.0};
+  params.range_m = 250.0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto g = graph::make_unit_disk_link(params, seed);
+    const auto outcome = to_outcome(core::fast_link_payments(g, 1, 0));
+    const AuditReport report =
+        audit_link_payment(g, 1, 0, outcome, full_link_options());
+    EXPECT_TRUE(report.ok())
+        << "seed " << seed << ": " << report.to_string();
+  }
+}
+
+TEST(LinkAudit, AcceptsAsymmetricNaiveEngine) {
+  graph::LinkGraphBuilder b(4);
+  b.add_link(0, 1, 1.0, 2.0)
+      .add_link(1, 2, 1.5, 0.5)
+      .add_link(2, 3, 1.0, 3.0)
+      .add_link(0, 2, 4.0, 4.0)
+      .add_link(1, 3, 4.0, 4.0);
+  const auto g = b.build();
+  const auto outcome = to_outcome(core::link_vcg_payments(g, 0, 3));
+  LinkAuditOptions options;
+  options.engine = [](const graph::LinkGraph& gr, NodeId s, NodeId t) {
+    return to_outcome(core::link_vcg_payments(gr, s, t));
+  };
+  options.perturbation_trials = 4;
+  const AuditReport report = audit_link_payment(g, 0, 3, outcome, options);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(LinkAudit, RejectsPaymentBelowOwnArcCost) {
+  const auto g = make_symmetric_square();
+  auto outcome = to_outcome(core::fast_link_payments(g, 0, 3));
+  outcome.payments[1] = 0.25;  // own forwarding arc costs 1.0
+  const AuditReport report = audit_link_payment(g, 0, 3, outcome);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "IR violation"));
+}
+
+TEST(LinkAudit, RejectsOffPathPayment) {
+  const auto g = make_symmetric_square();
+  auto outcome = to_outcome(core::fast_link_payments(g, 0, 2));
+  ASSERT_FALSE(outcome.is_relay(3));
+  outcome.payments[3] = 0.75;
+  const AuditReport report = audit_link_payment(g, 0, 2, outcome);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "off-path"));
+}
+
+TEST(LinkAudit, RejectsDisagreementWithReference) {
+  const auto g = make_symmetric_square();
+  auto outcome = to_outcome(core::fast_link_payments(g, 0, 3));
+  outcome.payments[2] += 0.5;
+  const AuditReport report =
+      audit_link_payment(g, 0, 3, outcome, full_link_options());
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "reference engine"));
+}
+
+TEST(LinkAudit, RejectsFakeMonopolyInfinity) {
+  const auto g = make_symmetric_square();
+  auto outcome = to_outcome(core::fast_link_payments(g, 0, 3));
+  outcome.payments[1] = graph::kInfCost;
+  const AuditReport report = audit_link_payment(g, 0, 3, outcome);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "monopoly"));
+}
+
+// ---------------------------------------------------------------------------
+// ThreadSanitizer-targeted stress: parallel_for with shared accumulators.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelForStress, SharedAccumulatorsAreRaceFree) {
+  util::ThreadPool pool(4);
+  constexpr std::size_t kIters = 20000;
+
+  std::atomic<std::int64_t> atomic_sum{0};
+  std::vector<double> per_index(kIters, 0.0);
+  double locked_sum = 0.0;
+  std::mutex sum_mutex;
+
+  pool.parallel_for(0, kIters, [&](std::size_t i) {
+    atomic_sum.fetch_add(static_cast<std::int64_t>(i),
+                         std::memory_order_relaxed);
+    per_index[i] = static_cast<double>(i) * 0.5;  // disjoint writes
+    double local = static_cast<double>(i % 7);
+    {
+      std::lock_guard<std::mutex> lock(sum_mutex);
+      locked_sum += local;
+    }
+  });
+
+  const auto expected =
+      static_cast<std::int64_t>(kIters) * (kIters - 1) / 2;
+  EXPECT_EQ(atomic_sum.load(), expected);
+  double expected_locked = 0.0;
+  for (std::size_t i = 0; i < kIters; ++i) {
+    expected_locked += static_cast<double>(i % 7);
+  }
+  EXPECT_DOUBLE_EQ(locked_sum, expected_locked);
+  for (std::size_t i = 0; i < kIters; i += 997) {
+    EXPECT_DOUBLE_EQ(per_index[i], static_cast<double>(i) * 0.5);
+  }
+}
+
+TEST(ParallelForStress, ConcurrentPaymentEnginesShareConstGraph) {
+  // The engines must be pure functions of a const graph: many threads
+  // computing payments off one shared instance is exactly the production
+  // serving pattern, and TSan verifies no hidden shared mutable state.
+  const auto g = graph::make_erdos_renyi(26, 0.22, 0.3, 6.0, 99);
+  constexpr std::size_t kRequests = 48;
+
+  std::vector<Cost> parallel_totals(kRequests, 0.0);
+  util::ThreadPool pool(4);
+  pool.parallel_for(0, kRequests, [&](std::size_t i) {
+    const auto s = static_cast<NodeId>(1 + i % (g.num_nodes() - 1));
+    const auto r = core::vcg_payments_fast(g, s, 0);
+    parallel_totals[i] = r.connected() ? r.total_payment() : -1.0;
+  });
+
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const auto s = static_cast<NodeId>(1 + i % (g.num_nodes() - 1));
+    const auto r = core::vcg_payments_fast(g, s, 0);
+    const Cost expected = r.connected() ? r.total_payment() : -1.0;
+    if (std::isinf(expected)) {
+      EXPECT_TRUE(std::isinf(parallel_totals[i])) << "request " << i;
+    } else {
+      EXPECT_DOUBLE_EQ(parallel_totals[i], expected) << "request " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tc::mech

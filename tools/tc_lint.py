@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""truthcast repo lint: project rules clang-tidy cannot express.
+
+Registered as a ctest case (see tests/CMakeLists.txt) and run in CI, so a
+violation fails the build. Rules:
+
+  rng          No rand()/srand()/std::rand or <random> engines outside
+               src/util/rng.*: experiments must be reproducible bit-for-bit,
+               so all randomness flows through tc::util::Rng streams.
+  new-delete   No naked new/delete in src/: ownership goes through
+               containers and values; the payment engines never allocate
+               manually.
+  float        No `float` in the payment/price arithmetic layers (src/core,
+               src/mech, src/distsim): payments are exact identities
+               (p^k = ||P_{-v_k}|| - ||P|| + d_k) and float narrows them
+               silently; Cost is double everywhere.
+  pragma-once  Every header uses `#pragma once` (no #ifndef guards), and it
+               appears before any other preprocessor directive.
+  nodiscard    Every function returning a payment / price / verdict type
+               (PaymentResult, UnicastOutcome, AuditReport, ...) or a Cost
+               named like a payment must be [[nodiscard]]: silently dropping
+               a payment profile is exactly the bug class this repo exists
+               to prevent.
+
+Usage: tools/tc_lint.py [--root REPO_ROOT] [--list-rules]
+Exit status: 0 when clean, 1 when violations were found, 2 when no
+source files were found under --root (almost certainly a wrong path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Directories scanned per rule (relative to the repo root).
+CODE_DIRS = ("src", "tests", "examples", "bench", "tools")
+FLOAT_BAN_DIRS = ("src/core", "src/mech", "src/distsim")
+
+# Types whose values must never be silently dropped: payment profiles,
+# audit verdicts, truthfulness reports, shortest-path results.
+NODISCARD_TYPES = (
+    "PaymentResult",
+    "UnicastOutcome",
+    "AuditReport",
+    "EdgeVcgResult",
+    "TruthfulnessReport",
+    "CollusionReport",
+    "SptResult",
+    "AvoidingPath",
+    "OverpaymentResult",
+    "OverpaymentMetrics",
+    "LevelLabels",
+)
+
+RNG_BANNED = re.compile(
+    r"\b(?:std::)?(?:rand|srand)\s*\("
+    r"|\bstd::(?:mt19937(?:_64)?|minstd_rand0?|random_device|default_random_engine)\b"
+)
+NEW_DELETE = re.compile(r"\bnew\s+[A-Za-z_:(]|\bdelete(?:\[\])?\s+[A-Za-z_:(*]")
+FLOAT_USE = re.compile(r"\bfloat\b")
+IFNDEF_GUARD = re.compile(r"#\s*ifndef\s+\w*_(?:H|HPP|H_|HPP_)\b")
+
+_type_alt = "|".join(NODISCARD_TYPES)
+NODISCARD_DECL = re.compile(
+    r"^\s*(?P<attr>\[\[nodiscard\]\]\s+)?"
+    r"(?:virtual\s+|static\s+|constexpr\s+|inline\s+|friend\s+)*"
+    r"(?:const\s+)?"
+    rf"(?:\w+::)*(?P<type>{_type_alt})(?:\s*&)?\s+\w+\s*\("
+)
+NODISCARD_COST_DECL = re.compile(
+    r"^\s*(?P<attr>\[\[nodiscard\]\]\s+)?"
+    r"(?:virtual\s+|static\s+|constexpr\s+|inline\s+|friend\s+)*"
+    r"(?:const\s+)?"
+    r"(?:\w+::)*Cost\s+"
+    r"(?P<name>\w*(?:payment|price|utility|overpayment)\w*)\s*\(",
+    re.IGNORECASE,
+)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving layout.
+
+    Keeps every newline and column so reported line numbers match the
+    original file. Good enough for this codebase: no raw strings, no
+    trigraphs, no multi-line literals.
+    """
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                if i + 1 < n:
+                    out[i + 1] = " "
+                i += 2
+        elif c in ("\"", "'"):
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out[i] = " "
+                    i += 1
+                    if i < n and text[i] != "\n":
+                        out[i] = " "
+                        i += 1
+                    continue
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, root: pathlib.Path) -> None:
+        self.root = root
+        self.violations: list[str] = []
+
+    def fail(self, path: pathlib.Path, line: int, rule: str, message: str) -> None:
+        rel = path.relative_to(self.root)
+        self.violations.append(f"{rel}:{line}: [{rule}] {message}")
+
+    # -- rules ------------------------------------------------------------
+
+    def check_rng(self, path: pathlib.Path, code: str) -> None:
+        if path.match("src/util/rng.*"):
+            return  # the one sanctioned RNG implementation
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if RNG_BANNED.search(line):
+                self.fail(path, lineno, "rng",
+                          "banned RNG primitive; use tc::util::Rng streams "
+                          "for bit-for-bit reproducibility")
+
+    def check_new_delete(self, path: pathlib.Path, code: str) -> None:
+        if not str(path.relative_to(self.root)).startswith("src/"):
+            return
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if NEW_DELETE.search(line):
+                self.fail(path, lineno, "new-delete",
+                          "naked new/delete; use containers or value types")
+
+    def check_float(self, path: pathlib.Path, code: str) -> None:
+        rel = str(path.relative_to(self.root))
+        if not any(rel.startswith(d + "/") for d in FLOAT_BAN_DIRS):
+            return
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if FLOAT_USE.search(line):
+                self.fail(path, lineno, "float",
+                          "float in payment/price arithmetic; Cost is double "
+                          "and payments are exact identities")
+
+    def check_pragma_once(self, path: pathlib.Path, code: str) -> None:
+        if path.suffix != ".hpp":
+            return
+        for lineno, line in enumerate(code.splitlines(), 1):
+            stripped = line.strip()
+            if IFNDEF_GUARD.search(stripped):
+                self.fail(path, lineno, "pragma-once",
+                          "#ifndef include guard; use #pragma once")
+                return
+            if not stripped.startswith("#"):
+                continue
+            if stripped.replace(" ", "").startswith("#pragmaonce"):
+                return  # first directive is the guard: good
+            self.fail(path, lineno, "pragma-once",
+                      "first preprocessor directive must be #pragma once")
+            return
+        self.fail(path, 1, "pragma-once", "header lacks #pragma once")
+
+    def check_nodiscard(self, path: pathlib.Path, code: str) -> None:
+        rel = str(path.relative_to(self.root))
+        if path.suffix != ".hpp" or not rel.startswith("src/"):
+            return
+        for lineno, line in enumerate(code.splitlines(), 1):
+            for pattern, what in (
+                (NODISCARD_DECL, "payment/verdict type"),
+                (NODISCARD_COST_DECL, "payment-named Cost"),
+            ):
+                m = pattern.match(line)
+                if m and not m.group("attr"):
+                    self.fail(path, lineno, "nodiscard",
+                              f"function returning {what} must be "
+                              "[[nodiscard]]")
+
+    # -- driver -----------------------------------------------------------
+
+    def run(self) -> int:
+        files: list[pathlib.Path] = []
+        for d in CODE_DIRS:
+            base = self.root / d
+            if not base.is_dir():
+                continue
+            for ext in ("*.cpp", "*.hpp"):
+                files.extend(sorted(base.rglob(ext)))
+        if not files:
+            # A mistyped --root must not green-light the build.
+            print(f"tc_lint: no source files under {self.root} "
+                  f"(wrong --root?)", file=sys.stderr)
+            return 2
+        for path in files:
+            text = path.read_text(encoding="utf-8")
+            code = strip_comments_and_strings(text)
+            self.check_rng(path, code)
+            self.check_new_delete(path, code)
+            self.check_float(path, code)
+            self.check_pragma_once(path, code)
+            self.check_nodiscard(path, code)
+        for v in self.violations:
+            print(v)
+        if self.violations:
+            print(f"tc_lint: {len(self.violations)} violation(s) in "
+                  f"{len(files)} files", file=sys.stderr)
+            return 1
+        print(f"tc_lint: OK ({len(files)} files clean)")
+        return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent,
+                        help="repository root (default: the script's repo)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule names and exit")
+    args = parser.parse_args()
+    if args.list_rules:
+        print("rng new-delete float pragma-once nodiscard")
+        return 0
+    return Linter(args.root.resolve()).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
