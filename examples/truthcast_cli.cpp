@@ -10,6 +10,7 @@
 //   ./build/examples/truthcast_cli --graph net.txt --source 3 --target 0
 //   ./build/examples/truthcast_cli --demo fig4 --source 8
 //   ./build/examples/truthcast_cli --graph net.txt --all --csv out.csv
+//   ./build/examples/truthcast_cli --demo fig2 --all --engine --metrics
 #include <fstream>
 #include <memory>
 #include <iostream>
@@ -20,6 +21,7 @@
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "svc/quote_engine.hpp"
 #include "util/csv.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -51,6 +53,11 @@ int main(int argc, char** argv) {
       .add_bool("all", false, "quote every source toward --target")
       .add_bool("neighbor_resistant", false,
                 "use the p~ collusion-resistant scheme")
+      .add_bool("engine", false,
+                "serve quotes through the concurrent svc::QuoteEngine "
+                "(sharded cache + epoch-stamped snapshots)")
+      .add_bool("metrics", false,
+                "print the engine's serving metrics (implies --engine)")
       .add_string("csv", "", "write per-node payments as CSV");
   if (!flags.parse(argc, argv)) return 1;
 
@@ -59,15 +66,35 @@ int main(int argc, char** argv) {
         load_graph(flags.get_string("graph"), flags.get_string("demo"));
     const auto target = static_cast<graph::NodeId>(flags.get_int("target"));
     const bool nbr = flags.get_bool("neighbor_resistant");
+    const bool metrics = flags.get_bool("metrics");
+    const bool use_engine = flags.get_bool("engine") || metrics;
 
     std::cout << "network: " << g.num_nodes() << " nodes, " << g.num_edges()
               << " edges, biconnected: "
               << (graph::is_biconnected(g) ? "yes" : "no") << "\n";
 
+    std::unique_ptr<svc::QuoteEngine> engine;
+    if (use_engine) {
+      engine = std::make_unique<svc::QuoteEngine>(
+          g, target,
+          nbr ? svc::make_neighbor_resistant_pricer()
+              : svc::make_node_vcg_pricer());
+    }
+
+    auto price = [&](graph::NodeId source) -> core::PaymentResult {
+      if (engine) {
+        auto quote = engine->quote(source);
+        if (quote) return *std::move(quote);
+        core::PaymentResult unreachable;
+        unreachable.payments.assign(g.num_nodes(), 0.0);
+        return unreachable;
+      }
+      return nbr ? core::neighbor_resistant_payments(g, source, target)
+                 : core::vcg_payments_fast(g, source, target);
+    };
+
     auto run_one = [&](graph::NodeId source) {
-      const core::PaymentResult r =
-          nbr ? core::neighbor_resistant_payments(g, source, target)
-              : core::vcg_payments_fast(g, source, target);
+      const core::PaymentResult r = price(source);
       if (!r.connected()) {
         std::cout << "v" << source << ": unreachable\n";
         return r;
@@ -109,6 +136,11 @@ int main(int argc, char** argv) {
     } else {
       const auto source = static_cast<graph::NodeId>(flags.get_int("source"));
       record(source, run_one(source));
+    }
+    if (engine && metrics) {
+      std::cout << "\nserving metrics (epoch " << engine->epoch() << ", "
+                << engine->pricer().name() << ")\n"
+                << engine->metrics().to_string();
     }
     return 0;
   } catch (const std::exception& e) {

@@ -64,6 +64,13 @@ LevelLabels compute_levels(const graph::NodeGraph& g, NodeId source,
 
 PaymentResult vcg_payments_fast(const graph::NodeGraph& g, NodeId source,
                                 NodeId target) {
+  return vcg_payments_fast(g, source, target, nullptr, nullptr);
+}
+
+PaymentResult vcg_payments_fast(const graph::NodeGraph& g, NodeId source,
+                                NodeId target,
+                                spath::SptResult* spt_source_out,
+                                spath::SptResult* spt_target_out) {
   TC_CHECK_MSG(source != target, "source and target must differ");
   const std::size_t n = g.num_nodes();
 
@@ -71,14 +78,24 @@ PaymentResult vcg_payments_fast(const graph::NodeGraph& g, NodeId source,
   result.payments.assign(n, 0.0);
 
   // --- Step 1: SPTs and the LCP. -------------------------------------
-  const spath::SptResult sptS = spath::dijkstra_node(g, source);
-  if (!sptS.reached(target)) return result;
-  const spath::SptResult sptT = spath::dijkstra_node(g, target);
+  spath::SptResult sptS = spath::dijkstra_node(g, source);
+  if (!sptS.reached(target)) {
+    if (spt_source_out != nullptr) *spt_source_out = std::move(sptS);
+    return result;
+  }
+  spath::SptResult sptT = spath::dijkstra_node(g, target);
+  const auto export_spts = [&] {
+    if (spt_source_out != nullptr) *spt_source_out = std::move(sptS);
+    if (spt_target_out != nullptr) *spt_target_out = std::move(sptT);
+  };
 
   result.path = sptS.path_to(target);
   result.path_cost = sptS.dist[target];
   const std::size_t q = result.path.size() - 1;  // path r_0..r_q
-  if (q < 2) return result;                      // no relay nodes
+  if (q < 2) {                                   // no relay nodes
+    export_spts();
+    return result;
+  }
 
   const std::vector<Cost>& L = sptS.dist;  // relay cost s -> v (excl. both)
   const std::vector<Cost>& R = sptT.dist;  // relay cost v -> t (excl. both)
@@ -235,6 +252,7 @@ PaymentResult vcg_payments_fast(const graph::NodeGraph& g, NodeId source,
   }
 
   TC_DCHECK(internal::audit_ok(g, source, target, result));
+  export_spts();
   return result;
 }
 

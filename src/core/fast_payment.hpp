@@ -29,6 +29,7 @@
 
 #include "core/payment.hpp"
 #include "graph/node_graph.hpp"
+#include "spath/dijkstra.hpp"
 
 namespace tc::core {
 
@@ -38,6 +39,17 @@ namespace tc::core {
 [[nodiscard]] PaymentResult vcg_payments_fast(const graph::NodeGraph& g,
                                               graph::NodeId source,
                                               graph::NodeId target);
+
+/// As above, but additionally hands back the two shortest-path trees
+/// step 1 builds anyway (non-null pointers are move-assigned). Callers
+/// that need SPT(s)/SPT(t) alongside the payments — e.g. the serving
+/// layer's invalidation certificates — avoid recomputing them. When the
+/// target is unreachable only `spt_source_out` is produced.
+[[nodiscard]] PaymentResult vcg_payments_fast(const graph::NodeGraph& g,
+                                              graph::NodeId source,
+                                              graph::NodeId target,
+                                              spath::SptResult* spt_source_out,
+                                              spath::SptResult* spt_target_out);
 
 /// Internal structure exposed for testing: the level labelling of step 2.
 /// levels[v] = index of the last LCP node on v's SPT(s) tree path; LCP

@@ -10,16 +10,6 @@ namespace tc::core {
 using graph::Cost;
 using graph::NodeId;
 
-Cost RouteQuote::total_per_packet() const {
-  Cost total = 0.0;
-  for (Cost p : payments) total += p;
-  return total;
-}
-
-Cost RouteQuote::total_for_packets(std::uint64_t packets) const {
-  return total_per_packet() * static_cast<Cost>(packets);
-}
-
 UnicastService::UnicastService(graph::NodeGraph topology,
                                NodeId access_point, PricingScheme scheme)
     : graph_(std::move(topology)),
@@ -43,35 +33,31 @@ void UnicastService::declare_costs(const std::vector<Cost>& declared) {
   ++version_;
 }
 
-RouteQuote UnicastService::compute_quote_to(NodeId source,
-                                            NodeId target) const {
-  const PaymentResult r =
-      scheme_ == PricingScheme::kVcg
-          ? vcg_payments_fast(graph_, source, target)
-          : neighbor_resistant_payments(graph_, source, target);
-  RouteQuote quote;
-  quote.path = r.path;
-  quote.path_cost = r.path_cost;
-  quote.payments = r.payments;
+PaymentResult UnicastService::compute_quote_to(NodeId source,
+                                               NodeId target) const {
+  PaymentResult quote = scheme_ == PricingScheme::kVcg
+                            ? vcg_payments_fast(graph_, source, target)
+                            : neighbor_resistant_payments(graph_, source,
+                                                          target);
   quote.profile_version = version_;
   return quote;
 }
 
-RouteQuote UnicastService::compute_quote(NodeId source) const {
+PaymentResult UnicastService::compute_quote(NodeId source) const {
   return compute_quote_to(source, access_point_);
 }
 
-std::optional<RouteQuote> UnicastService::quote_pair(NodeId source,
-                                                     NodeId target) const {
+std::optional<PaymentResult> UnicastService::quote_pair(NodeId source,
+                                                        NodeId target) const {
   TC_CHECK_MSG(source < graph_.num_nodes() && target < graph_.num_nodes(),
                "endpoint out of range");
   TC_CHECK_MSG(source != target, "source and target must differ");
-  RouteQuote quote = compute_quote_to(source, target);
-  if (!quote.routable()) return std::nullopt;
+  PaymentResult quote = compute_quote_to(source, target);
+  if (!quote.connected()) return std::nullopt;
   return quote;
 }
 
-std::optional<RouteQuote> UnicastService::quote(NodeId source) {
+std::optional<PaymentResult> UnicastService::quote(NodeId source) {
   TC_CHECK_MSG(source < graph_.num_nodes(), "source out of range");
   TC_CHECK_MSG(source != access_point_,
                "the access point does not route to itself");
@@ -79,8 +65,8 @@ std::optional<RouteQuote> UnicastService::quote(NodeId source) {
     cache_[source] = compute_quote(source);
     cache_version_[source] = version_;
   }
-  const RouteQuote& quote = cache_[source];
-  if (!quote.routable()) return std::nullopt;
+  const PaymentResult& quote = cache_[source];
+  if (!quote.connected()) return std::nullopt;
   return quote;
 }
 
@@ -92,8 +78,8 @@ bool UnicastService::monopoly_free() const {
          graph::neighborhood_removal_safe(graph_);
 }
 
-std::vector<std::optional<RouteQuote>> UnicastService::quote_all() {
-  std::vector<std::optional<RouteQuote>> quotes(graph_.num_nodes());
+std::vector<std::optional<PaymentResult>> UnicastService::quote_all() {
+  std::vector<std::optional<PaymentResult>> quotes(graph_.num_nodes());
   for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
     if (v == access_point_) continue;
     quotes[v] = quote(v);

@@ -1,15 +1,17 @@
-// UnicastService: the deployment-facing facade.
+// UnicastService: the original single-threaded deployment facade.
 //
 // A long-lived object owning the network topology and the current
 // declared-cost profile. Nodes (re)declare costs; traffic sessions ask
 // for a route + payment quote toward the access point; quotes are cached
-// and invalidated on re-declaration. Settlement integrates with the
-// distsim ledger (each quote can be charged per packet, Section II.C's
-// "s * p_k" for s packets).
+// and invalidated on re-declaration.
 //
-// This is the API the examples use for multi-session scenarios; the
-// lower-level engines (vcg_payments_fast etc.) remain available for
-// one-shot computations.
+// DEPRECATION PATH: new code should use svc::QuoteEngine
+// (src/svc/quote_engine.hpp), which serves the same quotes concurrently
+// from epoch-versioned profile snapshots, invalidates incrementally
+// instead of flushing the whole cache per re-declaration, caches pair
+// quotes too, and abstracts all four payment engines behind svc::Pricer.
+// UnicastService remains as the reference baseline the quote-engine
+// benchmark and equivalence tests compare against (see DESIGN.md §7).
 #pragma once
 
 #include <cstdint>
@@ -27,19 +29,10 @@ enum class PricingScheme {
   kNeighborResistant,  ///< Section III.E p~ payments
 };
 
-/// A priced route toward the access point.
-struct RouteQuote {
-  std::vector<graph::NodeId> path;  ///< source..access point
-  graph::Cost path_cost = graph::kInfCost;
-  /// payments[k] per packet; includes option-value payments to off-path
-  /// nodes under the neighbor-resistant scheme.
-  std::vector<graph::Cost> payments;
-  std::uint64_t profile_version = 0;  ///< declaration epoch of this quote
-
-  bool routable() const { return graph::finite_cost(path_cost); }
-  graph::Cost total_per_packet() const;
-  graph::Cost total_for_packets(std::uint64_t packets) const;
-};
+/// Deprecated alias for the unified result type (quotes and one-shot
+/// payment computations used to be distinct structs). Kept for one PR;
+/// tc_lint's `deprecated` rule flags new uses.
+using RouteQuote [[deprecated("use core::PaymentResult")]] = PaymentResult;
 
 class UnicastService {
  public:
@@ -66,14 +59,17 @@ class UnicastService {
   }
 
   /// Route + payment quote for `source` -> access point under the current
-  /// profile. Cached per source until the profile changes. Returns
-  /// nullopt when the source cannot reach the access point.
-  std::optional<RouteQuote> quote(graph::NodeId source);
+  /// profile, stamped with the current profile_version. Cached per source
+  /// until the profile changes. Returns nullopt when the source cannot
+  /// reach the access point.
+  std::optional<PaymentResult> quote(graph::NodeId source);
 
   /// Quote for an arbitrary node pair (the paper notes the mechanism
-  /// generalizes beyond the access point, Section II.B). Not cached.
-  std::optional<RouteQuote> quote_pair(graph::NodeId source,
-                                       graph::NodeId target) const;
+  /// generalizes beyond the access point, Section II.B). Stamped with the
+  /// current profile_version but not cached — svc::QuoteEngine caches
+  /// pair quotes too.
+  std::optional<PaymentResult> quote_pair(graph::NodeId source,
+                                          graph::NodeId target) const;
 
   /// Diagnostic: whether the topology meets the scheme's monopoly-freedom
   /// precondition (biconnectivity for VCG; neighborhood-removal safety
@@ -81,18 +77,19 @@ class UnicastService {
   bool monopoly_free() const;
 
   /// Quotes for every source (shares work across sources).
-  std::vector<std::optional<RouteQuote>> quote_all();
+  std::vector<std::optional<PaymentResult>> quote_all();
 
  private:
-  RouteQuote compute_quote(graph::NodeId source) const;
-  RouteQuote compute_quote_to(graph::NodeId source, graph::NodeId target) const;
+  [[nodiscard]] PaymentResult compute_quote(graph::NodeId source) const;
+  [[nodiscard]] PaymentResult compute_quote_to(graph::NodeId source,
+                                               graph::NodeId target) const;
 
   graph::NodeGraph graph_;
   graph::NodeId access_point_;
   PricingScheme scheme_;
   std::uint64_t version_ = 1;
   /// cache_[v] valid iff cache_version_[v] == version_.
-  std::vector<RouteQuote> cache_;
+  std::vector<PaymentResult> cache_;
   std::vector<std::uint64_t> cache_version_;
 };
 

@@ -22,11 +22,28 @@ SettlementResult Ledger::settle_upstream(
     std::uint64_t session, NodeId source, std::uint64_t seq,
     const Signature& source_sig,
     const std::vector<std::pair<NodeId, Cost>>& relay_prices) {
+  return settle_upstream(session, source, seq, source_sig, relay_prices,
+                         profile_epoch_);
+}
+
+SettlementResult Ledger::settle_upstream(
+    std::uint64_t session, NodeId source, std::uint64_t seq,
+    const Signature& source_sig,
+    const std::vector<std::pair<NodeId, Cost>>& relay_prices,
+    std::uint64_t quote_epoch) {
   SettlementResult result;
   const std::string payload = packet_payload(session, source, seq);
   if (!verify(keys_.at(source), payload, source_sig)) {
     ++rejections_;
     result.reject_reason = "bad source signature";
+    return result;
+  }
+  // Epoch fence before the replay check, so a rejected stale quote does
+  // not burn its sequence number: the source can re-quote at the current
+  // epoch and settle the same packet.
+  if (quote_epoch != profile_epoch_) {
+    ++rejections_;
+    result.reject_reason = "stale quote epoch";
     return result;
   }
   const auto packet_id = std::make_pair(session, seq);
@@ -51,10 +68,47 @@ SettlementResult Ledger::settle_upstream(
   return result;
 }
 
+SettlementResult Ledger::settle_quote(std::uint64_t session, std::uint64_t seq,
+                                      const Signature& source_sig,
+                                      const core::PaymentResult& quote) {
+  SettlementResult result;
+  if (!quote.connected()) {
+    ++rejections_;
+    result.reject_reason = "quote is not routable";
+    return result;
+  }
+  std::vector<std::pair<NodeId, Cost>> relay_prices;
+  for (std::size_t i = 1; i + 1 < quote.path.size(); ++i) {
+    const NodeId relay = quote.path[i];
+    const Cost price = quote.payments.at(relay);
+    if (!graph::finite_cost(price)) {
+      ++rejections_;
+      result.reject_reason = "unbounded monopoly payment";
+      return result;
+    }
+    relay_prices.emplace_back(relay, price);
+  }
+  return settle_upstream(session, quote.path.front(), seq, source_sig,
+                         relay_prices, quote.profile_version);
+}
+
 SettlementResult Ledger::settle_downstream(
     std::uint64_t session, NodeId requester, std::uint64_t seq,
     const std::vector<std::tuple<NodeId, Cost, Signature>>& relay_acks) {
+  return settle_downstream(session, requester, seq, relay_acks,
+                           profile_epoch_);
+}
+
+SettlementResult Ledger::settle_downstream(
+    std::uint64_t session, NodeId requester, std::uint64_t seq,
+    const std::vector<std::tuple<NodeId, Cost, Signature>>& relay_acks,
+    std::uint64_t quote_epoch) {
   SettlementResult result;
+  if (quote_epoch != profile_epoch_) {
+    ++rejections_;
+    result.reject_reason = "stale quote epoch";
+    return result;
+  }
   const auto packet_id = std::make_pair(session | 0x8000000000000000ULL, seq);
   if (seen_packets_.count(packet_id)) {
     ++rejections_;

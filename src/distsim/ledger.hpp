@@ -7,6 +7,13 @@
 // for the relay's signed acknowledgment before settling (countering the
 // free-riding attack: a relay cannot claim payment for data it never
 // forwarded, and a source cannot repudiate a transfer it signed).
+//
+// Epoch fencing: payments are only meaningful for the declaration epoch
+// they were quoted under (svc::QuoteEngine stamps every quote with its
+// PaymentResult::profile_version). The AP tracks the current profile
+// epoch; settlement of a quote priced under an older epoch is rejected,
+// closing the window where a node re-declares mid-session and a stale
+// (cheaper or dearer) price sheet gets settled anyway.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/payment.hpp"
 #include "distsim/crypto.hpp"
 #include "graph/types.hpp"
 
@@ -40,18 +48,44 @@ class Ledger {
 
   const SigningKey& key_of(graph::NodeId v) const { return keys_.at(v); }
 
+  /// Declaration epoch the AP currently prices against (mirror of
+  /// svc::QuoteEngine::epoch()). Quotes stamped with an older epoch are
+  /// refused. Starts at 0 = "no epoch fencing configured", matching
+  /// quotes whose profile_version was never stamped.
+  void set_profile_epoch(std::uint64_t epoch) { profile_epoch_ = epoch; }
+  std::uint64_t profile_epoch() const { return profile_epoch_; }
+
   /// Settles one upstream packet: verifies the source's signature over the
   /// packet header; on success pays each relay its price and debits the
   /// source by the total. Rejects bad signatures (counters "I never sent
-  /// that" repudiation) and replayed sequence numbers.
-  SettlementResult settle_upstream(
+  /// that" repudiation), replayed sequence numbers, and quotes priced
+  /// under a stale declaration epoch.
+  [[nodiscard]] SettlementResult settle_upstream(
+      std::uint64_t session, graph::NodeId source, std::uint64_t seq,
+      const Signature& source_sig,
+      const std::vector<std::pair<graph::NodeId, graph::Cost>>& relay_prices,
+      std::uint64_t quote_epoch);
+  /// Legacy overload: assumes the quote was priced at the current epoch.
+  [[nodiscard]] SettlementResult settle_upstream(
       std::uint64_t session, graph::NodeId source, std::uint64_t seq,
       const Signature& source_sig,
       const std::vector<std::pair<graph::NodeId, graph::Cost>>& relay_prices);
 
+  /// Settles an epoch-stamped engine quote directly: extracts the relay
+  /// price list from `quote` and fences on quote.profile_version.
+  [[nodiscard]] SettlementResult settle_quote(
+      std::uint64_t session, std::uint64_t seq, const Signature& source_sig,
+      const core::PaymentResult& quote);
+
   /// Settles one downstream packet: requires the relay's signed
   /// acknowledgment that it forwarded the data (counters free riding).
-  SettlementResult settle_downstream(
+  [[nodiscard]] SettlementResult settle_downstream(
+      std::uint64_t session, graph::NodeId requester, std::uint64_t seq,
+      const std::vector<std::tuple<graph::NodeId, graph::Cost, Signature>>&
+          relay_acks,
+      std::uint64_t quote_epoch);
+  /// Legacy overload: assumes the quote was priced at the current epoch.
+  [[nodiscard]] SettlementResult settle_downstream(
       std::uint64_t session, graph::NodeId requester, std::uint64_t seq,
       const std::vector<std::tuple<graph::NodeId, graph::Cost, Signature>>&
           relay_acks);
@@ -63,6 +97,7 @@ class Ledger {
   std::vector<graph::Cost> balances_;
   std::vector<SigningKey> keys_;
   std::map<std::pair<std::uint64_t, std::uint64_t>, bool> seen_packets_;
+  std::uint64_t profile_epoch_ = 0;
   std::size_t settlements_ = 0;
   std::size_t rejections_ = 0;
 };

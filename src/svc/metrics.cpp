@@ -1,0 +1,53 @@
+#include "svc/metrics.hpp"
+
+#include <sstream>
+
+namespace tc::svc {
+
+void Metrics::record_served(double latency_us) {
+  quotes_served_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  latencies_.add(latency_us);
+}
+
+void Metrics::record_evictions(std::uint64_t evicted, std::uint64_t retained) {
+  quotes_evicted_.fetch_add(evicted, std::memory_order_relaxed);
+  quotes_retained_.fetch_add(retained, std::memory_order_relaxed);
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  MetricsSnapshot s;
+  s.quotes_served = quotes_served_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.declarations = declarations_.load(std::memory_order_relaxed);
+  s.quotes_evicted = quotes_evicted_.load(std::memory_order_relaxed);
+  s.quotes_retained = quotes_retained_.load(std::memory_order_relaxed);
+  s.full_flushes = full_flushes_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  if (latencies_.count() > 0) {
+    s.latency_p50_us = latencies_.percentile(50.0);
+    s.latency_p90_us = latencies_.percentile(90.0);
+    s.latency_p99_us = latencies_.percentile(99.0);
+    s.latency_max_us = latencies_.percentile(100.0);
+  }
+  return s;
+}
+
+std::string MetricsSnapshot::to_string() const {
+  std::ostringstream out;
+  out << "quotes served     " << quotes_served << "\n"
+      << "cache hits        " << cache_hits << " (hit rate "
+      << static_cast<int>(hit_rate() * 100.0 + 0.5) << "%)\n"
+      << "cache misses      " << cache_misses << "\n"
+      << "declarations      " << declarations << "\n"
+      << "quotes evicted    " << quotes_evicted << "\n"
+      << "quotes retained   " << quotes_retained << "\n"
+      << "full flushes      " << full_flushes << "\n"
+      << "latency us        p50 " << latency_p50_us << "  p90 "
+      << latency_p90_us << "  p99 " << latency_p99_us << "  max "
+      << latency_max_us << "\n";
+  return out.str();
+}
+
+}  // namespace tc::svc

@@ -1,0 +1,73 @@
+// Serving-layer instrumentation for svc::QuoteEngine.
+//
+// Counters are lock-free atomics so concurrent quote() calls never
+// serialize on bookkeeping; per-quote latencies go through a small
+// mutex-guarded util::Percentiles reservoir (one lock per served quote,
+// far cheaper than the Dijkstra work it measures). `snapshot()` is safe
+// to call at any time from any thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace tc::svc {
+
+/// Point-in-time copy of every engine counter, for reporting.
+struct MetricsSnapshot {
+  std::uint64_t quotes_served = 0;   ///< quote()/quote_all() results returned
+  std::uint64_t cache_hits = 0;      ///< served from a shard cache
+  std::uint64_t cache_misses = 0;    ///< priced by the Pricer
+  std::uint64_t declarations = 0;    ///< epoch bumps (single + bulk)
+  std::uint64_t quotes_evicted = 0;  ///< cache entries killed by invalidation
+  std::uint64_t quotes_retained = 0; ///< entries proven unaffected and kept
+  std::uint64_t full_flushes = 0;    ///< conservative whole-cache drops
+  /// Per-quote wall latencies in microseconds (hits and misses alike).
+  double latency_p50_us = 0.0;
+  double latency_p90_us = 0.0;
+  double latency_p99_us = 0.0;
+  double latency_max_us = 0.0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t lookups = cache_hits + cache_misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(cache_hits) /
+                              static_cast<double>(lookups);
+  }
+
+  /// Multi-line human-readable block (used by the CLI and the bench).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thread-safe counter block owned by a QuoteEngine.
+class Metrics {
+ public:
+  void record_hit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void record_miss() { cache_misses_.fetch_add(1, std::memory_order_relaxed); }
+  void record_served(double latency_us);
+  void record_declaration() {
+    declarations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_evictions(std::uint64_t evicted, std::uint64_t retained);
+  void record_full_flush() {
+    full_flushes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> quotes_served_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
+  std::atomic<std::uint64_t> declarations_{0};
+  std::atomic<std::uint64_t> quotes_evicted_{0};
+  std::atomic<std::uint64_t> quotes_retained_{0};
+  std::atomic<std::uint64_t> full_flushes_{0};
+  mutable std::mutex latency_mutex_;
+  util::Percentiles latencies_;
+};
+
+}  // namespace tc::svc

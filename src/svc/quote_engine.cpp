@@ -1,0 +1,385 @@
+#include "svc/quote_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace tc::svc {
+
+using graph::Cost;
+using graph::kInfCost;
+using graph::NodeId;
+
+namespace {
+
+constexpr std::size_t kDefaultShards = 16;
+
+/// Keep iff the retained-decrease-adjusted through-bound strictly clears
+/// vmax. Equality goes to eviction: recomputing a quote we could have
+/// kept is sound; keeping one we should have dropped is not.
+bool provably_unaffected(Cost thru_old, Cost thru_new, Cost decrease_slack,
+                         Cost vmax) {
+  const Cost guard = std::min(thru_old, thru_new) - decrease_slack;
+  const Cost tol = 1e-9 * std::max(1.0, std::abs(vmax));
+  return guard > vmax + tol;
+}
+
+double elapsed_us(std::chrono::steady_clock::time_point start) {
+  const auto dt = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::micro>(dt).count();
+}
+
+}  // namespace
+
+QuoteEngine::QuoteEngine(graph::NodeGraph topology, graph::NodeId access_point,
+                         std::shared_ptr<const Pricer> pricer, Options options)
+    : num_nodes_(topology.num_nodes()),
+      access_point_(access_point),
+      pricer_(pricer ? std::move(pricer) : make_node_vcg_pricer()),
+      options_(options) {
+  TC_CHECK_MSG(access_point_ < num_nodes_, "access point out of range");
+  TC_CHECK_MSG(pricer_->model() == GraphModel::kNode,
+               "node-graph engine needs a node-model pricer");
+  if (options_.shards == 0) options_.shards = kDefaultShards;
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  snapshot_.store(std::make_shared<const ProfileSnapshot>(1, std::move(topology)));
+}
+
+QuoteEngine::QuoteEngine(graph::NodeGraph topology, graph::NodeId access_point,
+                         std::shared_ptr<const Pricer> pricer)
+    : QuoteEngine(std::move(topology), access_point, std::move(pricer),
+                  Options{}) {}
+
+QuoteEngine::QuoteEngine(graph::LinkGraph topology, graph::NodeId access_point,
+                         std::shared_ptr<const Pricer> pricer, Options options)
+    : num_nodes_(topology.num_nodes()),
+      access_point_(access_point),
+      pricer_(pricer ? std::move(pricer) : make_link_vcg_pricer()),
+      options_(options) {
+  TC_CHECK_MSG(access_point_ < num_nodes_, "access point out of range");
+  TC_CHECK_MSG(pricer_->model() == GraphModel::kLink,
+               "link-graph engine needs a link-model pricer");
+  if (options_.shards == 0) options_.shards = kDefaultShards;
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  snapshot_.store(std::make_shared<const ProfileSnapshot>(1, std::move(topology)));
+}
+
+QuoteEngine::QuoteEngine(graph::LinkGraph topology, graph::NodeId access_point,
+                         std::shared_ptr<const Pricer> pricer)
+    : QuoteEngine(std::move(topology), access_point, std::move(pricer),
+                  Options{}) {}
+
+std::shared_ptr<const ProfileSnapshot> QuoteEngine::snapshot() const {
+  return snapshot_.load(std::memory_order_acquire);
+}
+
+void QuoteEngine::publish(std::shared_ptr<const ProfileSnapshot> snap) {
+  const std::uint64_t epoch = snap->epoch();
+  snapshot_.store(std::move(snap), std::memory_order_release);
+  epoch_.store(epoch, std::memory_order_release);
+  metrics_.record_declaration();
+}
+
+std::uint64_t QuoteEngine::declare_cost(NodeId v, Cost declared) {
+  TC_CHECK_MSG(v < num_nodes_, "declaring node out of range");
+  TC_CHECK_MSG(declared >= 0.0, "declared cost must be non-negative");
+  TC_CHECK_MSG(pricer_->model() == GraphModel::kNode,
+               "declare_cost is for node-model engines");
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  const auto old_snap = snapshot_.load(std::memory_order_acquire);
+  const Cost c_old = old_snap->node().node_cost(v);
+  if (c_old == declared) return old_snap->epoch();
+  graph::NodeGraph g = old_snap->node();
+  g.set_node_cost(v, declared);
+  const std::uint64_t new_epoch = old_snap->epoch() + 1;
+  publish(std::make_shared<const ProfileSnapshot>(new_epoch, std::move(g)));
+  if (options_.incremental_invalidation) {
+    sweep_node(v, c_old, declared, old_snap->epoch(), new_epoch);
+  } else {
+    full_flush_locked();
+  }
+  return new_epoch;
+}
+
+std::uint64_t QuoteEngine::declare_costs(const std::vector<Cost>& declared) {
+  TC_CHECK_MSG(declared.size() == num_nodes_, "cost vector size mismatch");
+  TC_CHECK_MSG(pricer_->model() == GraphModel::kNode,
+               "declare_costs is for node-model engines");
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  const auto old_snap = snapshot_.load(std::memory_order_acquire);
+  graph::NodeGraph g = old_snap->node();
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    TC_CHECK_MSG(declared[v] >= 0.0, "declared cost must be non-negative");
+    g.set_node_cost(v, declared[v]);
+  }
+  const std::uint64_t new_epoch = old_snap->epoch() + 1;
+  publish(std::make_shared<const ProfileSnapshot>(new_epoch, std::move(g)));
+  full_flush_locked();
+  return new_epoch;
+}
+
+std::uint64_t QuoteEngine::declare_arc_cost(NodeId u, NodeId w, Cost declared) {
+  TC_CHECK_MSG(u < num_nodes_ && w < num_nodes_, "arc endpoint out of range");
+  TC_CHECK_MSG(declared >= 0.0, "declared cost must be non-negative");
+  TC_CHECK_MSG(pricer_->model() == GraphModel::kLink,
+               "declare_arc_cost is for link-model engines");
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  const auto old_snap = snapshot_.load(std::memory_order_acquire);
+  const Cost c_old = old_snap->link().arc_cost(u, w);
+  TC_CHECK_MSG(graph::finite_cost(c_old), "declared arc does not exist");
+  if (c_old == declared) return old_snap->epoch();
+  graph::LinkGraph g = old_snap->link();
+  g.set_arc_cost(u, w, declared);
+  const std::uint64_t new_epoch = old_snap->epoch() + 1;
+  publish(std::make_shared<const ProfileSnapshot>(new_epoch, std::move(g)));
+  if (options_.incremental_invalidation) {
+    sweep_link(u, w, c_old, declared, old_snap->epoch(), new_epoch);
+  } else {
+    full_flush_locked();
+  }
+  return new_epoch;
+}
+
+Cost QuoteEngine::declared_cost(NodeId v) const {
+  TC_CHECK_MSG(v < num_nodes_, "node out of range");
+  const auto snap = snapshot_.load(std::memory_order_acquire);
+  TC_CHECK_MSG(snap->model() == GraphModel::kNode,
+               "declared_cost is for node-model engines");
+  return snap->node().node_cost(v);
+}
+
+void QuoteEngine::sweep_node(NodeId v, Cost c_old, Cost c_new,
+                             std::uint64_t old_epoch, std::uint64_t new_epoch) {
+  const Cost delta = c_new - c_old;
+  std::uint64_t evicted = 0;
+  std::uint64_t retained = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    auto& entries = shard->entries;
+    for (auto it = entries.begin(); it != entries.end();) {
+      CacheEntry& e = it->second;
+      if (e.epoch != old_epoch) {
+        // Entries a reader already re-priced under the *new* snapshot
+        // (between publish and this sweep) must not be touched; anything
+        // older than old_epoch is leftover garbage.
+        if (e.epoch < old_epoch) {
+          it = entries.erase(it);
+          ++evicted;
+        } else {
+          ++it;
+        }
+        continue;
+      }
+      const NodeId source = static_cast<NodeId>(it->first / num_nodes_);
+      const NodeId target = static_cast<NodeId>(it->first % num_nodes_);
+      bool keep = false;
+      bool exact = false;  // true when the kept result is provably exact
+                           // without consulting the thru bound
+      if (!e.quote.result.connected()) {
+        // Disconnection is topological; declarations cannot reconnect.
+        keep = true;
+        exact = true;
+      } else if (v == source || v == target) {
+        // Endpoint costs never enter node-weighted path values (paper
+        // Section II.B), so the quote itself is invariant — though other
+        // nodes' stored thru bounds may reference c_v via their L/R
+        // legs, hence the decrease slack below still applies.
+        keep = true;
+        exact = true;
+      } else if (!e.quote.deps.valid || e.quote.deps.thru.size() <= v) {
+        keep = false;
+      } else {
+        const Cost thru_old = e.quote.deps.thru[v];
+        if (!graph::finite_cost(thru_old)) {
+          // v cannot reach both endpoints at all — on no s->t path ever.
+          keep = true;
+          exact = true;
+        } else {
+          keep = provably_unaffected(thru_old, thru_old + delta,
+                                     e.decrease_slack, e.quote.deps.vmax);
+        }
+      }
+      if (!keep) {
+        it = entries.erase(it);
+        ++evicted;
+        continue;
+      }
+      e.epoch = new_epoch;
+      e.quote.result.profile_version = new_epoch;
+      if (!exact && e.quote.deps.valid && v < e.quote.deps.thru.size() &&
+          graph::finite_cost(e.quote.deps.thru[v])) {
+        // thru[v]'s interior term is c_v itself, so it tracks the new
+        // declaration exactly relative to the stored L/R bounds.
+        e.quote.deps.thru[v] += delta;
+      }
+      if (delta < 0.0) e.decrease_slack += -delta;
+      ++retained;
+      ++it;
+    }
+  }
+  metrics_.record_evictions(evicted, retained);
+}
+
+void QuoteEngine::sweep_link(NodeId u, NodeId w, Cost c_old, Cost c_new,
+                             std::uint64_t old_epoch, std::uint64_t new_epoch) {
+  const Cost delta = c_new - c_old;
+  std::uint64_t evicted = 0;
+  std::uint64_t retained = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    auto& entries = shard->entries;
+    for (auto it = entries.begin(); it != entries.end();) {
+      CacheEntry& e = it->second;
+      if (e.epoch != old_epoch) {
+        if (e.epoch < old_epoch) {
+          it = entries.erase(it);
+          ++evicted;
+        } else {
+          ++it;
+        }
+        continue;
+      }
+      bool keep = false;
+      if (!e.quote.result.connected()) {
+        keep = true;
+      } else if (!e.quote.deps.valid ||
+                 e.quote.deps.dist_from_source.size() <= u ||
+                 e.quote.deps.dist_to_target.size() <= w) {
+        keep = false;
+      } else {
+        const Cost from = e.quote.deps.dist_from_source[u];
+        const Cost to = e.quote.deps.dist_to_target[w];
+        if (!graph::finite_cost(from) || !graph::finite_cost(to)) {
+          // Arc u->w sits on no s->t walk at all.
+          keep = true;
+        } else {
+          // Unlike the node sweep there is no stored per-arc term to
+          // update: c_old comes from the snapshot each declaration, so
+          // thru is always formed from the arc's current cost.
+          const Cost thru_old = from + c_old + to;
+          keep = provably_unaffected(thru_old, thru_old + delta,
+                                     e.decrease_slack, e.quote.deps.vmax);
+        }
+      }
+      if (!keep) {
+        it = entries.erase(it);
+        ++evicted;
+        continue;
+      }
+      e.epoch = new_epoch;
+      e.quote.result.profile_version = new_epoch;
+      if (delta < 0.0) e.decrease_slack += -delta;
+      ++retained;
+      ++it;
+    }
+  }
+  metrics_.record_evictions(evicted, retained);
+}
+
+void QuoteEngine::full_flush_locked() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->entries.clear();
+  }
+  metrics_.record_full_flush();
+}
+
+void QuoteEngine::flush_cache() {
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  full_flush_locked();
+}
+
+std::optional<core::PaymentResult> QuoteEngine::quote(NodeId source) {
+  TC_CHECK_MSG(source != access_point_,
+               "the access point does not quote itself");
+  return quote_impl(source, access_point_);
+}
+
+std::optional<core::PaymentResult> QuoteEngine::quote(NodeId source,
+                                                      NodeId target) {
+  return quote_impl(source, target);
+}
+
+std::optional<core::PaymentResult> QuoteEngine::quote_impl(NodeId source,
+                                                           NodeId target) {
+  TC_CHECK_MSG(source < num_nodes_ && target < num_nodes_,
+               "quote endpoint out of range");
+  TC_CHECK_MSG(source != target, "source and target must differ");
+  const auto start = std::chrono::steady_clock::now();
+  const auto snap = snapshot_.load(std::memory_order_acquire);
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(source) * num_nodes_ + target;
+  Shard& shard = *shards_[key % shards_.size()];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end() && it->second.epoch == snap->epoch()) {
+      core::PaymentResult result = it->second.quote.result;
+      metrics_.record_hit();
+      metrics_.record_served(elapsed_us(start));
+      if (!result.connected()) return std::nullopt;
+      return result;
+    }
+  }
+  // Miss: price outside the shard lock against the frozen snapshot.
+  PricedQuote priced = pricer_->price(*snap, source, target);
+  priced.result.profile_version = snap->epoch();
+  core::PaymentResult result = priced.result;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) {
+      if (shard.entries.size() >= options_.max_entries_per_shard) {
+        shard.entries.erase(shard.entries.begin());
+      }
+      shard.entries.emplace(
+          key, CacheEntry{snap->epoch(), std::move(priced), 0.0});
+    } else if (it->second.epoch < snap->epoch()) {
+      it->second = CacheEntry{snap->epoch(), std::move(priced), 0.0};
+    }
+    // A concurrent reader already installed a same-or-newer entry: ours
+    // is still a valid answer for *our* snapshot; just don't regress the
+    // cache.
+  }
+  metrics_.record_miss();
+  metrics_.record_served(elapsed_us(start));
+  if (!result.connected()) return std::nullopt;
+  return result;
+}
+
+std::vector<std::optional<core::PaymentResult>> QuoteEngine::quote_all() {
+  std::vector<std::optional<core::PaymentResult>> quotes(num_nodes_);
+  util::ThreadPool& pool =
+      options_.pool != nullptr ? *options_.pool : util::default_pool();
+  pool.parallel_for(0, num_nodes_, [&](std::size_t v) {
+    if (v == access_point_) return;
+    quotes[v] = quote_impl(static_cast<NodeId>(v), access_point_);
+  });
+  return quotes;
+}
+
+std::vector<std::optional<core::PaymentResult>> QuoteEngine::quote_batch(
+    const std::vector<std::pair<NodeId, NodeId>>& pairs) {
+  std::vector<std::optional<core::PaymentResult>> quotes(pairs.size());
+  util::ThreadPool& pool =
+      options_.pool != nullptr ? *options_.pool : util::default_pool();
+  pool.parallel_for(0, pairs.size(), [&](std::size_t i) {
+    quotes[i] = quote_impl(pairs[i].first, pairs[i].second);
+  });
+  return quotes;
+}
+
+bool QuoteEngine::monopoly_free() const {
+  const auto snap = snapshot_.load(std::memory_order_acquire);
+  return pricer_->monopoly_free(*snap);
+}
+
+}  // namespace tc::svc

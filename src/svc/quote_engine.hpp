@@ -1,0 +1,181 @@
+// QuoteEngine: concurrent sharded quote serving over epoch-versioned
+// profile snapshots — the thread-safe replacement for core::UnicastService
+// (see DESIGN.md §7 "Serving layer").
+//
+// Concurrency model
+//   * The declared-cost profile lives in an immutable ProfileSnapshot
+//     published through an atomic shared_ptr. Readers load the pointer,
+//     price against the frozen profile, and never block writers; a
+//     re-declaration copies the graph, installs the new cost, and bumps
+//     the atomic epoch. Every quote is stamped with the epoch it was
+//     priced under (PaymentResult::profile_version), so a returned quote
+//     is always internally consistent with one single epoch even while
+//     declarations race in.
+//   * The quote cache is sharded by (source, target) key; each shard has
+//     its own mutex and map, so concurrent quote() calls on different
+//     keys do not contend. Shard locks are held only for map
+//     lookup/insert — pricing runs lock-free against the snapshot.
+//   * quote_all() and quote_batch() fan out over
+//     util::ThreadPool::parallel_for.
+//
+// Incremental invalidation
+//   A re-declaration by node v evicts exactly the cached quotes v can
+//   affect. Quotes store a dependency certificate (svc::QuoteDeps): a
+//   per-node lower bound thru[v] on the cheapest source->target path
+//   through v, and vmax, the largest finite path value the quote depends
+//   on (the LCP and every relay-avoiding replacement path, recovered
+//   from the VCG payment identity). If min(thru_old, thru_new) — minus a
+//   slack term accumulated from previously retained cost *decreases* —
+//   exceeds vmax, the quote is provably byte-identical under the new
+//   profile and is retained with its epoch stamp advanced. This subsumes
+//   the simpler "evict when v ∈ path ∪ N(path)" rule and additionally
+//   catches far-away nodes sitting on replacement paths, which that rule
+//   misses. Quotes without a certificate, bulk re-declarations, and
+//   engines configured with incremental_invalidation=false fall back to
+//   a conservative full flush. Equivalence against an always-recompute
+//   oracle is enforced by tests/svc_quote_engine_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "svc/metrics.hpp"
+#include "svc/pricer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tc::svc {
+
+class QuoteEngine {
+ public:
+  struct Options {
+    /// Cache shards (0 = default 16). More shards, less lock contention.
+    std::size_t shards = 0;
+    /// Cache-entry cap per shard; oldest-inserted entries are dropped.
+    std::size_t max_entries_per_shard = 1024;
+    /// When false, every re-declaration flushes the whole cache (the
+    /// always-correct conservative mode; also the oracle baseline).
+    bool incremental_invalidation = true;
+    /// Pool for quote_all()/quote_batch(); nullptr = util::default_pool().
+    util::ThreadPool* pool = nullptr;
+  };
+
+  /// Node-weighted service (paper Section II.B). Initial declarations are
+  /// the graph's stored node costs. The default pricer is the fast VCG
+  /// engine (Algorithm 1).
+  QuoteEngine(graph::NodeGraph topology, graph::NodeId access_point,
+              std::shared_ptr<const Pricer> pricer, Options options);
+  QuoteEngine(graph::NodeGraph topology, graph::NodeId access_point,
+              std::shared_ptr<const Pricer> pricer = nullptr);
+
+  /// Link-weighted service (Section III.F). The default pricer is the
+  /// naive link VCG engine (works on asymmetric arcs).
+  QuoteEngine(graph::LinkGraph topology, graph::NodeId access_point,
+              std::shared_ptr<const Pricer> pricer, Options options);
+  QuoteEngine(graph::LinkGraph topology, graph::NodeId access_point,
+              std::shared_ptr<const Pricer> pricer = nullptr);
+
+  QuoteEngine(const QuoteEngine&) = delete;
+  QuoteEngine& operator=(const QuoteEngine&) = delete;
+
+  graph::NodeId access_point() const { return access_point_; }
+  std::size_t num_nodes() const { return num_nodes_; }
+  GraphModel model() const { return pricer_->model(); }
+  const Pricer& pricer() const { return *pricer_; }
+
+  /// Current declaration epoch (starts at 1, bumps per re-declaration).
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// The current immutable profile snapshot (readers may keep it as long
+  /// as they like; it never mutates).
+  [[nodiscard]] std::shared_ptr<const ProfileSnapshot> snapshot() const;
+
+  /// Node `v` (re)declares its relay cost (node model). Returns the epoch
+  /// now in effect (unchanged when the declaration is a no-op).
+  std::uint64_t declare_cost(graph::NodeId v, graph::Cost declared);
+
+  /// Bulk declaration (node model); conservative full cache flush.
+  std::uint64_t declare_costs(const std::vector<graph::Cost>& declared);
+
+  /// Node `u` (re)declares the cost of its outgoing arc u->v (link
+  /// model). The arc must exist. Returns the epoch now in effect.
+  std::uint64_t declare_arc_cost(graph::NodeId u, graph::NodeId v,
+                                 graph::Cost declared);
+
+  /// Current declared cost of node `v` (node model).
+  graph::Cost declared_cost(graph::NodeId v) const;
+
+  /// Route + payment quote source -> access point, cached, stamped with
+  /// the epoch it was priced under. nullopt when unreachable.
+  [[nodiscard]] std::optional<core::PaymentResult> quote(
+      graph::NodeId source);
+
+  /// Quote for an arbitrary ordered pair. Cached and epoch-stamped, too
+  /// (unlike the legacy UnicastService::quote_pair).
+  [[nodiscard]] std::optional<core::PaymentResult> quote(
+      graph::NodeId source, graph::NodeId target);
+
+  /// Quotes for every source toward the access point, fanned out over
+  /// the thread pool. quotes[access_point] is nullopt.
+  [[nodiscard]] std::vector<std::optional<core::PaymentResult>> quote_all();
+
+  /// Bulk pair quotes, fanned out over the thread pool.
+  [[nodiscard]] std::vector<std::optional<core::PaymentResult>> quote_batch(
+      const std::vector<std::pair<graph::NodeId, graph::NodeId>>& pairs);
+
+  /// Scheme-specific monopoly-freedom diagnostic (delegates to the
+  /// pricer) under the current snapshot.
+  [[nodiscard]] bool monopoly_free() const;
+
+  /// Drops every cached quote (counted as a full flush in metrics).
+  void flush_cache();
+
+  /// Point-in-time instrumentation snapshot.
+  [[nodiscard]] MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+
+ private:
+  struct CacheEntry {
+    std::uint64_t epoch = 0;
+    PricedQuote quote;
+    /// Cumulative declared-cost decrease retained since this entry was
+    /// priced; subtracted from thru bounds to keep them sound.
+    graph::Cost decrease_slack = 0.0;
+  };
+
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t, CacheEntry> entries;
+  };
+
+  std::optional<core::PaymentResult> quote_impl(graph::NodeId source,
+                                                graph::NodeId target);
+  /// Publishes `snap` as the new current snapshot. Caller holds
+  /// writer_mutex_.
+  void publish(std::shared_ptr<const ProfileSnapshot> snap);
+  void full_flush_locked();
+  /// Invalidation sweeps; caller holds writer_mutex_.
+  void sweep_node(graph::NodeId v, graph::Cost c_old, graph::Cost c_new,
+                  std::uint64_t old_epoch, std::uint64_t new_epoch);
+  void sweep_link(graph::NodeId u, graph::NodeId w, graph::Cost c_old,
+                  graph::Cost c_new, std::uint64_t old_epoch,
+                  std::uint64_t new_epoch);
+
+  std::size_t num_nodes_;
+  graph::NodeId access_point_;
+  std::shared_ptr<const Pricer> pricer_;
+  Options options_;
+
+  std::atomic<std::shared_ptr<const ProfileSnapshot>> snapshot_;
+  std::atomic<std::uint64_t> epoch_{1};
+  std::mutex writer_mutex_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Metrics metrics_;
+};
+
+}  // namespace tc::svc

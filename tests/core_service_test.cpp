@@ -20,7 +20,7 @@ TEST(UnicastService, QuoteMatchesEngine) {
   EXPECT_EQ(quote->path, direct.path);
   EXPECT_DOUBLE_EQ(quote->path_cost, direct.path_cost);
   EXPECT_EQ(quote->payments, direct.payments);
-  EXPECT_DOUBLE_EQ(quote->total_per_packet(), 6.0);
+  EXPECT_DOUBLE_EQ(quote->total_payment(), 6.0);
   EXPECT_DOUBLE_EQ(quote->total_for_packets(10), 60.0);
 }
 

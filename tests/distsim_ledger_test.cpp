@@ -95,11 +95,94 @@ TEST(Ledger, UpstreamAndDownstreamSequencesIndependent) {
   EXPECT_TRUE(ledger.settle_downstream(4, 1, 0, {{2, 1.0, ack}}).accepted);
 }
 
+TEST(Ledger, StaleEpochUpstreamRejected) {
+  Ledger ledger(5, 8);
+  ledger.fund_all(50.0);
+  ledger.set_profile_epoch(3);
+  const Signature sig = sign(ledger.key_of(2), packet_payload(1, 2, 0));
+  // Quote priced under epoch 2; the profile has moved on to epoch 3.
+  const auto stale = ledger.settle_upstream(1, 2, 0, sig, {{1, 2.0}}, 2);
+  EXPECT_FALSE(stale.accepted);
+  EXPECT_EQ(stale.reject_reason, "stale quote epoch");
+  EXPECT_DOUBLE_EQ(ledger.balance(2), 50.0);
+  EXPECT_EQ(ledger.rejections(), 1u);
+  // The rejection must not burn the sequence number: re-quoting at the
+  // current epoch settles the same packet.
+  const auto fresh = ledger.settle_upstream(1, 2, 0, sig, {{1, 2.0}}, 3);
+  EXPECT_TRUE(fresh.accepted);
+  EXPECT_DOUBLE_EQ(ledger.balance(2), 48.0);
+}
+
+TEST(Ledger, StaleEpochDownstreamRejected) {
+  Ledger ledger(4, 9);
+  ledger.fund_all(30.0);
+  ledger.set_profile_epoch(5);
+  const Signature ack = sign(ledger.key_of(2), packet_payload(6, 2, 1));
+  const auto stale = ledger.settle_downstream(6, 1, 1, {{2, 1.5, ack}}, 4);
+  EXPECT_FALSE(stale.accepted);
+  EXPECT_EQ(stale.reject_reason, "stale quote epoch");
+  const auto fresh = ledger.settle_downstream(6, 1, 1, {{2, 1.5, ack}}, 5);
+  EXPECT_TRUE(fresh.accepted);
+}
+
+TEST(Ledger, LegacyOverloadsAssumeCurrentEpoch) {
+  Ledger ledger(4, 10);
+  ledger.fund_all(30.0);
+  ledger.set_profile_epoch(7);
+  const Signature sig = sign(ledger.key_of(1), packet_payload(2, 1, 0));
+  // The epoch-less overloads settle at whatever epoch is current.
+  EXPECT_TRUE(ledger.settle_upstream(2, 1, 0, sig, {{2, 1.0}}).accepted);
+}
+
+TEST(Ledger, SettleQuoteUsesStampedEpochAndPathPayments) {
+  Ledger ledger(4, 11);
+  ledger.fund_all(40.0);
+  ledger.set_profile_epoch(2);
+  core::PaymentResult quote;
+  quote.path = {3, 2, 1, 0};
+  quote.path_cost = 5.0;
+  quote.payments.assign(4, 0.0);
+  quote.payments[1] = 3.0;
+  quote.payments[2] = 4.0;
+  quote.profile_version = 1;  // stale: profile has moved to epoch 2
+  const Signature sig = sign(ledger.key_of(3), packet_payload(8, 3, 0));
+  const auto stale = ledger.settle_quote(8, 0, sig, quote);
+  EXPECT_FALSE(stale.accepted);
+  EXPECT_EQ(stale.reject_reason, "stale quote epoch");
+  quote.profile_version = 2;
+  const auto fresh = ledger.settle_quote(8, 0, sig, quote);
+  ASSERT_TRUE(fresh.accepted);
+  EXPECT_DOUBLE_EQ(fresh.charged, 7.0);
+  EXPECT_DOUBLE_EQ(ledger.balance(3), 33.0);
+  EXPECT_DOUBLE_EQ(ledger.balance(2), 44.0);
+  EXPECT_DOUBLE_EQ(ledger.balance(1), 43.0);
+  EXPECT_DOUBLE_EQ(ledger.balance(0), 40.0);  // endpoints are not paid
+}
+
+TEST(Ledger, SettleQuoteRejectsUnroutableAndMonopolyQuotes) {
+  Ledger ledger(3, 12);
+  ledger.fund_all(10.0);
+  const Signature sig = sign(ledger.key_of(2), packet_payload(1, 2, 0));
+  core::PaymentResult unroutable;
+  unroutable.payments.assign(3, 0.0);
+  EXPECT_EQ(ledger.settle_quote(1, 0, sig, unroutable).reject_reason,
+            "quote is not routable");
+  core::PaymentResult monopoly;
+  monopoly.path = {2, 1, 0};
+  monopoly.path_cost = 2.0;
+  monopoly.payments.assign(3, 0.0);
+  monopoly.payments[1] = graph::kInfCost;
+  EXPECT_EQ(ledger.settle_quote(1, 0, sig, monopoly).reject_reason,
+            "unbounded monopoly payment");
+}
+
 TEST(Ledger, BalancesConserveTotal) {
   Ledger ledger(6, 7);
   ledger.fund_all(100.0);
   const Signature sig = sign(ledger.key_of(5), packet_payload(9, 5, 1));
-  ledger.settle_upstream(9, 5, 1, sig, {{1, 7.0}, {2, 3.5}, {3, 0.5}});
+  ASSERT_TRUE(
+      ledger.settle_upstream(9, 5, 1, sig, {{1, 7.0}, {2, 3.5}, {3, 0.5}})
+          .accepted);
   double total = 0.0;
   for (graph::NodeId v = 0; v < 6; ++v) total += ledger.balance(v);
   EXPECT_DOUBLE_EQ(total, 600.0);  // payments are transfers, not creation

@@ -29,9 +29,9 @@ TEST(IntegrationService, QuotesAgreeWithDistributedProtocol) {
     for (NodeId s = 1; s < g.num_nodes(); s += 4) {
       const auto quote = service.quote(s);
       ASSERT_TRUE(quote.has_value());
-      if (std::isinf(quote->total_per_packet())) continue;
+      if (std::isinf(quote->total_payment())) continue;
       const auto session = distsim::run_session(g, 0, g.costs(), s, config);
-      EXPECT_NEAR(session.total_payment, quote->total_per_packet(), 1e-6)
+      EXPECT_NEAR(session.total_payment, quote->total_payment(), 1e-6)
           << "seed " << seed << " source " << s;
     }
   }
@@ -93,10 +93,10 @@ TEST(IntegrationService, SchemeUpgradeCostsMore) {
       const auto a = vcg.quote(s);
       const auto b = nbr.quote(s);
       if (!a || !b) continue;
-      if (std::isinf(a->total_per_packet()) ||
-          std::isinf(b->total_per_packet()))
+      if (std::isinf(a->total_payment()) ||
+          std::isinf(b->total_payment()))
         continue;
-      EXPECT_GE(b->total_per_packet(), a->total_per_packet() - 1e-9)
+      EXPECT_GE(b->total_payment(), a->total_payment() - 1e-9)
           << "seed " << seed << " source " << s;
     }
   }

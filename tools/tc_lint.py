@@ -21,6 +21,10 @@ violation fails the build. Rules:
                named like a payment must be [[nodiscard]]: silently dropping
                a payment profile is exactly the bug class this repo exists
                to prevent.
+  deprecated   No new uses of retired API shims (core::RouteQuote, replaced
+               by core::PaymentResult): the alias lives one PR for
+               out-of-tree migration and only its defining header may say
+               its name.
 
 Usage: tools/tc_lint.py [--root REPO_ROOT] [--list-rules]
 Exit status: 0 when clean, 1 when violations were found, 2 when no
@@ -52,6 +56,15 @@ NODISCARD_TYPES = (
     "OverpaymentResult",
     "OverpaymentMetrics",
     "LevelLabels",
+    "PricedQuote",
+    "MetricsSnapshot",
+    "SettlementResult",
+)
+
+# Retired aliases kept one PR for migration: (name, replacement, defining
+# file allowed to mention the name).
+DEPRECATED_SHIMS = (
+    ("RouteQuote", "core::PaymentResult", "src/core/service.hpp"),
 )
 
 RNG_BANNED = re.compile(
@@ -198,6 +211,17 @@ class Linter:
                               f"function returning {what} must be "
                               "[[nodiscard]]")
 
+    def check_deprecated(self, path: pathlib.Path, code: str) -> None:
+        rel = str(path.relative_to(self.root))
+        for name, replacement, defining in DEPRECATED_SHIMS:
+            if rel == defining:
+                continue  # the shim's own definition site
+            pattern = re.compile(rf"\b{name}\b")
+            for lineno, line in enumerate(code.splitlines(), 1):
+                if pattern.search(line):
+                    self.fail(path, lineno, "deprecated",
+                              f"retired shim {name}; use {replacement}")
+
     # -- driver -----------------------------------------------------------
 
     def run(self) -> int:
@@ -221,6 +245,7 @@ class Linter:
             self.check_float(path, code)
             self.check_pragma_once(path, code)
             self.check_nodiscard(path, code)
+            self.check_deprecated(path, code)
         for v in self.violations:
             print(v)
         if self.violations:
@@ -240,7 +265,7 @@ def main() -> int:
                         help="print the rule names and exit")
     args = parser.parse_args()
     if args.list_rules:
-        print("rng new-delete float pragma-once nodiscard")
+        print("rng new-delete float pragma-once nodiscard deprecated")
         return 0
     return Linter(args.root.resolve()).run()
 
