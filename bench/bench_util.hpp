@@ -6,6 +6,8 @@
 // --instances and --seed let CI shrink or perturb the sweep.
 #pragma once
 
+#include <charconv>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -56,7 +58,52 @@ class Report {
     std::cout << "(csv written to " << path << ")\n";
   }
 
+  /// JSON mirror: an array of {header: cell} objects, one per row. Cells
+  /// that parse fully as numbers are emitted unquoted so downstream
+  /// tooling gets real numbers; everything else becomes a JSON string.
+  void write_json(const std::string& path) const {
+    if (path.empty()) return;
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot open " << path << " for writing\n";
+      return;
+    }
+    out << "[\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      out << "  {";
+      for (std::size_t c = 0; c < header_.size() && c < rows_[r].size(); ++c) {
+        if (c > 0) out << ", ";
+        out << '"' << json_escaped(header_[c])
+            << "\": " << json_value(rows_[r][c]);
+      }
+      out << (r + 1 < rows_.size() ? "},\n" : "}\n");
+    }
+    out << "]\n";
+    std::cout << "(json written to " << path << ")\n";
+  }
+
  private:
+  static std::string json_escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char ch : s) {
+      if (ch == '"' || ch == '\\') out.push_back('\\');
+      out.push_back(ch);
+    }
+    return out;
+  }
+
+  static std::string json_value(const std::string& cell) {
+    double parsed = 0.0;
+    const auto [end, ec] =
+        std::from_chars(cell.data(), cell.data() + cell.size(), parsed);
+    const bool is_number = !cell.empty() && ec == std::errc() &&
+                           end == cell.data() + cell.size() &&
+                           std::isfinite(parsed);  // "inf" is not JSON
+    if (is_number) return cell;
+    return '"' + json_escaped(cell) + '"';
+  }
+
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
 };

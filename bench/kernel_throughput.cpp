@@ -1,0 +1,264 @@
+// Kernel throughput: allocation-free workspace kernels vs the pre-PR
+// allocating implementations.
+//
+// Three benches, each timing a baseline replica of the old code (fresh
+// vectors / full masked Dijkstras, as shipped before the workspace layer)
+// against the current engines, asserting bit-identical results:
+//   dijkstra-node / dijkstra-link : one SPT, fresh allocation vs workspace
+//   collusion-payment             : neighbor_resistant_payments per query
+//   fig3b-instance                : overpayment_link_model per instance
+// Run with --json BENCH_kernels.json to refresh the committed numbers.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/neighbor_collusion.hpp"
+#include "core/overpayment.hpp"
+#include "graph/generators.hpp"
+#include "spath/dijkstra.hpp"
+#include "spath/workspace.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using namespace tc;
+using graph::Cost;
+using graph::kInfCost;
+using graph::kInvalidNode;
+using graph::NodeId;
+
+double min_seconds_of(std::size_t iters, const std::function<void()>& body) {
+  double best = 1e300;
+  for (std::size_t i = 0; i < iters; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    best = std::min(best, elapsed.count());
+  }
+  return best;
+}
+
+void require(bool ok, const char* what) {
+  if (!ok) {
+    std::cerr << "RESULT MISMATCH: " << what << "\n";
+    std::exit(1);
+  }
+}
+
+bool same_payments(const core::PaymentResult& a, const core::PaymentResult& b) {
+  if (a.path != b.path || a.path_cost != b.path_cost) return false;
+  if (a.payments.size() != b.payments.size()) return false;
+  for (std::size_t i = 0; i < a.payments.size(); ++i) {
+    if (a.payments[i] != b.payments[i]) return false;
+  }
+  return true;
+}
+
+// --- pre-PR baselines (replicas of the old engine bodies) ------------------
+
+core::PaymentResult baseline_neighbor_resistant(const graph::NodeGraph& g,
+                                                NodeId source, NodeId target) {
+  core::PaymentResult result;
+  result.payments.assign(g.num_nodes(), 0.0);
+  const spath::SptResult spt = spath::dijkstra_node(g, source);
+  if (!spt.reached(target)) return result;
+  result.path = spt.path_to(target);
+  result.path_cost = spt.dist[target];
+  std::vector<bool> on_path(g.num_nodes(), false);
+  for (std::size_t i = 1; i + 1 < result.path.size(); ++i)
+    on_path[result.path[i]] = true;
+  for (NodeId k = 0; k < g.num_nodes(); ++k) {
+    if (k == source || k == target) continue;
+    graph::NodeMask mask(g.num_nodes());
+    for (NodeId v : core::closed_neighborhood(g, k)) {
+      if (v != source && v != target) mask.block(v);
+    }
+    const spath::SptResult avoid = spath::dijkstra_node(g, source, mask);
+    const Cost avoid_cost =
+        avoid.reached(target) ? avoid.dist[target] : kInfCost;
+    if (!graph::finite_cost(avoid_cost)) {
+      result.payments[k] = kInfCost;
+      continue;
+    }
+    result.payments[k] =
+        (on_path[k] ? g.node_cost(k) : 0.0) + (avoid_cost - result.path_cost);
+  }
+  return result;
+}
+
+core::OverpaymentResult baseline_overpayment_link(const graph::LinkGraph& g,
+                                                  NodeId ap) {
+  const std::size_t n = g.num_nodes();
+  const graph::LinkGraph rev = spath::reverse_graph(g);  // rebuilt per call
+  const spath::SptResult to_ap = spath::dijkstra_link(rev, ap);
+  core::OverpaymentResult result;
+  std::size_t skipped = 0;
+  std::size_t monopolies = 0;
+  std::vector<std::vector<Cost>> avoid_cache(n);
+  auto avoid_for = [&](NodeId k) -> const std::vector<Cost>& {
+    if (avoid_cache[k].empty()) {
+      graph::NodeMask mask(n);
+      mask.block(k);
+      avoid_cache[k] = spath::dijkstra_link(rev, ap, mask).dist;
+    }
+    return avoid_cache[k];
+  };
+  for (NodeId i = 0; i < n; ++i) {
+    if (i == ap) continue;
+    if (!to_ap.reached(i)) {
+      ++skipped;
+      continue;
+    }
+    core::SourceOverpayment src;
+    src.source = i;
+    const Cost full_cost = to_ap.dist[i];
+    const NodeId first_hop = to_ap.parent[i];
+    src.lcp_cost = full_cost - (first_hop == kInvalidNode
+                                    ? 0.0
+                                    : g.arc_cost(i, first_hop));
+    bool monopoly = false;
+    Cost payment = 0.0;
+    std::size_t hops = 0;
+    for (NodeId k = to_ap.parent[i]; k != kInvalidNode && !monopoly;
+         k = to_ap.parent[k]) {
+      ++hops;
+      if (k == ap) break;
+      const Cost avoided = avoid_for(k)[i];
+      if (!graph::finite_cost(avoided)) {
+        monopoly = true;
+        break;
+      }
+      payment += g.arc_cost(k, to_ap.parent[k]) + (avoided - full_cost);
+    }
+    if (monopoly) {
+      ++monopolies;
+      continue;
+    }
+    src.payment = payment;
+    src.hops = hops;
+    if (src.hops <= 1) ++skipped;
+    result.per_source.push_back(src);
+  }
+  result.metrics =
+      core::summarize_overpayment(result.per_source, monopolies, skipped);
+  return result;
+}
+
+bool same_overpayment(const core::OverpaymentResult& a,
+                      const core::OverpaymentResult& b) {
+  if (a.per_source.size() != b.per_source.size()) return false;
+  for (std::size_t i = 0; i < a.per_source.size(); ++i) {
+    if (a.per_source[i].source != b.per_source[i].source ||
+        a.per_source[i].payment != b.per_source[i].payment ||
+        a.per_source[i].lcp_cost != b.per_source[i].lcp_cost ||
+        a.per_source[i].hops != b.per_source[i].hops) {
+      return false;
+    }
+  }
+  return a.metrics.tor == b.metrics.tor && a.metrics.ior == b.metrics.ior;
+}
+
+std::string fmt_ms(double seconds) { return util::fmt(seconds * 1e3, 3); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags("Kernel throughput: workspace kernels vs allocating baseline");
+  flags.add_int("iters", 5, "timing iterations (min taken)")
+      .add_int("seed", 0x5eed, "topology RNG seed")
+      .add_bool("quick", false, "n=256 only (CI smoke)")
+      .add_string("json", "", "optional JSON output path")
+      .add_string("csv", "", "optional CSV output path");
+  if (!flags.parse(argc, argv)) return 1;
+  const auto iters = static_cast<std::size_t>(flags.get_int("iters"));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  bench::banner("Kernel throughput (workspace vs fresh-allocation baseline)",
+                "workspace/delta kernels >= 2x on payment engines at n=1024");
+
+  bench::Report report({"bench", "n", "baseline_ms", "workspace_ms", "speedup",
+                        "iters"});
+  std::vector<std::size_t> sizes{256, 1024};
+  if (flags.get_bool("quick")) sizes = {256};
+
+  for (const std::size_t n : sizes) {
+    graph::UdgParams params;
+    params.n = n;
+
+    // -- single-SPT kernels (node + link models) --------------------------
+    const auto node_g = graph::make_unit_disk_node(params, 1.0, 100.0, seed);
+    const auto link_g = graph::make_unit_disk_link(params, seed);
+    const std::size_t sources = 32;
+    double sink = 0.0;
+
+    const double node_alloc = min_seconds_of(iters, [&] {
+      for (std::size_t s = 0; s < sources; ++s) {
+        sink += spath::dijkstra_node(node_g, static_cast<NodeId>(s)).dist[n - 1];
+      }
+    });
+    const double node_ws = min_seconds_of(iters, [&] {
+      spath::DijkstraWorkspace& ws = spath::thread_local_workspace();
+      for (std::size_t s = 0; s < sources; ++s) {
+        spath::dijkstra_node_into(ws, node_g, static_cast<NodeId>(s));
+        sink += ws.dist(static_cast<NodeId>(n - 1));
+      }
+    });
+    report.add_row({"dijkstra-node", std::to_string(n), fmt_ms(node_alloc),
+                    fmt_ms(node_ws), util::fmt(node_alloc / node_ws, 2),
+                    std::to_string(iters)});
+
+    const double link_alloc = min_seconds_of(iters, [&] {
+      for (std::size_t s = 0; s < sources; ++s) {
+        sink += spath::dijkstra_link(link_g, static_cast<NodeId>(s)).dist[n - 1];
+      }
+    });
+    const double link_ws = min_seconds_of(iters, [&] {
+      spath::DijkstraWorkspace& ws = spath::thread_local_workspace();
+      for (std::size_t s = 0; s < sources; ++s) {
+        spath::dijkstra_link_into(ws, link_g, static_cast<NodeId>(s));
+        sink += ws.dist(static_cast<NodeId>(n - 1));
+      }
+    });
+    report.add_row({"dijkstra-link", std::to_string(n), fmt_ms(link_alloc),
+                    fmt_ms(link_ws), util::fmt(link_alloc / link_ws, 2),
+                    std::to_string(iters)});
+
+    // -- neighbor-collusion payment engine --------------------------------
+    const NodeId s = 0;
+    const auto t = static_cast<NodeId>(n / 2);
+    core::PaymentResult base_pay, new_pay;
+    const double coll_base = min_seconds_of(
+        iters, [&] { base_pay = baseline_neighbor_resistant(node_g, s, t); });
+    const double coll_ws = min_seconds_of(
+        iters, [&] { new_pay = core::neighbor_resistant_payments(node_g, s, t); });
+    require(same_payments(base_pay, new_pay),
+            "neighbor-collusion payments diverged from baseline");
+    report.add_row({"collusion-payment", std::to_string(n), fmt_ms(coll_base),
+                    fmt_ms(coll_ws), util::fmt(coll_base / coll_ws, 2),
+                    std::to_string(iters)});
+
+    // -- Fig. 3(b) overpayment study, one instance ------------------------
+    core::OverpaymentResult base_op, new_op;
+    const double fig3_base = min_seconds_of(
+        iters, [&] { base_op = baseline_overpayment_link(link_g, 0); });
+    const double fig3_ws = min_seconds_of(
+        iters, [&] { new_op = core::overpayment_link_model(link_g, 0); });
+    require(same_overpayment(base_op, new_op),
+            "overpayment study diverged from baseline");
+    report.add_row({"fig3b-instance", std::to_string(n), fmt_ms(fig3_base),
+                    fmt_ms(fig3_ws), util::fmt(fig3_base / fig3_ws, 2),
+                    std::to_string(iters)});
+
+    if (sink == 12345.6789) std::cerr << "";  // keep the sink live
+  }
+
+  report.print();
+  report.write_csv(flags.get_string("csv"));
+  report.write_json(flags.get_string("json"));
+  return 0;
+}

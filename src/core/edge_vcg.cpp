@@ -6,6 +6,7 @@
 
 #include "core/fast_link_payment.hpp"
 #include "spath/dijkstra.hpp"
+#include "spath/workspace.hpp"
 #include "util/check.hpp"
 
 namespace tc::core {
@@ -39,10 +40,11 @@ EdgeVcgResult edge_vcg_payments_naive(const graph::LinkGraph& g,
   check_symmetric(g);
   EdgeVcgResult result;
 
-  const spath::SptResult spt = spath::dijkstra_link(g, source);
-  if (!spt.reached(target)) return result;
-  result.path = spt.path_to(target);
-  result.path_cost = spt.dist[target];
+  spath::DijkstraWorkspace& ws = spath::thread_local_workspace();
+  spath::dijkstra_link_into(ws, g, source);
+  if (!ws.reached(target)) return result;
+  result.path = ws.path_to(target);
+  result.path_cost = ws.dist(target);
 
   graph::LinkGraph work = g;
   for (std::size_t i = 0; i + 1 < result.path.size(); ++i) {
@@ -51,7 +53,9 @@ EdgeVcgResult edge_vcg_payments_naive(const graph::LinkGraph& g,
     const Cost w = g.arc_cost(u, v);
     work.set_arc_cost(u, v, kInfCost);
     work.set_arc_cost(v, u, kInfCost);
-    const spath::SptResult detour = spath::dijkstra_link(work, source);
+    // Allocation-free detour run; only the target's distance is read, so
+    // the run can stop as soon as the target settles.
+    spath::dijkstra_link_into(ws, work, source, {}, /*stop_at=*/target);
     work.set_arc_cost(u, v, w);
     work.set_arc_cost(v, u, w);
 
@@ -59,8 +63,8 @@ EdgeVcgResult edge_vcg_payments_naive(const graph::LinkGraph& g,
     payment.u = u;
     payment.v = v;
     payment.declared = w;
-    payment.payment = detour.reached(target)
-                          ? detour.dist[target] - result.path_cost + w
+    payment.payment = ws.reached(target)
+                          ? ws.dist(target) - result.path_cost + w
                           : kInfCost;  // bridge edge: monopoly
     result.payments.push_back(payment);
   }

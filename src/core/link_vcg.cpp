@@ -2,6 +2,7 @@
 
 #include "core/audit_hooks.hpp"
 #include "spath/dijkstra.hpp"
+#include "spath/workspace.hpp"
 #include "util/check.hpp"
 
 namespace tc::core {
@@ -24,8 +25,10 @@ PaymentResult link_vcg_payments(const graph::LinkGraph& g, NodeId source,
   PaymentResult result;
   result.payments.assign(g.num_nodes(), 0.0);
 
-  const spath::SptResult spt = spath::dijkstra_link(g, source);
-  if (!spt.reached(target)) return result;
+  spath::DijkstraWorkspace& ws = spath::thread_local_workspace();
+  spath::dijkstra_link_into(ws, g, source);
+  if (!ws.reached(target)) return result;
+  const spath::SptResult spt = ws.to_result();
   result.path = spt.path_to(target);
   result.path_cost = spt.dist[target];
 
@@ -33,14 +36,16 @@ PaymentResult link_vcg_payments(const graph::LinkGraph& g, NodeId source,
   // outgoing arcs infinite (it also removes incoming arcs, which no
   // finite-cost path could use once the node cannot forward onward —
   // except as the final hop *into* the node, impossible here since the
-  // masked node is never the target).
+  // masked node is never the target). Each removal re-evaluates only the
+  // relay's base subtree via MaskedSptDelta; g.reverse() supplies the
+  // in-arc view its crossing-arc seeding needs.
+  spath::SptChildren children;
+  children.build(spt);
+  spath::MaskedSptDelta delta(g, g.reverse(), spt, children, ws);
   for (std::size_t i = 1; i + 1 < result.path.size(); ++i) {
     const NodeId k = result.path[i];
-    graph::NodeMask mask(g.num_nodes());
-    mask.block(k);
-    const spath::SptResult avoid = spath::dijkstra_link(g, source, mask);
-    const Cost avoid_cost =
-        avoid.reached(target) ? avoid.dist[target] : graph::kInfCost;
+    delta.eval_one(k);
+    const Cost avoid_cost = delta.dist(target);
     if (!graph::finite_cost(avoid_cost)) {
       result.payments[k] = graph::kInfCost;  // monopoly relay
       continue;

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "spath/dijkstra.hpp"
+#include "spath/workspace.hpp"
 #include "util/check.hpp"
 
 namespace tc::core {
@@ -127,11 +128,20 @@ OverpaymentMetrics summarize_overpayment(
 
 OverpaymentResult overpayment_node_model(const graph::NodeGraph& g,
                                          NodeId access_point) {
-  const spath::SptResult to_ap = spath::dijkstra_node(g, access_point);
+  spath::DijkstraWorkspace& ws = spath::thread_local_workspace();
+  spath::dijkstra_node_into(ws, g, access_point);
+  const spath::SptResult to_ap = ws.to_result();
+  spath::SptChildren children;
+  children.build(to_ap);
+  spath::MaskedSptDelta delta(g, to_ap, children, ws);
+  // Per-relay avoiding distances come from a subtree delta against the
+  // shared base SPT instead of a full masked Dijkstra; the materialized
+  // vector is bit-identical to the old masked run's .dist.
   auto avoid_dist = [&](NodeId k) {
-    graph::NodeMask mask(g.num_nodes());
-    mask.block(k);
-    return spath::dijkstra_node(g, access_point, mask).dist;
+    delta.eval_one(k);
+    std::vector<Cost> out;
+    delta.dist_into(out);
+    return out;
   };
   auto relay_charge = [&](NodeId k) { return g.node_cost(k); };
   auto source_own = [](NodeId) { return 0.0; };  // node model: already excluded
@@ -143,12 +153,21 @@ OverpaymentResult overpayment_link_model(const graph::LinkGraph& g,
                                          NodeId access_point) {
   // Reverse graph: distances from the AP in `rev` are i->AP distances in
   // g, and the reverse-SPT parent of i is its next hop toward the AP.
-  const graph::LinkGraph rev = spath::reverse_graph(g);
-  const spath::SptResult to_ap = spath::dijkstra_link(rev, access_point);
+  // The memoized g.reverse() is built once per graph, not per study.
+  const graph::LinkGraph& rev = g.reverse();
+  spath::DijkstraWorkspace& ws = spath::thread_local_workspace();
+  spath::dijkstra_link_into(ws, rev, access_point);
+  const spath::SptResult to_ap = ws.to_result();
+  spath::SptChildren children;
+  children.build(to_ap);
+  // The delta relaxes over rev's out-arcs; its in-arc mate (reverse of
+  // the reverse) is g itself.
+  spath::MaskedSptDelta delta(rev, g, to_ap, children, ws);
   auto avoid_dist = [&](NodeId k) {
-    graph::NodeMask mask(g.num_nodes());
-    mask.block(k);
-    return spath::dijkstra_link(rev, access_point, mask).dist;
+    delta.eval_one(k);
+    std::vector<Cost> out;
+    delta.dist_into(out);
+    return out;
   };
   // Relay k's own charge on the tree path is the declared cost of its
   // forwarding arc k -> parent(k) (the sum_j x_{k,j} d_{k,j} term).

@@ -2,6 +2,7 @@
 
 #include "graph/mask.hpp"
 #include "spath/dijkstra.hpp"
+#include "spath/workspace.hpp"
 #include "util/check.hpp"
 
 namespace tc::core {
@@ -29,7 +30,7 @@ TransitResult transit_payments(const graph::NodeGraph& g,
 
   // Group flows by destination: all sources toward j share j's SPT and
   // its per-relay avoiding SPTs.
-  std::vector<Cost> avoid_dist;
+  spath::DijkstraWorkspace& ws = spath::thread_local_workspace();
   for (NodeId j = 0; j < n; ++j) {
     bool any_flow = false;
     for (NodeId i = 0; i < n; ++i) {
@@ -40,14 +41,18 @@ TransitResult transit_payments(const graph::NodeGraph& g,
     }
     if (!any_flow) continue;
 
-    const spath::SptResult to_j = spath::dijkstra_node(g, j);
-    // Avoiding distances cached per relay for this destination.
+    spath::dijkstra_node_into(ws, g, j);
+    const spath::SptResult to_j = ws.to_result();
+    spath::SptChildren children;
+    children.build(to_j);
+    spath::MaskedSptDelta delta(g, to_j, children, ws);
+    // Avoiding distances cached per relay for this destination; each cache
+    // fill is a subtree delta (bit-identical to the old full masked run).
     std::vector<std::vector<Cost>> avoid_cache(n);
     auto avoid_for = [&](NodeId k) -> const std::vector<Cost>& {
       if (avoid_cache[k].empty()) {
-        graph::NodeMask mask(n);
-        mask.block(k);
-        avoid_cache[k] = spath::dijkstra_node(g, j, mask).dist;
+        delta.eval_one(k);
+        delta.dist_into(avoid_cache[k]);
       }
       return avoid_cache[k];
     };

@@ -1,9 +1,12 @@
 #include "core/vcg_unicast.hpp"
 
+#include <span>
+
 #include "core/audit_hooks.hpp"
 #include "core/fast_payment.hpp"
-#include "spath/avoiding.hpp"
+#include "spath/batch.hpp"
 #include "spath/dijkstra.hpp"
+#include "spath/workspace.hpp"
 #include "util/check.hpp"
 
 namespace tc::core {
@@ -17,20 +20,28 @@ PaymentResult vcg_payments_naive(const graph::NodeGraph& g, NodeId source,
   PaymentResult result;
   result.payments.assign(g.num_nodes(), 0.0);
 
-  const spath::SptResult spt = spath::dijkstra_node(g, source);
-  if (!spt.reached(target)) return result;  // disconnected: no output
+  spath::DijkstraWorkspace& ws = spath::thread_local_workspace();
+  spath::dijkstra_node_into(ws, g, source);
+  if (!ws.reached(target)) return result;  // disconnected: no output
+  const spath::SptResult spt = ws.to_result();
   result.path = spt.path_to(target);
   result.path_cost = spt.dist[target];
 
-  for (std::size_t i = 1; i + 1 < result.path.size(); ++i) {
-    const NodeId k = result.path[i];
-    const spath::AvoidingPath avoid =
-        spath::avoiding_path_node(g, source, target, k);
-    // ||P_{-v_k}|| - ||P|| + d_k; infinite when v_k is a cut vertex
-    // separating s from t (monopoly — excluded by biconnectivity).
-    result.payments[k] = graph::finite_cost(avoid.cost)
-                             ? avoid.cost - result.path_cost + g.node_cost(k)
-                             : graph::kInfCost;
+  if (result.path.size() > 2) {
+    const std::span<const NodeId> relays(result.path.data() + 1,
+                                         result.path.size() - 2);
+    // One subtree delta per relay against the shared base SPT, instead of
+    // |relays| full avoiding-path Dijkstras.
+    const std::vector<Cost> avoid =
+        spath::avoiding_paths_batch(g, spt, target, relays);
+    for (std::size_t i = 0; i < relays.size(); ++i) {
+      const NodeId k = relays[i];
+      // ||P_{-v_k}|| - ||P|| + d_k; infinite when v_k is a cut vertex
+      // separating s from t (monopoly — excluded by biconnectivity).
+      result.payments[k] = graph::finite_cost(avoid[i])
+                               ? avoid[i] - result.path_cost + g.node_cost(k)
+                               : graph::kInfCost;
+    }
   }
   TC_DCHECK(internal::audit_ok(g, source, target, result));
   return result;

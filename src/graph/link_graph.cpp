@@ -18,6 +18,7 @@ void LinkGraph::set_arc_cost(NodeId u, NodeId v, Cost c) {
   for (std::size_t i = offsets_.at(u); i < offsets_.at(u + 1); ++i) {
     if (arcs_[i].to == v) {
       arcs_[i].cost = c;
+      invalidate_reverse();
       return;
     }
   }
@@ -28,6 +29,7 @@ void LinkGraph::set_all_out_costs(NodeId u, Cost c) {
   for (std::size_t i = offsets_.at(u); i < offsets_.at(u + 1); ++i) {
     arcs_[i].cost = c;
   }
+  invalidate_reverse();
 }
 
 std::vector<Cost> LinkGraph::arc_costs() const {
@@ -40,6 +42,45 @@ std::vector<Cost> LinkGraph::arc_costs() const {
 void LinkGraph::restore_arc_costs(const std::vector<Cost>& costs) {
   TC_CHECK_MSG(costs.size() == arcs_.size(), "arc cost snapshot size mismatch");
   for (std::size_t i = 0; i < arcs_.size(); ++i) arcs_[i].cost = costs[i];
+  invalidate_reverse();
+}
+
+LinkGraph LinkGraph::build_reverse() const {
+  // Counting sort over CSR: row v of the reverse receives its in-sources
+  // u in ascending order, which is exactly the (from, to)-sorted order
+  // the builder would produce — so Dijkstra relaxation order (and hence
+  // parent tie-breaks) matches spath::reverse_graph bit for bit.
+  const std::size_t n = num_nodes();
+  LinkGraph rev;
+  rev.positions_ = positions_;
+  rev.offsets_.assign(n + 1, 0);
+  for (const Arc& a : arcs_) ++rev.offsets_[a.to + 1];
+  for (std::size_t i = 1; i <= n; ++i) rev.offsets_[i] += rev.offsets_[i - 1];
+  rev.arcs_.resize(arcs_.size());
+  std::vector<std::size_t> cursor(rev.offsets_.begin(),
+                                  rev.offsets_.end() - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const Arc& a : out_arcs(u)) {
+      rev.arcs_[cursor[a.to]++] = Arc{u, a.cost};
+    }
+  }
+  return rev;
+}
+
+const LinkGraph& LinkGraph::reverse() const {
+  std::shared_ptr<const LinkGraph> cached =
+      reverse_.load(std::memory_order_acquire);
+  if (cached == nullptr) {
+    std::shared_ptr<const LinkGraph> built =
+        std::make_shared<LinkGraph>(build_reverse());
+    if (reverse_.compare_exchange_strong(cached, built,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      cached = std::move(built);
+    }
+    // On CAS failure `cached` now holds the concurrent winner.
+  }
+  return *cached;
 }
 
 LinkGraphBuilder& LinkGraphBuilder::add_arc(NodeId from, NodeId to,

@@ -7,11 +7,14 @@
 // the chosen path uses.
 #pragma once
 
+#include <atomic>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "geom/point.hpp"
 #include "graph/types.hpp"
+#include "util/check.hpp"
 
 namespace tc::graph {
 
@@ -27,16 +30,61 @@ struct Arc {
 /// Immutable directed topology with mutable arc costs (CSR of out-arcs).
 class LinkGraph {
  public:
+  // Copies and moves share / transfer the memoized reverse graph (it is
+  // an immutable snapshot of the same arc costs); the assignment targets
+  // adopt the source's cache. std::atomic members force these defaults to
+  // be spelled out.
+  LinkGraph(const LinkGraph& other)
+      : offsets_(other.offsets_),
+        arcs_(other.arcs_),
+        positions_(other.positions_),
+        reverse_(other.reverse_.load(std::memory_order_acquire)) {}
+  LinkGraph(LinkGraph&& other) noexcept
+      : offsets_(std::move(other.offsets_)),
+        arcs_(std::move(other.arcs_)),
+        positions_(std::move(other.positions_)),
+        reverse_(other.reverse_.load(std::memory_order_acquire)) {}
+  LinkGraph& operator=(const LinkGraph& other) {
+    if (this != &other) {
+      offsets_ = other.offsets_;
+      arcs_ = other.arcs_;
+      positions_ = other.positions_;
+      reverse_.store(other.reverse_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+    }
+    return *this;
+  }
+  LinkGraph& operator=(LinkGraph&& other) noexcept {
+    if (this != &other) {
+      offsets_ = std::move(other.offsets_);
+      arcs_ = std::move(other.arcs_);
+      positions_ = std::move(other.positions_);
+      reverse_.store(other.reverse_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+    }
+    return *this;
+  }
+
   std::size_t num_nodes() const { return offsets_.size() - 1; }
   std::size_t num_arcs() const { return arcs_.size(); }
 
   std::span<const Arc> out_arcs(NodeId v) const {
-    return {arcs_.data() + offsets_.at(v), offsets_.at(v + 1) - offsets_.at(v)};
+    TC_DCHECK(v < num_nodes());
+    return {arcs_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
   }
 
   std::size_t out_degree(NodeId v) const {
-    return offsets_.at(v + 1) - offsets_.at(v);
+    TC_DCHECK(v < num_nodes());
+    return offsets_[v + 1] - offsets_[v];
   }
+
+  /// Memoized arc-reversed mate: built lazily on first call, reused by
+  /// every later call, and invalidated by any arc-cost mutation. Safe to
+  /// call from concurrent readers of an otherwise-unmutated graph (the
+  /// rare duplicate build races benignly; one winner is kept). The
+  /// returned reference stays valid until the next mutation, assignment
+  /// into this graph, or destruction.
+  const LinkGraph& reverse() const;
 
   /// Cost of arc u->v; kInfCost when the arc does not exist.
   Cost arc_cost(NodeId u, NodeId v) const;
@@ -60,9 +108,17 @@ class LinkGraph {
   friend class LinkGraphBuilder;
   LinkGraph() = default;
 
+  LinkGraph build_reverse() const;
+  void invalidate_reverse() {
+    reverse_.store(nullptr, std::memory_order_release);
+  }
+
   std::vector<std::size_t> offsets_;  // size num_nodes + 1
   std::vector<Arc> arcs_;
   std::vector<geom::Point> positions_;
+  /// Lazily memoized reverse graph; nullptr until first reverse() call
+  /// and after every mutation.
+  mutable std::atomic<std::shared_ptr<const LinkGraph>> reverse_{nullptr};
 };
 
 /// Builder for LinkGraph; duplicate arcs keep the lowest cost.

@@ -5,6 +5,7 @@
 // algorithm's cost; a mask instead filters nodes during traversal.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <initializer_list>
 #include <vector>
@@ -38,6 +39,10 @@ class NodeMask {
 
   void block(NodeId v) { blocked_.at(v) = 1; }
   void unblock(NodeId v) { blocked_.at(v) = 0; }
+
+  /// Returns to the all-allowed state without reallocating (scratch-mask
+  /// reuse in the batched shortest-path drivers).
+  void clear_blocks() { std::fill(blocked_.begin(), blocked_.end(), 0); }
 
   /// True when `v` participates in the masked graph. An empty mask allows
   /// everything (the common "no removal" fast path).

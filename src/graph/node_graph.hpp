@@ -14,6 +14,7 @@
 
 #include "geom/point.hpp"
 #include "graph/types.hpp"
+#include "util/check.hpp"
 
 namespace tc::graph {
 
@@ -29,8 +30,14 @@ class NodeGraph {
   /// Number of undirected edges.
   std::size_t num_edges() const { return adjacency_.size() / 2; }
 
-  Cost node_cost(NodeId v) const { return costs_.at(v); }
-  void set_node_cost(NodeId v, Cost c) { costs_.at(v) = c; }
+  Cost node_cost(NodeId v) const {
+    TC_DCHECK(v < costs_.size());
+    return costs_[v];
+  }
+  void set_node_cost(NodeId v, Cost c) {
+    TC_DCHECK(v < costs_.size());
+    costs_[v] = c;
+  }
 
   const std::vector<Cost>& costs() const { return costs_; }
   /// Replaces all node costs (size must match). Used by the mechanism
@@ -38,12 +45,13 @@ class NodeGraph {
   void set_costs(std::vector<Cost> costs);
 
   std::span<const NodeId> neighbors(NodeId v) const {
-    return {adjacency_.data() + offsets_.at(v),
-            offsets_.at(v + 1) - offsets_.at(v)};
+    TC_DCHECK(v < num_nodes());
+    return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
   }
 
   std::size_t degree(NodeId v) const {
-    return offsets_.at(v + 1) - offsets_.at(v);
+    TC_DCHECK(v < num_nodes());
+    return offsets_[v + 1] - offsets_[v];
   }
 
   /// O(deg) membership test.

@@ -69,7 +69,9 @@ OverpaymentResult run_single_instance(const OverpaymentExperiment& config,
 OverpaymentAggregate run_overpayment_experiment(
     const OverpaymentExperiment& config) {
   std::vector<OverpaymentResult> results(config.instances);
-  util::default_pool().parallel_for(0, config.instances, [&](std::size_t i) {
+  util::ThreadPool& pool =
+      config.pool != nullptr ? *config.pool : util::default_pool();
+  pool.parallel_for(0, config.instances, [&](std::size_t i) {
     results[i] = run_single_instance(config, i);
   });
 
@@ -103,7 +105,9 @@ OverpaymentAggregate run_overpayment_experiment(
 HopDistanceAggregate run_hop_distance_experiment(
     const OverpaymentExperiment& config) {
   std::vector<OverpaymentResult> results(config.instances);
-  util::default_pool().parallel_for(0, config.instances, [&](std::size_t i) {
+  util::ThreadPool& pool =
+      config.pool != nullptr ? *config.pool : util::default_pool();
+  pool.parallel_for(0, config.instances, [&](std::size_t i) {
     results[i] = run_single_instance(config, i);
   });
 

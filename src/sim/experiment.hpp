@@ -14,6 +14,10 @@
 #include "graph/generators.hpp"
 #include "util/stats.hpp"
 
+namespace tc::util {
+class ThreadPool;
+}  // namespace tc::util
+
 namespace tc::sim {
 
 /// Which network/cost model an experiment instantiates.
@@ -37,6 +41,10 @@ struct OverpaymentExperiment {
   /// Node-cost range for the kNodeUniform ablation.
   double node_cost_lo = 1.0;
   double node_cost_hi = 100.0;
+  /// Thread pool for instance fan-out; nullptr = the shared default pool.
+  /// Results do not depend on the choice (instances are independent and
+  /// seeded by index).
+  util::ThreadPool* pool = nullptr;
 };
 
 /// Aggregate of one experiment (one figure data point).

@@ -1,56 +1,64 @@
 #include "spath/avoiding.hpp"
 
+#include "spath/workspace.hpp"
 #include "util/check.hpp"
 
 namespace tc::spath {
 
 using graph::NodeId;
 
+namespace {
+
+/// Shared tail of the avoiding-path helpers: harvest cost + witness from
+/// the workspace run, then return the scratch mask to all-allowed.
+AvoidingPath harvest(DijkstraWorkspace& ws, graph::NodeMask& mask,
+                     std::span<const NodeId> blocked, NodeId t) {
+  AvoidingPath result;
+  if (ws.reached(t)) {
+    result.cost = ws.dist(t);
+    result.path = ws.path_to(t);
+  }
+  for (NodeId v : blocked) mask.unblock(v);
+  return result;
+}
+
+}  // namespace
+
 AvoidingPath avoiding_path_node(const graph::NodeGraph& g, NodeId s, NodeId t,
                                 NodeId avoid) {
   TC_CHECK_MSG(avoid != s && avoid != t,
                "cannot avoid an endpoint of the path");
-  graph::NodeMask mask(g.num_nodes());
+  DijkstraWorkspace& ws = thread_local_workspace();
+  graph::NodeMask& mask = ws.scratch_mask(g.num_nodes());
   mask.block(avoid);
-  const SptResult spt = dijkstra_node(g, s, mask);
-  AvoidingPath result;
-  if (spt.reached(t)) {
-    result.cost = spt.dist[t];
-    result.path = spt.path_to(t);
-  }
-  return result;
+  // Early stop at t: its settled distance and parent chain are final, and
+  // identical to the full run's.
+  dijkstra_node_into(ws, g, s, mask, /*stop_at=*/t);
+  return harvest(ws, mask, {&avoid, 1}, t);
 }
 
 AvoidingPath avoiding_path_node_set(const graph::NodeGraph& g, NodeId s,
                                     NodeId t,
                                     const std::vector<NodeId>& avoid_set) {
-  graph::NodeMask mask(g.num_nodes());
+  DijkstraWorkspace& ws = thread_local_workspace();
+  graph::NodeMask& mask = ws.scratch_mask(g.num_nodes());
   for (NodeId v : avoid_set) {
     TC_CHECK_MSG(v != s && v != t, "cannot avoid an endpoint of the path");
     mask.block(v);
   }
-  const SptResult spt = dijkstra_node(g, s, mask);
-  AvoidingPath result;
-  if (spt.reached(t)) {
-    result.cost = spt.dist[t];
-    result.path = spt.path_to(t);
-  }
-  return result;
+  dijkstra_node_into(ws, g, s, mask, /*stop_at=*/t);
+  return harvest(ws, mask, avoid_set, t);
 }
 
 AvoidingPath avoiding_path_link(const graph::LinkGraph& g, NodeId s, NodeId t,
                                 NodeId avoid) {
   TC_CHECK_MSG(avoid != s && avoid != t,
                "cannot avoid an endpoint of the path");
-  graph::NodeMask mask(g.num_nodes());
+  DijkstraWorkspace& ws = thread_local_workspace();
+  graph::NodeMask& mask = ws.scratch_mask(g.num_nodes());
   mask.block(avoid);
-  const SptResult spt = dijkstra_link(g, s, mask);
-  AvoidingPath result;
-  if (spt.reached(t)) {
-    result.cost = spt.dist[t];
-    result.path = spt.path_to(t);
-  }
-  return result;
+  dijkstra_link_into(ws, g, s, mask, /*stop_at=*/t);
+  return harvest(ws, mask, {&avoid, 1}, t);
 }
 
 }  // namespace tc::spath

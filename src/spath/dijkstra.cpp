@@ -124,8 +124,7 @@ graph::LinkGraph reverse_graph(const graph::LinkGraph& g) {
 
 SptResult dijkstra_link_to_target(const graph::LinkGraph& g, NodeId target,
                                   const graph::NodeMask& mask) {
-  const graph::LinkGraph rev = reverse_graph(g);
-  return dijkstra_link(rev, target, mask);
+  return dijkstra_link(g.reverse(), target, mask);
 }
 
 Cost path_interior_cost(const graph::NodeGraph& g,

@@ -15,6 +15,7 @@
 #include "graph/link_graph.hpp"
 #include "graph/mask.hpp"
 #include "graph/node_graph.hpp"
+#include "util/check.hpp"
 
 namespace tc::spath {
 
@@ -29,7 +30,8 @@ struct SptResult {
   std::vector<graph::NodeId> parent;
 
   [[nodiscard]] bool reached(graph::NodeId v) const {
-    return graph::finite_cost(dist.at(v));
+    TC_DCHECK(v < dist.size());
+    return graph::finite_cost(dist[v]);
   }
 
   /// Node sequence source..t inclusive; empty when t is unreachable.
@@ -62,8 +64,8 @@ struct SptResult {
 
 /// Link-weighted Dijkstra on the *reverse* graph: dist[v] = cost of the
 /// best directed path v -> target in `g`. parent[v] is v's successor
-/// toward the target. Builds the reverse adjacency internally; for
-/// repeated calls, prebuild with `reverse_graph`.
+/// toward the target. Uses the memoized g.reverse() CSR, so repeated
+/// calls on an unmutated graph share one reversal.
 [[nodiscard]] SptResult dijkstra_link_to_target(
     const graph::LinkGraph& g, graph::NodeId target,
     const graph::NodeMask& mask = {});

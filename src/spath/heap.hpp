@@ -26,12 +26,24 @@ class IndexedDHeap {
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
   bool contains(graph::NodeId key) const {
+    TC_DCHECK(key < position_.size());
     return position_[key] != kAbsent;
+  }
+
+  /// Re-keys the heap for `num_keys` keys and empties it, in O(leftover
+  /// entries) — the workspace kernels' reuse hook. The position array only
+  /// grows, so alternating between graph sizes never reallocates back and
+  /// forth.
+  void reset(std::size_t num_keys) {
+    for (const Entry& e : heap_) position_[e.key] = kAbsent;
+    heap_.clear();
+    if (position_.size() < num_keys) position_.resize(num_keys, kAbsent);
   }
 
   /// Inserts a new key or lowers the priority of an existing one.
   /// Raising a priority is a programming error (Dijkstra never raises).
   void push_or_decrease(graph::NodeId key, graph::Cost priority) {
+    TC_DCHECK(key < position_.size());
     std::size_t pos = position_[key];
     if (pos == kAbsent) {
       heap_.push_back({priority, key});

@@ -22,7 +22,33 @@ class PairingHeap {
 
   bool empty() const { return root_ == kNull; }
   std::size_t size() const { return size_; }
-  bool contains(graph::NodeId key) const { return in_heap_[key]; }
+  bool contains(graph::NodeId key) const {
+    TC_DCHECK(key < in_heap_.size());
+    return in_heap_[key];
+  }
+
+  /// Re-keys the heap for `num_keys` keys and empties it. Leftover nodes
+  /// (possible after an early-stopped Dijkstra) are cleared by walking the
+  /// remaining tree, so the cost is O(leftover entries).
+  void reset(std::size_t num_keys) {
+    if (root_ != kNull) {
+      scratch_.clear();
+      scratch_.push_back(root_);
+      while (!scratch_.empty()) {
+        const graph::NodeId v = scratch_.back();
+        scratch_.pop_back();
+        in_heap_[v] = false;
+        if (nodes_[v].child != kNull) scratch_.push_back(nodes_[v].child);
+        if (nodes_[v].sibling != kNull) scratch_.push_back(nodes_[v].sibling);
+      }
+      root_ = kNull;
+    }
+    size_ = 0;
+    if (nodes_.size() < num_keys) {
+      nodes_.resize(num_keys);
+      in_heap_.resize(num_keys, false);
+    }
+  }
 
   graph::Cost priority_of(graph::NodeId key) const {
     TC_DCHECK(contains(key));
@@ -32,6 +58,7 @@ class PairingHeap {
   /// Inserts a new key or lowers an existing key's priority. Raising is a
   /// programming error (Dijkstra never raises).
   void push_or_decrease(graph::NodeId key, graph::Cost priority) {
+    TC_DCHECK(key < nodes_.size());
     if (!in_heap_[key]) {
       Node& node = nodes_[key];
       node = Node{};

@@ -1,0 +1,357 @@
+#include "spath/workspace.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace tc::spath {
+
+using graph::Cost;
+using graph::kInfCost;
+using graph::kInvalidNode;
+using graph::NodeId;
+
+void DijkstraWorkspace::begin(std::size_t n, NodeId source) {
+  if (n > dist_.size()) {
+    dist_.resize(n);
+    parent_.resize(n);
+    touch_.resize(n, 0);
+    settled_.resize(n, 0);
+    member_.resize(n, 0);
+    removed_.resize(n, 0);
+  }
+  n_ = n;
+  if (epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+    // Wraparound: a fresh epoch of 1 could collide with ancient stamps,
+    // so pay the one-in-2^32 full clear.
+    std::fill(touch_.begin(), touch_.end(), 0u);
+    std::fill(settled_.begin(), settled_.end(), 0u);
+    std::fill(member_.begin(), member_.end(), 0u);
+    std::fill(removed_.begin(), removed_.end(), 0u);
+    epoch_ = 0;
+  }
+  ++epoch_;
+  source_ = source;
+  complete_ = false;
+}
+
+std::vector<NodeId> DijkstraWorkspace::path_to(NodeId t) const {
+  if (!reached(t)) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = t; v != kInvalidNode; v = parent_[v]) {
+    TC_DCHECK(touched(v));
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  TC_DCHECK(path.front() == source_);
+  return path;
+}
+
+SptResult DijkstraWorkspace::to_result() const {
+  TC_DCHECK(complete_);
+  SptResult r;
+  r.source = source_;
+  r.dist.resize(n_);
+  r.parent.resize(n_);
+  for (NodeId v = 0; v < n_; ++v) {
+    const bool t = touch_[v] == epoch_;
+    r.dist[v] = t ? dist_[v] : kInfCost;
+    r.parent[v] = t ? parent_[v] : kInvalidNode;
+  }
+  return r;
+}
+
+graph::NodeMask& DijkstraWorkspace::scratch_mask(std::size_t n) {
+  if (mask_.size() != n) mask_ = graph::NodeMask(n);
+  return mask_;
+}
+
+DijkstraWorkspace& thread_local_workspace() {
+  thread_local DijkstraWorkspace ws;
+  return ws;
+}
+
+struct WorkspaceKernels {
+  // Both kernels replicate their allocating counterparts' relaxation
+  // condition exactly — including the "infinite candidate never relaxes an
+  // untouched node" case — so dist/parent come out bit-identical.
+  template <typename Heap>
+  static void run_node(DijkstraWorkspace& ws, Heap& heap,
+                       const graph::NodeGraph& g, NodeId source,
+                       const graph::NodeMask& mask, NodeId stop_at) {
+    const std::uint32_t e = ws.epoch_;
+    heap.reset(ws.n_);
+    ws.dist_[source] = 0.0;
+    ws.parent_[source] = kInvalidNode;
+    ws.touch_[source] = e;
+    heap.push_or_decrease(source, 0.0);
+    while (!heap.empty()) {
+      const auto [du, u] = heap.pop_min();
+      if (ws.settled_[u] == e) continue;
+      ws.settled_[u] = e;
+      if (u == stop_at) return;  // settled value is final; leftovers are
+                                 // cleared by the next heap.reset
+      const Cost through = du + (u == source ? 0.0 : g.node_cost(u));
+      for (NodeId v : g.neighbors(u)) {
+        if (ws.settled_[v] == e || !mask.allowed(v)) continue;
+        const Cost dv = ws.touch_[v] == e ? ws.dist_[v] : kInfCost;
+        if (through < dv) {
+          ws.dist_[v] = through;
+          ws.parent_[v] = u;
+          ws.touch_[v] = e;
+          heap.push_or_decrease(v, through);
+        }
+      }
+    }
+    ws.complete_ = true;
+  }
+
+  template <typename Heap>
+  static void run_link(DijkstraWorkspace& ws, Heap& heap,
+                       const graph::LinkGraph& g, NodeId source,
+                       const graph::NodeMask& mask, NodeId stop_at) {
+    const std::uint32_t e = ws.epoch_;
+    heap.reset(ws.n_);
+    ws.dist_[source] = 0.0;
+    ws.parent_[source] = kInvalidNode;
+    ws.touch_[source] = e;
+    heap.push_or_decrease(source, 0.0);
+    while (!heap.empty()) {
+      const auto [du, u] = heap.pop_min();
+      if (ws.settled_[u] == e) continue;
+      ws.settled_[u] = e;
+      if (u == stop_at) return;
+      for (const graph::Arc& a : g.out_arcs(u)) {
+        if (ws.settled_[a.to] == e || !mask.allowed(a.to)) continue;
+        if (!graph::finite_cost(a.cost)) continue;
+        const Cost cand = du + a.cost;
+        const Cost dv = ws.touch_[a.to] == e ? ws.dist_[a.to] : kInfCost;
+        if (cand < dv) {
+          ws.dist_[a.to] = cand;
+          ws.parent_[a.to] = u;
+          ws.touch_[a.to] = e;
+          heap.push_or_decrease(a.to, cand);
+        }
+      }
+    }
+    ws.complete_ = true;
+  }
+
+  static void dispatch_node(DijkstraWorkspace& ws, const graph::NodeGraph& g,
+                            NodeId source, const graph::NodeMask& mask,
+                            NodeId stop_at, HeapKind heap) {
+    ws.begin(g.num_nodes(), source);
+    switch (heap) {
+      case HeapKind::kBinary:
+        run_node(ws, ws.bheap_, g, source, mask, stop_at);
+        break;
+      case HeapKind::kQuad:
+        run_node(ws, ws.qheap_, g, source, mask, stop_at);
+        break;
+      case HeapKind::kPairing:
+        run_node(ws, ws.pheap_, g, source, mask, stop_at);
+        break;
+    }
+  }
+
+  static void dispatch_link(DijkstraWorkspace& ws, const graph::LinkGraph& g,
+                            NodeId source, const graph::NodeMask& mask,
+                            NodeId stop_at, HeapKind heap) {
+    ws.begin(g.num_nodes(), source);
+    switch (heap) {
+      case HeapKind::kBinary:
+        run_link(ws, ws.bheap_, g, source, mask, stop_at);
+        break;
+      case HeapKind::kQuad:
+        run_link(ws, ws.qheap_, g, source, mask, stop_at);
+        break;
+      case HeapKind::kPairing:
+        run_link(ws, ws.pheap_, g, source, mask, stop_at);
+        break;
+    }
+  }
+};
+
+void dijkstra_node_into(DijkstraWorkspace& ws, const graph::NodeGraph& g,
+                        NodeId source, const graph::NodeMask& mask,
+                        NodeId stop_at, HeapKind heap) {
+  TC_CHECK_MSG(source < g.num_nodes(), "dijkstra source out of range");
+  TC_CHECK_MSG(mask.allowed(source), "dijkstra source is masked out");
+  WorkspaceKernels::dispatch_node(ws, g, source, mask, stop_at, heap);
+}
+
+void dijkstra_link_into(DijkstraWorkspace& ws, const graph::LinkGraph& g,
+                        NodeId source, const graph::NodeMask& mask,
+                        NodeId stop_at, HeapKind heap) {
+  TC_CHECK_MSG(source < g.num_nodes(), "dijkstra source out of range");
+  TC_CHECK_MSG(mask.allowed(source), "dijkstra source is masked out");
+  WorkspaceKernels::dispatch_link(ws, g, source, mask, stop_at, heap);
+}
+
+void dijkstra_link_to_target_into(DijkstraWorkspace& ws,
+                                  const graph::LinkGraph& g, NodeId target,
+                                  const graph::NodeMask& mask, NodeId stop_at,
+                                  HeapKind heap) {
+  dijkstra_link_into(ws, g.reverse(), target, mask, stop_at, heap);
+}
+
+void SptChildren::build(const SptResult& base) {
+  const std::size_t n = base.parent.size();
+  offsets_.assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (base.parent[v] != kInvalidNode) ++offsets_[base.parent[v] + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) offsets_[i] += offsets_[i - 1];
+  child_.resize(offsets_[n]);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (NodeId v = 0; v < n; ++v) {
+    if (base.parent[v] != kInvalidNode) child_[cursor[base.parent[v]]++] = v;
+  }
+}
+
+std::vector<std::uint32_t> tree_depths(const SptResult& base,
+                                       const SptChildren& children) {
+  std::vector<std::uint32_t> depth(base.parent.size(), kUnreachableDepth);
+  if (base.source == kInvalidNode || base.parent.empty()) return depth;
+  std::vector<NodeId> stack{base.source};
+  depth[base.source] = 0;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId c : children.of(v)) {
+      depth[c] = depth[v] + 1;
+      stack.push_back(c);
+    }
+  }
+  return depth;
+}
+
+void MaskedSptDelta::eval(std::span<const NodeId> removed) {
+  DijkstraWorkspace& ws = *ws_;
+  const std::size_t n = base_->dist.size();
+  ws.begin(n, base_->source);
+  const std::uint32_t e = ws.epoch_;
+  ws.removed_list_.clear();
+  for (NodeId r : removed) {
+    TC_DCHECK(r < n);
+    TC_DCHECK(r != base_->source);
+    if (ws.removed_[r] == e) continue;  // duplicate in the removal list
+    ws.removed_[r] = e;
+    ws.removed_list_.push_back(r);
+  }
+  // Members: the removed nodes' tree descendants (a node pushed twice
+  // under nested removals is deduplicated by its member stamp; subtrees
+  // of removed descendants are cut at the removed node, whose own
+  // children were seeded above).
+  ws.member_list_.clear();
+  ws.stack_.clear();
+  for (NodeId r : ws.removed_list_) {
+    for (NodeId c : children_->of(r)) {
+      if (ws.removed_[c] != e) ws.stack_.push_back(c);
+    }
+  }
+  while (!ws.stack_.empty()) {
+    const NodeId v = ws.stack_.back();
+    ws.stack_.pop_back();
+    if (ws.member_[v] == e) continue;
+    ws.member_[v] = e;
+    ws.member_list_.push_back(v);
+    for (NodeId c : children_->of(v)) {
+      if (ws.removed_[c] != e) ws.stack_.push_back(c);
+    }
+  }
+  seed_and_relax_members();
+}
+
+void MaskedSptDelta::seed_and_relax_members() {
+  DijkstraWorkspace& ws = *ws_;
+  const std::uint32_t e = ws.epoch_;
+  const NodeId src = base_->source;
+  BinaryHeap& heap = ws.bheap_;
+  heap.reset(ws.n_);
+  if (node_g_ != nullptr) {
+    const graph::NodeGraph& g = *node_g_;
+    // Seed each member from its unaffected neighbors, whose masked
+    // distances provably equal their base distances bit for bit.
+    for (NodeId w : ws.member_list_) {
+      for (NodeId u : g.neighbors(w)) {
+        if (ws.removed_[u] == e || ws.member_[u] == e) continue;
+        const Cost du = base_->dist[u];
+        if (!graph::finite_cost(du)) continue;
+        const Cost through = du + (u == src ? 0.0 : g.node_cost(u));
+        const Cost dw = ws.touch_[w] == e ? ws.dist_[w] : kInfCost;
+        if (through < dw) {
+          ws.dist_[w] = through;
+          ws.parent_[w] = u;
+          ws.touch_[w] = e;
+          heap.push_or_decrease(w, through);
+        }
+      }
+    }
+    while (!heap.empty()) {
+      const auto [du, u] = heap.pop_min();
+      if (ws.settled_[u] == e) continue;
+      ws.settled_[u] = e;
+      const Cost through = du + g.node_cost(u);  // a member is never src
+      for (NodeId v : g.neighbors(u)) {
+        if (ws.member_[v] != e || ws.settled_[v] == e) continue;
+        const Cost dv = ws.touch_[v] == e ? ws.dist_[v] : kInfCost;
+        if (through < dv) {
+          ws.dist_[v] = through;
+          ws.parent_[v] = u;
+          ws.touch_[v] = e;
+          heap.push_or_decrease(v, through);
+        }
+      }
+    }
+  } else {
+    const graph::LinkGraph& run = *run_g_;
+    const graph::LinkGraph& in = *in_g_;
+    for (NodeId w : ws.member_list_) {
+      // in.out_arcs(w) enumerates w's in-arcs in `run`: arc {u, c} here
+      // is the run-graph arc u -> w with cost c.
+      for (const graph::Arc& a : in.out_arcs(w)) {
+        const NodeId u = a.to;
+        if (ws.removed_[u] == e || ws.member_[u] == e) continue;
+        const Cost du = base_->dist[u];
+        if (!graph::finite_cost(du) || !graph::finite_cost(a.cost)) continue;
+        const Cost cand = du + a.cost;
+        const Cost dw = ws.touch_[w] == e ? ws.dist_[w] : kInfCost;
+        if (cand < dw) {
+          ws.dist_[w] = cand;
+          ws.parent_[w] = u;
+          ws.touch_[w] = e;
+          heap.push_or_decrease(w, cand);
+        }
+      }
+    }
+    while (!heap.empty()) {
+      const auto [du, u] = heap.pop_min();
+      if (ws.settled_[u] == e) continue;
+      ws.settled_[u] = e;
+      for (const graph::Arc& a : run.out_arcs(u)) {
+        if (ws.member_[a.to] != e || ws.settled_[a.to] == e) continue;
+        if (!graph::finite_cost(a.cost)) continue;
+        const Cost cand = du + a.cost;
+        const Cost dv = ws.touch_[a.to] == e ? ws.dist_[a.to] : kInfCost;
+        if (cand < dv) {
+          ws.dist_[a.to] = cand;
+          ws.parent_[a.to] = u;
+          ws.touch_[a.to] = e;
+          heap.push_or_decrease(a.to, cand);
+        }
+      }
+    }
+  }
+}
+
+void MaskedSptDelta::dist_into(std::vector<Cost>& out) const {
+  const DijkstraWorkspace& ws = *ws_;
+  const std::uint32_t e = ws.epoch_;
+  out = base_->dist;
+  for (NodeId r : ws.removed_list_) out[r] = kInfCost;
+  for (NodeId w : ws.member_list_) {
+    out[w] = ws.touch_[w] == e ? ws.dist_[w] : kInfCost;
+  }
+}
+
+}  // namespace tc::spath

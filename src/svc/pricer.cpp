@@ -8,6 +8,7 @@
 #include "core/neighbor_collusion.hpp"
 #include "graph/connectivity.hpp"
 #include "spath/dijkstra.hpp"
+#include "spath/workspace.hpp"
 #include "util/check.hpp"
 
 namespace tc::svc {
@@ -45,23 +46,23 @@ QuoteDeps node_certificate(const graph::NodeGraph& g, NodeId source,
     deps.vmax = -kInfCost;
     return deps;
   }
-  spath::SptResult computed_s;
-  spath::SptResult computed_t;
-  if (spt_source == nullptr) {
-    computed_s = spath::dijkstra_node(g, source);
-    spt_source = &computed_s;
-  }
-  if (spt_target == nullptr) {
-    computed_t = spath::dijkstra_node(g, target);
-    spt_target = &computed_t;
-  }
-  const spath::SptResult& sptS = *spt_source;
-  const spath::SptResult& sptT = *spt_target;
+  // Recomputed SPTs go through the thread-local workspace: deps.thru
+  // doubles as scratch for the source pass, so neither run allocates an
+  // SptResult.
   const std::size_t n = g.num_nodes();
   deps.thru.resize(n);
+  spath::DijkstraWorkspace& ws = spath::thread_local_workspace();
+  if (spt_source != nullptr) {
+    std::copy(spt_source->dist.begin(), spt_source->dist.end(),
+              deps.thru.begin());
+  } else {
+    spath::dijkstra_node_into(ws, g, source);
+    for (NodeId v = 0; v < n; ++v) deps.thru[v] = ws.dist(v);
+  }
+  if (spt_target == nullptr) spath::dijkstra_node_into(ws, g, target);
   for (NodeId v = 0; v < n; ++v) {
-    const Cost l = sptS.dist[v];
-    const Cost r = sptT.dist[v];
+    const Cost l = deps.thru[v];
+    const Cost r = spt_target != nullptr ? spt_target->dist[v] : ws.dist(v);
     const Cost interior =
         (v == source || v == target) ? 0.0 : g.node_cost(v);
     deps.thru[v] = (graph::finite_cost(l) && graph::finite_cost(r))
@@ -84,8 +85,15 @@ QuoteDeps link_certificate(const graph::LinkGraph& g, NodeId source,
     deps.vmax = -kInfCost;
     return deps;
   }
-  deps.dist_from_source = spath::dijkstra_link(g, source).dist;
-  deps.dist_to_target = spath::dijkstra_link_to_target(g, target).dist;
+  const std::size_t n = g.num_nodes();
+  spath::DijkstraWorkspace& ws = spath::thread_local_workspace();
+  spath::dijkstra_link_into(ws, g, source);
+  deps.dist_from_source.resize(n);
+  for (NodeId v = 0; v < n; ++v) deps.dist_from_source[v] = ws.dist(v);
+  // Uses the memoized g.reverse() instead of rebuilding the reverse CSR.
+  spath::dijkstra_link_to_target_into(ws, g, target);
+  deps.dist_to_target.resize(n);
+  for (NodeId v = 0; v < n; ++v) deps.dist_to_target[v] = ws.dist(v);
   std::vector<Cost> own(g.num_nodes(), 0.0);
   for (std::size_t i = 1; i + 1 < result.path.size(); ++i) {
     const NodeId k = result.path[i];

@@ -94,5 +94,54 @@ TEST(LinkGraph, OutArcsSortedByTarget) {
   EXPECT_EQ(arcs[2].to, 3u);
 }
 
+TEST(LinkGraphReverse, ArcsAreReversed) {
+  const LinkGraph g = diamond();
+  const LinkGraph& rev = g.reverse();
+  ASSERT_EQ(rev.num_nodes(), g.num_nodes());
+  EXPECT_EQ(rev.num_arcs(), g.num_arcs());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Arc& a : g.out_arcs(u)) {
+      EXPECT_DOUBLE_EQ(rev.arc_cost(a.to, u), a.cost);
+    }
+  }
+}
+
+TEST(LinkGraphReverse, SecondCallReusesCachedInstance) {
+  const LinkGraph g = diamond();
+  const LinkGraph* first = &g.reverse();
+  EXPECT_EQ(first, &g.reverse());
+}
+
+TEST(LinkGraphReverse, MutationInvalidatesCache) {
+  LinkGraph g = diamond();
+  EXPECT_DOUBLE_EQ(g.reverse().arc_cost(1, 0), 1.0);
+  g.set_arc_cost(0, 1, 7.0);
+  // A stale cache would still return 1.0 here.
+  EXPECT_DOUBLE_EQ(g.reverse().arc_cost(1, 0), 7.0);
+  g.set_all_out_costs(0, 2.5);
+  EXPECT_DOUBLE_EQ(g.reverse().arc_cost(1, 0), 2.5);
+  EXPECT_DOUBLE_EQ(g.reverse().arc_cost(2, 0), 2.5);
+}
+
+TEST(LinkGraphReverse, CopySharesCacheUntilMutation) {
+  LinkGraph g = diamond();
+  const LinkGraph* cached = &g.reverse();
+  LinkGraph copy = g;  // same costs: sharing the snapshot is safe
+  EXPECT_EQ(&copy.reverse(), cached);
+  copy.set_arc_cost(0, 1, 9.0);
+  EXPECT_NE(&copy.reverse(), cached);
+  EXPECT_EQ(&g.reverse(), cached);  // original cache untouched
+  EXPECT_DOUBLE_EQ(g.reverse().arc_cost(1, 0), 1.0);
+}
+
+TEST(LinkGraphReverse, RestoreArcCostsInvalidates) {
+  LinkGraph g = diamond();
+  const std::vector<Cost> snapshot = g.arc_costs();
+  g.set_arc_cost(0, 1, 99.0);
+  EXPECT_DOUBLE_EQ(g.reverse().arc_cost(1, 0), 99.0);
+  g.restore_arc_costs(snapshot);
+  EXPECT_DOUBLE_EQ(g.reverse().arc_cost(1, 0), 1.0);
+}
+
 }  // namespace
 }  // namespace tc::graph

@@ -1,0 +1,358 @@
+// Differential tests for the allocation-free workspace kernels: every
+// `_into` run, batch driver, and MaskedSptDelta evaluation must be
+// bit-identical to the allocating reference implementation.
+#include "spath/workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "spath/avoiding.hpp"
+#include "spath/batch.hpp"
+#include "spath/dijkstra.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tc::spath {
+namespace {
+
+using graph::Cost;
+using graph::kInfCost;
+using graph::kInvalidNode;
+using graph::NodeId;
+
+constexpr std::uint64_t kSeeds = 100;
+
+void expect_bits_equal(const std::vector<Cost>& a, const std::vector<Cost>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(Cost)), 0);
+}
+
+void expect_same_spt(const SptResult& a, const SptResult& b) {
+  EXPECT_EQ(a.source, b.source);
+  expect_bits_equal(a.dist, b.dist);
+  EXPECT_EQ(a.parent, b.parent);
+}
+
+graph::NodeGraph random_node_graph(std::uint64_t seed) {
+  // p below the connectivity threshold for some seeds, so unreachable
+  // nodes are exercised too.
+  return graph::make_erdos_renyi(60, 0.08, 0.1, 9.0, seed);
+}
+
+graph::NodeMask random_mask(std::size_t n, NodeId source, std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::NodeMask mask(n);
+  for (int i = 0; i < 6; ++i) {
+    const NodeId v = static_cast<NodeId>(rng.next_below(n));
+    if (v != source) mask.block(v);
+  }
+  return mask;
+}
+
+TEST(WorkspaceDifferential, NodeAllHeapsMatchAllocating) {
+  DijkstraWorkspace ws;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const auto g = random_node_graph(seed);
+    const NodeId source = static_cast<NodeId>(seed % g.num_nodes());
+
+    dijkstra_node_into(ws, g, source);
+    expect_same_spt(ws.to_result(), dijkstra_node(g, source));
+
+    dijkstra_node_into(ws, g, source, {}, kInvalidNode, HeapKind::kQuad);
+    expect_same_spt(ws.to_result(), dijkstra_node_quad(g, source));
+
+    dijkstra_node_into(ws, g, source, {}, kInvalidNode, HeapKind::kPairing);
+    expect_same_spt(ws.to_result(), dijkstra_node_pairing(g, source));
+  }
+}
+
+TEST(WorkspaceDifferential, NodeMaskedMatchesAllocating) {
+  DijkstraWorkspace ws;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const auto g = random_node_graph(seed);
+    const NodeId source = static_cast<NodeId>(seed % g.num_nodes());
+    const graph::NodeMask mask = random_mask(g.num_nodes(), source, seed * 7);
+    dijkstra_node_into(ws, g, source, mask);
+    expect_same_spt(ws.to_result(), dijkstra_node(g, source, mask));
+  }
+}
+
+TEST(WorkspaceDifferential, LinkMatchesAllocating) {
+  DijkstraWorkspace ws;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    graph::HeteroParams params;
+    params.n = 50;
+    const auto g = graph::make_hetero_geometric(params, seed);
+    const NodeId source = static_cast<NodeId>(seed % g.num_nodes());
+
+    dijkstra_link_into(ws, g, source);
+    expect_same_spt(ws.to_result(), dijkstra_link(g, source));
+
+    const graph::NodeMask mask = random_mask(g.num_nodes(), source, seed * 3);
+    dijkstra_link_into(ws, g, source, mask);
+    expect_same_spt(ws.to_result(), dijkstra_link(g, source, mask));
+  }
+}
+
+TEST(WorkspaceDifferential, LinkToTargetMatchesAllocating) {
+  DijkstraWorkspace ws;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    graph::HeteroParams params;
+    params.n = 50;
+    const auto g = graph::make_hetero_geometric(params, seed);
+    const NodeId target = static_cast<NodeId>(seed % g.num_nodes());
+    dijkstra_link_to_target_into(ws, g, target);
+    expect_same_spt(ws.to_result(), dijkstra_link_to_target(g, target));
+  }
+}
+
+TEST(WorkspaceDifferential, EarlyStopSettlesTarget) {
+  DijkstraWorkspace ws;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const auto g = random_node_graph(seed);
+    const std::size_t n = g.num_nodes();
+    const NodeId source = static_cast<NodeId>(seed % n);
+    const NodeId target = static_cast<NodeId>((seed * 31) % n);
+    if (source == target) continue;
+    const SptResult full = dijkstra_node(g, source);
+
+    dijkstra_node_into(ws, g, source, {}, /*stop_at=*/target);
+    ASSERT_EQ(ws.reached(target), full.reached(target));
+    if (full.reached(target)) {
+      EXPECT_EQ(ws.dist(target), full.dist[target]);
+      EXPECT_EQ(ws.path_to(target), full.path_to(target));
+    }
+    // An early-stopped run must not poison the next full run.
+    dijkstra_node_into(ws, g, source);
+    expect_same_spt(ws.to_result(), full);
+  }
+}
+
+TEST(Workspace, ReuseAcrossGraphSizes) {
+  DijkstraWorkspace ws;
+  for (const std::size_t n : {50u, 200u, 10u, 120u}) {
+    const auto g = graph::make_erdos_renyi(n, 0.1, 0.1, 9.0, n);
+    dijkstra_node_into(ws, g, 0);
+    expect_same_spt(ws.to_result(), dijkstra_node(g, 0));
+  }
+}
+
+TEST(Workspace, EpochWraparoundStaysCorrect) {
+  DijkstraWorkspace ws;
+  const auto g = random_node_graph(5);
+  const SptResult want = dijkstra_node(g, 0);
+  dijkstra_node_into(ws, g, 0);  // leaves stale stamps behind
+  ws.debug_set_epoch(0xffffffffu - 1);
+  for (int run = 0; run < 4; ++run) {  // crosses the wraparound clear
+    dijkstra_node_into(ws, g, 0);
+    expect_same_spt(ws.to_result(), want);
+  }
+}
+
+TEST(Workspace, ScratchMaskStartsAllAllowed) {
+  DijkstraWorkspace ws;
+  graph::NodeMask& mask = ws.scratch_mask(16);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_TRUE(mask.allowed(v));
+  mask.block(3);
+  mask.clear_blocks();
+  EXPECT_TRUE(ws.scratch_mask(16).allowed(3));
+}
+
+TEST(MaskedSptDelta, NodeSingleRemovalMatchesFullMaskedRun) {
+  DijkstraWorkspace ws;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const auto g = random_node_graph(seed);
+    const std::size_t n = g.num_nodes();
+    const NodeId source = static_cast<NodeId>(seed % n);
+    const SptResult base = dijkstra_node(g, source);
+    SptChildren children;
+    children.build(base);
+    MaskedSptDelta delta(g, base, children, ws);
+    std::vector<Cost> got;
+    for (NodeId k = 0; k < n; ++k) {
+      if (k == source) continue;
+      graph::NodeMask mask(n);
+      mask.block(k);
+      const SptResult want = dijkstra_node(g, source, mask);
+      delta.eval_one(k);
+      delta.dist_into(got);
+      expect_bits_equal(got, want.dist);
+      EXPECT_EQ(delta.dist(k), kInfCost);
+    }
+  }
+}
+
+TEST(MaskedSptDelta, NodeMultiRemovalMatchesFullMaskedRun) {
+  DijkstraWorkspace ws;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const auto g = random_node_graph(seed);
+    const std::size_t n = g.num_nodes();
+    const NodeId source = static_cast<NodeId>(seed % n);
+    const SptResult base = dijkstra_node(g, source);
+    SptChildren children;
+    children.build(base);
+    MaskedSptDelta delta(g, base, children, ws);
+
+    util::Rng rng(seed * 1000003);
+    std::vector<NodeId> removed;
+    graph::NodeMask mask(n);
+    for (int trial = 0; trial < 8; ++trial) {
+      removed.clear();
+      const std::size_t count = 1 + rng.next_below(5);
+      for (std::size_t i = 0; i < count; ++i) {
+        const NodeId v = static_cast<NodeId>(rng.next_below(n));
+        if (v == source) continue;
+        removed.push_back(v);  // duplicates allowed: eval must dedup
+        mask.block(v);
+      }
+      if (removed.empty()) continue;
+      const SptResult want = dijkstra_node(g, source, mask);
+      delta.eval(removed);
+      std::vector<Cost> got;
+      delta.dist_into(got);
+      expect_bits_equal(got, want.dist);
+      for (NodeId v = 0; v < n; ++v) {
+        EXPECT_EQ(delta.dist(v), want.dist[v]);
+        if (!delta.affected(v)) {
+          EXPECT_EQ(delta.dist(v), base.dist[v]);
+        }
+      }
+      mask.clear_blocks();
+    }
+  }
+}
+
+TEST(MaskedSptDelta, LinkRemovalMatchesFullMaskedRun) {
+  DijkstraWorkspace ws;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    graph::HeteroParams params;
+    params.n = 50;
+    const auto g = graph::make_hetero_geometric(params, seed);
+    const std::size_t n = g.num_nodes();
+    const NodeId source = static_cast<NodeId>(seed % n);
+    const SptResult base = dijkstra_link(g, source);
+    SptChildren children;
+    children.build(base);
+    MaskedSptDelta delta(g, g.reverse(), base, children, ws);
+    std::vector<Cost> got;
+    for (NodeId k = 0; k < n; ++k) {
+      if (k == source) continue;
+      graph::NodeMask mask(n);
+      mask.block(k);
+      const SptResult want = dijkstra_link(g, source, mask);
+      delta.eval_one(k);
+      delta.dist_into(got);
+      expect_bits_equal(got, want.dist);
+    }
+  }
+}
+
+TEST(MaskedSptDelta, ReverseRunUsesForwardGraphAsInArcs) {
+  // The overpayment link study runs its base SPT on g.reverse(); the
+  // in-arc mate is then g itself.
+  DijkstraWorkspace ws;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    graph::HeteroParams params;
+    params.n = 40;
+    const auto g = graph::make_hetero_geometric(params, seed);
+    const graph::LinkGraph& rev = g.reverse();
+    const SptResult base = dijkstra_link(rev, 0);
+    SptChildren children;
+    children.build(base);
+    MaskedSptDelta delta(rev, g, base, children, ws);
+    std::vector<Cost> got;
+    for (NodeId k = 1; k < g.num_nodes(); ++k) {
+      graph::NodeMask mask(g.num_nodes());
+      mask.block(k);
+      const SptResult want = dijkstra_link(rev, 0, mask);
+      delta.eval_one(k);
+      delta.dist_into(got);
+      expect_bits_equal(got, want.dist);
+    }
+  }
+}
+
+TEST(Batch, AvoidingPathsBatchMatchesSingles) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const auto g = random_node_graph(seed);
+    const std::size_t n = g.num_nodes();
+    const NodeId s = static_cast<NodeId>(seed % n);
+    const NodeId t = static_cast<NodeId>((seed * 13 + 7) % n);
+    if (s == t) continue;
+    std::vector<NodeId> avoid;
+    for (NodeId v = 0; v < n; ++v) {
+      if (v != s && v != t) avoid.push_back(v);
+    }
+    const std::vector<Cost> batch = avoiding_paths_batch(g, s, t, avoid);
+    ASSERT_EQ(batch.size(), avoid.size());
+    for (std::size_t i = 0; i < avoid.size(); ++i) {
+      const AvoidingPath single = avoiding_path_node(g, s, t, avoid[i]);
+      EXPECT_EQ(batch[i], single.cost) << "avoid " << avoid[i];
+    }
+  }
+}
+
+TEST(Batch, SptBatchParallelMatchesSerial) {
+  const auto g = graph::make_erdos_renyi(120, 0.08, 0.1, 9.0, 42);
+  std::vector<NodeId> sources;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) sources.push_back(v);
+
+  const std::vector<SptResult> serial = spt_batch(g, sources);
+  util::ThreadPool pool(8);
+  const std::vector<SptResult> parallel = spt_batch(g, sources, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_same_spt(parallel[i], serial[i]);
+    expect_same_spt(serial[i], dijkstra_node(g, sources[i]));
+  }
+}
+
+TEST(Batch, SptBatchLinkParallelMatchesSerial) {
+  graph::HeteroParams params;
+  params.n = 80;
+  const auto g = graph::make_hetero_geometric(params, 7);
+  std::vector<NodeId> sources;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) sources.push_back(v);
+
+  const std::vector<SptResult> serial = spt_batch(g, sources);
+  util::ThreadPool pool(8);
+  const std::vector<SptResult> parallel = spt_batch(g, sources, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_same_spt(parallel[i], serial[i]);
+  }
+}
+
+TEST(Batch, ForEachMaskedSptParallelMatchesSerial) {
+  const auto g = graph::make_erdos_renyi(100, 0.1, 0.1, 9.0, 11);
+  const std::size_t n = g.num_nodes();
+  const NodeId source = 0;
+  const std::size_t count = n - 1;
+  const auto build_mask = [&](std::size_t i, graph::NodeMask& mask) {
+    mask.block(static_cast<NodeId>(i + 1));  // never the source
+  };
+
+  std::vector<std::vector<Cost>> serial(count), parallel(count);
+  const auto collect = [n](std::vector<std::vector<Cost>>& out) {
+    return [&out, n](std::size_t i, const DijkstraWorkspace& ws) {
+      out[i].resize(n);
+      for (NodeId v = 0; v < n; ++v) out[i][v] = ws.dist(v);
+    };
+  };
+  for_each_masked_spt(g, source, count, build_mask, collect(serial));
+  util::ThreadPool pool(8);
+  for_each_masked_spt(g, source, count, build_mask, collect(parallel), &pool);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    expect_bits_equal(parallel[i], serial[i]);
+    graph::NodeMask mask(n);
+    mask.block(static_cast<NodeId>(i + 1));
+    expect_bits_equal(serial[i], dijkstra_node(g, source, mask).dist);
+  }
+}
+
+}  // namespace
+}  // namespace tc::spath

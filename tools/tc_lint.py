@@ -25,6 +25,11 @@ violation fails the build. Rules:
                by core::PaymentResult): the alias lives one PR for
                out-of-tree migration and only its defining header may say
                its name.
+  spath-loop   No allocating spath::dijkstra_* calls inside for/while loops
+               under src/core: repeated runs over one graph must go through
+               the workspace kernels (dijkstra_*_into / MaskedSptDelta /
+               spath::batch), which reuse arrays instead of reallocating
+               O(n) state per iteration.
 
 Usage: tools/tc_lint.py [--root REPO_ROOT] [--list-rules]
 Exit status: 0 when clean, 1 when violations were found, 2 when no
@@ -90,6 +95,14 @@ NODISCARD_COST_DECL = re.compile(
     r"(?P<name>\w*(?:payment|price|utility|overpayment)\w*)\s*\(",
     re.IGNORECASE,
 )
+
+# Allocating Dijkstra entry points; the `_into` workspace kernels do not
+# match (the regex requires "(" right after the bare name).
+SPATH_ALLOC_CALL = re.compile(
+    r"\bspath::dijkstra_(?:node|node_quad|node_pairing|link|link_to_target)"
+    r"\s*\("
+)
+LOOP_KEYWORD = re.compile(r"\b(?:for|while)\s*\(")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -222,6 +235,62 @@ class Linter:
                     self.fail(path, lineno, "deprecated",
                               f"retired shim {name}; use {replacement}")
 
+    def check_spath_loop(self, path: pathlib.Path, code: str) -> None:
+        rel = str(path.relative_to(self.root))
+        if not rel.startswith("src/core/"):
+            return
+        # Mark every '{' that opens a for/while body; a brace-less loop body
+        # is the single statement up to the next ';'.
+        n = len(code)
+        loop_opens: set[int] = set()
+        for m in LOOP_KEYWORD.finditer(code):
+            i = m.end() - 1  # at the header's '('
+            depth = 0
+            while i < n:
+                if code[i] == "(":
+                    depth += 1
+                elif code[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            j = i + 1
+            while j < n and code[j].isspace():
+                j += 1
+            if j < n and code[j] == "{":
+                loop_opens.add(j)
+            else:
+                end = code.find(";", j)
+                call = SPATH_ALLOC_CALL.search(
+                    code, j, end if end != -1 else n)
+                if call:
+                    self._fail_spath_loop(path, code, call.start())
+        # One pass over the braces: flag allocating calls while inside at
+        # least one loop body.
+        calls = [m.start() for m in SPATH_ALLOC_CALL.finditer(code)]
+        ci = 0
+        loop_depth = 0
+        stack: list[bool] = []
+        for idx, ch in enumerate(code):
+            while ci < len(calls) and calls[ci] == idx:
+                if loop_depth > 0:
+                    self._fail_spath_loop(path, code, idx)
+                ci += 1
+            if ch == "{":
+                is_loop = idx in loop_opens
+                stack.append(is_loop)
+                loop_depth += is_loop
+            elif ch == "}" and stack:
+                loop_depth -= stack.pop()
+
+    def _fail_spath_loop(self, path: pathlib.Path, code: str,
+                         pos: int) -> None:
+        lineno = code.count("\n", 0, pos) + 1
+        self.fail(path, lineno, "spath-loop",
+                  "allocating spath::dijkstra_* inside a loop; use the "
+                  "workspace kernels (dijkstra_*_into / MaskedSptDelta / "
+                  "spath::batch)")
+
     # -- driver -----------------------------------------------------------
 
     def run(self) -> int:
@@ -246,6 +315,7 @@ class Linter:
             self.check_pragma_once(path, code)
             self.check_nodiscard(path, code)
             self.check_deprecated(path, code)
+            self.check_spath_loop(path, code)
         for v in self.violations:
             print(v)
         if self.violations:
@@ -265,7 +335,8 @@ def main() -> int:
                         help="print the rule names and exit")
     args = parser.parse_args()
     if args.list_rules:
-        print("rng new-delete float pragma-once nodiscard deprecated")
+        print("rng new-delete float pragma-once nodiscard deprecated "
+              "spath-loop")
         return 0
     return Linter(args.root.resolve()).run()
 
