@@ -3,23 +3,98 @@
 // after finite number of rounds (at most n rounds)"; this bench measures
 // rounds and message volume for both stages across network sizes, in the
 // basic and the Algorithm-2 (verified) variants.
+//
+// A second sweep (loss x retransmit-backoff, emitted to --chaos_json)
+// measures what radio faults cost: rounds to convergence and retransmit
+// overhead of the verified pipeline as the per-copy drop probability and
+// the reliable channel's rto_base grow.
 #include <cstdint>
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "distsim/payment_protocol.hpp"
 #include "distsim/session.hpp"
+#include "distsim/spt_protocol.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
+namespace {
+
+// Loss x backoff sweep on the verified pipeline over the faulted radio.
+void chaos_sweep(std::size_t instances, std::uint64_t seed,
+                 const std::string& json_path) {
+  using namespace tc;
+  bench::Report report({"loss", "rto_base", "spt_rounds(avg)",
+                        "pay_rounds(avg)", "retransmit_overhead(avg)",
+                        "copies_dropped(avg)", "give_ups", "instances"});
+  const std::size_t n = 30;
+  for (const double loss : {0.0, 0.1, 0.2, 0.3}) {
+    for (const std::size_t rto_base : {std::size_t{2}, std::size_t{4}}) {
+      util::Accumulator spt_rounds, pay_rounds, overhead, dropped;
+      std::size_t give_ups = 0, used = 0;
+      for (std::size_t i = 0; i < instances; ++i) {
+        const auto g = graph::make_erdos_renyi(
+            n, 8.0 / static_cast<double>(n), 0.5, 5.0,
+            util::mix64(seed ^ (0xc4a0 + i)));
+        if (!graph::is_connected(g)) continue;
+        ++used;
+        distsim::net::FaultSchedule faults;
+        faults.link.drop = loss;
+        faults.seed = util::mix64(seed ^ (i * 7919 + rto_base));
+        distsim::SptSchedule ss;
+        ss.faults = faults;
+        ss.channel.rto_base = rto_base;
+        const auto spt = distsim::run_spt_protocol(
+            g, 0, g.costs(), distsim::SptMode::kVerified, {}, 0, ss);
+        distsim::PaymentSchedule ps;
+        ps.faults = faults;
+        ps.faults.seed = util::mix64(faults.seed ^ 0x7ea1);
+        ps.channel.rto_base = rto_base;
+        const auto pay = distsim::run_payment_protocol(
+            g, 0, g.costs(), spt, distsim::PaymentMode::kVerified, {}, 0,
+            ps);
+        spt_rounds.add(static_cast<double>(spt.stats.rounds));
+        pay_rounds.add(static_cast<double>(pay.stats.rounds));
+        const auto& ch_spt = spt.stats.net.channel;
+        const auto& ch_pay = pay.stats.net.channel;
+        const double data = static_cast<double>(ch_spt.data_sent +
+                                                ch_pay.data_sent);
+        overhead.add(data > 0.0
+                         ? static_cast<double>(ch_spt.retransmissions +
+                                               ch_pay.retransmissions) /
+                               data
+                         : 0.0);
+        dropped.add(static_cast<double>(spt.stats.net.radio.copies_dropped +
+                                        pay.stats.net.radio.copies_dropped));
+        give_ups += ch_spt.give_ups + ch_pay.give_ups;
+      }
+      report.add_row({util::fmt(loss, 1), std::to_string(rto_base),
+                      util::fmt(spt_rounds.mean(), 1),
+                      util::fmt(pay_rounds.mean(), 1),
+                      util::fmt(overhead.mean(), 3),
+                      util::fmt(dropped.mean(), 0),
+                      std::to_string(give_ups), std::to_string(used)});
+    }
+  }
+  std::cout << "\nChaos sweep: verified pipeline, n=30, loss x rto_base\n";
+  report.print();
+  report.write_json(json_path);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace tc;
   util::Flags flags("Distributed protocol convergence ablation");
   flags.add_int("instances", 20, "random instances per size")
       .add_int("seed", 0xd157, "base RNG seed")
-      .add_string("csv", "", "optional CSV output path");
+      .add_string("csv", "", "optional CSV output path")
+      .add_string("chaos_json", "",
+                  "JSON output path for the loss x backoff chaos sweep "
+                  "(empty = skip the sweep)");
   if (!flags.parse(argc, argv)) return 1;
 
   bench::banner("Ablation: distributed payment protocol convergence",
@@ -72,5 +147,8 @@ int main(int argc, char** argv) {
   }
   report.print();
   report.write_csv(flags.get_string("csv"));
+
+  if (!flags.get_string("chaos_json").empty())
+    chaos_sweep(instances, seed, flags.get_string("chaos_json"));
   return 0;
 }

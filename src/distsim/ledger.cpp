@@ -1,11 +1,29 @@
 #include "distsim/ledger.hpp"
 
+#include <bit>
+
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace tc::distsim {
 
 using graph::Cost;
 using graph::NodeId;
+
+namespace {
+/// Content hash of one settlement: who pays whom how much. A retransmitted
+/// settlement request hashes identically; a replay with altered prices or
+/// payer does not.
+std::uint64_t settlement_fingerprint(
+    NodeId payer, const std::vector<std::pair<NodeId, Cost>>& relay_prices) {
+  std::uint64_t h = util::mix64(0x5e771e ^ static_cast<std::uint64_t>(payer));
+  for (const auto& [relay, price] : relay_prices) {
+    h = util::mix64(h ^ static_cast<std::uint64_t>(relay));
+    h = util::mix64(h ^ std::bit_cast<std::uint64_t>(price));
+  }
+  return h;
+}
+}  // namespace
 
 Ledger::Ledger(std::size_t num_nodes, std::uint64_t master_seed)
     : balances_(num_nodes, 0.0) {
@@ -47,12 +65,22 @@ SettlementResult Ledger::settle_upstream(
     return result;
   }
   const auto packet_id = std::make_pair(session, seq);
-  if (seen_packets_.count(packet_id)) {
+  const std::uint64_t fp = settlement_fingerprint(source, relay_prices);
+  if (const auto it = seen_packets_.find(packet_id);
+      it != seen_packets_.end()) {
+    if (it->second.fingerprint == fp) {
+      // A retransmitted settlement request (the original ack was lost on
+      // the radio). Idempotent: acknowledge without moving balances.
+      ++duplicate_acks_;
+      result.accepted = true;
+      result.duplicate = true;
+      result.charged = it->second.charged;
+      return result;
+    }
     ++rejections_;
     result.reject_reason = "replayed packet";
     return result;
   }
-  seen_packets_[packet_id] = true;
 
   Cost total = 0.0;
   for (const auto& [relay, price] : relay_prices) {
@@ -62,6 +90,7 @@ SettlementResult Ledger::settle_upstream(
     total += price;
   }
   balances_.at(source) -= total;
+  seen_packets_[packet_id] = SettledRecord{fp, total};
   ++settlements_;
   result.accepted = true;
   result.charged = total;
@@ -110,7 +139,21 @@ SettlementResult Ledger::settle_downstream(
     return result;
   }
   const auto packet_id = std::make_pair(session | 0x8000000000000000ULL, seq);
-  if (seen_packets_.count(packet_id)) {
+  std::vector<std::pair<NodeId, Cost>> relay_prices;
+  relay_prices.reserve(relay_acks.size());
+  for (const auto& [relay, price, ack] : relay_acks)
+    relay_prices.emplace_back(relay, price);
+  const std::uint64_t fp = settlement_fingerprint(requester, relay_prices);
+  if (const auto it = seen_packets_.find(packet_id);
+      it != seen_packets_.end()) {
+    if (it->second.fingerprint == fp) {
+      // Retransmitted settlement request; idempotent no-op ack.
+      ++duplicate_acks_;
+      result.accepted = true;
+      result.duplicate = true;
+      result.charged = it->second.charged;
+      return result;
+    }
     ++rejections_;
     result.reject_reason = "replayed packet";
     return result;
@@ -128,7 +171,7 @@ SettlementResult Ledger::settle_downstream(
     }
     total += price;
   }
-  seen_packets_[packet_id] = true;
+  seen_packets_[packet_id] = SettledRecord{fp, total};
   for (const auto& [relay, price, ack] : relay_acks) {
     balances_.at(relay) += price;
   }

@@ -32,6 +32,10 @@ struct SettlementResult {
   bool accepted = false;
   std::string reject_reason;
   graph::Cost charged = 0.0;  ///< amount debited from the source
+  /// True when this packet was already settled with identical content and
+  /// the call was a no-op acknowledgment (a retransmitted settlement
+  /// request whose original ack was lost). Balances did not move again.
+  bool duplicate = false;
 };
 
 /// In-memory account book at the access point.
@@ -92,14 +96,27 @@ class Ledger {
 
   std::size_t settlements() const { return settlements_; }
   std::size_t rejections() const { return rejections_; }
+  /// Retransmitted settlements acknowledged as no-ops (same packet id,
+  /// identical content). Distinct from rejections(): a duplicate ack is a
+  /// success from the sender's point of view.
+  std::size_t duplicate_acks() const { return duplicate_acks_; }
 
  private:
+  /// What was settled under a packet id, so a retransmission can be told
+  /// apart from a replay attack with altered content.
+  struct SettledRecord {
+    std::uint64_t fingerprint = 0;  ///< hash of payer + relay price list
+    graph::Cost charged = 0.0;
+  };
+
   std::vector<graph::Cost> balances_;
   std::vector<SigningKey> keys_;
-  std::map<std::pair<std::uint64_t, std::uint64_t>, bool> seen_packets_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, SettledRecord>
+      seen_packets_;
   std::uint64_t profile_epoch_ = 0;
   std::size_t settlements_ = 0;
   std::size_t rejections_ = 0;
+  std::size_t duplicate_acks_ = 0;
 };
 
 }  // namespace tc::distsim

@@ -1,0 +1,88 @@
+// Declarative fault model for the simulated radio substrate.
+//
+// A FaultSchedule describes everything that can go wrong underneath the
+// distributed protocols (paper Sections III.C/III.D assume an idealized
+// radio; real ad-hoc stacks do not get one): per-link drop, duplication,
+// and reordering of broadcast copies, plus per-node crash/recover events
+// and partition windows. All faults are drawn from one seeded stream
+// inside net::RadioNet, so a run is reproducible bit-for-bit from
+// (topology, schedule) alone — chaos tests replay failures by seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace tc::distsim::net {
+
+/// Sentinel round meaning "never" (a crash without recovery, a partition
+/// that does not heal).
+inline constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+
+/// Fault parameters of one directed radio link. Probabilities are per
+/// transmitted copy (a broadcast is one copy per neighbor).
+struct LinkFaultModel {
+  /// P(the copy is lost in the air and never arrives).
+  double drop = 0.0;
+  /// P(a surviving copy is delivered twice — MAC-level retransmit whose
+  /// ack was lost, so the receiver sees a duplicate).
+  double duplicate = 0.0;
+  /// P(a surviving copy is delayed by extra rounds, arriving after later
+  /// traffic — the substrate's reordering mechanism).
+  double reorder = 0.0;
+  /// Extra delay of a reordered (or duplicated-echo) copy, drawn uniform
+  /// in [1, max_extra_delay].
+  std::size_t max_extra_delay = 3;
+
+  bool faulty() const {
+    return drop > 0.0 || duplicate > 0.0 || reorder > 0.0;
+  }
+};
+
+/// Node `node` crashes at the start of `crash_round` (loses all volatile
+/// protocol and channel state, stops sending and receiving) and comes
+/// back empty-handed at the start of `recover_round`.
+struct CrashEvent {
+  graph::NodeId node = graph::kInvalidNode;
+  std::size_t crash_round = 0;
+  std::size_t recover_round = kNever;
+};
+
+/// Between [start_round, end_round) the nodes in `island` can only hear
+/// each other; every link between the island and the rest is cut.
+struct PartitionWindow {
+  std::vector<graph::NodeId> island;
+  std::size_t start_round = 0;
+  std::size_t end_round = kNever;
+};
+
+/// The full fault plan for one run. Default-constructed = perfect radio.
+struct FaultSchedule {
+  /// Default fault model applied to every directed link.
+  LinkFaultModel link;
+  /// Per-directed-link (from, to, model) overrides of `link`.
+  std::vector<std::tuple<graph::NodeId, graph::NodeId, LinkFaultModel>>
+      link_overrides;
+  std::vector<CrashEvent> crashes;
+  std::vector<PartitionWindow> partitions;
+  /// Seed of the single fault stream; same seed => same run, bit-for-bit.
+  std::uint64_t seed = 0x0c4a05;
+
+  bool fault_free() const {
+    return !link.faulty() && link_overrides.empty() && crashes.empty() &&
+           partitions.empty();
+  }
+
+  /// Convenience: uniform symmetric loss, the common chaos knob.
+  static FaultSchedule uniform_loss(double drop, std::uint64_t seed) {
+    FaultSchedule s;
+    s.link.drop = drop;
+    s.seed = seed;
+    return s;
+  }
+};
+
+}  // namespace tc::distsim::net

@@ -1,0 +1,136 @@
+#include "distsim/net/radio.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace tc::distsim::net {
+
+using graph::NodeId;
+
+RadioNet::RadioNet(const graph::NodeGraph& g, FaultSchedule schedule)
+    : g_(&g),
+      schedule_(std::move(schedule)),
+      rng_(schedule_.seed),
+      up_(g.num_nodes(), true),
+      recovered_now_(g.num_nodes(), false),
+      crashed_now_(g.num_nodes(), false),
+      side_(g.num_nodes(), 0),
+      inboxes_(g.num_nodes()) {
+  any_reorder_ = schedule_.link.reorder > 0.0;
+  for (const auto& [from, to, model] : schedule_.link_overrides) {
+    TC_CHECK_MSG(from < g.num_nodes() && to < g.num_nodes(),
+                 "link override endpoint out of range");
+    any_reorder_ = any_reorder_ || model.reorder > 0.0;
+  }
+  TC_CHECK_MSG(schedule_.partitions.size() <= 64,
+               "at most 64 partition windows (side bitmask)");
+  for (const auto& c : schedule_.crashes) {
+    TC_CHECK_MSG(c.node < g.num_nodes(), "crash event node out of range");
+    TC_CHECK_MSG(c.recover_round == kNever || c.recover_round > c.crash_round,
+                 "recovery must come after the crash");
+  }
+}
+
+const LinkFaultModel& RadioNet::model_for(NodeId from, NodeId to) const {
+  for (const auto& [u, v, model] : schedule_.link_overrides) {
+    if (u == from && v == to) return model;
+  }
+  return schedule_.link;
+}
+
+std::size_t RadioNet::advance_round() {
+  ++round_;
+  std::fill(recovered_now_.begin(), recovered_now_.end(), false);
+  std::fill(crashed_now_.begin(), crashed_now_.end(), false);
+  for (const auto& c : schedule_.crashes) {
+    if (round_ == c.crash_round) {
+      if (up_[c.node]) {
+        up_[c.node] = false;
+        crashed_now_[c.node] = true;
+      }
+    }
+    if (round_ == c.recover_round && !up_[c.node]) {
+      up_[c.node] = true;
+      recovered_now_[c.node] = true;
+    }
+  }
+  std::fill(side_.begin(), side_.end(), 0);
+  for (std::size_t w = 0; w < schedule_.partitions.size(); ++w) {
+    const auto& p = schedule_.partitions[w];
+    if (round_ < p.start_round || round_ >= p.end_round) continue;
+    for (const NodeId v : p.island) side_[v] |= std::uint64_t{1} << w;
+  }
+  return round_;
+}
+
+void RadioNet::send(NodeId from, NodeId to, std::vector<std::uint64_t> words) {
+  TC_DCHECK(from < g_->num_nodes() && to < g_->num_nodes());
+  if (!up_[from]) return;  // a crashed node cannot transmit
+  ++stats_.copies_sent;
+  const LinkFaultModel& model = model_for(from, to);
+  if (model.drop > 0.0 && rng_.bernoulli(model.drop)) {
+    ++stats_.copies_dropped;
+    return;
+  }
+  std::size_t delay = 0;
+  if (model.reorder > 0.0 && rng_.bernoulli(model.reorder)) {
+    delay = 1 + static_cast<std::size_t>(
+                    rng_.next_below(model.max_extra_delay > 0
+                                        ? model.max_extra_delay
+                                        : 1));
+    ++stats_.copies_delayed;
+  }
+  const bool echo =
+      model.duplicate > 0.0 && rng_.bernoulli(model.duplicate);
+  std::size_t echo_delay = 0;
+  if (echo) {
+    // A duplicate is a MAC-level retransmit whose ack was lost; the echo
+    // trails the original by up to the reorder window.
+    echo_delay = delay + 1 +
+                 static_cast<std::size_t>(rng_.next_below(
+                     model.max_extra_delay > 0 ? model.max_extra_delay : 1));
+    ++stats_.copies_duplicated;
+  }
+  in_flight_[round_ + delay].push_back(RawPacket{from, to, words});
+  ++in_air_;
+  if (echo) {
+    in_flight_[round_ + echo_delay].push_back(
+        RawPacket{from, to, std::move(words)});
+    ++in_air_;
+  }
+}
+
+void RadioNet::deliver() {
+  while (!in_flight_.empty() && in_flight_.begin()->first <= round_) {
+    auto node = in_flight_.extract(in_flight_.begin());
+    for (RawPacket& p : node.mapped()) {
+      --in_air_;
+      if (!up_[p.dst] || side_[p.src] != side_[p.dst]) {
+        ++stats_.drops_to_down;
+        continue;
+      }
+      ++stats_.copies_delivered;
+      inboxes_[p.dst].push_back(std::move(p));
+    }
+  }
+}
+
+std::vector<RawPacket> RadioNet::collect(NodeId at) {
+  std::vector<RawPacket> out;
+  out.swap(inboxes_[at]);
+  // Reordering within a round: fault-free runs keep the deterministic
+  // sender order (legacy parity); reordering schedules shuffle it.
+  if (any_reorder_ && out.size() > 1) rng_.shuffle(out);
+  return out;
+}
+
+bool RadioNet::idle() const {
+  if (in_air_ != 0) return false;
+  for (const auto& inbox : inboxes_) {
+    if (!inbox.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace tc::distsim::net

@@ -1,0 +1,121 @@
+// RadioNet: the raw, fault-injected broadcast medium underneath the
+// distributed protocols.
+//
+// The radio is round-based and unreliable by design: a unicast copy
+// handed to the air is dropped, duplicated, or delayed according to the
+// link's LinkFaultModel, nodes crash and recover on the FaultSchedule,
+// and partition windows cut whole islands off. Nothing here retransmits
+// or dedups — that is net::ReliableNet's job one layer up.
+//
+// Round phases (driven by the caller, one cycle per protocol round):
+//   1. advance_round()  crash/recover + partition windows take effect
+//   2. send()/...       senders hand copies to the air (faults drawn here)
+//   3. deliver()        every copy whose arrival round has come is moved
+//                       to its receiver's inbox (or dropped if the
+//                       receiver is down/partitioned *now*)
+//   4. collect(v)       drains v's inbox
+//
+// Determinism: all fault draws come from one Rng seeded by the schedule
+// and are consumed in caller order, so a run is a pure function of
+// (topology, schedule, caller behavior). Chaos failures replay by seed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "distsim/net/fault.hpp"
+#include "distsim/net/stats.hpp"
+#include "graph/node_graph.hpp"
+#include "util/rng.hpp"
+
+namespace tc::distsim::net {
+
+/// One copy as the receiver sees it.
+struct RawPacket {
+  graph::NodeId src = graph::kInvalidNode;
+  graph::NodeId dst = graph::kInvalidNode;
+  std::vector<std::uint64_t> words;
+};
+
+class RadioNet {
+ public:
+  RadioNet(const graph::NodeGraph& g, FaultSchedule schedule);
+
+  /// Starts the next round and returns its index (first call returns 1).
+  std::size_t advance_round();
+  std::size_t round() const { return round_; }
+
+  bool node_up(graph::NodeId v) const { return up_[v]; }
+  /// True only during the round in which `v` came back from a crash.
+  bool recovered_this_round(graph::NodeId v) const {
+    return recovered_now_[v];
+  }
+  /// True only during the round in which `v` went down.
+  bool crashed_this_round(graph::NodeId v) const { return crashed_now_[v]; }
+  /// True when u and v are on the same side of every active partition.
+  bool reachable(graph::NodeId u, graph::NodeId v) const {
+    return side_[u] == side_[v];
+  }
+
+  /// Hands one copy from->to to the air. Faults are drawn now; the copy
+  /// arrives (if at all) at round() + delay. Ignored while `from` is down.
+  /// `to` must be a neighbor of `from` (the radio has physical range).
+  void send(graph::NodeId from, graph::NodeId to,
+            std::vector<std::uint64_t> words);
+
+  /// Moves every due copy into its receiver's inbox; copies addressed to
+  /// a node that is down or partitioned away *now* are dropped.
+  void deliver();
+
+  /// Drains the inbox of `v` (call after deliver(), in a deterministic
+  /// node order — the reorder shuffle draws from the shared stream).
+  std::vector<RawPacket> collect(graph::NodeId at);
+
+  /// True when no copy is in the air and every inbox is empty.
+  bool idle() const;
+
+  const RadioStats& stats() const { return stats_; }
+  const graph::NodeGraph& topology() const { return *g_; }
+  const FaultSchedule& schedule() const { return schedule_; }
+
+ private:
+  const LinkFaultModel& model_for(graph::NodeId from, graph::NodeId to) const;
+
+  const graph::NodeGraph* g_;
+  FaultSchedule schedule_;
+  util::Rng rng_;
+  std::size_t round_ = 0;
+  bool any_reorder_ = false;
+  std::size_t in_air_ = 0;
+  std::vector<bool> up_;
+  std::vector<bool> recovered_now_;
+  std::vector<bool> crashed_now_;
+  /// Partition side bitmask per node (bit w set = member of active
+  /// window w's island); packets cross only between equal masks.
+  std::vector<std::uint64_t> side_;
+  /// Copies in the air, keyed by arrival round.
+  std::map<std::size_t, std::vector<RawPacket>> in_flight_;
+  std::vector<std::vector<RawPacket>> inboxes_;
+  RadioStats stats_;
+};
+
+/// Asynchronous-activation gate: a node with pending protocol state
+/// actually speaks in a given round with this probability. Lives in net
+/// (not in the protocols) so that every stochastic draw of a run flows
+/// through the substrate's seeded streams.
+class ActivationGate {
+ public:
+  ActivationGate(double probability, std::uint64_t seed)
+      : probability_(probability), rng_(seed) {}
+
+  bool speaks() {
+    return probability_ >= 1.0 || rng_.bernoulli(probability_);
+  }
+
+ private:
+  double probability_;
+  util::Rng rng_;
+};
+
+}  // namespace tc::distsim::net

@@ -1,0 +1,189 @@
+#include "distsim/net/reliable.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace tc::distsim::net {
+
+using graph::NodeId;
+
+namespace {
+// Wire tags (words[0]); words[1] is the sequence number (data) or the
+// cumulative ack (everything below it has been received in order).
+constexpr std::uint64_t kData = 0;
+constexpr std::uint64_t kAck = 1;
+}  // namespace
+
+ReliableNet::ReliableNet(const graph::NodeGraph& g,
+                         const FaultSchedule& schedule, ReliableConfig config)
+    : radio_(g, schedule), config_(config), queues_(g.num_nodes()) {
+  TC_CHECK_MSG(config_.rto_base >= 1, "rto_base must be at least one round");
+  TC_CHECK_MSG(config_.max_attempts >= 1, "max_attempts must be positive");
+}
+
+void ReliableNet::transmit(NodeId from, NodeId to, std::uint64_t seq,
+                           const std::vector<std::uint64_t>& payload) {
+  std::vector<std::uint64_t> wire;
+  wire.reserve(payload.size() + 2);
+  wire.push_back(kData);
+  wire.push_back(seq);
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  radio_.send(from, to, std::move(wire));
+}
+
+void ReliableNet::reset_channels_of(NodeId v, bool both_directions) {
+  const std::size_t n = topology().num_nodes();
+  auto matches = [&](std::uint64_t k, bool from_side) {
+    const NodeId from = static_cast<NodeId>(k / n);
+    const NodeId to = static_cast<NodeId>(k % n);
+    return from_side ? from == v : to == v;
+  };
+  // The node's own volatile memory: its sender windows and receiver
+  // expectations are gone the instant it crashes.
+  std::erase_if(tx_, [&](const auto& e) { return matches(e.first, true); });
+  std::erase_if(rx_, [&](const auto& e) { return matches(e.first, false); });
+  if (!both_directions) return;
+  // Recovery is a new incarnation: peers' stale seq state toward the
+  // rebooted node would deadlock the pair, so both directions restart.
+  std::erase_if(tx_, [&](const auto& e) { return matches(e.first, false); });
+  std::erase_if(rx_, [&](const auto& e) { return matches(e.first, true); });
+  std::erase_if(timed_out_, [&](std::uint64_t k) {
+    return matches(k, true) || matches(k, false);
+  });
+}
+
+std::size_t ReliableNet::advance_round() {
+  const std::size_t r = radio_.advance_round();
+  const std::size_t n = topology().num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    if (radio_.crashed_this_round(v)) {
+      reset_channels_of(v, false);
+      queues_[v].clear();  // undrained deliveries die with the node
+    }
+    if (radio_.recovered_this_round(v)) reset_channels_of(v, true);
+  }
+  for (auto& [k, tx] : tx_) {
+    const NodeId from = static_cast<NodeId>(k / n);
+    const NodeId to = static_cast<NodeId>(k % n);
+    if (tx.dead || !radio_.node_up(from)) continue;
+    for (auto it = tx.unacked.begin(); it != tx.unacked.end();) {
+      Outstanding& o = it->second;
+      if (o.due_round > r) {
+        ++it;
+        continue;
+      }
+      if (o.attempts >= config_.max_attempts) {
+        // Delivery timeout: the peer is presumed crashed. Drop the whole
+        // window — channels are incarnation-scoped, there is nobody to
+        // deliver to until the peer comes back and the pair resets.
+        tx.dead = true;
+        tx.unacked.clear();
+        timed_out_.insert(k);
+        ++stats_.give_ups;
+        break;
+      }
+      ++o.attempts;
+      ++stats_.retransmissions;
+      transmit(from, to, it->first, o.payload);
+      o.due_round =
+          r + std::min(config_.rto_cap, config_.rto_base << o.attempts);
+      ++it;
+    }
+  }
+  return r;
+}
+
+void ReliableNet::send(NodeId from, NodeId to,
+                       std::vector<std::uint64_t> words) {
+  if (!radio_.node_up(from)) return;
+  TC_DCHECK(topology().has_edge(from, to));
+  TxState& tx = tx_[key(from, to)];
+  if (tx.dead) return;  // given up; the caller re-routes on peer_timed_out
+  const std::uint64_t seq = tx.next_seq++;
+  ++stats_.data_sent;
+  transmit(from, to, seq, words);
+  tx.unacked.emplace(
+      seq, Outstanding{std::move(words), radio_.round() + config_.rto_base, 0});
+}
+
+void ReliableNet::broadcast(NodeId from,
+                            const std::vector<std::uint64_t>& words) {
+  for (const NodeId to : topology().neighbors(from)) send(from, to, words);
+}
+
+void ReliableNet::deliver() {
+  radio_.deliver();
+  const std::size_t n = topology().num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    for (RawPacket& p : radio_.collect(v)) {
+      TC_DCHECK(p.words.size() >= 2);
+      if (p.words[0] == kAck) {
+        // Cumulative ack for our channel v -> p.src.
+        const auto it = tx_.find(key(v, p.src));
+        if (it == tx_.end()) continue;
+        auto& unacked = it->second.unacked;
+        unacked.erase(unacked.begin(), unacked.lower_bound(p.words[1]));
+        continue;
+      }
+      RxState& rx = rx_[key(p.src, v)];
+      const std::uint64_t seq = p.words[1];
+      if (seq < rx.next_expected || rx.reorder_buffer.count(seq)) {
+        ++stats_.duplicates_discarded;
+      } else if (seq == rx.next_expected) {
+        queues_[v].push_back(
+            Delivery{p.src, {p.words.begin() + 2, p.words.end()}});
+        ++rx.next_expected;
+        while (!rx.reorder_buffer.empty() &&
+               rx.reorder_buffer.begin()->first == rx.next_expected) {
+          queues_[v].push_back(
+              Delivery{p.src, std::move(rx.reorder_buffer.begin()->second)});
+          rx.reorder_buffer.erase(rx.reorder_buffer.begin());
+          ++rx.next_expected;
+        }
+      } else {
+        rx.reorder_buffer.emplace(
+            seq, std::vector<std::uint64_t>(p.words.begin() + 2,
+                                            p.words.end()));
+        ++stats_.out_of_order_buffered;
+      }
+      ack_due_.insert(key(p.src, v));
+    }
+  }
+  for (const std::uint64_t k : ack_due_) {
+    const NodeId data_sender = static_cast<NodeId>(k / n);
+    const NodeId data_receiver = static_cast<NodeId>(k % n);
+    if (!radio_.node_up(data_receiver)) continue;
+    ++stats_.acks_sent;
+    radio_.send(data_receiver, data_sender,
+                {kAck, rx_[k].next_expected});
+  }
+  ack_due_.clear();
+}
+
+std::vector<Delivery> ReliableNet::collect(NodeId at) {
+  std::vector<Delivery> out;
+  out.swap(queues_[at]);
+  return out;
+}
+
+bool ReliableNet::idle() const {
+  if (!radio_.idle()) return false;
+  for (const auto& [k, tx] : tx_) {
+    if (!tx.dead && !tx.unacked.empty()) return false;
+  }
+  for (const auto& q : queues_) {
+    if (!q.empty()) return false;
+  }
+  return true;
+}
+
+bool ReliableNet::peer_timed_out(NodeId from, NodeId to) const {
+  return timed_out_.count(key(from, to)) > 0;
+}
+
+NetStats ReliableNet::stats() const {
+  return NetStats{radio_.stats(), stats_};
+}
+
+}  // namespace tc::distsim::net

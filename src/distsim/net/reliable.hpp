@@ -1,0 +1,132 @@
+// ReliableNet: sequence numbers, cumulative acks, retransmission with
+// exponential backoff, and receiver-side dedup layered over the faulty
+// RadioNet — the classic reliable-channel state machine (cf. the
+// Contiki-style runicast stacks this substrate is modeled after).
+//
+// Guarantees, per directed neighbor pair and channel incarnation:
+//   * exactly-once: duplicates injected by the radio (or by our own
+//     retransmissions) are discarded by sequence number;
+//   * in-order: copies that the radio reordered are buffered until the
+//     gap fills, so receivers consume a prefix of what was sent;
+//   * eventual delivery under any drop rate < 1, by retransmitting on an
+//     exponential-backoff timer (rto_base << attempt, capped at rto_cap);
+//   * bounded suspicion: after max_attempts unacked retransmissions the
+//     channel gives up and reports the peer dead (peer_timed_out) — the
+//     delivery-timeout signal the session layer uses to detect relay
+//     crashes.
+//
+// A crash wipes the crashed node's own channel state (volatile memory);
+// recovery resets both directions of every channel touching the node
+// (a reboot is a new incarnation — stale seq state would deadlock the
+// pair). Protocol-level resync (rebroadcasting state to the newcomer) is
+// the protocols' job, keyed off recovered_this_round().
+//
+// Round phases, one cycle per protocol round:
+//   1. advance_round()  radio faults take effect; due retransmits resent
+//   2. broadcast()/send()  protocol hands payloads in
+//   3. deliver()        radio delivery + rx/tx state machines + acks out
+//   4. collect(v)       exactly-once, in-order deliveries for v
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "distsim/net/radio.hpp"
+
+namespace tc::distsim::net {
+
+struct ReliableConfig {
+  /// Rounds to wait for an ack before the first retransmission (the
+  /// fault-free round-trip is 1, so 2 avoids spurious resends).
+  std::size_t rto_base = 2;
+  /// Backoff cap in rounds.
+  std::size_t rto_cap = 16;
+  /// Retransmissions before the peer is presumed crashed. The default is
+  /// deliberately patient: at drop 0.3 each attempt still fails with
+  /// probability ~0.51 (data or ack lost), so a small cap would falsely
+  /// declare live peers dead somewhere across a 50-seed chaos sweep
+  /// (0.51^33 ~ 2e-10 makes that impossible). Latency-sensitive callers
+  /// (the session data phase) override this downward for fast crash
+  /// detection, where a false positive merely costs a re-quote.
+  std::size_t max_attempts = 32;
+};
+
+/// One exactly-once, in-order delivery.
+struct Delivery {
+  graph::NodeId src = graph::kInvalidNode;
+  std::vector<std::uint64_t> words;
+};
+
+class ReliableNet {
+ public:
+  ReliableNet(const graph::NodeGraph& g, const FaultSchedule& schedule,
+              ReliableConfig config = {});
+
+  std::size_t advance_round();
+  std::size_t round() const { return radio_.round(); }
+
+  /// Reliably sends `words` to every neighbor of `from` (one independent
+  /// channel per neighbor). No-op while `from` is down.
+  void broadcast(graph::NodeId from, const std::vector<std::uint64_t>& words);
+  /// Reliably sends `words` to one neighbor.
+  void send(graph::NodeId from, graph::NodeId to,
+            std::vector<std::uint64_t> words);
+
+  void deliver();
+  [[nodiscard]] std::vector<Delivery> collect(graph::NodeId at);
+
+  /// True when nothing is outstanding anywhere: no copies in the air, no
+  /// unacked payload on a live channel, no undrained delivery. Dead
+  /// (given-up) channels do not count — they will never drain.
+  bool idle() const;
+
+  bool node_up(graph::NodeId v) const { return radio_.node_up(v); }
+  bool recovered_this_round(graph::NodeId v) const {
+    return radio_.recovered_this_round(v);
+  }
+  /// True once the from->to channel exhausted its retransmissions; the
+  /// delivery-timeout signal for crash detection. Cleared when the peer
+  /// recovers (new incarnation).
+  bool peer_timed_out(graph::NodeId from, graph::NodeId to) const;
+
+  NetStats stats() const;
+  RadioNet& radio() { return radio_; }
+  const graph::NodeGraph& topology() const { return radio_.topology(); }
+
+ private:
+  struct Outstanding {
+    std::vector<std::uint64_t> payload;
+    std::size_t due_round = 0;
+    std::size_t attempts = 0;  ///< retransmissions so far
+  };
+  struct TxState {
+    std::uint64_t next_seq = 0;
+    std::map<std::uint64_t, Outstanding> unacked;
+    bool dead = false;
+  };
+  struct RxState {
+    std::uint64_t next_expected = 0;
+    std::map<std::uint64_t, std::vector<std::uint64_t>> reorder_buffer;
+  };
+
+  std::uint64_t key(graph::NodeId from, graph::NodeId to) const {
+    return static_cast<std::uint64_t>(from) * topology().num_nodes() + to;
+  }
+  void transmit(graph::NodeId from, graph::NodeId to, std::uint64_t seq,
+                const std::vector<std::uint64_t>& payload);
+  void reset_channels_of(graph::NodeId v, bool both_directions);
+
+  RadioNet radio_;
+  ReliableConfig config_;
+  std::map<std::uint64_t, TxState> tx_;
+  std::map<std::uint64_t, RxState> rx_;
+  std::set<std::uint64_t> timed_out_;
+  std::vector<std::vector<Delivery>> queues_;
+  /// Channels that received data this round and owe a cumulative ack.
+  std::set<std::uint64_t> ack_due_;
+  ChannelStats stats_;
+};
+
+}  // namespace tc::distsim::net

@@ -1,0 +1,35 @@
+// Transport-level counters, split by layer: what the raw radio did to the
+// copies in the air (RadioStats) and what the reliable-delivery layer had
+// to do about it (ChannelStats). Surfaced through ProtocolStats so chaos
+// runs can assert retransmit overhead and fault injection volume.
+#pragma once
+
+#include <cstddef>
+
+namespace tc::distsim::net {
+
+struct RadioStats {
+  std::size_t copies_sent = 0;       ///< unicast copies handed to the air
+  std::size_t copies_delivered = 0;  ///< copies that reached a live receiver
+  std::size_t copies_dropped = 0;    ///< lost to the link drop probability
+  std::size_t copies_duplicated = 0; ///< extra copies injected by duplication
+  std::size_t copies_delayed = 0;    ///< copies reordered via extra delay
+  std::size_t drops_to_down = 0;     ///< arrived at a crashed/partitioned node
+};
+
+struct ChannelStats {
+  std::size_t data_sent = 0;         ///< first transmissions of a payload
+  std::size_t retransmissions = 0;   ///< timer-driven resends
+  std::size_t acks_sent = 0;         ///< cumulative acks emitted
+  std::size_t duplicates_discarded = 0;  ///< receiver-side dedup hits
+  std::size_t out_of_order_buffered = 0; ///< copies parked awaiting a gap fill
+  std::size_t give_ups = 0;          ///< channels declared dead after max
+                                     ///< attempts (peer presumed crashed)
+};
+
+struct NetStats {
+  RadioStats radio;
+  ChannelStats channel;
+};
+
+}  // namespace tc::distsim::net

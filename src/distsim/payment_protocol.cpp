@@ -1,11 +1,10 @@
 #include "distsim/payment_protocol.hpp"
 
-#include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "spath/dijkstra.hpp"
 #include "util/check.hpp"
-#include "util/rng.hpp"
 
 namespace tc::distsim {
 
@@ -30,6 +29,28 @@ struct Trigger {
   Rule rule = Rule::kNone;
 };
 
+// Wire format (words[0] is the kind tag).
+constexpr std::uint64_t kMsgState = 0;  ///< [kind, count, (relay, bits(p))*]
+constexpr std::uint64_t kMsgHello = 1;  ///< a rebooted node asks for state
+
+std::uint64_t cost_bits(Cost c) { return std::bit_cast<std::uint64_t>(c); }
+Cost bits_cost(std::uint64_t w) { return std::bit_cast<Cost>(w); }
+
+void accumulate(net::NetStats& into, const net::NetStats& s) {
+  into.radio.copies_sent += s.radio.copies_sent;
+  into.radio.copies_delivered += s.radio.copies_delivered;
+  into.radio.copies_dropped += s.radio.copies_dropped;
+  into.radio.copies_duplicated += s.radio.copies_duplicated;
+  into.radio.copies_delayed += s.radio.copies_delayed;
+  into.radio.drops_to_down += s.radio.drops_to_down;
+  into.channel.data_sent += s.channel.data_sent;
+  into.channel.retransmissions += s.channel.retransmissions;
+  into.channel.acks_sent += s.channel.acks_sent;
+  into.channel.duplicates_discarded += s.channel.duplicates_discarded;
+  into.channel.out_of_order_buffered += s.channel.out_of_order_buffered;
+  into.channel.give_ups += s.channel.give_ups;
+}
+
 }  // namespace
 
 Cost PaymentOutcome::total_payment(NodeId i) const {
@@ -50,12 +71,11 @@ SptOutcome exact_spt(const graph::NodeGraph& g, NodeId root) {
   return out;
 }
 
-PaymentOutcome run_payment_protocol(const graph::NodeGraph& g, NodeId root,
-                                    const std::vector<Cost>& declared,
-                                    const SptOutcome& spt, PaymentMode mode,
-                                    const std::vector<PaymentBehavior>& behaviors,
-                                    std::size_t max_rounds,
-                                    const PaymentSchedule& schedule) {
+PaymentOutcome run_payment_protocol(
+    const graph::NodeGraph& g, NodeId root, const std::vector<Cost>& declared,
+    const SptOutcome& spt, PaymentMode mode,
+    const std::vector<PaymentBehavior>& behaviors, std::size_t max_rounds,
+    const PaymentSchedule& schedule) {
   const std::size_t n = g.num_nodes();
   TC_CHECK_MSG(declared.size() == n, "declared size must match node count");
   TC_CHECK_MSG(behaviors.empty() || behaviors.size() == n,
@@ -66,17 +86,21 @@ PaymentOutcome run_payment_protocol(const graph::NodeGraph& g, NodeId root,
   TC_CHECK_MSG(schedule.delivery_probability > 0.0 &&
                    schedule.delivery_probability <= 1.0,
                "delivery probability must be in (0, 1]");
-  const bool lossy = schedule.delivery_probability < 1.0;
-  TC_CHECK_MSG(!lossy || mode == PaymentMode::kBasic,
-               "lossy delivery requires the basic (non-audited) mode");
-  const std::size_t refresh =
-      schedule.refresh_interval ? schedule.refresh_interval : n / 4 + 2;
+  // Legacy shim: a bare delivery probability is a uniform link drop.
+  net::FaultSchedule faults = schedule.faults;
+  if (schedule.delivery_probability < 1.0 && faults.fault_free()) {
+    faults.link.drop = 1.0 - schedule.delivery_probability;
+    faults.seed = schedule.seed;
+  }
+  for (const auto& c : faults.crashes) {
+    TC_CHECK_MSG(c.node != root,
+                 "the access point is infrastructure and cannot crash");
+  }
   if (max_rounds == 0) {
     max_rounds = static_cast<std::size_t>(
         static_cast<double>(8 * n + 20) / schedule.activation_probability);
-    if (lossy) max_rounds = 4 * max_rounds + 40 * refresh;
+    if (!faults.fault_free()) max_rounds = 6 * max_rounds + 240;
   }
-  util::Rng activation_rng(schedule.seed);
 
   auto scale_of = [&](NodeId v, const std::vector<bool>& corrected) {
     if (behaviors.empty() || corrected[v]) return 1.0;
@@ -99,11 +123,16 @@ PaymentOutcome run_payment_protocol(const graph::NodeGraph& g, NodeId root,
   // Outer loop: run to quiescence; in verified mode, audit; on new
   // convictions, force the convicted nodes honest and restart (their
   // understated broadcasts have already polluted min-entries, which a
-  // monotone protocol cannot raise back).
+  // monotone protocol cannot raise back). Each attempt replays the same
+  // fault schedule (crash/partition rounds are relative to its start).
   const std::size_t max_attempts = n + 1;
   for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    net::ReliableNet netw(g, faults, schedule.channel);
+    net::ActivationGate gate(schedule.activation_probability, schedule.seed);
+
     std::vector<std::map<NodeId, Cost>> entries(n);
-    std::vector<std::map<NodeId, Cost>> last_broadcast(n);
+    // The signed transcript: what each node last put on the air.
+    std::vector<std::map<NodeId, Cost>> sent(n);
     std::vector<std::map<NodeId, Trigger>> triggers(n);
     for (NodeId v = 0; v < n; ++v) {
       for (NodeId k : relays[v]) entries[v][k] = kInfCost;
@@ -115,77 +144,88 @@ PaymentOutcome run_payment_protocol(const graph::NodeGraph& g, NodeId root,
     }
 
     bool quiesced = false;
-    std::size_t last_change_round = 0;
     for (std::size_t round = 1; round <= max_rounds; ++round) {
-      // Soft-state refresh under loss: periodically everyone rebroadcasts
-      // so that dropped updates are eventually re-delivered.
-      if (lossy && round % refresh == 0) {
-        for (NodeId v = 0; v < n; ++v) {
-          if (v != root) pending[v] = true;
+      netw.advance_round();
+      for (NodeId v = 0; v < n; ++v) {
+        if (netw.radio().crashed_this_round(v)) {
+          // Volatile protocol state dies with the node.
+          for (NodeId k : relays[v]) entries[v][k] = kInfCost;
+          sent[v].clear();
+          triggers[v].clear();
+          pending[v] = false;
+        }
+        if (netw.recovered_this_round(v)) {
+          // Rejoin empty-handed: ask the neighborhood to re-announce.
+          netw.broadcast(v, {kMsgHello});
+          pending[v] = true;
         }
       }
+
       bool any_pending = false;
       std::vector<NodeId> speakers;
       for (NodeId v = 0; v < n; ++v) {
         if (!pending[v]) continue;
         any_pending = true;
         // Asynchronous schedules delay some broadcasts to later rounds.
-        if (schedule.activation_probability >= 1.0 ||
-            activation_rng.bernoulli(schedule.activation_probability)) {
+        if (gate.speaks()) {
           speakers.push_back(v);
           pending[v] = false;
         }
       }
-      if (!any_pending) {
-        if (!lossy) {
-          quiesced = true;
-          break;
-        }
-        // Under loss, an empty queue is not proof of convergence — a
-        // dropped update may still be outstanding. Idle until the next
-        // refresh or until the stability window closes.
-        if (round >= last_change_round + 6 * refresh + 6) {
-          quiesced = true;
-          break;
-        }
-        out.stats.rounds += 1;
-        continue;
+      if (!any_pending && netw.idle()) {
+        // Nothing queued anywhere and the transport has drained: with
+        // reliable delivery an empty queue *is* proof of convergence —
+        // no dropped update can still be outstanding. This replaces the
+        // old lossy soft-state refresh and its stability window.
+        quiesced = true;
+        break;
       }
-      if (speakers.empty()) {
-        out.stats.rounds += 1;  // an idle round still elapses
-        continue;
-      }
-      out.stats.rounds += 1;
+      if (any_pending) out.stats.rounds += 1;
 
       // Broadcast: liars scale the payment entries they report.
       for (NodeId j : speakers) {
         ++out.stats.broadcasts;
         const double scale = scale_of(j, corrected);
-        last_broadcast[j].clear();
+        sent[j].clear();
+        std::vector<std::uint64_t> wire{kMsgState, entries[j].size()};
         for (const auto& [k, p] : entries[j]) {
-          last_broadcast[j][k] =
-              graph::finite_cost(p) ? p * scale : kInfCost;
+          const Cost reported = graph::finite_cost(p) ? p * scale : kInfCost;
+          sent[j][k] = reported;
+          wire.push_back(k);
+          wire.push_back(cost_bits(reported));
         }
         out.stats.values_sent += entries[j].size() + 1;
+        netw.broadcast(j, wire);
       }
 
+      netw.deliver();
+
       // Delivery + min-updates.
-      bool changed_this_round = false;
-      for (NodeId j : speakers) {
-        for (NodeId i : g.neighbors(j)) {
+      for (NodeId i = 0; i < n; ++i) {
+        for (const net::Delivery& m : netw.collect(i)) {
+          const NodeId j = m.src;
+          if (m.words[0] == kMsgHello) {
+            if (i != root) pending[i] = true;
+            continue;
+          }
           if (i == root || relays[i].empty()) continue;
-          if (lossy && !activation_rng.bernoulli(schedule.delivery_probability))
-            continue;  // this copy of the broadcast was lost in the air
           if (!behaviors.empty() && behaviors[i].denied_neighbor == j)
             continue;  // consistent with the stage-1 adjacency lie
+          std::map<NodeId, Cost> heard;
+          const std::size_t count = m.words[1];
+          TC_DCHECK(m.words.size() == 2 + 2 * count);
+          for (std::size_t e = 0; e < count; ++e) {
+            heard[static_cast<NodeId>(m.words[2 + 2 * e])] =
+                bits_cost(m.words[3 + 2 * e]);
+          }
           const bool j_is_parent = spt.first_hop[i] == j;
           const bool j_is_child = spt.first_hop[j] == i;
           for (NodeId k : relays[i]) {
             if (k == j) continue;  // no route avoiding j goes through j
             Cost cand = kInfCost;
             Rule rule = Rule::kNone;
-            const auto it = last_broadcast[j].find(k);
-            const bool k_on_j_path = it != last_broadcast[j].end();
+            const auto it = heard.find(k);
+            const bool k_on_j_path = it != heard.end();
             if (j_is_parent) {
               if (k_on_j_path && graph::finite_cost(it->second)) {
                 cand = it->second;
@@ -212,19 +252,12 @@ PaymentOutcome run_payment_protocol(const graph::NodeGraph& g, NodeId root,
               entries[i][k] = cand;
               triggers[i][k] = Trigger{j, rule};
               pending[i] = true;
-              changed_this_round = true;
             }
           }
         }
       }
-      if (changed_this_round) last_change_round = round;
-      // Under loss, refresh keeps re-arming the queue; declare quiescence
-      // only after a long stable window.
-      if (lossy && round >= last_change_round + 6 * refresh + 6) {
-        quiesced = true;
-        break;
-      }
     }
+    accumulate(out.stats.net, netw.stats());
 
     const bool final_attempt =
         mode == PaymentMode::kBasic || attempt + 1 == max_attempts;
@@ -232,30 +265,29 @@ PaymentOutcome run_payment_protocol(const graph::NodeGraph& g, NodeId root,
     if (!final_attempt && quiesced) {
       // Algorithm 2 second stage: every converged entry names its trigger;
       // the trigger recomputes the update rule from its own transcript and
-      // accuses on a mismatch.
+      // accuses on a mismatch. Crashed nodes have no transcript to audit.
       for (NodeId i = 0; i < n && !convicted_someone; ++i) {
+        if (!netw.node_up(i)) continue;
         for (const auto& [k, trig] : triggers[i]) {
           if (trig.rule == Rule::kNone) continue;
-          const auto claimed_it = last_broadcast[i].find(k);
-          if (claimed_it == last_broadcast[i].end()) continue;
+          const auto claimed_it = sent[i].find(k);
+          if (claimed_it == sent[i].end()) continue;
           const Cost claimed = claimed_it->second;
           if (!graph::finite_cost(claimed)) continue;
           const NodeId j = trig.source;
+          if (!netw.node_up(j)) continue;
           Cost expect = kInfCost;
           switch (trig.rule) {
             case Rule::kFromParent:
-              if (auto e = last_broadcast[j].find(k);
-                  e != last_broadcast[j].end())
+              if (auto e = sent[j].find(k); e != sent[j].end())
                 expect = e->second;
               break;
             case Rule::kFromChild:
-              if (auto e = last_broadcast[j].find(k);
-                  e != last_broadcast[j].end())
+              if (auto e = sent[j].find(k); e != sent[j].end())
                 expect = e->second + declared[i] + declared[j];
               break;
             case Rule::kFromOtherOnPath:
-              if (auto e = last_broadcast[j].find(k);
-                  e != last_broadcast[j].end())
+              if (auto e = sent[j].find(k); e != sent[j].end())
                 expect = e->second + declared[j] + D[j] - D[i];
               break;
             case Rule::kFromOtherOffPath:
@@ -279,7 +311,7 @@ PaymentOutcome run_payment_protocol(const graph::NodeGraph& g, NodeId root,
     if (!convicted_someone) {
       // Final state: a liar's own view of its payments is its *broadcast*
       // (what it reports to the access point for settlement).
-      out.payments = std::move(last_broadcast);
+      out.payments = std::move(sent);
       // Nodes that never rebroadcast after their last update would leave
       // stale reports; fold in the internal entries for honest nodes.
       for (NodeId v = 0; v < n; ++v) {

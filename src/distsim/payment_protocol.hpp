@@ -16,11 +16,20 @@
 // update names the neighbor whose message triggered it; that neighbor
 // recomputes the update from its own signed transcript and accuses the
 // sender on a mismatch (catching nodes that understate what they owe).
+//
+// Broadcasts ride on net::ReliableNet over the fault-injected
+// net::RadioNet. The reliable layer (seq numbers, acks, retransmission,
+// dedup) replaces the old soft-state refresh: dropped updates are
+// retransmitted instead of waiting for a periodic rebroadcast, so the
+// audit's transcript assumption holds even on lossy radios and verified
+// mode now composes with loss, duplication, and reordering.
 #pragma once
 
 #include <map>
 #include <vector>
 
+#include "distsim/net/fault.hpp"
+#include "distsim/net/reliable.hpp"
 #include "distsim/spt_protocol.hpp"
 #include "distsim/stats.hpp"
 #include "graph/node_graph.hpp"
@@ -65,17 +74,17 @@ struct PaymentSchedule {
   /// broadcasts. The fixpoint is schedule-independent because min-updates
   /// commute; tests/distsim_payment_protocol_test.cpp verifies this.
   double activation_probability = 1.0;
-  /// Probability that a broadcast reaches each individual neighbor
-  /// (radio loss). With loss (< 1.0) the protocol adds soft-state
-  /// refresh: every `refresh_interval` rounds all nodes rebroadcast, and
-  /// quiescence is declared only after a long stable window. Lossy
-  /// delivery is supported in kBasic mode only (the verification audit
-  /// assumes a reliable transcript).
+  /// Legacy loss knob, kept as a thin compatibility shim: when < 1.0 and
+  /// `faults` is otherwise fault-free, it is translated into a uniform
+  /// link drop of (1 - delivery_probability) on the radio substrate.
+  /// Prefer setting `faults` directly.
   double delivery_probability = 1.0;
-  /// Rounds between soft-state refresh rebroadcasts under loss; 0 picks
-  /// n/4 + 2 automatically.
-  std::size_t refresh_interval = 0;
-  std::uint64_t seed = 0x5c4ed;  ///< randomness for activation/loss draws
+  std::uint64_t seed = 0x5c4ed;  ///< randomness for activation draws
+  /// Radio faults injected underneath the protocol. Default = perfect
+  /// radio (bit-identical to the legacy synchronous simulation).
+  net::FaultSchedule faults;
+  /// Reliable-channel tuning (retransmit backoff, give-up threshold).
+  net::ReliableConfig channel;
 };
 
 /// Runs stage 2 on top of a converged stage-1 outcome. `spt` must describe

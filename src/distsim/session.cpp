@@ -1,8 +1,15 @@
 #include "distsim/session.hpp"
 
+#include <algorithm>
+
+#include "svc/quote_engine.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
 namespace tc::distsim {
 
 using graph::Cost;
+using graph::kInfCost;
 using graph::NodeId;
 
 SessionResult run_session(const graph::NodeGraph& g, NodeId root,
@@ -10,8 +17,11 @@ SessionResult run_session(const graph::NodeGraph& g, NodeId root,
                           const SessionConfig& config) {
   SessionResult result;
 
+  SptSchedule spt_schedule;
+  spt_schedule.faults = config.faults;
   const SptOutcome spt = run_spt_protocol(g, root, declared, config.spt_mode,
-                                          config.spt_behaviors);
+                                          config.spt_behaviors,
+                                          /*max_rounds=*/0, spt_schedule);
   result.spt_stats = spt.stats;
   result.route = spt.path_of(source);
   if (result.route.empty()) return result;
@@ -34,11 +44,134 @@ SessionResult run_session(const graph::NodeGraph& g, NodeId root,
     }
   }
 
-  const PaymentOutcome payments =
-      run_payment_protocol(g, root, declared, spt, config.payment_mode,
-                           payment_behaviors);
+  PaymentSchedule pay_schedule;
+  pay_schedule.faults = config.faults;
+  // Stage 2 runs over the same fault model but an independent fault
+  // stream (the radio does not replay stage 1's loss pattern).
+  pay_schedule.faults.seed = util::mix64(config.faults.seed ^ 0x9a75ca6e);
+  const PaymentOutcome payments = run_payment_protocol(
+      g, root, declared, spt, config.payment_mode, payment_behaviors,
+      /*max_rounds=*/0, pay_schedule);
   result.payment_stats = payments.stats;
   result.total_payment = payments.total_payment(source);
+  return result;
+}
+
+SessionResult run_session(const graph::NodeGraph& g, NodeId root,
+                          const std::vector<Cost>& declared, NodeId source,
+                          const SessionConfig& config, svc::QuoteEngine& engine,
+                          Ledger& ledger) {
+  SessionResult result = run_session(g, root, declared, source, config);
+  if (config.data_packets == 0) return result;
+  TC_CHECK_MSG(engine.access_point() == root,
+               "engine must be rooted at the session's access point");
+  TC_CHECK_MSG(engine.num_nodes() == g.num_nodes(),
+               "engine topology must match the session graph");
+  for (const auto& c : config.data_faults.crashes) {
+    TC_CHECK_MSG(c.node != root,
+                 "the access point is infrastructure and cannot crash");
+    TC_CHECK_MSG(c.node != source,
+                 "the data phase models relay crashes, not source crashes");
+  }
+
+  // The AP settles against the engine's current declaration epoch.
+  ledger.set_profile_epoch(engine.epoch());
+  std::optional<core::PaymentResult> quote = engine.quote(source);
+  auto quote_ok = [&]() {
+    return quote.has_value() && quote->connected() &&
+           graph::finite_cost(quote->total_payment());
+  };
+  auto give_up = [&]() {
+    // Clean disconnected result: no route survived the crashes. No audit
+    // hook fires (a crash is misfortune, not misbehavior) and the caller
+    // is never left hanging at the round budget.
+    result.disconnected = true;
+    result.route.clear();
+    result.route_cost = kInfCost;
+    result.total_payment = kInfCost;
+    return result;
+  };
+  if (!quote_ok()) return give_up();
+
+  net::ReliableNet netw(g, config.data_faults, config.data_channel);
+  // Give-up latency of one hop in rounds (the sum of the backoff timers),
+  // used to size the end-to-end stall deadline and the round budget.
+  std::size_t giveup_rounds = config.data_channel.rto_base;
+  for (std::size_t a = 1; a <= config.data_channel.max_attempts; ++a) {
+    giveup_rounds += std::min(config.data_channel.rto_cap,
+                              config.data_channel.rto_base << a);
+  }
+  const std::size_t budget =
+      config.data_max_rounds
+          ? config.data_max_rounds
+          : 40 + 2 * config.data_packets * g.num_nodes() +
+                (config.max_requotes + 1) * (giveup_rounds + 12);
+
+  std::vector<NodeId> route = quote->path;  // source..root
+  for (std::uint64_t pkt = 0; pkt < config.data_packets; ++pkt) {
+    std::size_t hop = 0;
+    while (hop + 1 < route.size()) {
+      const NodeId from = route[hop];
+      const NodeId to = route[hop + 1];
+      netw.send(from, to, {pkt});
+      // The reliable channel gives up after giveup_rounds; the end-to-end
+      // deadline also catches a *sender* that died holding the packet
+      // (its channel never even forms, so peer_timed_out stays false).
+      const std::size_t deadline =
+          netw.round() + giveup_rounds + config.data_channel.rto_cap + 4;
+      bool arrived = false;
+      bool rerouted = false;
+      while (!arrived && !rerouted) {
+        if (netw.round() >= budget) return give_up();
+        netw.advance_round();
+        netw.deliver();
+        for (NodeId v = 0; v < g.num_nodes(); ++v) {
+          for (const net::Delivery& d : netw.collect(v)) {
+            if (v == to && d.src == from && !d.words.empty() &&
+                d.words[0] == pkt) {
+              arrived = true;
+            }
+          }
+        }
+        if (arrived) break;
+        const bool hop_dead = netw.peer_timed_out(from, to);
+        if (!hop_dead && netw.round() < deadline) continue;
+        // Delivery timeout: a relay on the route is presumed crashed
+        // (the receiver when the channel gave up, the silent forwarder
+        // otherwise). Fence the stale price sheet out and re-quote.
+        const NodeId suspect = hop_dead ? to : from;
+        result.relay_crash_detected = true;
+        if (suspect == source || result.requotes >= config.max_requotes)
+          return give_up();
+        ++result.requotes;
+        engine.mark_node_down(suspect);
+        ledger.set_profile_epoch(engine.epoch());
+        quote = engine.quote(source);
+        if (!quote_ok()) return give_up();
+        route = quote->path;
+        result.route = route;
+        result.route_cost = quote->path_cost;
+        result.total_payment = quote->total_payment();
+        hop = 0;  // the packet restarts from the source on the new route
+        rerouted = true;
+      }
+      if (arrived) ++hop;
+    }
+    // Delivered to the root: the source settles the packet. Under faults
+    // the settle request may be retransmitted (its ack can be lost); the
+    // ledger absorbs the duplicate as an idempotent no-op ack, so the
+    // source is charged exactly once either way.
+    const Signature sig = sign(
+        ledger.key_of(source), packet_payload(config.session_id, source, pkt));
+    const SettlementResult settled =
+        ledger.settle_quote(config.session_id, pkt, sig, *quote);
+    if (settled.accepted && !settled.duplicate) ++result.packets_settled;
+    if (!config.data_faults.fault_free()) {
+      const SettlementResult retry =
+          ledger.settle_quote(config.session_id, pkt, sig, *quote);
+      if (retry.accepted && retry.duplicate) ++result.duplicate_settles;
+    }
+  }
   return result;
 }
 

@@ -2,12 +2,35 @@
 // one source, as a node would actually run them before sending traffic.
 // This is the driver the adversarial examples and tests use to compare the
 // basic protocol against Algorithm 2 under misbehaving nodes.
+//
+// With an attached svc::QuoteEngine and distsim::Ledger the session also
+// runs a data phase over the fault-injected radio substrate: `data_packets`
+// upstream packets are forwarded hop by hop on net::ReliableNet and
+// settled at the access point. The phase degrades gracefully under faults:
+//   * a relay crash surfaces as a delivery timeout on the reliable channel
+//     (peer_timed_out), upon which the source marks the relay down at the
+//     engine (QuoteEngine::mark_node_down — an epoch bump), refreshes the
+//     ledger's profile epoch, and re-quotes an alternate route;
+//   * when no alternate route exists (articulation-point relay) the
+//     session returns a clean disconnected result (total_payment kInfCost)
+//     instead of hanging or firing audit hooks;
+//   * settlement is idempotent: a retransmitted settle request whose ack
+//     was lost is absorbed by the ledger as a no-op duplicate ack, so no
+//     source is ever double-charged.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "distsim/ledger.hpp"
+#include "distsim/net/fault.hpp"
+#include "distsim/net/reliable.hpp"
 #include "distsim/payment_protocol.hpp"
 #include "distsim/spt_protocol.hpp"
+
+namespace tc::svc {
+class QuoteEngine;
+}  // namespace tc::svc
 
 namespace tc::distsim {
 
@@ -16,6 +39,31 @@ struct SessionConfig {
   PaymentMode payment_mode = PaymentMode::kBasic;
   std::vector<SptBehavior> spt_behaviors;          // empty = all honest
   std::vector<PaymentBehavior> payment_behaviors;  // empty = all honest
+
+  /// Radio faults underneath both protocol stages. Each stage runs its
+  /// own transport over this schedule (crash/partition rounds are
+  /// relative to the stage start; stage 2 draws an independent fault
+  /// stream so the two stages do not share loss patterns).
+  net::FaultSchedule faults;
+
+  /// Faults for the data/settlement phase, rounds relative to the phase
+  /// start — this is where relay crashes surface as delivery timeouts.
+  net::FaultSchedule data_faults;
+  /// Reliable-channel tuning for the data phase: deliberately impatient
+  /// (quick give-up) so a crashed relay is detected within a few dozen
+  /// rounds; a false positive merely costs a re-quote.
+  net::ReliableConfig data_channel{.rto_base = 2, .rto_cap = 8,
+                                   .max_attempts = 4};
+  /// Upstream data packets to forward and settle after the protocols
+  /// converge. 0 = handshake only (no data phase, legacy behavior).
+  std::size_t data_packets = 0;
+  /// Re-quotes allowed after detected relay crashes before giving up.
+  std::size_t max_requotes = 2;
+  /// Round budget for the data phase; 0 = auto-sized from packets, hops,
+  /// and the channel's give-up latency.
+  std::size_t data_max_rounds = 0;
+  /// Ledger session id the data phase settles under.
+  std::uint64_t session_id = 1;
 };
 
 struct SessionResult {
@@ -28,6 +76,17 @@ struct SessionResult {
   ProtocolStats spt_stats;
   ProtocolStats payment_stats;
 
+  // -- Data phase (only populated when run with an engine + ledger) ------
+  /// The data phase gave up: no route survived the crashes (after
+  /// exhausting max_requotes, or the re-quote came back unroutable).
+  bool disconnected = false;
+  /// At least one on-route relay was presumed crashed via delivery
+  /// timeout during the data phase.
+  bool relay_crash_detected = false;
+  std::size_t requotes = 0;          ///< successful route replacements
+  std::size_t packets_settled = 0;   ///< packets settled exactly once
+  std::size_t duplicate_settles = 0; ///< retransmitted settles no-op acked
+
   bool cheating_detected() const {
     return !spt_stats.accusations.empty() ||
            !payment_stats.accusations.empty();
@@ -38,5 +97,15 @@ struct SessionResult {
 SessionResult run_session(const graph::NodeGraph& g, graph::NodeId root,
                           const std::vector<graph::Cost>& declared,
                           graph::NodeId source, const SessionConfig& config);
+
+/// As above, then runs the data phase: forwards config.data_packets
+/// upstream packets hop by hop over the faulted radio and settles each at
+/// the access point through `ledger`, re-quoting via `engine` when a
+/// relay crash is detected. `engine` must be a node-model engine rooted
+/// at `root` whose declared profile matches `declared`.
+SessionResult run_session(const graph::NodeGraph& g, graph::NodeId root,
+                          const std::vector<graph::Cost>& declared,
+                          graph::NodeId source, const SessionConfig& config,
+                          svc::QuoteEngine& engine, Ledger& ledger);
 
 }  // namespace tc::distsim

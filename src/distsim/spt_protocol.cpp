@@ -1,11 +1,10 @@
 #include "distsim/spt_protocol.hpp"
 
-#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <set>
 
 #include "util/check.hpp"
-#include "util/rng.hpp"
 
 namespace tc::distsim {
 
@@ -16,23 +15,39 @@ using graph::NodeId;
 
 namespace {
 constexpr double kEps = 1e-9;
-}
 
-std::vector<NodeId> SptOutcome::path_of(NodeId v) const {
-  std::vector<NodeId> path{v};
+// Wire format (words[0] is the kind tag).
+constexpr std::uint64_t kMsgState = 0;  ///< [kind, bits(D), FH]
+constexpr std::uint64_t kMsgHello = 1;  ///< a rebooted node asks for state
+
+std::uint64_t cost_bits(Cost c) { return std::bit_cast<std::uint64_t>(c); }
+Cost bits_cost(std::uint64_t w) { return std::bit_cast<Cost>(w); }
+}  // namespace
+
+PathStatus SptOutcome::path_status(NodeId v) const {
   std::vector<bool> seen(first_hop.size(), false);
   seen[v] = true;
   NodeId cur = v;
   while (true) {
     const NodeId next = first_hop[cur];
-    if (next == kInvalidNode) return {};  // unreached
-    path.push_back(next);
-    if (next == path.front()) return {};  // degenerate
-    if (seen[next]) return {};            // loop (inconsistent FH state)
+    if (next == kInvalidNode) return PathStatus::kUnreached;
+    if (seen[next]) return PathStatus::kLoop;
     seen[next] = true;
     cur = next;
-    if (first_hop[cur] == kInvalidNode && distance[cur] == 0.0) break;
-    if (first_hop[cur] == kInvalidNode) return {};
+    if (first_hop[cur] == kInvalidNode) {
+      // Chain ended: the root (D = 0, no first hop) or a dead end.
+      return distance[cur] == 0.0 ? PathStatus::kOk : PathStatus::kUnreached;
+    }
+  }
+}
+
+std::vector<NodeId> SptOutcome::path_of(NodeId v) const {
+  if (path_status(v) != PathStatus::kOk) return {};
+  std::vector<NodeId> path{v};
+  NodeId cur = v;
+  while (first_hop[cur] != kInvalidNode) {
+    cur = first_hop[cur];
+    path.push_back(cur);
   }
   return path;
 }
@@ -49,11 +64,20 @@ SptOutcome run_spt_protocol(const graph::NodeGraph& g, NodeId root,
   TC_CHECK_MSG(schedule.activation_probability > 0.0 &&
                    schedule.activation_probability <= 1.0,
                "activation probability must be in (0, 1]");
+  for (const auto& c : schedule.faults.crashes) {
+    TC_CHECK_MSG(c.node != root,
+                 "the access point is infrastructure and cannot crash");
+  }
   if (max_rounds == 0) {
     max_rounds = static_cast<std::size_t>(
         static_cast<double>(8 * n + 20) / schedule.activation_probability);
+    // Faulted radios pay for retransmit tails, crash windows, and
+    // partition heals; scale the budget instead of hanging the caller.
+    if (!schedule.faults.fault_free()) max_rounds = 6 * max_rounds + 240;
   }
-  util::Rng activation_rng(schedule.seed);
+
+  net::ReliableNet netw(g, schedule.faults, schedule.channel);
+  net::ActivationGate gate(schedule.activation_probability, schedule.seed);
 
   auto behavior_of = [&](NodeId v) {
     return behaviors.empty() ? SptBehavior{} : behaviors[v];
@@ -64,10 +88,20 @@ SptOutcome run_spt_protocol(const graph::NodeGraph& g, NodeId root,
   out.first_hop.assign(n, kInvalidNode);
   out.distance[root] = 0.0;  // the root is the destination, not an agent
 
-  // Last broadcast heard from each node: (claimed D, claimed FH). The
-  // verified-mode cross-checks run against these claims.
-  std::vector<Cost> claimed_d(n, kInfCost);
-  std::vector<NodeId> claimed_fh(n, kInvalidNode);
+  // What each node last put on the air (its public claim)...
+  std::vector<Cost> sent_d(n, kInfCost);
+  std::vector<NodeId> sent_fh(n, kInvalidNode);
+  // ...and, in verified mode, what each listener last *heard* from each
+  // neighbor. Cross-checks run against the listener's own transcript, not
+  // global state — over a faulty radio the two differ until the reliable
+  // layer quiesces, which is exactly when the checks fire.
+  std::vector<std::vector<Cost>> heard_d;
+  std::vector<std::vector<NodeId>> heard_fh;
+  if (mode == SptMode::kVerified) {
+    heard_d.assign(n, std::vector<Cost>(n, kInfCost));
+    heard_fh.assign(n, std::vector<NodeId>(n, kInvalidNode));
+  }
+
   // Nodes that were caught and corrected stop lying (a second offense
   // would be provable cheating on a signed transcript).
   std::vector<bool> corrected(n, false);
@@ -84,117 +118,147 @@ SptOutcome run_spt_protocol(const graph::NodeGraph& g, NodeId root,
   pending[root] = true;  // the root announces itself in round 1
 
   for (std::size_t round = 1; round <= max_rounds; ++round) {
-    // Snapshot this round's broadcasters, then deliver simultaneously.
-    // Under an asynchronous schedule, some pending broadcasts are delayed
-    // to later rounds.
+    netw.advance_round();
+    for (NodeId v = 0; v < n; ++v) {
+      if (netw.radio().crashed_this_round(v)) {
+        // Volatile protocol state dies with the node.
+        out.distance[v] = kInfCost;
+        out.first_hop[v] = kInvalidNode;
+        sent_d[v] = kInfCost;
+        sent_fh[v] = kInvalidNode;
+        pending[v] = false;
+        if (mode == SptMode::kVerified) {
+          heard_d[v].assign(n, kInfCost);
+          heard_fh[v].assign(n, kInvalidNode);
+        }
+      }
+      if (netw.recovered_this_round(v)) {
+        // Rejoin empty-handed: ask the neighborhood to re-announce.
+        netw.broadcast(v, {kMsgHello});
+      }
+    }
+
     bool any_pending = false;
     std::vector<NodeId> speakers;
     for (NodeId v = 0; v < n; ++v) {
       if (!pending[v]) continue;
       any_pending = true;
-      if (schedule.activation_probability >= 1.0 ||
-          activation_rng.bernoulli(schedule.activation_probability)) {
+      // Asynchronous schedules delay some broadcasts to later rounds.
+      if (gate.speaks()) {
         speakers.push_back(v);
         pending[v] = false;
       }
     }
-    if (!any_pending) {
-      out.converged = true;
-      break;
-    }
-    if (speakers.empty()) {
-      out.stats.rounds = round;
+
+    if (!any_pending && netw.idle()) {
+      // Quiescent: no queued broadcast anywhere and the transport has
+      // drained (every copy delivered or given up, every ack in). In
+      // verified mode this is when Algorithm 2's neighbor cross-checks
+      // run; any demanded correction re-arms the loop.
+      if (mode == SptMode::kBasic) {
+        out.converged = true;
+        break;
+      }
+      bool contacted = false;
+      for (NodeId i = 0; i < n; ++i) {
+        if (!netw.node_up(i)) continue;
+        const Cost my_claim = (i == root) ? 0.0 : sent_d[i];
+        if (!graph::finite_cost(my_claim)) continue;
+        for (NodeId j : g.neighbors(i)) {
+          if (j == root || !netw.node_up(j)) continue;
+          const Cost offer = (i == root) ? 0.0 : declared[i] + my_claim;
+          const Cost their_claim = heard_d[i][j];
+          const bool case1 =
+              heard_fh[i][j] != i && offer + kEps < their_claim;
+          const bool case2 = heard_fh[i][j] == i &&
+                             std::fabs(offer - their_claim) > kEps;
+          if (!case1 && !case2) continue;
+          if (behavior_of(j).stubborn) {
+            // One demand per accuser; a refusal is provable cheating and
+            // re-demanding would spin forever.
+            if (accused_pairs.emplace(i, j).second) {
+              ++out.stats.direct_contacts;
+              out.stats.accusations.push_back(
+                  {i, j, "refused demanded SPT correction"});
+            }
+            continue;
+          }
+          ++out.stats.direct_contacts;
+          contacted = true;
+          // The demanded update: route through i. A corrected node also
+          // stops applying its lying behavior (it is now on record).
+          corrected[j] = true;
+          if (offer + kEps < out.distance[j] ||
+              (case2 && std::fabs(offer - out.distance[j]) > kEps)) {
+            out.distance[j] = offer;
+            out.first_hop[j] = i;
+          }
+          pending[j] = true;  // rebroadcast the corrected state
+        }
+      }
+      if (!contacted) {
+        out.converged = true;
+        break;
+      }
       continue;
     }
-    out.stats.rounds = round;
+    if (any_pending) out.stats.rounds = round;
 
     for (NodeId j : speakers) {
       ++out.stats.broadcasts;
       out.stats.values_sent += 2;
-      claimed_d[j] = broadcast_value(j);
-      claimed_fh[j] = out.first_hop[j];
+      sent_d[j] = broadcast_value(j);
+      sent_fh[j] = out.first_hop[j];
+      netw.broadcast(j, {kMsgState, cost_bits(sent_d[j]),
+                         static_cast<std::uint64_t>(sent_fh[j])});
     }
+
+    netw.deliver();
 
     // Relaxation against the freshly heard claims.
     std::vector<Cost> new_d = out.distance;
     std::vector<NodeId> new_fh = out.first_hop;
-    for (NodeId j : speakers) {
-      for (NodeId i : g.neighbors(j)) {
+    for (NodeId i = 0; i < n; ++i) {
+      for (const net::Delivery& m : netw.collect(i)) {
+        const NodeId j = m.src;
+        if (m.words[0] == kMsgHello) {
+          // A rebooted neighbor asked for state; re-announce ours.
+          if (graph::finite_cost(out.distance[i])) pending[i] = true;
+          continue;
+        }
+        const Cost dj = bits_cost(m.words[1]);
+        const NodeId fhj = static_cast<NodeId>(m.words[2]);
+        if (mode == SptMode::kVerified) {
+          // The transcript records the claim even when the relaxation
+          // below pretends not to have heard it (the denial is a lie
+          // about routing, not about radio reception).
+          heard_d[i][j] = dj;
+          heard_fh[i][j] = fhj;
+        }
         if (i == root) continue;
         if (behavior_of(i).denied_neighbor == j && !corrected[i])
           continue;  // the Fig. 2 lie: i pretends not to hear j
-        const Cost via =
-            (j == root) ? 0.0 : declared[j] + claimed_d[j];
+        const Cost via = (j == root) ? 0.0 : declared[j] + dj;
         if (graph::finite_cost(via) && via + kEps < new_d[i]) {
           new_d[i] = via;
           new_fh[i] = j;
         }
       }
     }
-    bool changed = false;
     for (NodeId v = 0; v < n; ++v) {
       if (new_d[v] != out.distance[v] || new_fh[v] != out.first_hop[v]) {
         out.distance[v] = new_d[v];
         out.first_hop[v] = new_fh[v];
         pending[v] = true;
-        changed = true;
       }
-    }
-    if (changed) continue;
-    // Under an asynchronous schedule, wait for delayed broadcasts before
-    // judging the network quiescent.
-    if (std::any_of(pending.begin(), pending.end(),
-                    [](bool p) { return p; })) {
-      continue;
-    }
-
-    // Quiescent. In verified mode, run Algorithm 2's neighbor
-    // cross-checks; any demanded correction re-arms the loop.
-    if (mode == SptMode::kBasic) {
-      out.converged = true;
-      break;
-    }
-    bool contacted = false;
-    for (NodeId i = 0; i < n; ++i) {
-      const Cost my_claim = (i == root) ? 0.0 : claimed_d[i];
-      if (!graph::finite_cost(my_claim)) continue;
-      for (NodeId j : g.neighbors(i)) {
-        if (j == root) continue;
-        const Cost offer = (i == root) ? 0.0 : declared[i] + my_claim;
-        const Cost their_claim = claimed_d[j];
-        const bool case1 =
-            claimed_fh[j] != i && offer + kEps < their_claim;
-        const bool case2 = claimed_fh[j] == i &&
-                           std::fabs(offer - their_claim) > kEps;
-        if (!case1 && !case2) continue;
-        if (behavior_of(j).stubborn) {
-          // One demand per accuser; a refusal is provable cheating and
-          // re-demanding would spin forever.
-          if (accused_pairs.emplace(i, j).second) {
-            ++out.stats.direct_contacts;
-            out.stats.accusations.push_back(
-                {i, j, "refused demanded SPT correction"});
-          }
-          continue;
-        }
-        ++out.stats.direct_contacts;
-        contacted = true;
-        // The demanded update: route through i. A corrected node also
-        // stops applying its lying behavior (it is now on record).
-        corrected[j] = true;
-        if (offer + kEps < out.distance[j] ||
-            (case2 && std::fabs(offer - out.distance[j]) > kEps)) {
-          out.distance[j] = offer;
-          out.first_hop[j] = i;
-        }
-        pending[j] = true;  // rebroadcast the corrected state
-      }
-    }
-    if (!contacted) {
-      out.converged = true;
-      break;
     }
   }
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (v != root && out.path_status(v) == PathStatus::kLoop)
+      ++out.stats.loops_detected;
+  }
+  out.stats.net = netw.stats();
   return out;
 }
 

@@ -14,10 +14,18 @@
 //   case 2 (v_i == FH(v_j)): if D_i + d_i != D_j, same.
 // A node that refuses a demanded correction is provably cheating (the
 // demand and its refusal are signed) and is recorded as an accusation.
+//
+// All messaging rides on net::ReliableNet over the fault-injected
+// net::RadioNet, so broadcasts survive drop/duplication/reordering and
+// the protocol tolerates crash/recover events from the FaultSchedule.
+// With the default (fault-free) schedule the run is bit-identical to the
+// legacy synchronous simulation.
 #pragma once
 
 #include <vector>
 
+#include "distsim/net/fault.hpp"
+#include "distsim/net/reliable.hpp"
 #include "distsim/stats.hpp"
 #include "graph/node_graph.hpp"
 
@@ -26,6 +34,13 @@ namespace tc::distsim {
 enum class SptMode {
   kBasic,     ///< plain distributed Bellman-Ford; cheatable
   kVerified,  ///< Algorithm 2 first stage with neighbor cross-checks
+};
+
+/// Why path_of(v) returned what it returned.
+enum class PathStatus {
+  kOk,         ///< a complete route v..root exists
+  kUnreached,  ///< first-hop chain hits a node with no route to the root
+  kLoop,       ///< first-hop chain revisits a node (inconsistent FH state)
 };
 
 /// Per-node misbehavior for stage 1.
@@ -54,9 +69,14 @@ struct SptOutcome {
   bool converged = false;
   ProtocolStats stats;
 
-  /// Full route v..root by chasing first hops; empty on a loop or an
-  /// unreached node.
+  /// Full route v..root by chasing first hops; empty unless
+  /// path_status(v) == kOk (note the root itself reports kUnreached — it
+  /// has no route *to* itself worth naming).
   std::vector<graph::NodeId> path_of(graph::NodeId v) const;
+  /// Distinguishes "no route exists / not yet learned" from "the FH
+  /// claims form a loop" — the latter marks corrupted or adversarial
+  /// state and is tallied in ProtocolStats::loops_detected.
+  PathStatus path_status(graph::NodeId v) const;
 };
 
 /// Scheduling of the relaxation rounds (see PaymentSchedule for the
@@ -66,10 +86,15 @@ struct SptOutcome {
 struct SptSchedule {
   double activation_probability = 1.0;
   std::uint64_t seed = 0x59751;
+  /// Radio faults injected underneath the protocol (drop, duplication,
+  /// reordering, crashes, partitions). Default = perfect radio.
+  net::FaultSchedule faults;
+  /// Reliable-channel tuning (retransmit backoff, give-up threshold).
+  net::ReliableConfig channel;
 };
 
-/// Runs stage 1 until quiescence (or max_rounds, default 4n). `declared`
-/// are the publicly declared relay costs d (broadcast at startup).
+/// Runs stage 1 until quiescence (or max_rounds; default 8n+20 scaled up
+/// under faults). `declared` are the publicly declared relay costs d.
 SptOutcome run_spt_protocol(const graph::NodeGraph& g, graph::NodeId root,
                             const std::vector<graph::Cost>& declared,
                             SptMode mode,

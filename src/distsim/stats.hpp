@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "distsim/net/stats.hpp"
 #include "graph/types.hpp"
 
 namespace tc::distsim {
@@ -22,6 +23,12 @@ struct ProtocolStats {
   std::size_t broadcasts = 0;        ///< neighbor broadcasts sent
   std::size_t values_sent = 0;       ///< scalar entries carried by broadcasts
   std::size_t direct_contacts = 0;   ///< secure point-to-point corrections
+  /// First-hop chains that formed a loop at the end of the run (cheater
+  /// or stale crash remnant); see SptOutcome::path_status.
+  std::size_t loops_detected = 0;
+  /// Transport-level counters from the radio substrate and the reliable
+  /// delivery layer underneath this protocol run.
+  net::NetStats net;
   std::vector<Accusation> accusations;
 
   bool clean() const { return accusations.empty(); }

@@ -4,7 +4,6 @@
 #include <sstream>
 #include <utility>
 
-#include "graph/connectivity.hpp"
 #include "graph/mask.hpp"
 #include "spath/dijkstra.hpp"
 #include "util/rng.hpp"
@@ -93,10 +92,11 @@ AuditReport audit_unicast_payment(const graph::NodeGraph& g, NodeId source,
       }
     }
     if (options.check_least_cost_path) {
-      const auto reach = graph::reachable_from(g, source);
-      if (reach[target]) {
+      const spath::SptResult spt = spath::dijkstra_node(g, source);
+      if (spt.reached(target)) {
         audit.fail("no path reported but target ", target,
-                   " is reachable from source ", source);
+                   " is reachable from source ", source,
+                   " at finite cost ", spt.dist[target]);
       }
     }
     return report;
@@ -158,13 +158,17 @@ AuditReport audit_unicast_payment(const graph::NodeGraph& g, NodeId source,
     }
     if (std::isinf(p)) {
       if (options.check_monopoly_consistency) {
+        // Economic, not structural, monopoly: the avoiding *distance* must
+        // be infinite. A connected detour through a node declared at
+        // infinity (e.g. one marked down) still makes this relay a
+        // monopoly.
         graph::NodeMask mask(n);
         mask.block(v);
-        const auto reach = graph::reachable_from(g, source, mask);
-        if (reach[target]) {
+        const spath::SptResult avoid = spath::dijkstra_node(g, source, mask);
+        if (avoid.reached(target)) {
           audit.fail("relay ", v,
-                     " paid infinity but is not a monopoly (graph stays "
-                     "connected without it)");
+                     " paid infinity but is not a monopoly (a finite-cost "
+                     "path avoiding it exists)");
         }
       }
       continue;

@@ -47,7 +47,8 @@ QuoteEngine::QuoteEngine(graph::NodeGraph topology, graph::NodeId access_point,
   for (std::size_t i = 0; i < options_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
-  snapshot_.store(std::make_shared<const ProfileSnapshot>(1, std::move(topology)));
+  snapshot_.store(
+      std::make_shared<const ProfileSnapshot>(1, std::move(topology)));
 }
 
 QuoteEngine::QuoteEngine(graph::NodeGraph topology, graph::NodeId access_point,
@@ -69,7 +70,8 @@ QuoteEngine::QuoteEngine(graph::LinkGraph topology, graph::NodeId access_point,
   for (std::size_t i = 0; i < options_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
-  snapshot_.store(std::make_shared<const ProfileSnapshot>(1, std::move(topology)));
+  snapshot_.store(
+      std::make_shared<const ProfileSnapshot>(1, std::move(topology)));
 }
 
 QuoteEngine::QuoteEngine(graph::LinkGraph topology, graph::NodeId access_point,
@@ -154,6 +156,16 @@ Cost QuoteEngine::declared_cost(NodeId v) const {
   TC_CHECK_MSG(snap->model() == GraphModel::kNode,
                "declared_cost is for node-model engines");
   return snap->node().node_cost(v);
+}
+
+std::uint64_t QuoteEngine::mark_node_down(NodeId v) {
+  TC_CHECK_MSG(v != access_point_,
+               "the access point is infrastructure and cannot be down");
+  return declare_cost(v, graph::kInfCost);
+}
+
+bool QuoteEngine::node_down(NodeId v) const {
+  return !graph::finite_cost(declared_cost(v));
 }
 
 void QuoteEngine::sweep_node(NodeId v, Cost c_old, Cost c_new,

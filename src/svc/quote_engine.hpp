@@ -111,6 +111,16 @@ class QuoteEngine {
   /// Current declared cost of node `v` (node model).
   graph::Cost declared_cost(graph::NodeId v) const;
 
+  /// Administrative removal (node model): `v` stopped relaying — e.g. a
+  /// crash detected by a delivery timeout in distsim::run_session. Priced
+  /// as an unbounded relay cost: subsequent quotes route around v, and
+  /// sources that cannot avoid it come back unroutable instead of being
+  /// quoted a dead path. Bumps the epoch like any re-declaration, so
+  /// quotes priced before the crash are fenced out at settlement.
+  std::uint64_t mark_node_down(graph::NodeId v);
+  /// True while `v` is marked down (declared cost is not finite).
+  bool node_down(graph::NodeId v) const;
+
   /// Route + payment quote source -> access point, cached, stamped with
   /// the epoch it was priced under. nullopt when unreachable.
   [[nodiscard]] std::optional<core::PaymentResult> quote(

@@ -17,7 +17,8 @@ TEST(Ledger, UpstreamSettlementMovesMoney) {
   Ledger ledger(5, 2);
   ledger.fund_all(50.0);
   const Signature sig = sign(ledger.key_of(3), packet_payload(1, 3, 0));
-  const auto result = ledger.settle_upstream(1, 3, 0, sig, {{1, 2.5}, {2, 4.0}});
+  const auto result =
+      ledger.settle_upstream(1, 3, 0, sig, {{1, 2.5}, {2, 4.0}});
   ASSERT_TRUE(result.accepted);
   EXPECT_DOUBLE_EQ(result.charged, 6.5);
   EXPECT_DOUBLE_EQ(ledger.balance(3), 43.5);
@@ -40,15 +41,38 @@ TEST(Ledger, ForgedSourceSignatureRejected) {
   EXPECT_EQ(ledger.rejections(), 1u);
 }
 
-TEST(Ledger, ReplayRejected) {
+TEST(Ledger, RetransmittedSettlementIsNoOpAck) {
+  // A retransmitted settlement request (identical content; its ack was
+  // lost on the radio) must be acknowledged idempotently, not rejected —
+  // rejecting it would make the source retry forever. Balances move once.
   Ledger ledger(4, 3);
   ledger.fund_all(10.0);
   const Signature sig = sign(ledger.key_of(2), packet_payload(7, 2, 5));
   EXPECT_TRUE(ledger.settle_upstream(7, 2, 5, sig, {{1, 1.0}}).accepted);
-  const auto replay = ledger.settle_upstream(7, 2, 5, sig, {{1, 1.0}});
-  EXPECT_FALSE(replay.accepted);
-  EXPECT_EQ(replay.reject_reason, "replayed packet");
+  const auto retransmit = ledger.settle_upstream(7, 2, 5, sig, {{1, 1.0}});
+  EXPECT_TRUE(retransmit.accepted);
+  EXPECT_TRUE(retransmit.duplicate);
+  EXPECT_DOUBLE_EQ(retransmit.charged, 1.0);
   EXPECT_DOUBLE_EQ(ledger.balance(1), 11.0);  // paid once
+  EXPECT_DOUBLE_EQ(ledger.balance(2), 9.0);   // charged once
+  EXPECT_EQ(ledger.settlements(), 1u);
+  EXPECT_EQ(ledger.duplicate_acks(), 1u);
+  EXPECT_EQ(ledger.rejections(), 0u);
+}
+
+TEST(Ledger, ReplayWithAlteredContentRejected) {
+  // Same (session, seq) but different prices is not a retransmission; it
+  // is a replay attack and must still be refused.
+  Ledger ledger(4, 3);
+  ledger.fund_all(10.0);
+  const Signature sig = sign(ledger.key_of(2), packet_payload(7, 2, 5));
+  EXPECT_TRUE(ledger.settle_upstream(7, 2, 5, sig, {{1, 1.0}}).accepted);
+  const auto replay = ledger.settle_upstream(7, 2, 5, sig, {{1, 2.0}});
+  EXPECT_FALSE(replay.accepted);
+  EXPECT_FALSE(replay.duplicate);
+  EXPECT_EQ(replay.reject_reason, "replayed packet");
+  EXPECT_DOUBLE_EQ(ledger.balance(1), 11.0);  // first settlement only
+  EXPECT_EQ(ledger.rejections(), 1u);
 }
 
 TEST(Ledger, DownstreamNeedsAllAcks) {
@@ -77,12 +101,22 @@ TEST(Ledger, DownstreamSettlesWithValidAcks) {
   EXPECT_DOUBLE_EQ(ledger.balance(2), 22.0);
 }
 
-TEST(Ledger, DownstreamReplayRejected) {
+TEST(Ledger, DownstreamRetransmitNoOpAckButAlteredReplayRejected) {
   Ledger ledger(3, 5);
   ledger.fund_all(20.0);
   const Signature a1 = sign(ledger.key_of(1), packet_payload(2, 1, 0));
   EXPECT_TRUE(ledger.settle_downstream(2, 2, 0, {{1, 3.0, a1}}).accepted);
-  EXPECT_FALSE(ledger.settle_downstream(2, 2, 0, {{1, 3.0, a1}}).accepted);
+  // Identical retransmission: idempotent no-op ack.
+  const auto retransmit = ledger.settle_downstream(2, 2, 0, {{1, 3.0, a1}});
+  EXPECT_TRUE(retransmit.accepted);
+  EXPECT_TRUE(retransmit.duplicate);
+  EXPECT_DOUBLE_EQ(ledger.balance(1), 23.0);  // paid once
+  EXPECT_EQ(ledger.duplicate_acks(), 1u);
+  // Altered price under the same packet id: replay attack, refused.
+  const auto replay = ledger.settle_downstream(2, 2, 0, {{1, 4.0, a1}});
+  EXPECT_FALSE(replay.accepted);
+  EXPECT_EQ(replay.reject_reason, "replayed packet");
+  EXPECT_DOUBLE_EQ(ledger.balance(1), 23.0);
 }
 
 TEST(Ledger, UpstreamAndDownstreamSequencesIndependent) {

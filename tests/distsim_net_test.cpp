@@ -1,0 +1,342 @@
+// Unit tests for the fault-injected radio substrate (net::RadioNet) and
+// the reliable-delivery layer on top of it (net::ReliableNet).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "distsim/net/radio.hpp"
+#include "distsim/net/reliable.hpp"
+#include "graph/generators.hpp"
+
+namespace tc::distsim::net {
+namespace {
+
+using graph::NodeId;
+
+// Drives `netw` until it is idle (or the round cap trips), collecting
+// every delivery per node. The sender hook runs once before the first
+// round advances.
+template <typename Net, typename Packet>
+std::vector<std::vector<Packet>> drain(Net& netw, std::size_t max_rounds) {
+  const std::size_t n = netw.topology().num_nodes();
+  std::vector<std::vector<Packet>> got(n);
+  for (std::size_t r = 0; r < max_rounds && !netw.idle(); ++r) {
+    netw.advance_round();
+    netw.deliver();
+    for (NodeId v = 0; v < n; ++v)
+      for (auto& p : netw.collect(v)) got[v].push_back(std::move(p));
+  }
+  return got;
+}
+
+TEST(RadioNet, FaultFreeDeliversEveryCopySameRound) {
+  const auto g = graph::make_ring(5);
+  RadioNet radio(g, FaultSchedule{});
+  radio.advance_round();
+  radio.send(0, 1, {42});
+  radio.send(1, 2, {43});
+  radio.deliver();
+  const auto at1 = radio.collect(1);
+  const auto at2 = radio.collect(2);
+  ASSERT_EQ(at1.size(), 1u);
+  EXPECT_EQ(at1[0].src, 0u);
+  EXPECT_EQ(at1[0].words, (std::vector<std::uint64_t>{42}));
+  ASSERT_EQ(at2.size(), 1u);
+  EXPECT_TRUE(radio.idle());
+  EXPECT_EQ(radio.stats().copies_sent, 2u);
+  EXPECT_EQ(radio.stats().copies_delivered, 2u);
+  EXPECT_EQ(radio.stats().copies_dropped, 0u);
+}
+
+TEST(RadioNet, CertainDropLosesEveryCopy) {
+  const auto g = graph::make_path(3);
+  FaultSchedule s = FaultSchedule::uniform_loss(1.0, 7);
+  RadioNet radio(g, s);
+  for (int r = 0; r < 4; ++r) {
+    radio.advance_round();
+    radio.send(0, 1, {1});
+    radio.deliver();
+    EXPECT_TRUE(radio.collect(1).empty());
+  }
+  EXPECT_EQ(radio.stats().copies_dropped, 4u);
+  EXPECT_EQ(radio.stats().copies_delivered, 0u);
+  EXPECT_TRUE(radio.idle());
+}
+
+TEST(RadioNet, LinkOverrideBeatsDefaultModel) {
+  const auto g = graph::make_path(3);
+  FaultSchedule s;
+  s.link.drop = 0.0;
+  LinkFaultModel dead;
+  dead.drop = 1.0;
+  s.link_overrides.emplace_back(0, 1, dead);
+  RadioNet radio(g, s);
+  radio.advance_round();
+  radio.send(0, 1, {1});  // overridden link: always lost
+  radio.send(1, 2, {2});  // default link: always delivered
+  radio.deliver();
+  EXPECT_TRUE(radio.collect(1).empty());
+  EXPECT_EQ(radio.collect(2).size(), 1u);
+}
+
+TEST(RadioNet, CrashedNodeNeitherSendsNorReceives) {
+  const auto g = graph::make_path(3);
+  FaultSchedule s;
+  s.crashes.push_back({1, /*crash_round=*/2, /*recover_round=*/4});
+  RadioNet radio(g, s);
+
+  radio.advance_round();  // round 1: node 1 still up
+  EXPECT_TRUE(radio.node_up(1));
+  radio.send(0, 1, {10});
+  radio.deliver();
+  EXPECT_EQ(radio.collect(1).size(), 1u);
+
+  radio.advance_round();  // round 2: crash takes effect
+  EXPECT_FALSE(radio.node_up(1));
+  EXPECT_TRUE(radio.crashed_this_round(1));
+  radio.send(0, 1, {11});  // dropped at delivery: receiver is down
+  radio.send(1, 2, {12});  // ignored: sender is down
+  radio.deliver();
+  EXPECT_TRUE(radio.collect(1).empty());
+  EXPECT_TRUE(radio.collect(2).empty());
+  EXPECT_EQ(radio.stats().drops_to_down, 1u);
+
+  radio.advance_round();  // round 3: still down
+  radio.advance_round();  // round 4: recovery
+  EXPECT_TRUE(radio.node_up(1));
+  EXPECT_TRUE(radio.recovered_this_round(1));
+  radio.send(0, 1, {13});
+  radio.deliver();
+  ASSERT_EQ(radio.collect(1).size(), 1u);
+}
+
+TEST(RadioNet, PartitionWindowCutsCrossIslandTrafficThenHeals) {
+  const auto g = graph::make_complete(4);
+  FaultSchedule s;
+  s.partitions.push_back({{0, 1}, /*start_round=*/1, /*end_round=*/3});
+  RadioNet radio(g, s);
+
+  radio.advance_round();  // round 1: partition active
+  EXPECT_TRUE(radio.reachable(0, 1));
+  EXPECT_FALSE(radio.reachable(0, 2));
+  radio.send(0, 1, {1});  // same island: delivered
+  radio.send(0, 2, {2});  // cross island: dropped
+  radio.send(2, 3, {3});  // both outside: delivered
+  radio.deliver();
+  EXPECT_EQ(radio.collect(1).size(), 1u);
+  EXPECT_TRUE(radio.collect(2).empty());
+  EXPECT_EQ(radio.collect(3).size(), 1u);
+
+  radio.advance_round();  // round 2: still active
+  radio.advance_round();  // round 3: healed
+  EXPECT_TRUE(radio.reachable(0, 2));
+  radio.send(0, 2, {4});
+  radio.deliver();
+  EXPECT_EQ(radio.collect(2).size(), 1u);
+}
+
+TEST(RadioNet, DeterministicBySeed) {
+  const auto g = graph::make_erdos_renyi(10, 0.5, 1.0, 4.0, 3);
+  FaultSchedule s;
+  s.link.drop = 0.3;
+  s.link.duplicate = 0.2;
+  s.link.reorder = 0.2;
+  s.seed = 99;
+  auto trace = [&](RadioNet& radio) {
+    std::vector<std::vector<std::uint64_t>> log;
+    for (std::size_t r = 1; r <= 12; ++r) {
+      radio.advance_round();
+      for (NodeId v = 0; v < g.num_nodes(); ++v)
+        for (const NodeId u : g.neighbors(v)) radio.send(v, u, {r, v});
+      radio.deliver();
+      for (NodeId v = 0; v < g.num_nodes(); ++v)
+        for (const auto& p : radio.collect(v))
+          log.push_back({p.src, p.dst, p.words[0], p.words[1]});
+    }
+    return log;
+  };
+  RadioNet a(g, s), b(g, s);
+  EXPECT_EQ(trace(a), trace(b));
+  s.seed = 100;
+  RadioNet c(g, s);
+  EXPECT_NE(trace(a), trace(c));
+}
+
+TEST(ReliableNet, FaultFreeExactlyOnceInOrder) {
+  const auto g = graph::make_path(2);
+  ReliableNet netw(g, FaultSchedule{});
+  netw.advance_round();
+  for (std::uint64_t i = 0; i < 5; ++i) netw.send(0, 1, {i});
+  netw.deliver();
+  const auto got = netw.collect(1);
+  ASSERT_EQ(got.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(got[i].words[0], i);
+  // Acks drain in the next cycle; then everything is quiescent.
+  netw.advance_round();
+  netw.deliver();
+  EXPECT_TRUE(netw.collect(0).empty());  // acks are not deliveries
+  EXPECT_TRUE(netw.idle());
+  const auto st = netw.stats();
+  EXPECT_EQ(st.channel.data_sent, 5u);
+  EXPECT_EQ(st.channel.retransmissions, 0u);
+  EXPECT_EQ(st.channel.duplicates_discarded, 0u);
+}
+
+TEST(ReliableNet, RetransmitsThroughHeavyLossUntilDelivered) {
+  const auto g = graph::make_path(2);
+  ReliableNet netw(g, FaultSchedule::uniform_loss(0.5, 11));
+  netw.advance_round();
+  for (std::uint64_t i = 0; i < 20; ++i) netw.send(0, 1, {i});
+  const auto got = drain<ReliableNet, Delivery>(netw, 600);
+  ASSERT_EQ(got[1].size(), 20u);
+  for (std::uint64_t i = 0; i < 20; ++i)
+    EXPECT_EQ(got[1][i].words[0], i) << "delivery order broken at " << i;
+  EXPECT_GT(netw.stats().channel.retransmissions, 0u);
+  EXPECT_EQ(netw.stats().channel.give_ups, 0u);
+  EXPECT_FALSE(netw.peer_timed_out(0, 1));
+}
+
+TEST(ReliableNet, DuplicationIsDiscardedByReceiver) {
+  const auto g = graph::make_path(2);
+  FaultSchedule s;
+  s.link.duplicate = 1.0;  // every copy echoed
+  s.seed = 5;
+  ReliableNet netw(g, s);
+  netw.advance_round();
+  for (std::uint64_t i = 0; i < 8; ++i) netw.send(0, 1, {i});
+  const auto got = drain<ReliableNet, Delivery>(netw, 60);
+  ASSERT_EQ(got[1].size(), 8u);
+  EXPECT_GT(netw.stats().channel.duplicates_discarded, 0u);
+  EXPECT_GT(netw.stats().radio.copies_duplicated, 0u);
+}
+
+TEST(ReliableNet, ReorderedCopiesAreBufferedAndReleasedInOrder) {
+  const auto g = graph::make_path(2);
+  FaultSchedule s;
+  s.link.reorder = 0.8;
+  s.link.max_extra_delay = 4;
+  s.seed = 21;
+  ReliableNet netw(g, s);
+  netw.advance_round();
+  for (std::uint64_t i = 0; i < 16; ++i) netw.send(0, 1, {i});
+  const auto got = drain<ReliableNet, Delivery>(netw, 120);
+  ASSERT_EQ(got[1].size(), 16u);
+  for (std::uint64_t i = 0; i < 16; ++i) EXPECT_EQ(got[1][i].words[0], i);
+  EXPECT_GT(netw.stats().radio.copies_delayed, 0u);
+  EXPECT_GT(netw.stats().channel.out_of_order_buffered, 0u);
+}
+
+TEST(ReliableNet, DeadLinkGivesUpAndReportsPeerTimedOut) {
+  const auto g = graph::make_path(2);
+  FaultSchedule s;
+  LinkFaultModel dead;
+  dead.drop = 1.0;
+  s.link_overrides.emplace_back(0, 1, dead);
+  ReliableConfig cfg;
+  cfg.rto_base = 1;
+  cfg.rto_cap = 2;
+  cfg.max_attempts = 3;
+  ReliableNet netw(g, s, cfg);
+  netw.advance_round();
+  netw.send(0, 1, {7});
+  for (int r = 0; r < 20; ++r) {
+    netw.advance_round();
+    netw.deliver();
+    (void)netw.collect(1);
+  }
+  EXPECT_TRUE(netw.peer_timed_out(0, 1));
+  EXPECT_EQ(netw.stats().channel.give_ups, 1u);
+  // A dead channel never drains, but it must not wedge idle() forever.
+  EXPECT_TRUE(netw.idle());
+  // Further sends on the dead channel are swallowed, not retried.
+  netw.send(0, 1, {8});
+  EXPECT_TRUE(netw.idle());
+}
+
+TEST(ReliableNet, CrashWipesChannelStateAndRecoveryStartsFresh) {
+  const auto g = graph::make_path(2);
+  FaultSchedule s;
+  s.crashes.push_back({1, /*crash_round=*/2, /*recover_round=*/6});
+  ReliableConfig cfg;
+  cfg.rto_base = 1;
+  cfg.rto_cap = 2;
+  cfg.max_attempts = 1;  // give-up lands at round 5, before the recovery
+  ReliableNet netw(g, s, cfg);
+
+  netw.advance_round();  // round 1
+  netw.send(0, 1, {100});
+  netw.deliver();
+  ASSERT_EQ(netw.collect(1).size(), 1u);
+
+  // Rounds 2..5: node 1 crashes at 2; a payload sent into the void is
+  // retransmitted until the channel 0->1 gives up.
+  bool timed_out = false;
+  for (std::size_t r = 2; r <= 5; ++r) {
+    netw.advance_round();
+    if (r == 2) netw.send(0, 1, {101});
+    netw.deliver();
+    (void)netw.collect(1);
+    timed_out = timed_out || netw.peer_timed_out(0, 1);
+  }
+  EXPECT_TRUE(timed_out);
+
+  // Round 6: recovery resets both directions; the pair talks again from
+  // sequence zero (a fresh incarnation) and the timeout flag clears.
+  netw.advance_round();
+  EXPECT_TRUE(netw.recovered_this_round(1));
+  EXPECT_FALSE(netw.peer_timed_out(0, 1));
+  netw.send(0, 1, {102});
+  netw.deliver();
+  const auto got = netw.collect(1);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].words[0], 102u);
+}
+
+TEST(ReliableNet, BroadcastReachesEveryNeighborExactlyOnce) {
+  const auto g = graph::make_complete(5);
+  ReliableNet netw(g, FaultSchedule::uniform_loss(0.4, 17));
+  netw.advance_round();
+  netw.broadcast(2, {55});
+  const auto got = drain<ReliableNet, Delivery>(netw, 600);
+  for (NodeId v = 0; v < 5; ++v) {
+    if (v == 2) {
+      EXPECT_TRUE(got[v].empty());
+    } else {
+      ASSERT_EQ(got[v].size(), 1u) << "neighbor " << v;
+      EXPECT_EQ(got[v][0].src, 2u);
+      EXPECT_EQ(got[v][0].words[0], 55u);
+    }
+  }
+}
+
+TEST(ReliableNet, DeterministicBySeedUnderCompoundFaults) {
+  const auto g = graph::make_grid(3, 3);
+  FaultSchedule s;
+  s.link.drop = 0.25;
+  s.link.duplicate = 0.1;
+  s.link.reorder = 0.15;
+  s.seed = 4242;
+  auto run = [&]() {
+    ReliableNet netw(g, s);
+    std::vector<std::vector<std::uint64_t>> log;
+    netw.advance_round();
+    for (NodeId v = 0; v < g.num_nodes(); ++v) netw.broadcast(v, {v, 1});
+    for (std::size_t r = 0; r < 200 && !netw.idle(); ++r) {
+      netw.advance_round();
+      netw.deliver();
+      for (NodeId v = 0; v < g.num_nodes(); ++v)
+        for (const auto& d : netw.collect(v))
+          log.push_back({v, d.src, d.words[0]});
+    }
+    const auto st = netw.stats();
+    log.push_back({st.radio.copies_dropped, st.channel.retransmissions,
+                   st.channel.duplicates_discarded});
+    return log;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace tc::distsim::net

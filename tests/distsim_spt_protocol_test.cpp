@@ -179,6 +179,42 @@ TEST(SptProtocol, DisconnectedNodesStayInfinite) {
   const auto out = run_spt_protocol(g, 0, g.costs(), SptMode::kBasic);
   EXPECT_FALSE(graph::finite_cost(out.distance[3]));
   EXPECT_TRUE(out.path_of(3).empty());
+  EXPECT_EQ(out.path_status(3), PathStatus::kUnreached);
+  EXPECT_EQ(out.stats.loops_detected, 0u);
+}
+
+TEST(SptProtocol, PathStatusDistinguishesLoopFromUnreached) {
+  // Hand-built outcome: 1 has a valid route, 2<->3 point at each other
+  // (corrupted or adversarial first-hop state), 4 dead-ends into nothing.
+  SptOutcome out;
+  out.distance = {0.0, 1.0, 2.0, 2.0, graph::kInfCost};
+  out.first_hop = {graph::kInvalidNode, 0, 3, 2, graph::kInvalidNode};
+  EXPECT_EQ(out.path_status(1), PathStatus::kOk);
+  EXPECT_EQ(out.path_of(1), (std::vector<NodeId>{1, 0}));
+  EXPECT_EQ(out.path_status(2), PathStatus::kLoop);
+  EXPECT_EQ(out.path_status(3), PathStatus::kLoop);
+  EXPECT_TRUE(out.path_of(2).empty());  // a loop never yields a route
+  EXPECT_EQ(out.path_status(4), PathStatus::kUnreached);
+  // The root has no route *to* itself worth naming.
+  EXPECT_EQ(out.path_status(0), PathStatus::kUnreached);
+}
+
+TEST(SptProtocol, PathStatusSelfLoopAndDeadEndChain) {
+  SptOutcome out;
+  out.distance = {0.0, 5.0, 3.0};
+  out.first_hop = {graph::kInvalidNode, 1, 1};  // 1 names itself
+  EXPECT_EQ(out.path_status(1), PathStatus::kLoop);
+  EXPECT_EQ(out.path_status(2), PathStatus::kLoop);  // chain runs into it
+}
+
+TEST(SptProtocol, HonestConvergedTreeHasNoLoops) {
+  const auto g = graph::make_fig2_graph();
+  const auto out = run_spt_protocol(g, 0, costs_of(g), SptMode::kBasic);
+  ASSERT_TRUE(out.converged);
+  EXPECT_EQ(out.stats.loops_detected, 0u);
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(out.path_status(v), PathStatus::kOk) << "node " << v;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Chaos smoke sweep: drives examples/chaos_run across fault mixes.
+
+Each scenario runs the verified distributed pipeline over N fault seeds
+and requires the converged payments to stay bit-equal to the fault-free
+oracle with zero accusations (chaos_run exits nonzero otherwise). Used by
+the CI chaos job on both the release and sanitizer builds.
+
+Usage: tools/chaos_sweep.py --binary build/examples/chaos_run [--seeds 20]
+Exit status: 0 when every scenario passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+
+# (name, extra chaos_run flags). Drop stays at or below the acceptance
+# ceiling of 0.3; the last scenario adds a from-the-start relay crash,
+# checked against the declared-at-infinity reference pricing.
+SCENARIOS = (
+    ("loss-0.3", ["--drop=0.3", "--dup=0", "--reorder=0"]),
+    ("dup-reorder", ["--drop=0", "--dup=0.3", "--reorder=0.3"]),
+    ("compound", ["--drop=0.25", "--dup=0.1", "--reorder=0.15"]),
+    ("basic-mode", ["--drop=0.3", "--dup=0.1", "--reorder=0.1",
+                    "--mode=basic"]),
+    ("relay-crash", ["--drop=0.2", "--dup=0.1", "--reorder=0.1",
+                     "--crash=4"]),
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True,
+                        help="path to the chaos_run binary")
+    parser.add_argument("--seeds", type=int, default=20,
+                        help="fault seeds per scenario (default 20)")
+    args = parser.parse_args()
+
+    failures = []
+    for name, extra in SCENARIOS:
+        cmd = [args.binary, f"--seeds={args.seeds}", *extra]
+        print(f"--- {name}: {' '.join(cmd)}", flush=True)
+        proc = subprocess.run(cmd)
+        if proc.returncode != 0:
+            failures.append(name)
+    if failures:
+        print(f"chaos_sweep: FAILED scenarios: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print(f"chaos_sweep: all {len(SCENARIOS)} scenarios passed "
+          f"({args.seeds} seeds each)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,12 @@ violation fails the build. Rules:
                by core::PaymentResult): the alias lives one PR for
                out-of-tree migration and only its defining header may say
                its name.
+  net-draw     No stochastic draws (bernoulli/next_*/uniform/shuffle or a
+               util::Rng instance) in src/distsim outside src/distsim/net/:
+               every delivery, loss, and activation draw must flow through
+               the radio substrate's single seeded stream so a chaos run
+               replays bit-for-bit from its FaultSchedule seed. (Seedless
+               hashing like util::mix64 is fine.)
   spath-loop   No allocating spath::dijkstra_* calls inside for/while loops
                under src/core: repeated runs over one graph must go through
                the workspace kernels (dijkstra_*_into / MaskedSptDelta /
@@ -94,6 +100,15 @@ NODISCARD_COST_DECL = re.compile(
     r"(?:\w+::)*Cost\s+"
     r"(?P<name>\w*(?:payment|price|utility|overpayment)\w*)\s*\(",
     re.IGNORECASE,
+)
+
+# Stochastic draws banned in src/distsim outside src/distsim/net/: the
+# protocol layers must not roll their own delivery/loss/activation dice.
+# util::mix64 does not match (it is a pure hash, not a stream draw).
+NET_DRAW = re.compile(
+    r"\b(?:bernoulli|next_double|next_u64|next_below|uniform|uniform_int"
+    r"|normal|shuffle)\s*\("
+    r"|\butil::Rng\b"
 )
 
 # Allocating Dijkstra entry points; the `_into` workspace kernels do not
@@ -235,6 +250,20 @@ class Linter:
                     self.fail(path, lineno, "deprecated",
                               f"retired shim {name}; use {replacement}")
 
+    def check_net_draw(self, path: pathlib.Path, code: str) -> None:
+        rel = str(path.relative_to(self.root))
+        if not rel.startswith("src/distsim/"):
+            return
+        if rel.startswith("src/distsim/net/"):
+            return  # the one sanctioned fault-draw site
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if NET_DRAW.search(line):
+                self.fail(path, lineno, "net-draw",
+                          "stochastic draw outside src/distsim/net/; all "
+                          "delivery/loss/activation randomness must flow "
+                          "through net::RadioNet's seeded FaultSchedule "
+                          "stream")
+
     def check_spath_loop(self, path: pathlib.Path, code: str) -> None:
         rel = str(path.relative_to(self.root))
         if not rel.startswith("src/core/"):
@@ -315,6 +344,7 @@ class Linter:
             self.check_pragma_once(path, code)
             self.check_nodiscard(path, code)
             self.check_deprecated(path, code)
+            self.check_net_draw(path, code)
             self.check_spath_loop(path, code)
         for v in self.violations:
             print(v)
@@ -336,7 +366,7 @@ def main() -> int:
     args = parser.parse_args()
     if args.list_rules:
         print("rng new-delete float pragma-once nodiscard deprecated "
-              "spath-loop")
+              "net-draw spath-loop")
         return 0
     return Linter(args.root.resolve()).run()
 
