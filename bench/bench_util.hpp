@@ -1,19 +1,24 @@
 // Shared helpers for the figure-reproduction benchmark binaries.
 //
 // Every binary prints (a) the paper's expected qualitative shape, (b) an
-// aligned table of the measured series, and (c) optionally a CSV mirror
-// via --csv. Binaries run with no arguments at paper-scale defaults;
-// --instances and --seed let CI shrink or perturb the sweep.
+// aligned table of the measured series, and (c) optionally CSV/JSON
+// mirrors via --csv/--json. Binaries run with no arguments at
+// paper-scale defaults; --instances and --seed let CI shrink or perturb
+// the sweep. The six Figure 3 binaries are thin declarative shells over
+// run_fig3() below, so they share one flag surface and report emitter.
 #pragma once
 
 #include <charconv>
 #include <cmath>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "sim/experiment.hpp"
 #include "util/csv.hpp"
+#include "util/flags.hpp"
 #include "util/table.hpp"
 
 namespace tc::bench {
@@ -107,5 +112,108 @@ class Report {
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Which of the three Figure 3 report shapes a binary produces.
+enum class Fig3Kind {
+  kIorTor,       ///< 3(a): IOR vs TOR with bootstrap confidence intervals
+  kOverpayment,  ///< 3(b,c,e,f): IOR / TOR / worst ratios vs n
+  kHopDistance,  ///< 3(d): pooled ratio buckets vs hop distance
+};
+
+/// Declarative description of one Figure 3 binary. The six mains differ
+/// only in topology model, exponent, sweep kind and prose; run_fig3 owns
+/// the shared flag surface (--instances --seed --kappa [--n] --csv
+/// --json), the sweep loop, and the table/CSV/JSON emission.
+struct Fig3Spec {
+  std::string flags_title;
+  /// Banner headline; the literal token "{kappa}" expands to the
+  /// effective --kappa value so overrides show up in the output.
+  std::string banner_title;
+  std::string claim;
+  Fig3Kind kind = Fig3Kind::kOverpayment;
+  sim::TopologyModel model = sim::TopologyModel::kUdgLink;
+  double kappa = 2.0;
+  int seed = 0;
+  int n = 400;  ///< nodes per instance (hop-distance sweep only)
+};
+
+inline std::string expand_kappa(std::string text, double kappa) {
+  const std::string token = "{kappa}";
+  const auto pos = text.find(token);
+  if (pos != std::string::npos) {
+    text.replace(pos, token.size(), util::fmt(kappa, 1));
+  }
+  return text;
+}
+
+/// Shared main() body for the six Figure 3 reproduction binaries.
+inline int run_fig3(int argc, char** argv, const Fig3Spec& spec) {
+  util::Flags flags(spec.flags_title);
+  flags.add_int("instances", 100, "random instances per data point")
+      .add_int("seed", spec.seed, "base RNG seed")
+      .add_double("kappa", spec.kappa, "path-loss exponent")
+      .add_string("csv", "", "optional CSV output path")
+      .add_string("json", "", "optional JSON output path");
+  if (spec.kind == Fig3Kind::kHopDistance) {
+    flags.add_int("n", spec.n, "nodes per instance");
+  }
+  if (!flags.parse(argc, argv)) return 1;
+  const double kappa = flags.get_double("kappa");
+
+  banner(expand_kappa(spec.banner_title, kappa), spec.claim);
+
+  sim::OverpaymentExperiment config;
+  config.model = spec.model;
+  config.kappa = kappa;
+  config.instances = static_cast<std::size_t>(flags.get_int("instances"));
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  Report report = [&] {
+    switch (spec.kind) {
+      case Fig3Kind::kIorTor:
+        return Report({"n", "IOR", "IOR_95ci", "TOR", "TOR_95ci", "|IOR-TOR|",
+                       "instances"});
+      case Fig3Kind::kHopDistance:
+        return Report({"hops", "avg_ratio", "max_ratio", "sources"});
+      case Fig3Kind::kOverpayment:
+      default:
+        return Report(
+            {"n", "IOR", "TOR", "worst(mean)", "worst(max)", "instances"});
+    }
+  }();
+
+  if (spec.kind == Fig3Kind::kHopDistance) {
+    config.n = static_cast<std::size_t>(flags.get_int("n"));
+    const auto result = sim::run_hop_distance_experiment(config);
+    for (const auto& bucket : result.buckets) {
+      report.add_row({std::to_string(bucket.hops), util::fmt(bucket.mean_ratio),
+                      util::fmt(bucket.max_ratio),
+                      std::to_string(bucket.count)});
+    }
+  } else {
+    for (std::size_t n = 100; n <= 500; n += 50) {
+      config.n = n;
+      const auto agg = sim::run_overpayment_experiment(config);
+      if (spec.kind == Fig3Kind::kIorTor) {
+        report.add_row({std::to_string(n), util::fmt(agg.ior.mean),
+                        "+-" + util::fmt(agg.ior_ci.half_width()),
+                        util::fmt(agg.tor.mean),
+                        "+-" + util::fmt(agg.tor_ci.half_width()),
+                        util::fmt(std::abs(agg.ior.mean - agg.tor.mean)),
+                        std::to_string(agg.ior.count)});
+      } else {
+        report.add_row({std::to_string(n), util::fmt(agg.ior.mean),
+                        util::fmt(agg.tor.mean), util::fmt(agg.worst.mean),
+                        util::fmt(agg.worst_overall),
+                        std::to_string(agg.ior.count)});
+      }
+    }
+  }
+
+  report.print();
+  report.write_csv(flags.get_string("csv"));
+  report.write_json(flags.get_string("json"));
+  return 0;
+}
 
 }  // namespace tc::bench

@@ -4,41 +4,16 @@
 // link cost |v_i v_j|^kappa, 100 random instances per point. The paper's
 // observation: "these two metrics are almost the same and both of them are
 // stable when the number of nodes increases", taking values around 1.5.
-#include <cstdint>
-
 #include "bench_util.hpp"
-#include "sim/experiment.hpp"
-#include "util/flags.hpp"
 
 int main(int argc, char** argv) {
-  using namespace tc;
-  util::Flags flags("Figure 3(a): IOR vs TOR, UDG, kappa=2");
-  flags.add_int("instances", 100, "random instances per data point")
-      .add_int("seed", 0x3a, "base RNG seed")
-      .add_string("csv", "", "optional CSV output path");
-  if (!flags.parse(argc, argv)) return 1;
-
-  bench::banner("Figure 3(a): IOR vs TOR (UDG, kappa = 2)",
-                "IOR ~= TOR, both stable around ~1.5 as n grows");
-
-  bench::Report report(
-      {"n", "IOR", "IOR_95ci", "TOR", "TOR_95ci", "|IOR-TOR|", "instances"});
-  for (std::size_t n = 100; n <= 500; n += 50) {
-    sim::OverpaymentExperiment config;
-    config.model = sim::TopologyModel::kUdgLink;
-    config.n = n;
-    config.kappa = 2.0;
-    config.instances = static_cast<std::size_t>(flags.get_int("instances"));
-    config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-    const auto agg = sim::run_overpayment_experiment(config);
-    report.add_row({std::to_string(n), util::fmt(agg.ior.mean),
-                    "+-" + util::fmt(agg.ior_ci.half_width()),
-                    util::fmt(agg.tor.mean),
-                    "+-" + util::fmt(agg.tor_ci.half_width()),
-                    util::fmt(std::abs(agg.ior.mean - agg.tor.mean)),
-                    std::to_string(agg.ior.count)});
-  }
-  report.print();
-  report.write_csv(flags.get_string("csv"));
-  return 0;
+  tc::bench::Fig3Spec spec;
+  spec.flags_title = "Figure 3(a): IOR vs TOR, UDG, kappa=2";
+  spec.banner_title = "Figure 3(a): IOR vs TOR (UDG, kappa = {kappa})";
+  spec.claim = "IOR ~= TOR, both stable around ~1.5 as n grows";
+  spec.kind = tc::bench::Fig3Kind::kIorTor;
+  spec.model = tc::sim::TopologyModel::kUdgLink;
+  spec.kappa = 2.0;
+  spec.seed = 0x3a;
+  return tc::bench::run_fig3(argc, argv, spec);
 }

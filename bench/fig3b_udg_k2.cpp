@@ -3,42 +3,16 @@
 // Series: IOR, TOR and the worst (maximum) per-node overpayment ratio as
 // n sweeps 100..500. Paper shape: IOR/TOR flat around 1.5; the worst ratio
 // is noisy and substantially higher.
-#include <cstdint>
-
 #include "bench_util.hpp"
-#include "sim/experiment.hpp"
-#include "util/flags.hpp"
 
 int main(int argc, char** argv) {
-  using namespace tc;
-  util::Flags flags("Figure 3(b): overpayment ratios, UDG, kappa=2");
-  flags.add_int("instances", 100, "random instances per data point")
-      .add_int("seed", 0x3b, "base RNG seed")
-      .add_double("kappa", 2.0, "path-loss exponent")
-      .add_string("csv", "", "optional CSV output path");
-  if (!flags.parse(argc, argv)) return 1;
-  const double kappa = flags.get_double("kappa");
-
-  bench::banner("Figure 3(b): overpayment ratios (UDG, kappa = " +
-                    util::fmt(kappa, 1) + ")",
-                "IOR/TOR flat ~1.5; mean worst-ratio noisy, several x higher");
-
-  bench::Report report(
-      {"n", "IOR", "TOR", "worst(mean)", "worst(max)", "instances"});
-  for (std::size_t n = 100; n <= 500; n += 50) {
-    sim::OverpaymentExperiment config;
-    config.model = sim::TopologyModel::kUdgLink;
-    config.n = n;
-    config.kappa = kappa;
-    config.instances = static_cast<std::size_t>(flags.get_int("instances"));
-    config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-    const auto agg = sim::run_overpayment_experiment(config);
-    report.add_row({std::to_string(n), util::fmt(agg.ior.mean),
-                    util::fmt(agg.tor.mean), util::fmt(agg.worst.mean),
-                    util::fmt(agg.worst_overall),
-                    std::to_string(agg.ior.count)});
-  }
-  report.print();
-  report.write_csv(flags.get_string("csv"));
-  return 0;
+  tc::bench::Fig3Spec spec;
+  spec.flags_title = "Figure 3(b): overpayment ratios, UDG, kappa=2";
+  spec.banner_title = "Figure 3(b): overpayment ratios (UDG, kappa = {kappa})";
+  spec.claim = "IOR/TOR flat ~1.5; mean worst-ratio noisy, several x higher";
+  spec.kind = tc::bench::Fig3Kind::kOverpayment;
+  spec.model = tc::sim::TopologyModel::kUdgLink;
+  spec.kappa = 2.0;
+  spec.seed = 0x3b;
+  return tc::bench::run_fig3(argc, argv, spec);
 }

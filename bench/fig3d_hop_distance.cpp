@@ -5,40 +5,18 @@
 // source. The maximum overpayment ratio decreases when the hop distance
 // increases" — nearby nodes can hit a much more expensive second-best
 // path, while long routes smooth the difference out.
-#include <cstdint>
-
 #include "bench_util.hpp"
-#include "sim/experiment.hpp"
-#include "util/flags.hpp"
 
 int main(int argc, char** argv) {
-  using namespace tc;
-  util::Flags flags("Figure 3(d): overpayment vs hop distance, UDG, kappa=2");
-  flags.add_int("instances", 100, "random instances pooled")
-      .add_int("n", 400, "nodes per instance")
-      .add_int("seed", 0x3d, "base RNG seed")
-      .add_string("csv", "", "optional CSV output path");
-  if (!flags.parse(argc, argv)) return 1;
-
-  bench::banner(
-      "Figure 3(d): overpayment ratio vs hop distance (UDG, kappa = 2)",
-      "mean ratio flat in hop distance; max ratio decreasing with hops");
-
-  sim::OverpaymentExperiment config;
-  config.model = sim::TopologyModel::kUdgLink;
-  config.n = static_cast<std::size_t>(flags.get_int("n"));
-  config.kappa = 2.0;
-  config.instances = static_cast<std::size_t>(flags.get_int("instances"));
-  config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-  const auto result = sim::run_hop_distance_experiment(config);
-
-  bench::Report report({"hops", "avg_ratio", "max_ratio", "sources"});
-  for (const auto& bucket : result.buckets) {
-    report.add_row({std::to_string(bucket.hops), util::fmt(bucket.mean_ratio),
-                    util::fmt(bucket.max_ratio),
-                    std::to_string(bucket.count)});
-  }
-  report.print();
-  report.write_csv(flags.get_string("csv"));
-  return 0;
+  tc::bench::Fig3Spec spec;
+  spec.flags_title = "Figure 3(d): overpayment vs hop distance, UDG, kappa=2";
+  spec.banner_title =
+      "Figure 3(d): overpayment ratio vs hop distance (UDG, kappa = {kappa})";
+  spec.claim = "mean ratio flat in hop distance; max ratio decreasing";
+  spec.kind = tc::bench::Fig3Kind::kHopDistance;
+  spec.model = tc::sim::TopologyModel::kUdgLink;
+  spec.kappa = 2.0;
+  spec.seed = 0x3d;
+  spec.n = 400;
+  return tc::bench::run_fig3(argc, argv, spec);
 }

@@ -6,42 +6,17 @@
 // [10, 50] ("the actual power cost in one second of a node to send data at
 // 2Mbps rate"). Directed link-weighted VCG payments. Shape: same flat
 // IOR/TOR band as the UDG plots.
-#include <cstdint>
-
 #include "bench_util.hpp"
-#include "sim/experiment.hpp"
-#include "util/flags.hpp"
 
 int main(int argc, char** argv) {
-  using namespace tc;
-  util::Flags flags("Figure 3(e): overpayment, heterogeneous ranges, kappa=2");
-  flags.add_int("instances", 100, "random instances per data point")
-      .add_int("seed", 0x3e, "base RNG seed")
-      .add_double("kappa", 2.0, "path-loss exponent")
-      .add_string("csv", "", "optional CSV output path");
-  if (!flags.parse(argc, argv)) return 1;
-  const double kappa = flags.get_double("kappa");
-
-  bench::banner("Figure 3(e): overpayment ratios (random graph, kappa = " +
-                    util::fmt(kappa, 1) + ")",
-                "IOR ~= TOR, flat in n; worst ratio higher and noisy");
-
-  bench::Report report(
-      {"n", "IOR", "TOR", "worst(mean)", "worst(max)", "instances"});
-  for (std::size_t n = 100; n <= 500; n += 50) {
-    sim::OverpaymentExperiment config;
-    config.model = sim::TopologyModel::kHeteroLink;
-    config.n = n;
-    config.kappa = kappa;
-    config.instances = static_cast<std::size_t>(flags.get_int("instances"));
-    config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-    const auto agg = sim::run_overpayment_experiment(config);
-    report.add_row({std::to_string(n), util::fmt(agg.ior.mean),
-                    util::fmt(agg.tor.mean), util::fmt(agg.worst.mean),
-                    util::fmt(agg.worst_overall),
-                    std::to_string(agg.ior.count)});
-  }
-  report.print();
-  report.write_csv(flags.get_string("csv"));
-  return 0;
+  tc::bench::Fig3Spec spec;
+  spec.flags_title = "Figure 3(e): overpayment, heterogeneous ranges, kappa=2";
+  spec.banner_title =
+      "Figure 3(e): overpayment ratios (random graph, kappa = {kappa})";
+  spec.claim = "IOR ~= TOR, flat in n; worst ratio higher and noisy";
+  spec.kind = tc::bench::Fig3Kind::kOverpayment;
+  spec.model = tc::sim::TopologyModel::kHeteroLink;
+  spec.kappa = 2.0;
+  spec.seed = 0x3e;
+  return tc::bench::run_fig3(argc, argv, spec);
 }

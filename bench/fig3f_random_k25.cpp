@@ -1,40 +1,17 @@
 // Figure 3(f): overpayment ratios on heterogeneous-range random graphs,
 // kappa = 2.5. Same sweep as Figure 3(e) with the steeper exponent.
-#include <cstdint>
-
 #include "bench_util.hpp"
-#include "sim/experiment.hpp"
-#include "util/flags.hpp"
 
 int main(int argc, char** argv) {
-  using namespace tc;
-  util::Flags flags(
-      "Figure 3(f): overpayment, heterogeneous ranges, kappa=2.5");
-  flags.add_int("instances", 100, "random instances per data point")
-      .add_int("seed", 0x3f, "base RNG seed")
-      .add_string("csv", "", "optional CSV output path");
-  if (!flags.parse(argc, argv)) return 1;
-
-  bench::banner(
-      "Figure 3(f): overpayment ratios (random graph, kappa = 2.5)",
-      "flat IOR/TOR as in 3(e); kappa=2.5 shifts ratios only mildly");
-
-  bench::Report report(
-      {"n", "IOR", "TOR", "worst(mean)", "worst(max)", "instances"});
-  for (std::size_t n = 100; n <= 500; n += 50) {
-    sim::OverpaymentExperiment config;
-    config.model = sim::TopologyModel::kHeteroLink;
-    config.n = n;
-    config.kappa = 2.5;
-    config.instances = static_cast<std::size_t>(flags.get_int("instances"));
-    config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-    const auto agg = sim::run_overpayment_experiment(config);
-    report.add_row({std::to_string(n), util::fmt(agg.ior.mean),
-                    util::fmt(agg.tor.mean), util::fmt(agg.worst.mean),
-                    util::fmt(agg.worst_overall),
-                    std::to_string(agg.ior.count)});
-  }
-  report.print();
-  report.write_csv(flags.get_string("csv"));
-  return 0;
+  tc::bench::Fig3Spec spec;
+  spec.flags_title =
+      "Figure 3(f): overpayment, heterogeneous ranges, kappa=2.5";
+  spec.banner_title =
+      "Figure 3(f): overpayment ratios (random graph, kappa = {kappa})";
+  spec.claim = "flat IOR/TOR as in 3(e); kappa=2.5 shifts ratios only mildly";
+  spec.kind = tc::bench::Fig3Kind::kOverpayment;
+  spec.model = tc::sim::TopologyModel::kHeteroLink;
+  spec.kappa = 2.5;
+  spec.seed = 0x3f;
+  return tc::bench::run_fig3(argc, argv, spec);
 }

@@ -10,13 +10,15 @@
 // measures on an 8-core runner; thread count follows TRUTHCAST_THREADS.
 //
 // Run with --iters=1 for a CI smoke (also exercised under tsan).
+// --json/--csv mirror the table (BENCH_quote_engine.json is the committed
+// reference for tools/bench_compare.py).
 #include <chrono>
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "core/service.hpp"
 #include "graph/generators.hpp"
 #include "svc/quote_engine.hpp"
-#include "util/flags.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -37,7 +39,9 @@ int main(int argc, char** argv) {
   flags.add_int("n", 1024, "number of nodes in the UDG deployment")
       .add_int("iters", 5, "measured quote_all sweeps per engine")
       .add_int("redeclare", 4, "random re-declarations before each sweep")
-      .add_int("seed", 7, "topology / declaration seed");
+      .add_int("seed", 7, "topology / declaration seed")
+      .add_string("csv", "", "optional CSV output path")
+      .add_string("json", "", "optional JSON output path");
   if (!flags.parse(argc, argv)) return 1;
 
   const auto n = static_cast<std::size_t>(flags.get_int("n"));
@@ -53,6 +57,8 @@ int main(int argc, char** argv) {
   params.range_m = 300.0;
   const auto g = graph::make_unit_disk_node(params, 1.0, 10.0, seed);
 
+  bench::banner("quote_all sweep throughput under re-declaration",
+                "sharded + incremental engine several x the legacy service");
   std::printf("n=%zu  iters=%d  redeclare=%d  threads=%zu\n", n, iters,
               redeclare, util::default_pool().worker_count());
 
@@ -94,12 +100,20 @@ int main(int argc, char** argv) {
   const double engine_s = seconds_since(engine_start);
 
   const double sweeps = static_cast<double>(iters);
-  std::printf("legacy UnicastService : %8.3f s  (%.3f s/sweep)\n", legacy_s,
-              legacy_s / sweeps);
-  std::printf("svc::QuoteEngine      : %8.3f s  (%.3f s/sweep)\n", engine_s,
-              engine_s / sweeps);
-  std::printf("speedup               : %8.2fx\n",
-              engine_s > 0.0 ? legacy_s / engine_s : 0.0);
+  bench::Report report(
+      {"engine", "n", "iters", "redeclare", "total_s", "s_per_sweep",
+       "speedup"});
+  report.add_row({"legacy-unicast-service", std::to_string(n),
+                  std::to_string(iters), std::to_string(redeclare),
+                  util::fmt(legacy_s, 3), util::fmt(legacy_s / sweeps, 4),
+                  util::fmt(1.0, 2)});
+  report.add_row({"quote-engine", std::to_string(n), std::to_string(iters),
+                  std::to_string(redeclare), util::fmt(engine_s, 3),
+                  util::fmt(engine_s / sweeps, 4),
+                  util::fmt(engine_s > 0.0 ? legacy_s / engine_s : 0.0, 2)});
+  report.print();
+  report.write_csv(flags.get_string("csv"));
+  report.write_json(flags.get_string("json"));
   std::printf("\n%s", engine.metrics().to_string().c_str());
   return 0;
 }

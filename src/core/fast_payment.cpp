@@ -62,38 +62,24 @@ LevelLabels compute_levels(const graph::NodeGraph& g, NodeId source,
   return out;
 }
 
-PaymentResult vcg_payments_fast(const graph::NodeGraph& g, NodeId source,
-                                NodeId target) {
-  return vcg_payments_fast(g, source, target, nullptr, nullptr);
-}
+namespace {
 
-PaymentResult vcg_payments_fast(const graph::NodeGraph& g, NodeId source,
-                                NodeId target,
-                                spath::SptResult* spt_source_out,
-                                spath::SptResult* spt_target_out) {
-  TC_CHECK_MSG(source != target, "source and target must differ");
+/// Steps 2-5 of Algorithm 1 given the two step-1 trees; requires
+/// sptS.reached(target). Shared by the from-scratch overloads and the
+/// SPT-accepting one.
+PaymentResult fast_payments_from_spts(const graph::NodeGraph& g, NodeId source,
+                                      NodeId target,
+                                      const spath::SptResult& sptS,
+                                      const spath::SptResult& sptT) {
   const std::size_t n = g.num_nodes();
 
   PaymentResult result;
   result.payments.assign(n, 0.0);
 
-  // --- Step 1: SPTs and the LCP. -------------------------------------
-  spath::SptResult sptS = spath::dijkstra_node(g, source);
-  if (!sptS.reached(target)) {
-    if (spt_source_out != nullptr) *spt_source_out = std::move(sptS);
-    return result;
-  }
-  spath::SptResult sptT = spath::dijkstra_node(g, target);
-  const auto export_spts = [&] {
-    if (spt_source_out != nullptr) *spt_source_out = std::move(sptS);
-    if (spt_target_out != nullptr) *spt_target_out = std::move(sptT);
-  };
-
   result.path = sptS.path_to(target);
   result.path_cost = sptS.dist[target];
   const std::size_t q = result.path.size() - 1;  // path r_0..r_q
   if (q < 2) {                                   // no relay nodes
-    export_spts();
     return result;
   }
 
@@ -252,8 +238,53 @@ PaymentResult vcg_payments_fast(const graph::NodeGraph& g, NodeId source,
   }
 
   TC_DCHECK(internal::audit_ok(g, source, target, result));
-  export_spts();
   return result;
+}
+
+}  // namespace
+
+PaymentResult vcg_payments_fast(const graph::NodeGraph& g, NodeId source,
+                                NodeId target) {
+  return vcg_payments_fast(g, source, target, nullptr, nullptr);
+}
+
+PaymentResult vcg_payments_fast(const graph::NodeGraph& g, NodeId source,
+                                NodeId target,
+                                spath::SptResult* spt_source_out,
+                                spath::SptResult* spt_target_out) {
+  TC_CHECK_MSG(source != target, "source and target must differ");
+
+  // --- Step 1: SPTs and the LCP. -------------------------------------
+  spath::SptResult sptS = spath::dijkstra_node(g, source);
+  if (!sptS.reached(target)) {
+    PaymentResult result;
+    result.payments.assign(g.num_nodes(), 0.0);
+    if (spt_source_out != nullptr) *spt_source_out = std::move(sptS);
+    return result;
+  }
+  spath::SptResult sptT = spath::dijkstra_node(g, target);
+  PaymentResult result =
+      fast_payments_from_spts(g, source, target, sptS, sptT);
+  if (spt_source_out != nullptr) *spt_source_out = std::move(sptS);
+  if (spt_target_out != nullptr) *spt_target_out = std::move(sptT);
+  return result;
+}
+
+PaymentResult vcg_payments_fast(const graph::NodeGraph& g, NodeId source,
+                                NodeId target,
+                                const spath::SptResult& spt_source,
+                                const spath::SptResult& spt_target) {
+  TC_CHECK_MSG(source != target, "source and target must differ");
+  TC_DCHECK(spt_source.source == source && spt_source.dist.size() ==
+                                               g.num_nodes());
+  if (!spt_source.reached(target)) {
+    PaymentResult result;
+    result.payments.assign(g.num_nodes(), 0.0);
+    return result;
+  }
+  TC_DCHECK(spt_target.source == target && spt_target.dist.size() ==
+                                               g.num_nodes());
+  return fast_payments_from_spts(g, source, target, spt_source, spt_target);
 }
 
 }  // namespace tc::core

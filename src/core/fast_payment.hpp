@@ -51,6 +51,17 @@ namespace tc::core {
                                               spath::SptResult* spt_source_out,
                                               spath::SptResult* spt_target_out);
 
+/// SPT-accepting overload: skips step 1 entirely by pricing from trees
+/// the caller already holds — e.g. warm SPTs incrementally repaired by
+/// spath::CostDelta after a re-declaration. `spt_source`/`spt_target`
+/// must equal what dijkstra_node(g, source) / dijkstra_node(g, target)
+/// would produce on `g` as passed (same dists and parents); this is the
+/// caller's contract and is TC_DCHECK-audited via the payment invariants
+/// in debug builds. Identical output to the from-scratch overloads.
+[[nodiscard]] PaymentResult vcg_payments_fast(
+    const graph::NodeGraph& g, graph::NodeId source, graph::NodeId target,
+    const spath::SptResult& spt_source, const spath::SptResult& spt_target);
+
 /// Internal structure exposed for testing: the level labelling of step 2.
 /// levels[v] = index of the last LCP node on v's SPT(s) tree path; LCP
 /// node r_l gets level l. Nodes unreachable from the source get

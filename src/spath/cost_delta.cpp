@@ -1,0 +1,282 @@
+#include "spath/cost_delta.hpp"
+
+#include <utility>
+
+namespace tc::spath {
+
+using graph::Cost;
+using graph::kInfCost;
+using graph::kInvalidNode;
+using graph::NodeId;
+
+void CostDelta::solve_node(const graph::NodeGraph& g, NodeId source,
+                           DijkstraWorkspace& ws) {
+  dijkstra_node_into(ws, g, source);
+  spt_ = ws.to_result();
+  is_link_ = false;
+  children_dirty_ = true;
+  last_affected_ = 0;
+}
+
+void CostDelta::solve_link(const graph::LinkGraph& g, NodeId source,
+                           DijkstraWorkspace& ws) {
+  dijkstra_link_into(ws, g, source);
+  spt_ = ws.to_result();
+  is_link_ = true;
+  children_dirty_ = true;
+  last_affected_ = 0;
+  // Mirror the in-arcs once; apply_arc_cost keeps the mirrored costs in
+  // sync, so increases never rebuild g.reverse() (which every arc
+  // mutation invalidates).
+  const std::size_t n = g.num_nodes();
+  in_offsets_.assign(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const graph::Arc& a : g.out_arcs(u)) ++in_offsets_[a.to + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) in_offsets_[i] += in_offsets_[i - 1];
+  in_arcs_.resize(in_offsets_[n]);
+  std::vector<std::size_t> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const graph::Arc& a : g.out_arcs(u)) {
+      in_arcs_[cursor[a.to]++] = {u, a.cost};
+    }
+  }
+}
+
+void CostDelta::adopt_node(SptResult spt) {
+  spt_ = std::move(spt);
+  is_link_ = false;
+  children_dirty_ = true;
+  last_affected_ = 0;
+}
+
+void CostDelta::ensure_children() {
+  if (children_dirty_) {
+    children_.build(spt_);
+    children_dirty_ = false;
+  }
+}
+
+void CostDelta::cut_members(DijkstraWorkspace& ws) {
+  ws.member_list_.clear();
+  while (!ws.stack_.empty()) {
+    const NodeId x = ws.stack_.back();
+    ws.stack_.pop_back();
+    if (ws.member_[x] == ws.epoch_) continue;
+    ws.member_[x] = ws.epoch_;
+    ws.member_list_.push_back(x);
+    for (NodeId c : children_.of(x)) ws.stack_.push_back(c);
+    spt_.dist[x] = kInfCost;
+    spt_.parent[x] = kInvalidNode;
+  }
+}
+
+void CostDelta::apply_node_cost(const graph::NodeGraph& g, NodeId v,
+                                Cost c_old, DijkstraWorkspace& ws) {
+  TC_DCHECK(solved() && !is_link_);
+  TC_DCHECK(v < spt_.dist.size());
+  const Cost c_new = g.node_cost(v);
+  last_affected_ = 0;
+  // The source's cost never enters a relaxation from this root, and an
+  // unreached node's cost sits on no usable path (reachability is
+  // topological); both match a fresh solve with nothing to do.
+  if (c_new == c_old || v == spt_.source || !spt_.reached(v)) return;
+  if (c_new > c_old) {
+    increase_node(g, v, ws);
+  } else {
+    decrease_node(g, v, ws);
+  }
+}
+
+void CostDelta::increase_node(const graph::NodeGraph& g, NodeId v,
+                              DijkstraWorkspace& ws) {
+  ensure_children();
+  const std::size_t n = spt_.dist.size();
+  ws.begin(n, spt_.source);
+  const std::uint32_t e = ws.epoch_;
+  // Only paths routing through v as interior can move: exactly v's strict
+  // tree descendants (v's own distance excludes its cost). Cut them and
+  // re-solve the cut region from its crossing arcs.
+  ws.stack_.clear();
+  for (NodeId c : children_.of(v)) ws.stack_.push_back(c);
+  cut_members(ws);
+  if (ws.member_list_.empty()) return;
+  const NodeId src = spt_.source;
+  BinaryHeap& heap = ws.bheap_;
+  heap.reset(n);
+  // Seed each member from its non-member neighbors, whose distances are
+  // final — including v itself, whose relaxation now carries the new cost.
+  for (NodeId w : ws.member_list_) {
+    for (NodeId u : g.neighbors(w)) {
+      if (ws.member_[u] == e) continue;
+      const Cost du = spt_.dist[u];
+      if (!graph::finite_cost(du)) continue;
+      const Cost through = du + (u == src ? 0.0 : g.node_cost(u));
+      if (through < spt_.dist[w]) {
+        spt_.dist[w] = through;
+        spt_.parent[w] = u;
+        heap.push_or_decrease(w, through);
+      }
+    }
+  }
+  while (!heap.empty()) {
+    const auto [du, u] = heap.pop_min();
+    if (ws.settled_[u] == e) continue;
+    ws.settled_[u] = e;
+    const Cost through = du + g.node_cost(u);  // a member is never src
+    for (NodeId x : g.neighbors(u)) {
+      if (ws.member_[x] != e || ws.settled_[x] == e) continue;
+      if (through < spt_.dist[x]) {
+        spt_.dist[x] = through;
+        spt_.parent[x] = u;
+        heap.push_or_decrease(x, through);
+      }
+    }
+  }
+  children_dirty_ = true;
+  last_affected_ = ws.member_list_.size();
+}
+
+void CostDelta::decrease_node(const graph::NodeGraph& g, NodeId v,
+                              DijkstraWorkspace& ws) {
+  const std::size_t n = spt_.dist.size();
+  ws.begin(n, spt_.source);
+  const std::uint32_t e = ws.epoch_;
+  BinaryHeap& heap = ws.bheap_;
+  heap.reset(n);
+  // Every new optimum routes through v at its cheaper cost; v's own
+  // distance is cost-independent, so its out-relaxations are the only
+  // seeds. Non-improving relaxations never push: O(improved region).
+  const Cost through_v = spt_.dist[v] + g.node_cost(v);  // v != src here
+  for (NodeId w : g.neighbors(v)) {
+    if (through_v < spt_.dist[w]) {
+      spt_.dist[w] = through_v;
+      spt_.parent[w] = v;
+      heap.push_or_decrease(w, through_v);
+    }
+  }
+  std::size_t improved = 0;
+  while (!heap.empty()) {
+    const auto [du, u] = heap.pop_min();
+    if (ws.settled_[u] == e) continue;
+    ws.settled_[u] = e;
+    ++improved;
+    const Cost through = du + g.node_cost(u);  // an improved node is never src
+    for (NodeId x : g.neighbors(u)) {
+      if (ws.settled_[x] == e) continue;
+      if (through < spt_.dist[x]) {
+        spt_.dist[x] = through;
+        spt_.parent[x] = u;
+        heap.push_or_decrease(x, through);
+      }
+    }
+  }
+  if (improved > 0) children_dirty_ = true;
+  last_affected_ = improved;
+}
+
+void CostDelta::apply_arc_cost(const graph::LinkGraph& g, NodeId u, NodeId w,
+                               Cost c_old, DijkstraWorkspace& ws) {
+  TC_DCHECK(solved() && is_link_);
+  TC_DCHECK(u < spt_.dist.size() && w < spt_.dist.size());
+  const Cost c_new = g.arc_cost(u, w);
+  last_affected_ = 0;
+  // Keep the in-arc mirror exact even for no-op re-declarations.
+  for (std::size_t i = in_offsets_[w]; i < in_offsets_[w + 1]; ++i) {
+    if (in_arcs_[i].to == u) {
+      in_arcs_[i].cost = c_new;
+      break;
+    }
+  }
+  if (c_new == c_old) return;
+  if (c_new > c_old) {
+    // A non-tree arc's candidate dist[u] + cost was already non-improving
+    // and only got worse; only the tree arc's subtree can move.
+    if (spt_.parent[w] == u) increase_arc(g, w, ws);
+  } else {
+    decrease_arc(g, u, w, c_new, ws);
+  }
+}
+
+void CostDelta::increase_arc(const graph::LinkGraph& g, NodeId w,
+                             DijkstraWorkspace& ws) {
+  ensure_children();
+  const std::size_t n = spt_.dist.size();
+  ws.begin(n, spt_.source);
+  const std::uint32_t e = ws.epoch_;
+  // Unlike the node case the changed arc is a tree arc, so w itself is
+  // cut along with its descendants.
+  ws.stack_.clear();
+  ws.stack_.push_back(w);
+  cut_members(ws);
+  BinaryHeap& heap = ws.bheap_;
+  heap.reset(n);
+  for (NodeId x : ws.member_list_) {
+    for (std::size_t i = in_offsets_[x]; i < in_offsets_[x + 1]; ++i) {
+      const graph::Arc& a = in_arcs_[i];  // run-graph arc a.to -> x
+      if (ws.member_[a.to] == e) continue;
+      const Cost dp = spt_.dist[a.to];
+      if (!graph::finite_cost(dp) || !graph::finite_cost(a.cost)) continue;
+      const Cost cand = dp + a.cost;
+      if (cand < spt_.dist[x]) {
+        spt_.dist[x] = cand;
+        spt_.parent[x] = a.to;
+        heap.push_or_decrease(x, cand);
+      }
+    }
+  }
+  while (!heap.empty()) {
+    const auto [du, x] = heap.pop_min();
+    if (ws.settled_[x] == e) continue;
+    ws.settled_[x] = e;
+    for (const graph::Arc& a : g.out_arcs(x)) {
+      if (ws.member_[a.to] != e || ws.settled_[a.to] == e) continue;
+      if (!graph::finite_cost(a.cost)) continue;
+      const Cost cand = du + a.cost;
+      if (cand < spt_.dist[a.to]) {
+        spt_.dist[a.to] = cand;
+        spt_.parent[a.to] = x;
+        heap.push_or_decrease(a.to, cand);
+      }
+    }
+  }
+  children_dirty_ = true;
+  last_affected_ = ws.member_list_.size();
+}
+
+void CostDelta::decrease_arc(const graph::LinkGraph& g, NodeId u, NodeId w,
+                             Cost c_new, DijkstraWorkspace& ws) {
+  const Cost du = spt_.dist[u];
+  if (!graph::finite_cost(du) || !graph::finite_cost(c_new)) return;
+  const Cost seed = du + c_new;
+  if (!(seed < spt_.dist[w])) return;
+  const std::size_t n = spt_.dist.size();
+  ws.begin(n, spt_.source);
+  const std::uint32_t e = ws.epoch_;
+  BinaryHeap& heap = ws.bheap_;
+  heap.reset(n);
+  spt_.dist[w] = seed;
+  spt_.parent[w] = u;
+  heap.push_or_decrease(w, seed);
+  std::size_t improved = 0;
+  while (!heap.empty()) {
+    const auto [dx, x] = heap.pop_min();
+    if (ws.settled_[x] == e) continue;
+    ws.settled_[x] = e;
+    ++improved;
+    for (const graph::Arc& a : g.out_arcs(x)) {
+      if (ws.settled_[a.to] == e) continue;
+      if (!graph::finite_cost(a.cost)) continue;
+      const Cost cand = dx + a.cost;
+      if (cand < spt_.dist[a.to]) {
+        spt_.dist[a.to] = cand;
+        spt_.parent[a.to] = x;
+        heap.push_or_decrease(a.to, cand);
+      }
+    }
+  }
+  children_dirty_ = true;
+  last_affected_ = improved;
+}
+
+}  // namespace tc::spath

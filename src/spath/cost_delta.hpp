@@ -1,0 +1,116 @@
+// CostDelta: incremental SPT repair under single cost changes
+// (Ramalingam–Reps-style dynamic SSSP, specialized to the two graph
+// models of the paper).
+//
+// A serving system under declaration churn re-solves shortest-path trees
+// whose inputs differ from the previous solve in exactly one node or arc
+// cost. CostDelta owns a solved SPT and *repairs* it in place:
+//
+//   increase  — only nodes whose tree path routes through the changed
+//               node (resp. tree arc) can move: the changed node's strict
+//               descendants. Cut that subtree, re-seed its nodes from
+//               crossing arcs out of the untouched region (including the
+//               changed node itself at its new cost), and run a
+//               mini-Dijkstra restricted to the cut — the same
+//               fixed-point argument as MaskedSptDelta.
+//   decrease  — new optima must route through the changed node, so seed
+//               its out-relaxations at the new cost and run an
+//               unrestricted monotone wavefront; non-improving
+//               relaxations never push, so work is O(improved region).
+//
+// Cost per repair is O(affected · log affected + adjacent arcs), plus a
+// lazy O(n) children-CSR rebuild when an increase follows any structural
+// change (decrease-only chains never pay it). Both are far below the
+// O((n + m) log n) from-scratch solve.
+//
+// Determinism contract: repaired distances are bit-identical to a
+// from-scratch `dijkstra_*_into` solve on the updated graph — every
+// repaired value is the same left-to-right sum of the same unique path,
+// and untouched values are carried over verbatim. Repaired *parents* are
+// bit-identical whenever shortest paths are unique (always, almost
+// surely, under continuous random costs; ties are tie-break dependent,
+// as with any Dijkstra). Property-tested in tests/spath_cost_delta_test.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/link_graph.hpp"
+#include "graph/node_graph.hpp"
+#include "spath/dijkstra.hpp"
+#include "spath/workspace.hpp"
+
+namespace tc::spath {
+
+/// A solved SPT plus the machinery to repair it under cost changes.
+/// Not thread-safe; the workspace passed to each call must not be used
+/// by anything else during the call (its previous readings are consumed).
+class CostDelta {
+ public:
+  CostDelta() = default;
+
+  /// Solves the node-model SPT from `source` from scratch (allocation-free
+  /// via `ws`) and takes ownership of the result. Costs are read from `g`
+  /// at call time.
+  void solve_node(const graph::NodeGraph& g, graph::NodeId source,
+                  DijkstraWorkspace& ws);
+
+  /// Link-model counterpart; also mirrors `g`'s in-arcs into a private
+  /// reverse CSR (kept in sync by apply_arc_cost), so increase-case
+  /// re-seeding never rebuilds g.reverse().
+  void solve_link(const graph::LinkGraph& g, graph::NodeId source,
+                  DijkstraWorkspace& ws);
+
+  /// Adopts an already-solved node-model SPT (must equal what solve_node
+  /// would produce on `g` right now).
+  void adopt_node(SptResult spt);
+
+  /// Repairs the tree after node `v`'s cost changed from `c_old` to its
+  /// current value in `g` (the graph must already hold the new cost).
+  /// Handles increases, decreases, disconnects (new cost = kInfCost) and
+  /// reconnects (old cost = kInfCost). Changing the source's own cost or
+  /// an unreached node's cost is a no-op, as in a fresh solve.
+  void apply_node_cost(const graph::NodeGraph& g, graph::NodeId v,
+                       graph::Cost c_old, DijkstraWorkspace& ws);
+
+  /// Repairs the tree after arc u->w changed from `c_old` to its current
+  /// cost in `g` (already updated). The arc must exist in the topology.
+  void apply_arc_cost(const graph::LinkGraph& g, graph::NodeId u,
+                      graph::NodeId w, graph::Cost c_old,
+                      DijkstraWorkspace& ws);
+
+  bool solved() const { return !spt_.dist.empty(); }
+  graph::NodeId source() const { return spt_.source; }
+
+  /// The maintained tree; reference valid until the next mutating call.
+  [[nodiscard]] const SptResult& spt() const { return spt_; }
+
+  /// Nodes whose dist/parent the last apply_* call rewrote (0 for
+  /// no-ops); the repair's work bound, for instrumentation.
+  std::size_t last_affected() const { return last_affected_; }
+
+ private:
+  void ensure_children();
+  void increase_node(const graph::NodeGraph& g, graph::NodeId v,
+                     DijkstraWorkspace& ws);
+  void decrease_node(const graph::NodeGraph& g, graph::NodeId v,
+                     DijkstraWorkspace& ws);
+  void increase_arc(const graph::LinkGraph& g, graph::NodeId w,
+                    DijkstraWorkspace& ws);
+  void decrease_arc(const graph::LinkGraph& g, graph::NodeId u,
+                    graph::NodeId w, graph::Cost c_new, DijkstraWorkspace& ws);
+  /// Stamps the strict descendants of every node on `ws.stack_` as
+  /// members, lists them, and resets their tree entries to unreached.
+  void cut_members(DijkstraWorkspace& ws);
+
+  SptResult spt_;
+  SptChildren children_;
+  bool children_dirty_ = true;
+  bool is_link_ = false;
+  std::size_t last_affected_ = 0;
+  // Link model: mirrored in-arc CSR (entry {from, cost} per in-arc of the
+  // row node), updated by apply_arc_cost so costs track `g` exactly.
+  std::vector<std::size_t> in_offsets_;
+  std::vector<graph::Arc> in_arcs_;
+};
+
+}  // namespace tc::spath

@@ -31,6 +31,7 @@
 
 namespace tc::spath {
 
+class CostDelta;
 class DijkstraWorkspace;
 class MaskedSptDelta;
 struct WorkspaceKernels;
@@ -120,6 +121,7 @@ class DijkstraWorkspace {
  private:
   friend struct WorkspaceKernels;
   friend class MaskedSptDelta;
+  friend class CostDelta;
 
   /// Starts a new run: sizes arrays for n nodes and bumps the epoch
   /// (O(1); a full stamp clear happens only on uint32 wraparound).

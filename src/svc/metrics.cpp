@@ -24,6 +24,11 @@ MetricsSnapshot Metrics::snapshot() const {
   s.quotes_evicted = quotes_evicted_.load(std::memory_order_relaxed);
   s.quotes_retained = quotes_retained_.load(std::memory_order_relaxed);
   s.full_flushes = full_flushes_.load(std::memory_order_relaxed);
+  s.warm_repairs = warm_repairs_.load(std::memory_order_relaxed);
+  s.warm_solves = warm_solves_.load(std::memory_order_relaxed);
+  s.warm_priced = warm_priced_.load(std::memory_order_relaxed);
+  s.warm_fallbacks = warm_fallbacks_.load(std::memory_order_relaxed);
+  s.snapshot_rebases = snapshot_rebases_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(latency_mutex_);
   if (latencies_.count() > 0) {
     s.latency_p50_us = latencies_.percentile(50.0);
@@ -44,6 +49,11 @@ std::string MetricsSnapshot::to_string() const {
       << "quotes evicted    " << quotes_evicted << "\n"
       << "quotes retained   " << quotes_retained << "\n"
       << "full flushes      " << full_flushes << "\n"
+      << "warm repairs      " << warm_repairs << "\n"
+      << "warm solves       " << warm_solves << "\n"
+      << "warm priced       " << warm_priced << "\n"
+      << "warm fallbacks    " << warm_fallbacks << "\n"
+      << "snapshot rebases  " << snapshot_rebases << "\n"
       << "latency us        p50 " << latency_p50_us << "  p90 "
       << latency_p90_us << "  p99 " << latency_p99_us << "  max "
       << latency_max_us << "\n";

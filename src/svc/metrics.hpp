@@ -25,6 +25,11 @@ struct MetricsSnapshot {
   std::uint64_t quotes_evicted = 0;  ///< cache entries killed by invalidation
   std::uint64_t quotes_retained = 0; ///< entries proven unaffected and kept
   std::uint64_t full_flushes = 0;    ///< conservative whole-cache drops
+  std::uint64_t warm_repairs = 0;    ///< warm SPT roots repaired in place
+  std::uint64_t warm_solves = 0;     ///< warm roots solved from scratch
+  std::uint64_t warm_priced = 0;     ///< misses priced from warm SPTs
+  std::uint64_t warm_fallbacks = 0;  ///< warm path bailed to cold pricing
+  std::uint64_t snapshot_rebases = 0;  ///< COW overlays folded into a base
   /// Per-quote wall latencies in microseconds (hits and misses alike).
   double latency_p50_us = 0.0;
   double latency_p90_us = 0.0;
@@ -55,6 +60,21 @@ class Metrics {
   void record_full_flush() {
     full_flushes_.fetch_add(1, std::memory_order_relaxed);
   }
+  void record_warm_repairs(std::uint64_t count) {
+    warm_repairs_.fetch_add(count, std::memory_order_relaxed);
+  }
+  void record_warm_solve() {
+    warm_solves_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_warm_priced() {
+    warm_priced_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_warm_fallback() {
+    warm_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_snapshot_rebase() {
+    snapshot_rebases_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
@@ -66,6 +86,11 @@ class Metrics {
   std::atomic<std::uint64_t> quotes_evicted_{0};
   std::atomic<std::uint64_t> quotes_retained_{0};
   std::atomic<std::uint64_t> full_flushes_{0};
+  std::atomic<std::uint64_t> warm_repairs_{0};
+  std::atomic<std::uint64_t> warm_solves_{0};
+  std::atomic<std::uint64_t> warm_priced_{0};
+  std::atomic<std::uint64_t> warm_fallbacks_{0};
+  std::atomic<std::uint64_t> snapshot_rebases_{0};
   mutable std::mutex latency_mutex_;
   util::Percentiles latencies_;
 };

@@ -17,6 +17,13 @@ using graph::Cost;
 using graph::kInfCost;
 using graph::NodeId;
 
+PricedQuote Pricer::price_with_spts(const ProfileSnapshot& snap, NodeId source,
+                                    NodeId target,
+                                    spath::SptResult /*spt_source*/,
+                                    spath::SptResult /*spt_target*/) const {
+  return price(snap, source, target);
+}
+
 namespace {
 
 /// vmax = largest finite path value `result` depends on, recovered from
@@ -155,6 +162,30 @@ class NodeVcgPricer final : public Pricer {
 
   [[nodiscard]] bool monopoly_free(const ProfileSnapshot& snap) const override {
     return graph::is_biconnected(snap.node());
+  }
+
+  [[nodiscard]] bool accepts_warm_spts() const override {
+    return engine_ == core::PaymentEngine::kFast;
+  }
+
+  [[nodiscard]] PricedQuote price_with_spts(
+      const ProfileSnapshot& snap, NodeId source, NodeId target,
+      spath::SptResult spt_source, spath::SptResult spt_target) const override {
+    if (engine_ != core::PaymentEngine::kFast) {
+      return price(snap, source, target);
+    }
+    TC_CHECK_MSG(snap.model() == GraphModel::kNode,
+                 "node pricer needs a node-model snapshot");
+    const graph::NodeGraph& g = snap.node();
+    PricedQuote quote;
+    quote.result =
+        core::vcg_payments_fast(g, source, target, spt_source, spt_target);
+    quote.result.profile_version = snap.epoch();
+    quote.deps = quote.result.connected()
+                     ? node_certificate(g, source, target, quote.result,
+                                        &spt_source, &spt_target)
+                     : node_certificate(g, source, target, quote.result);
+    return quote;
   }
 
  private:

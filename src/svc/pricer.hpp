@@ -2,10 +2,10 @@
 // (node/link model x plain/fast), plus the collusion-resistant p~ scheme,
 // evaluated against immutable profile snapshots.
 //
-// A ProfileSnapshot freezes one declaration epoch: topology plus the
-// declared-cost vector installed in a private graph copy. Snapshots are
-// shared immutably between the QuoteEngine's readers, so pricing never
-// races with re-declarations.
+// A ProfileSnapshot (svc/snapshot.hpp) freezes one declaration epoch:
+// topology plus the declared-cost vector, published copy-on-write.
+// Snapshots are shared immutably between the QuoteEngine's readers, so
+// pricing never races with re-declarations.
 //
 // Alongside the PaymentResult, a pricer returns a *dependency
 // certificate* that lets the engine decide, for a later re-declaration at
@@ -35,7 +35,6 @@
 #pragma once
 
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,36 +42,10 @@
 #include "core/vcg_unicast.hpp"
 #include "graph/link_graph.hpp"
 #include "graph/node_graph.hpp"
+#include "spath/dijkstra.hpp"
+#include "svc/snapshot.hpp"
 
 namespace tc::svc {
-
-/// Which network model a pricer (and its snapshots) operates on.
-enum class GraphModel { kNode, kLink };
-
-/// Immutable declared-cost profile at one epoch. Exactly one of the two
-/// graphs is engaged, matching the pricer's GraphModel.
-class ProfileSnapshot {
- public:
-  ProfileSnapshot(std::uint64_t epoch, graph::NodeGraph g)
-      : epoch_(epoch), node_(std::move(g)) {}
-  ProfileSnapshot(std::uint64_t epoch, graph::LinkGraph g)
-      : epoch_(epoch), link_(std::move(g)) {}
-
-  std::uint64_t epoch() const { return epoch_; }
-  GraphModel model() const {
-    return node_.has_value() ? GraphModel::kNode : GraphModel::kLink;
-  }
-  const graph::NodeGraph& node() const { return node_.value(); }
-  const graph::LinkGraph& link() const { return link_.value(); }
-  std::size_t num_nodes() const {
-    return node_ ? node_->num_nodes() : link_->num_nodes();
-  }
-
- private:
-  std::uint64_t epoch_;
-  std::optional<graph::NodeGraph> node_;
-  std::optional<graph::LinkGraph> link_;
-};
 
 /// Dependency certificate for incremental invalidation (header comment).
 struct QuoteDeps {
@@ -114,6 +87,20 @@ class Pricer {
   /// unbounded (kInfCost) payment under this scheme.
   [[nodiscard]] virtual bool monopoly_free(
       const ProfileSnapshot& snap) const = 0;
+
+  /// Whether price_with_spts() actually uses caller-held trees (true for
+  /// the node-model fast engine). When false, the engine's warm SPT cache
+  /// gains nothing and skips this pricer.
+  [[nodiscard]] virtual bool accepts_warm_spts() const { return false; }
+
+  /// Prices from SPT(source)/SPT(target) the caller already holds — e.g.
+  /// warm trees incrementally repaired by spath::CostDelta. The trees
+  /// must equal what a from-scratch Dijkstra on `snap`'s graph would
+  /// produce; output is identical to price(). The default ignores the
+  /// trees and delegates to price().
+  [[nodiscard]] virtual PricedQuote price_with_spts(
+      const ProfileSnapshot& snap, graph::NodeId source, graph::NodeId target,
+      spath::SptResult spt_source, spath::SptResult spt_target) const;
 };
 
 /// Engine selector for the link-weighted pricers.

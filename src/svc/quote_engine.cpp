@@ -47,6 +47,14 @@ QuoteEngine::QuoteEngine(graph::NodeGraph topology, graph::NodeId access_point,
   for (std::size_t i = 0; i < options_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  rebase_cap_ = std::clamp<std::size_t>(num_nodes_ / 8, 16, 256);
+  warm_pending_cap_ = std::max<std::size_t>(4 * num_nodes_, 1024);
+  if (options_.warm_spt_cache && pricer_->accepts_warm_spts()) {
+    // The warm repair graph starts as a private copy of the topology and
+    // is kept in lockstep with the snapshot by replaying CostChanges.
+    warm_ = std::make_unique<WarmState>(topology);
+    warm_->graph_epoch = 1;
+  }
   snapshot_.store(
       std::make_shared<const ProfileSnapshot>(1, std::move(topology)));
 }
@@ -70,6 +78,10 @@ QuoteEngine::QuoteEngine(graph::LinkGraph topology, graph::NodeId access_point,
   for (std::size_t i = 0; i < options_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  rebase_cap_ = std::clamp<std::size_t>(num_nodes_ / 8, 16, 256);
+  warm_pending_cap_ = std::max<std::size_t>(4 * num_nodes_, 1024);
+  // No warm SPT cache for link-model engines: CostDelta supports the link
+  // model, but no link pricer accepts warm trees yet.
   snapshot_.store(
       std::make_shared<const ProfileSnapshot>(1, std::move(topology)));
 }
@@ -97,12 +109,22 @@ std::uint64_t QuoteEngine::declare_cost(NodeId v, Cost declared) {
                "declare_cost is for node-model engines");
   std::lock_guard<std::mutex> writer(writer_mutex_);
   const auto old_snap = snapshot_.load(std::memory_order_acquire);
-  const Cost c_old = old_snap->node().node_cost(v);
+  // Overlay-aware read: does not force the old snapshot to materialize.
+  const Cost c_old = old_snap->node_cost(v);
   if (c_old == declared) return old_snap->epoch();
-  graph::NodeGraph g = old_snap->node();
-  g.set_node_cost(v, declared);
   const std::uint64_t new_epoch = old_snap->epoch() + 1;
-  publish(std::make_shared<const ProfileSnapshot>(new_epoch, std::move(g)));
+  if (options_.cow_snapshots) {
+    auto next = ProfileSnapshot::derive_node(*old_snap, new_epoch, v, declared,
+                                             rebase_cap_);
+    if (next->rebased()) metrics_.record_snapshot_rebase();
+    publish(std::move(next));
+  } else {
+    // tc-lint: allow(svc-graph-copy) eager non-COW publish mode
+    graph::NodeGraph g = old_snap->node();
+    g.set_node_cost(v, declared);
+    publish(std::make_shared<const ProfileSnapshot>(new_epoch, std::move(g)));
+  }
+  warm_note_change(new_epoch, v, c_old, declared);
   if (options_.incremental_invalidation) {
     sweep_node(v, c_old, declared, old_snap->epoch(), new_epoch);
   } else {
@@ -117,6 +139,9 @@ std::uint64_t QuoteEngine::declare_costs(const std::vector<Cost>& declared) {
                "declare_costs is for node-model engines");
   std::lock_guard<std::mutex> writer(writer_mutex_);
   const auto old_snap = snapshot_.load(std::memory_order_acquire);
+  // Bulk declarations rewrite the whole vector; an eager snapshot is the
+  // right publish and the warm cache starts over.
+  // tc-lint: allow(svc-graph-copy) bulk declaration snapshot construction
   graph::NodeGraph g = old_snap->node();
   for (NodeId v = 0; v < num_nodes_; ++v) {
     TC_CHECK_MSG(declared[v] >= 0.0, "declared cost must be non-negative");
@@ -124,6 +149,7 @@ std::uint64_t QuoteEngine::declare_costs(const std::vector<Cost>& declared) {
   }
   const std::uint64_t new_epoch = old_snap->epoch() + 1;
   publish(std::make_shared<const ProfileSnapshot>(new_epoch, std::move(g)));
+  warm_poison();
   full_flush_locked();
   return new_epoch;
 }
@@ -135,13 +161,21 @@ std::uint64_t QuoteEngine::declare_arc_cost(NodeId u, NodeId w, Cost declared) {
                "declare_arc_cost is for link-model engines");
   std::lock_guard<std::mutex> writer(writer_mutex_);
   const auto old_snap = snapshot_.load(std::memory_order_acquire);
-  const Cost c_old = old_snap->link().arc_cost(u, w);
+  const Cost c_old = old_snap->arc_cost(u, w);
   TC_CHECK_MSG(graph::finite_cost(c_old), "declared arc does not exist");
   if (c_old == declared) return old_snap->epoch();
-  graph::LinkGraph g = old_snap->link();
-  g.set_arc_cost(u, w, declared);
   const std::uint64_t new_epoch = old_snap->epoch() + 1;
-  publish(std::make_shared<const ProfileSnapshot>(new_epoch, std::move(g)));
+  if (options_.cow_snapshots) {
+    auto next = ProfileSnapshot::derive_link(*old_snap, new_epoch, u, w,
+                                             declared, rebase_cap_);
+    if (next->rebased()) metrics_.record_snapshot_rebase();
+    publish(std::move(next));
+  } else {
+    // tc-lint: allow(svc-graph-copy) eager non-COW publish mode
+    graph::LinkGraph g = old_snap->link();
+    g.set_arc_cost(u, w, declared);
+    publish(std::make_shared<const ProfileSnapshot>(new_epoch, std::move(g)));
+  }
   if (options_.incremental_invalidation) {
     sweep_link(u, w, c_old, declared, old_snap->epoch(), new_epoch);
   } else {
@@ -155,7 +189,7 @@ Cost QuoteEngine::declared_cost(NodeId v) const {
   const auto snap = snapshot_.load(std::memory_order_acquire);
   TC_CHECK_MSG(snap->model() == GraphModel::kNode,
                "declared_cost is for node-model engines");
-  return snap->node().node_cost(v);
+  return snap->node_cost(v);
 }
 
 std::uint64_t QuoteEngine::mark_node_down(NodeId v) {
@@ -342,7 +376,7 @@ std::optional<core::PaymentResult> QuoteEngine::quote_impl(NodeId source,
     }
   }
   // Miss: price outside the shard lock against the frozen snapshot.
-  PricedQuote priced = pricer_->price(*snap, source, target);
+  PricedQuote priced = price_on_miss(*snap, source, target);
   priced.result.profile_version = snap->epoch();
   core::PaymentResult result = priced.result;
   {
@@ -365,6 +399,114 @@ std::optional<core::PaymentResult> QuoteEngine::quote_impl(NodeId source,
   metrics_.record_served(elapsed_us(start));
   if (!result.connected()) return std::nullopt;
   return result;
+}
+
+PricedQuote QuoteEngine::price_on_miss(const ProfileSnapshot& snap,
+                                       NodeId source, NodeId target) {
+  if (warm_ != nullptr) {
+    spath::SptResult spt_source;
+    spath::SptResult spt_target;
+    if (warm_spts(snap, source, target, spt_source, spt_target)) {
+      metrics_.record_warm_priced();
+      return pricer_->price_with_spts(snap, source, target,
+                                      std::move(spt_source),
+                                      std::move(spt_target));
+    }
+    metrics_.record_warm_fallback();
+  }
+  return pricer_->price(snap, source, target);
+}
+
+bool QuoteEngine::warm_spts(const ProfileSnapshot& snap, NodeId source,
+                            NodeId target, spath::SptResult& spt_source,
+                            spath::SptResult& spt_target) {
+  WarmState& w = *warm_;
+  std::lock_guard<std::mutex> lock(w.mutex);
+  if (w.poisoned) {
+    // Rebuild in lockstep with this reader's snapshot: one cold copy,
+    // after which replay resumes from snap's epoch.
+    // tc-lint: allow(svc-graph-copy) warm-cache rebuild after poisoning
+    w.graph = snap.node();
+    w.graph_epoch = snap.epoch();
+    w.pending.clear();
+    w.roots.clear();
+    w.poisoned = false;
+  }
+  if (w.graph_epoch > snap.epoch()) {
+    // Another reader already replayed past this reader's (older)
+    // snapshot; repairs cannot run backwards.
+    return false;
+  }
+  while (!w.pending.empty() && w.pending.front().new_epoch <= snap.epoch()) {
+    const CostChange ch = w.pending.front();
+    w.pending.pop_front();
+    // CostDelta's contract: the graph holds the new cost, c_old rides
+    // along. One replayed change repairs every warm root in O(affected).
+    w.graph.set_node_cost(ch.v, ch.c_new);
+    for (auto& [root, entry] : w.roots) {
+      entry.delta.apply_node_cost(w.graph, ch.v, ch.c_old, w.ws);
+    }
+    metrics_.record_warm_repairs(w.roots.size());
+    w.graph_epoch = ch.new_epoch;
+  }
+  if (w.graph_epoch != snap.epoch()) {
+    // This reader's snapshot was published but its change record is not
+    // appended yet (raced between publish and warm_note_change).
+    return false;
+  }
+  for (const NodeId root : {source, target}) {
+    WarmRoot& entry = w.roots[root];
+    if (!entry.delta.solved()) {
+      entry.delta.solve_node(w.graph, root, w.ws);
+      metrics_.record_warm_solve();
+    }
+    entry.last_used = ++w.tick;
+  }
+  // LRU eviction; the access point and this quote's roots are pinned.
+  while (w.roots.size() > options_.max_warm_spts) {
+    auto victim = w.roots.end();
+    for (auto it = w.roots.begin(); it != w.roots.end(); ++it) {
+      if (it->first == access_point_ || it->first == source ||
+          it->first == target) {
+        continue;
+      }
+      if (victim == w.roots.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == w.roots.end()) break;
+    w.roots.erase(victim);
+  }
+  spt_source = w.roots[source].delta.spt();
+  spt_target = w.roots[target].delta.spt();
+  return true;
+}
+
+void QuoteEngine::warm_note_change(std::uint64_t new_epoch, NodeId v,
+                                   Cost c_old, Cost c_new) {
+  if (warm_ == nullptr) return;
+  WarmState& w = *warm_;
+  std::lock_guard<std::mutex> lock(w.mutex);
+  if (w.poisoned) return;
+  if (w.pending.size() >= warm_pending_cap_) {
+    // Replay has fallen hopelessly behind the write rate; a rebuild from
+    // the next reader's snapshot is cheaper than draining the log.
+    w.poisoned = true;
+    w.pending.clear();
+    w.roots.clear();
+    return;
+  }
+  w.pending.push_back(CostChange{new_epoch, v, c_old, c_new});
+}
+
+void QuoteEngine::warm_poison() {
+  if (warm_ == nullptr) return;
+  WarmState& w = *warm_;
+  std::lock_guard<std::mutex> lock(w.mutex);
+  w.poisoned = true;
+  w.pending.clear();
+  w.roots.clear();
 }
 
 std::vector<std::optional<core::PaymentResult>> QuoteEngine::quote_all() {

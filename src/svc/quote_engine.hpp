@@ -6,11 +6,14 @@
 //   * The declared-cost profile lives in an immutable ProfileSnapshot
 //     published through an atomic shared_ptr. Readers load the pointer,
 //     price against the frozen profile, and never block writers; a
-//     re-declaration copies the graph, installs the new cost, and bumps
-//     the atomic epoch. Every quote is stamped with the epoch it was
-//     priced under (PaymentResult::profile_version), so a returned quote
-//     is always internally consistent with one single epoch even while
-//     declarations race in.
+//     re-declaration derives the next snapshot copy-on-write (shared base
+//     graph + per-epoch cost overlay, see svc/snapshot.hpp) and bumps the
+//     atomic epoch — O(1) amortized instead of a full graph copy
+//     (Options::cow_snapshots=false restores the eager-copy publish).
+//     Every quote is stamped with the epoch it was priced under
+//     (PaymentResult::profile_version), so a returned quote is always
+//     internally consistent with one single epoch even while declarations
+//     race in.
 //   * The quote cache is sharded by (source, target) key; each shard has
 //     its own mutex and map, so concurrent quote() calls on different
 //     keys do not contend. Shard locks are held only for map
@@ -34,9 +37,24 @@
 //   engines configured with incremental_invalidation=false fall back to
 //   a conservative full flush. Equivalence against an always-recompute
 //   oracle is enforced by tests/svc_quote_engine_test.cpp.
+//
+// Warm SPT cache
+//   Node-model engines whose pricer accepts_warm_spts() keep a small LRU
+//   set of shortest-path trees rooted at recently quoted endpoints. A
+//   re-declaration does not discard them: the writer appends an O(1)
+//   change record, and the next cache-miss reader replays the records in
+//   epoch order through spath::CostDelta, repairing every warm root in
+//   O(affected) instead of re-running Dijkstra. Repaired trees are
+//   bit-identical to from-scratch solves (cost_delta.hpp), so they feed
+//   vcg_payments_fast's SPT-accepting overload directly and quotes evicted
+//   by the sweep above are re-validated without paying step 1 again. Any
+//   hazard — bulk declaration, a reader whose snapshot lags or leads the
+//   replay log, log overflow — falls back to cold pricing or a rebuild
+//   (metrics: warm_repairs / warm_solves / warm_priced / warm_fallbacks).
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -44,6 +62,8 @@
 #include <utility>
 #include <vector>
 
+#include "spath/cost_delta.hpp"
+#include "spath/workspace.hpp"
 #include "svc/metrics.hpp"
 #include "svc/pricer.hpp"
 #include "util/thread_pool.hpp"
@@ -60,6 +80,15 @@ class QuoteEngine {
     /// When false, every re-declaration flushes the whole cache (the
     /// always-correct conservative mode; also the oracle baseline).
     bool incremental_invalidation = true;
+    /// Publish re-declarations as copy-on-write snapshot derivations.
+    /// When false, every declaration copies the full graph (the PR-2
+    /// behavior, kept as the conservative bench baseline).
+    bool cow_snapshots = true;
+    /// Keep warm per-root SPTs repaired via spath::CostDelta across
+    /// re-declarations (node model + accepts_warm_spts() pricers only).
+    bool warm_spt_cache = true;
+    /// Max warm SPT roots retained (LRU; the access point is pinned).
+    std::size_t max_warm_spts = 64;
     /// Pool for quote_all()/quote_batch(); nullptr = util::default_pool().
     util::ThreadPool* pool = nullptr;
   };
@@ -163,8 +192,54 @@ class QuoteEngine {
     std::unordered_map<std::uint64_t, CacheEntry> entries;
   };
 
+  /// One recorded re-declaration, replayed into the warm SPT cache.
+  struct CostChange {
+    std::uint64_t new_epoch = 0;
+    graph::NodeId v = graph::kInvalidNode;
+    graph::Cost c_old = 0.0;
+    graph::Cost c_new = 0.0;
+  };
+
+  struct WarmRoot {
+    spath::CostDelta delta;
+    std::uint64_t last_used = 0;
+  };
+
+  /// Warm SPT state (node model only). `graph` mirrors the snapshot at
+  /// epoch `graph_epoch`; `pending` holds the not-yet-replayed changes
+  /// between graph_epoch and the writer's latest epoch. All fields are
+  /// guarded by `mutex` (writers take it after writer_mutex_).
+  struct WarmState {
+    explicit WarmState(graph::NodeGraph g) : graph(std::move(g)) {}
+
+    std::mutex mutex;
+    bool poisoned = false;
+    graph::NodeGraph graph;
+    std::uint64_t graph_epoch = 0;
+    std::deque<CostChange> pending;
+    std::unordered_map<graph::NodeId, WarmRoot> roots;
+    std::uint64_t tick = 0;
+    spath::DijkstraWorkspace ws;
+  };
+
   std::optional<core::PaymentResult> quote_impl(graph::NodeId source,
                                                 graph::NodeId target);
+  /// Miss path: warm SPT pricing when available, cold pricing otherwise.
+  [[nodiscard]] PricedQuote price_on_miss(const ProfileSnapshot& snap,
+                                          graph::NodeId source,
+                                          graph::NodeId target);
+  /// Produces repaired SPTs rooted at source/target matching `snap`'s
+  /// graph, or returns false (caller must price cold).
+  bool warm_spts(const ProfileSnapshot& snap, graph::NodeId source,
+                 graph::NodeId target, spath::SptResult& spt_source,
+                 spath::SptResult& spt_target);
+  /// Writer-side: records one declaration for later warm replay (or
+  /// poisons the warm cache on overflow). Caller holds writer_mutex_.
+  void warm_note_change(std::uint64_t new_epoch, graph::NodeId v,
+                        graph::Cost c_old, graph::Cost c_new);
+  /// Writer-side: invalidates the warm cache (bulk declarations). Caller
+  /// holds writer_mutex_.
+  void warm_poison();
   /// Publishes `snap` as the new current snapshot. Caller holds
   /// writer_mutex_.
   void publish(std::shared_ptr<const ProfileSnapshot> snap);
@@ -185,6 +260,11 @@ class QuoteEngine {
   std::atomic<std::uint64_t> epoch_{1};
   std::mutex writer_mutex_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// COW overlay length before folding into a fresh base.
+  std::size_t rebase_cap_ = 0;
+  /// Replay-log length before the warm cache is poisoned instead.
+  std::size_t warm_pending_cap_ = 0;
+  std::unique_ptr<WarmState> warm_;
   Metrics metrics_;
 };
 

@@ -1,0 +1,170 @@
+#include "svc/snapshot.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace tc::svc {
+
+using graph::Cost;
+using graph::NodeId;
+
+ProfileSnapshot::ProfileSnapshot(std::uint64_t epoch, graph::NodeGraph g)
+    : epoch_(epoch), model_(GraphModel::kNode), num_nodes_(g.num_nodes()) {
+  auto base = std::make_shared<const graph::NodeGraph>(std::move(g));
+  node_cache_.store(base, std::memory_order_release);
+  node_base_ = std::move(base);
+}
+
+ProfileSnapshot::ProfileSnapshot(std::uint64_t epoch, graph::LinkGraph g)
+    : epoch_(epoch), model_(GraphModel::kLink), num_nodes_(g.num_nodes()) {
+  auto base = std::make_shared<const graph::LinkGraph>(std::move(g));
+  link_cache_.store(base, std::memory_order_release);
+  link_base_ = std::move(base);
+}
+
+std::shared_ptr<const ProfileSnapshot> ProfileSnapshot::derive_node(
+    const ProfileSnapshot& prev, std::uint64_t epoch, NodeId v, Cost cost,
+    std::size_t rebase_cap) {
+  TC_CHECK_MSG(prev.model_ == GraphModel::kNode,
+               "derive_node on a link-model snapshot");
+  auto next = std::make_shared<ProfileSnapshot>(DeriveTag{});
+  next->epoch_ = epoch;
+  next->model_ = GraphModel::kNode;
+  next->num_nodes_ = prev.num_nodes_;
+
+  // If prev already paid for materialization, adopt that graph as the new
+  // base: its costs fold in prev's whole overlay, so ours starts empty.
+  auto prev_cache = prev.node_cache_.load(std::memory_order_acquire);
+  if (prev_cache != nullptr) {
+    next->node_base_ = std::move(prev_cache);
+  } else {
+    next->node_base_ = prev.node_base_;
+    next->node_overlay_ = prev.node_overlay_;
+  }
+
+  bool found = false;
+  for (NodeOverlay& o : next->node_overlay_) {
+    if (o.v == v) {
+      o.cost = cost;
+      found = true;
+      break;
+    }
+  }
+  if (!found) next->node_overlay_.push_back({v, cost});
+
+  if (next->node_overlay_.size() > rebase_cap) {
+    // Fold the overlay into a fresh base so reads stay O(1)-ish and the
+    // per-epoch copy cost stays amortized.
+    graph::NodeGraph folded = *next->node_base_;
+    for (const NodeOverlay& o : next->node_overlay_)
+      folded.set_node_cost(o.v, o.cost);
+    next->node_base_ =
+        std::make_shared<const graph::NodeGraph>(std::move(folded));
+    next->node_overlay_.clear();
+    next->rebased_ = true;
+    next->node_cache_.store(next->node_base_, std::memory_order_release);
+  }
+  return next;
+}
+
+std::shared_ptr<const ProfileSnapshot> ProfileSnapshot::derive_link(
+    const ProfileSnapshot& prev, std::uint64_t epoch, NodeId u, NodeId w,
+    Cost cost, std::size_t rebase_cap) {
+  TC_CHECK_MSG(prev.model_ == GraphModel::kLink,
+               "derive_link on a node-model snapshot");
+  auto next = std::make_shared<ProfileSnapshot>(DeriveTag{});
+  next->epoch_ = epoch;
+  next->model_ = GraphModel::kLink;
+  next->num_nodes_ = prev.num_nodes_;
+
+  auto prev_cache = prev.link_cache_.load(std::memory_order_acquire);
+  if (prev_cache != nullptr) {
+    next->link_base_ = std::move(prev_cache);
+  } else {
+    next->link_base_ = prev.link_base_;
+    next->arc_overlay_ = prev.arc_overlay_;
+  }
+
+  bool found = false;
+  for (ArcOverlay& o : next->arc_overlay_) {
+    if (o.u == u && o.w == w) {
+      o.cost = cost;
+      found = true;
+      break;
+    }
+  }
+  if (!found) next->arc_overlay_.push_back({u, w, cost});
+
+  if (next->arc_overlay_.size() > rebase_cap) {
+    graph::LinkGraph folded = *next->link_base_;
+    for (const ArcOverlay& o : next->arc_overlay_)
+      folded.set_arc_cost(o.u, o.w, o.cost);
+    next->link_base_ =
+        std::make_shared<const graph::LinkGraph>(std::move(folded));
+    next->arc_overlay_.clear();
+    next->rebased_ = true;
+    next->link_cache_.store(next->link_base_, std::memory_order_release);
+  }
+  return next;
+}
+
+const graph::NodeGraph& ProfileSnapshot::node() const {
+  TC_CHECK_MSG(model_ == GraphModel::kNode,
+               "node() on a link-model snapshot");
+  auto cached = node_cache_.load(std::memory_order_acquire);
+  if (cached != nullptr) return *cached;
+  graph::NodeGraph built = *node_base_;
+  for (const NodeOverlay& o : node_overlay_) built.set_node_cost(o.v, o.cost);
+  auto fresh = std::make_shared<const graph::NodeGraph>(std::move(built));
+  // Racing readers build identical graphs; first publisher wins and the
+  // others adopt its copy.
+  std::shared_ptr<const graph::NodeGraph> expected = nullptr;
+  if (node_cache_.compare_exchange_strong(expected, fresh,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+    return *fresh;
+  }
+  return *expected;
+}
+
+const graph::LinkGraph& ProfileSnapshot::link() const {
+  TC_CHECK_MSG(model_ == GraphModel::kLink,
+               "link() on a node-model snapshot");
+  auto cached = link_cache_.load(std::memory_order_acquire);
+  if (cached != nullptr) return *cached;
+  graph::LinkGraph built = *link_base_;
+  for (const ArcOverlay& o : arc_overlay_) built.set_arc_cost(o.u, o.w, o.cost);
+  auto fresh = std::make_shared<const graph::LinkGraph>(std::move(built));
+  std::shared_ptr<const graph::LinkGraph> expected = nullptr;
+  if (link_cache_.compare_exchange_strong(expected, fresh,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+    return *fresh;
+  }
+  return *expected;
+}
+
+Cost ProfileSnapshot::node_cost(NodeId v) const {
+  TC_CHECK_MSG(model_ == GraphModel::kNode,
+               "node_cost() on a link-model snapshot");
+  for (const NodeOverlay& o : node_overlay_)
+    if (o.v == v) return o.cost;
+  return node_base_->node_cost(v);
+}
+
+Cost ProfileSnapshot::arc_cost(NodeId u, NodeId w) const {
+  TC_CHECK_MSG(model_ == GraphModel::kLink,
+               "arc_cost() on a node-model snapshot");
+  for (const ArcOverlay& o : arc_overlay_)
+    if (o.u == u && o.w == w) return o.cost;
+  return link_base_->arc_cost(u, w);
+}
+
+bool ProfileSnapshot::materialized() const {
+  return model_ == GraphModel::kNode
+             ? node_cache_.load(std::memory_order_acquire) != nullptr
+             : link_cache_.load(std::memory_order_acquire) != nullptr;
+}
+
+}  // namespace tc::svc

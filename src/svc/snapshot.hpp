@@ -1,0 +1,119 @@
+// ProfileSnapshot: copy-on-write declared-cost profiles for the serving
+// layer.
+//
+// PR 2's snapshot was an eager graph copy per epoch: every declare_cost
+// paid O(n + m) to publish. Under declaration churn the write path
+// dominates, so a snapshot is now a *shared immutable base graph* plus a
+// small per-epoch cost overlay:
+//
+//   * derive() publishes a new epoch by copying the previous overlay
+//     (bounded by the rebase cap, a small constant) and appending one
+//     entry — no graph copy. Amortized O((n + m) / cap + cap) per
+//     declaration, against O(n + m) before.
+//   * Pricers need a real CSR graph; node()/link() materialize one
+//     lazily (base copy + overlay replay) and memoize it in an atomic
+//     shared_ptr, so at most one copy is paid per epoch *that is actually
+//     priced against*, shared by all its readers. A derive() from a
+//     snapshot that already materialized rebases onto the materialized
+//     graph, keeping overlays one entry long on the common
+//     declare->quote->declare alternation.
+//   * Cost reads (node_cost / arc_cost) consult the overlay first and
+//     never materialize, so the write path's own old-cost lookups stay
+//     cheap.
+//
+// Snapshots stay immutable after construction: the only mutable member
+// is the materialization cache, which is write-once-racy-benign (all
+// racers build identical graphs; compare_exchange keeps one winner).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/link_graph.hpp"
+#include "graph/node_graph.hpp"
+
+namespace tc::svc {
+
+/// Which network model a pricer (and its snapshots) operates on.
+enum class GraphModel { kNode, kLink };
+
+/// Immutable declared-cost profile at one epoch (header comment).
+class ProfileSnapshot {
+ public:
+  /// One overlaid node declaration (node model).
+  struct NodeOverlay {
+    graph::NodeId v;
+    graph::Cost cost;
+  };
+  /// One overlaid arc declaration (link model).
+  struct ArcOverlay {
+    graph::NodeId u;
+    graph::NodeId w;
+    graph::Cost cost;
+  };
+
+  /// Eager construction from a full graph (engine construction, bulk
+  /// declarations, and the conservative non-COW mode).
+  ProfileSnapshot(std::uint64_t epoch, graph::NodeGraph g);
+  ProfileSnapshot(std::uint64_t epoch, graph::LinkGraph g);
+
+  /// Passkey restricting the raw constructor below to derive_node /
+  /// derive_link (std::make_shared needs a public constructor).
+  struct DeriveTag {
+    explicit DeriveTag() = default;
+  };
+  explicit ProfileSnapshot(DeriveTag) {}
+
+  /// Derives the next epoch from `prev` with node `v` redeclared at
+  /// `cost`, sharing the base graph. When the overlay would exceed
+  /// `rebase_cap` entries the change set is folded into a fresh base
+  /// (`rebased()` reports this, for metrics).
+  [[nodiscard]] static std::shared_ptr<const ProfileSnapshot> derive_node(
+      const ProfileSnapshot& prev, std::uint64_t epoch, graph::NodeId v,
+      graph::Cost cost, std::size_t rebase_cap);
+
+  /// Link-model counterpart for arc u->w.
+  [[nodiscard]] static std::shared_ptr<const ProfileSnapshot> derive_link(
+      const ProfileSnapshot& prev, std::uint64_t epoch, graph::NodeId u,
+      graph::NodeId w, graph::Cost cost, std::size_t rebase_cap);
+
+  std::uint64_t epoch() const { return epoch_; }
+  GraphModel model() const { return model_; }
+  std::size_t num_nodes() const { return num_nodes_; }
+
+  /// The full declared-cost graph of this epoch; materialized lazily and
+  /// memoized (reference valid for the snapshot's lifetime).
+  const graph::NodeGraph& node() const;
+  const graph::LinkGraph& link() const;
+
+  /// Overlay-aware cost reads; never materialize.
+  graph::Cost node_cost(graph::NodeId v) const;
+  graph::Cost arc_cost(graph::NodeId u, graph::NodeId w) const;
+
+  /// Introspection for tests and metrics.
+  std::size_t overlay_size() const {
+    return model_ == GraphModel::kNode ? node_overlay_.size()
+                                       : arc_overlay_.size();
+  }
+  bool materialized() const;
+  bool rebased() const { return rebased_; }
+
+ private:
+  std::uint64_t epoch_ = 0;
+  GraphModel model_ = GraphModel::kNode;
+  std::size_t num_nodes_ = 0;
+  bool rebased_ = false;
+  std::shared_ptr<const graph::NodeGraph> node_base_;
+  std::shared_ptr<const graph::LinkGraph> link_base_;
+  /// Deduplicated (one entry per node/arc), latest declaration wins.
+  std::vector<NodeOverlay> node_overlay_;
+  std::vector<ArcOverlay> arc_overlay_;
+  mutable std::atomic<std::shared_ptr<const graph::NodeGraph>> node_cache_{
+      nullptr};
+  mutable std::atomic<std::shared_ptr<const graph::LinkGraph>> link_cache_{
+      nullptr};
+};
+
+}  // namespace tc::svc

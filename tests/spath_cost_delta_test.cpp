@@ -1,0 +1,252 @@
+// Property tests for spath::CostDelta: a repaired SPT must be
+// bit-identical (memcmp on dists and parents) to a from-scratch
+// `dijkstra_*_into` solve on the updated graph, across seeded random
+// churn covering increases, decreases, disconnects (cost -> inf), and
+// reconnects (inf -> finite), chained repair-on-repair included. The
+// generators draw continuous random costs, so shortest paths are unique
+// almost surely and parents are pinned down (see cost_delta.hpp).
+#include "spath/cost_delta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "spath/dijkstra.hpp"
+#include "spath/workspace.hpp"
+#include "util/rng.hpp"
+
+namespace tc::spath {
+namespace {
+
+using graph::Cost;
+using graph::kInfCost;
+using graph::NodeId;
+
+void expect_bits_equal(const std::vector<Cost>& a, const std::vector<Cost>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(Cost)), 0);
+}
+
+void expect_same_spt(const SptResult& a, const SptResult& b) {
+  EXPECT_EQ(a.source, b.source);
+  expect_bits_equal(a.dist, b.dist);
+  EXPECT_EQ(a.parent, b.parent);
+}
+
+/// Change-kind coverage counters; every kind must occur in a churn run.
+struct ChangeKinds {
+  std::size_t increases = 0;
+  std::size_t decreases = 0;
+  std::size_t disconnects = 0;
+  std::size_t reconnects = 0;
+  std::size_t noops = 0;
+
+  void expect_all_covered() const {
+    EXPECT_GT(increases, 0u);
+    EXPECT_GT(decreases, 0u);
+    EXPECT_GT(disconnects, 0u);
+    EXPECT_GT(reconnects, 0u);
+    EXPECT_GT(noops, 0u);
+  }
+};
+
+/// Draws the next cost for a churn step: mostly scalings, sometimes a
+/// disconnect, a fresh value, or an exact no-op; anything applied to a
+/// currently-infinite cost is a reconnect.
+Cost next_cost(util::Rng& rng, Cost c_old, ChangeKinds& kinds) {
+  if (!graph::finite_cost(c_old)) {
+    ++kinds.reconnects;
+    return rng.uniform(0.1, 9.0);
+  }
+  switch (rng.next_below(6)) {
+    case 0:
+    case 1:
+      ++kinds.increases;
+      return c_old * rng.uniform(1.05, 4.0);
+    case 2:
+    case 3:
+      ++kinds.decreases;
+      return c_old * rng.uniform(0.2, 0.95);
+    case 4:
+      ++kinds.disconnects;
+      return kInfCost;
+    default:
+      ++kinds.noops;
+      return c_old;
+  }
+}
+
+TEST(CostDeltaNode, ChurnRepairsMatchFreshSolveBitForBit) {
+  DijkstraWorkspace ws;
+  DijkstraWorkspace ws_fresh;
+  ChangeKinds kinds;
+  std::size_t cases = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    // p below the connectivity threshold for some seeds, so disconnected
+    // components and unreached nodes are exercised too.
+    graph::NodeGraph g = graph::make_erdos_renyi(56, 0.08, 0.1, 9.0, seed);
+    const std::size_t n = g.num_nodes();
+    const NodeId source = static_cast<NodeId>(seed % n);
+    CostDelta delta;
+    delta.solve_node(g, source, ws);
+    util::Rng rng(seed * 977 + 5);
+    for (int step = 0; step < 10; ++step) {
+      const NodeId v = static_cast<NodeId>(rng.next_below(n));
+      const Cost c_old = g.node_cost(v);
+      g.set_node_cost(v, next_cost(rng, c_old, kinds));
+      delta.apply_node_cost(g, v, c_old, ws);
+      dijkstra_node_into(ws_fresh, g, source);
+      expect_same_spt(delta.spt(), ws_fresh.to_result());
+      EXPECT_LE(delta.last_affected(), n);
+      ++cases;
+    }
+  }
+  EXPECT_GE(cases, 100u);
+  kinds.expect_all_covered();
+}
+
+TEST(CostDeltaNode, SourceCostChangeIsNoOp) {
+  DijkstraWorkspace ws;
+  graph::NodeGraph g = graph::make_erdos_renyi(40, 0.15, 0.1, 9.0, 11);
+  const NodeId source = 3;
+  CostDelta delta;
+  delta.solve_node(g, source, ws);
+  const SptResult before = delta.spt();
+  const Cost c_old = g.node_cost(source);
+  g.set_node_cost(source, c_old * 10.0);
+  delta.apply_node_cost(g, source, c_old, ws);
+  EXPECT_EQ(delta.last_affected(), 0u);
+  expect_same_spt(delta.spt(), before);
+  // The fresh solve agrees: the source's own cost is on no path from it.
+  dijkstra_node_into(ws, g, source);
+  expect_same_spt(delta.spt(), ws.to_result());
+}
+
+TEST(CostDeltaNode, UnreachedNodeChangeIsNoOp) {
+  DijkstraWorkspace ws;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    // Sparse enough that most seeds leave nodes unreached.
+    graph::NodeGraph g = graph::make_erdos_renyi(40, 0.04, 0.1, 9.0, seed);
+    const NodeId source = 0;
+    CostDelta delta;
+    delta.solve_node(g, source, ws);
+    NodeId unreached = graph::kInvalidNode;
+    for (NodeId v = 1; v < g.num_nodes(); ++v) {
+      if (!delta.spt().reached(v)) {
+        unreached = v;
+        break;
+      }
+    }
+    if (unreached == graph::kInvalidNode) continue;
+    const SptResult before = delta.spt();
+    const Cost c_old = g.node_cost(unreached);
+    g.set_node_cost(unreached, c_old * 0.5);
+    delta.apply_node_cost(g, unreached, c_old, ws);
+    EXPECT_EQ(delta.last_affected(), 0u);
+    expect_same_spt(delta.spt(), before);
+  }
+}
+
+TEST(CostDeltaNode, DisconnectThenReconnectRoundTrips) {
+  DijkstraWorkspace ws;
+  DijkstraWorkspace ws_fresh;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    graph::NodeGraph g = graph::make_erdos_renyi(48, 0.10, 0.1, 9.0, seed);
+    const std::size_t n = g.num_nodes();
+    const NodeId source = static_cast<NodeId>(seed % n);
+    const NodeId v = static_cast<NodeId>((seed * 13 + 1) % n);
+    if (v == source) continue;
+    CostDelta delta;
+    delta.solve_node(g, source, ws);
+    const SptResult before = delta.spt();
+    const Cost c_orig = g.node_cost(v);
+
+    g.set_node_cost(v, kInfCost);
+    delta.apply_node_cost(g, v, c_orig, ws);
+    dijkstra_node_into(ws_fresh, g, source);
+    expect_same_spt(delta.spt(), ws_fresh.to_result());
+
+    g.set_node_cost(v, c_orig);
+    delta.apply_node_cost(g, v, kInfCost, ws);
+    expect_same_spt(delta.spt(), before);
+  }
+}
+
+TEST(CostDeltaLink, ChurnRepairsMatchFreshSolveBitForBit) {
+  DijkstraWorkspace ws;
+  DijkstraWorkspace ws_fresh;
+  ChangeKinds kinds;
+  std::size_t cases = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    graph::HeteroParams params;
+    params.n = 48;
+    graph::LinkGraph g = graph::make_hetero_geometric(params, seed);
+    const std::size_t n = g.num_nodes();
+    const NodeId source = static_cast<NodeId>(seed % n);
+    CostDelta delta;
+    delta.solve_link(g, source, ws);
+    util::Rng rng(seed * 31337 + 7);
+    // Remember disconnected arcs so reconnects are exercised, not just
+    // hoped for.
+    std::vector<std::pair<NodeId, NodeId>> dark;
+    for (int step = 0; step < 12; ++step) {
+      NodeId u;
+      NodeId w;
+      if (!dark.empty() && rng.bernoulli(0.5)) {
+        const std::size_t i = rng.next_below(dark.size());
+        u = dark[i].first;
+        w = dark[i].second;
+        dark.erase(dark.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        u = static_cast<NodeId>(rng.next_below(n));
+        if (g.out_degree(u) == 0) continue;
+        w = g.out_arcs(u)[rng.next_below(g.out_degree(u))].to;
+      }
+      const Cost c_old = g.arc_cost(u, w);
+      const Cost c_new = next_cost(rng, c_old, kinds);
+      if (!graph::finite_cost(c_new)) dark.emplace_back(u, w);
+      g.set_arc_cost(u, w, c_new);
+      delta.apply_arc_cost(g, u, w, c_old, ws);
+      dijkstra_link_into(ws_fresh, g, source);
+      expect_same_spt(delta.spt(), ws_fresh.to_result());
+      ++cases;
+    }
+  }
+  EXPECT_GE(cases, 100u);
+  kinds.expect_all_covered();
+}
+
+TEST(CostDeltaLink, NonTreeArcIncreaseIsNoOp) {
+  DijkstraWorkspace ws;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    graph::UdgParams params;
+    params.n = 48;
+    graph::LinkGraph g = graph::make_unit_disk_link(params, seed);
+    const NodeId source = static_cast<NodeId>(seed % g.num_nodes());
+    CostDelta delta;
+    delta.solve_link(g, source, ws);
+    // Find an arc not on the tree (parent[to] != from) and raise it.
+    bool tested = false;
+    for (NodeId u = 0; u < g.num_nodes() && !tested; ++u) {
+      for (const graph::Arc& a : g.out_arcs(u)) {
+        if (delta.spt().parent[a.to] == u) continue;
+        const SptResult before = delta.spt();
+        const Cost c_old = a.cost;
+        g.set_arc_cost(u, a.to, c_old * 3.0);
+        delta.apply_arc_cost(g, u, a.to, c_old, ws);
+        EXPECT_EQ(delta.last_affected(), 0u);
+        expect_same_spt(delta.spt(), before);
+        g.set_arc_cost(u, a.to, c_old);
+        delta.apply_arc_cost(g, u, a.to, c_old * 3.0, ws);
+        tested = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(tested);
+  }
+}
+
+}  // namespace
+}  // namespace tc::spath

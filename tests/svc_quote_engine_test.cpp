@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <thread>
 #include <tuple>
 #include <vector>
@@ -391,6 +392,184 @@ TEST(QuoteEngine, ConcurrentReadersSeeEpochConsistentQuotes) {
     }
   }
   EXPECT_GT(audited, 0u);
+}
+
+// The ISSUE's warm-path acceptance test: under randomized mixed
+// quote/declare churn, the full stack (COW snapshots + warm repaired
+// SPTs + incremental invalidation) must be payment-equivalent to an
+// always-recompute oracle, and every served quote must pass the
+// mechanism audit. The metrics assert the warm path actually ran — the
+// test would otherwise pass vacuously via cold fallbacks.
+TEST(QuoteEngine, WarmChurnMatchesAlwaysRecomputeOracleAndAudits) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto g = graph::make_unit_disk_node(
+        {28, {1100.0, 1100.0}, 420.0, 2.0}, 0.5, 9.0, seed);
+    QuoteEngine engine(g, 0);
+    util::Rng rng(0xabadcafeULL + seed);
+    std::size_t audited = 0;
+    for (int op = 0; op < 160; ++op) {
+      if (rng.bernoulli(0.3)) {
+        const auto v = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+        engine.declare_cost(v, rng.uniform(0.2, 12.0));
+        continue;
+      }
+      const auto source =
+          static_cast<NodeId>(1 + rng.next_below(g.num_nodes() - 1));
+      auto target = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+      if (target == source) target = (target + 1) % g.num_nodes();
+      const auto snap = engine.snapshot();
+      const auto quote = engine.quote(source, target);
+      const auto oracle = core::vcg_payments_fast(snap->node(), source, target);
+      ASSERT_EQ(quote.has_value(), oracle.connected());
+      if (!quote) continue;
+      ASSERT_EQ(quote->path, oracle.path)
+          << "seed " << seed << " op " << op;
+      for (std::size_t k = 0; k < oracle.payments.size(); ++k) {
+        if (graph::finite_cost(oracle.payments[k])) {
+          ASSERT_NEAR(quote->payments[k], oracle.payments[k], 1e-9)
+              << "seed " << seed << " op " << op << " payment " << k;
+        } else {
+          ASSERT_EQ(quote->payments[k], oracle.payments[k]);
+        }
+      }
+      mech::UnicastOutcome outcome;
+      outcome.path = quote->path;
+      outcome.path_cost = quote->path_cost;
+      outcome.payments = quote->payments;
+      const auto report =
+          mech::audit_unicast_payment(snap->node(), source, target, outcome);
+      ASSERT_TRUE(report.ok()) << report.to_string();
+      ++audited;
+    }
+    EXPECT_GT(audited, 0u);
+    const auto m = engine.metrics();
+    EXPECT_GT(m.warm_priced, 0u) << "seed " << seed;
+    EXPECT_GT(m.warm_repairs, 0u) << "seed " << seed;
+    EXPECT_GT(m.warm_solves, 0u) << "seed " << seed;
+  }
+}
+
+// Every Options combination (COW x warm x incremental) serves identical
+// quotes under the same declaration stream.
+TEST(QuoteEngine, AllOptionCombinationsAgreeUnderChurn) {
+  const auto g = graph::make_unit_disk_node({24, {1000.0, 1000.0}, 420.0, 2.0},
+                                            0.5, 9.0, /*seed=*/17);
+  std::vector<std::unique_ptr<QuoteEngine>> engines;
+  for (const bool cow : {false, true}) {
+    for (const bool warm : {false, true}) {
+      for (const bool incr : {false, true}) {
+        QuoteEngine::Options o;
+        o.cow_snapshots = cow;
+        o.warm_spt_cache = warm;
+        o.incremental_invalidation = incr;
+        engines.push_back(std::make_unique<QuoteEngine>(g, 0, nullptr, o));
+      }
+    }
+  }
+  util::Rng rng(0x7777ULL);
+  for (int round = 0; round < 10; ++round) {
+    const auto v = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const Cost c = rng.uniform(0.2, 12.0);
+    for (auto& e : engines) e->declare_cost(v, c);
+    const auto want = engines.front()->quote_all();
+    for (std::size_t i = 1; i < engines.size(); ++i) {
+      const auto got = engines[i]->quote_all();
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t s = 0; s < want.size(); ++s) {
+        ASSERT_EQ(got[s].has_value(), want[s].has_value())
+            << "engine " << i << " round " << round << " source " << s;
+        if (want[s]) expect_same_quote(*got[s], *want[s]);
+      }
+    }
+  }
+}
+
+// Satellite 3a: an arc-cost *decrease* that creates a new, cheaper
+// replacement path must evict the cached quote (its thru crosses below
+// vmax) and the reprice must reflect the cheaper avoid cost.
+TEST(QuoteEngine, ArcDecreaseCreatingCheaperReplacementPathReprices) {
+  graph::LinkGraphBuilder b(4);
+  b.add_link(2, 1, 1.0, 1.0);  // LCP 2 -> 1 -> 0, cost 2.0
+  b.add_link(1, 0, 1.0, 1.0);
+  b.add_link(2, 3, 2.0, 2.0);  // replacement 2 -> 3 -> 0, cost 4.0
+  b.add_link(3, 0, 2.0, 2.0);
+  QuoteEngine engine(b.build(), 0);
+  const auto before = engine.quote(2);
+  ASSERT_TRUE(before.has_value());
+  EXPECT_EQ(before->path, (std::vector<NodeId>{2, 1, 0}));
+  const Cost p_before = before->payments[1];
+  ASSERT_TRUE(graph::finite_cost(p_before));
+
+  engine.declare_arc_cost(3, 0, 0.5);  // replacement now 2.5
+  EXPECT_GE(engine.metrics().quotes_evicted, 1u);
+  const auto snap = engine.snapshot();
+  const auto after = engine.quote(2);
+  ASSERT_TRUE(after.has_value());
+  expect_same_quote(*after, core::link_vcg_payments(snap->link(), 2, 0));
+  EXPECT_LT(after->payments[1], p_before);
+}
+
+// Satellite 3b: repeated retained decreases on a far-away arc accumulate
+// decrease slack until the (conservative, still-correct) eviction fires,
+// even though each individual decrease left a huge thru margin.
+TEST(QuoteEngine, DecreaseSlackAccumulatesAcrossRetainedDecreases) {
+  graph::LinkGraphBuilder b(5);
+  b.add_link(0, 1, 1.0, 1.0);  // ring 0-1-2-3-0 carries the quote
+  b.add_link(1, 2, 1.1, 1.1);
+  b.add_link(2, 3, 1.2, 1.2);
+  b.add_link(3, 0, 1.3, 1.3);
+  // Every path using arc 1->4 passes through relay 1 itself, so the
+  // detour can never serve as a relay-1-avoiding path: decreasing c(1,4)
+  // provably never changes the quote. The cheap 4-3 tail keeps thru(1->4)
+  // close enough to vmax that accumulated slack crosses the margin while
+  // the declared cost is still non-negative.
+  b.add_link(1, 4, 20.0, 20.0);
+  b.add_link(4, 3, 0.5, 0.5);
+  QuoteEngine engine(b.build(), 0);
+  ASSERT_TRUE(engine.quote(2).has_value());
+
+  std::uint64_t retained_before_evict = 0;
+  bool evicted = false;
+  Cost c = 20.0;
+  for (int step = 0; step < 12 && !evicted; ++step) {
+    c -= 2.0;
+    engine.declare_arc_cost(1, 4, c);
+    const auto m = engine.metrics();
+    if (m.quotes_evicted > 0) {
+      evicted = true;
+    } else {
+      retained_before_evict = m.quotes_retained;
+    }
+  }
+  // Without slack accounting the margin would still be >10x vmax at the
+  // last step; only the accumulated slack can force the eviction.
+  EXPECT_TRUE(evicted);
+  EXPECT_GT(retained_before_evict, 0u);
+  const auto snap = engine.snapshot();
+  const auto quote = engine.quote(2);
+  ASSERT_TRUE(quote.has_value());
+  expect_same_quote(*quote, core::link_vcg_payments(snap->link(), 2, 0));
+}
+
+// Satellite 3c: a no-op arc re-declaration keeps the epoch, the cache,
+// and the declaration counter untouched.
+TEST(QuoteEngine, NoOpArcRedeclarationKeepsEpoch) {
+  const auto g = graph::make_unit_disk_link({16, {900.0, 900.0}, 420.0, 2.0},
+                                            /*seed=*/9);
+  QuoteEngine engine(g, 0);
+  ASSERT_TRUE(engine.quote(3).has_value());
+  NodeId u = 0;
+  while (g.out_arcs(u).empty()) ++u;
+  const NodeId w = g.out_arcs(u)[0].to;
+  const Cost c = engine.snapshot()->arc_cost(u, w);
+  EXPECT_EQ(engine.declare_arc_cost(u, w, c), 1u);
+  EXPECT_EQ(engine.epoch(), 1u);
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.declarations, 0u);
+  EXPECT_EQ(m.quotes_evicted, 0u);
+  // The cached quote is still served as a hit under the same epoch.
+  ASSERT_TRUE(engine.quote(3).has_value());
+  EXPECT_EQ(engine.metrics().cache_hits, 1u);
 }
 
 // Conservative mode (incremental_invalidation = false) must agree with

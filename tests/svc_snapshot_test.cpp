@@ -1,0 +1,145 @@
+// Unit tests for the copy-on-write ProfileSnapshot: O(1) overlay
+// derivation, lazy memoized materialization, rebase folding, and
+// equivalence between overlay-aware cost reads and the materialized
+// graph, for both models.
+#include "svc/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace tc::svc {
+namespace {
+
+using graph::Cost;
+using graph::NodeId;
+
+constexpr std::size_t kCap = 4;
+
+TEST(ProfileSnapshot, DeriveOverlaysWithoutMaterializing) {
+  const auto g = graph::make_grid(3, 3, 2.0);
+  const auto base = std::make_shared<const ProfileSnapshot>(1, g);
+  EXPECT_TRUE(base->materialized());  // eager construction
+  EXPECT_EQ(base->overlay_size(), 0u);
+
+  const auto next = ProfileSnapshot::derive_node(*base, 2, 4, 7.5, kCap);
+  EXPECT_EQ(next->epoch(), 2u);
+  EXPECT_FALSE(next->materialized());
+  EXPECT_EQ(next->overlay_size(), 1u);
+  EXPECT_FALSE(next->rebased());
+  // Overlay-aware reads see the new cost without materializing.
+  EXPECT_EQ(next->node_cost(4), 7.5);
+  EXPECT_EQ(next->node_cost(0), g.node_cost(0));
+  EXPECT_FALSE(next->materialized());
+  // The shared base epoch is untouched.
+  EXPECT_EQ(base->node_cost(4), g.node_cost(4));
+
+  // Materialization folds the overlay in and memoizes.
+  EXPECT_EQ(next->node().node_cost(4), 7.5);
+  EXPECT_TRUE(next->materialized());
+  EXPECT_EQ(&next->node(), &next->node());
+}
+
+TEST(ProfileSnapshot, RederivingSameNodeKeepsOneOverlayEntry) {
+  const auto g = graph::make_grid(3, 3, 2.0);
+  const auto base = std::make_shared<const ProfileSnapshot>(1, g);
+  auto snap = ProfileSnapshot::derive_node(*base, 2, 4, 7.5, kCap);
+  snap = ProfileSnapshot::derive_node(*snap, 3, 4, 9.0, kCap);
+  EXPECT_EQ(snap->overlay_size(), 1u);
+  EXPECT_EQ(snap->node_cost(4), 9.0);
+}
+
+TEST(ProfileSnapshot, DeriveFromMaterializedAdoptsCacheAsBase) {
+  const auto g = graph::make_grid(3, 3, 2.0);
+  const auto base = std::make_shared<const ProfileSnapshot>(1, g);
+  auto s2 = ProfileSnapshot::derive_node(*base, 2, 1, 5.0, kCap);
+  (void)s2->node();  // a reader priced against epoch 2
+  // The next derivation rebases onto s2's materialized graph: the
+  // overlay stays one entry instead of accumulating.
+  const auto s3 = ProfileSnapshot::derive_node(*s2, 3, 2, 6.0, kCap);
+  EXPECT_EQ(s3->overlay_size(), 1u);
+  EXPECT_EQ(s3->node_cost(1), 5.0);
+  EXPECT_EQ(s3->node_cost(2), 6.0);
+}
+
+TEST(ProfileSnapshot, OverlayExceedingCapFoldsIntoFreshBase) {
+  const auto g = graph::make_grid(4, 4, 2.0);
+  auto snap = std::shared_ptr<const ProfileSnapshot>(
+      std::make_shared<const ProfileSnapshot>(1, g));
+  std::uint64_t epoch = 1;
+  std::size_t rebases = 0;
+  for (NodeId v = 0; v < 12; ++v) {
+    snap = ProfileSnapshot::derive_node(*snap, ++epoch, v,
+                                        1.0 + static_cast<Cost>(v), kCap);
+    if (snap->rebased()) {
+      ++rebases;
+      EXPECT_EQ(snap->overlay_size(), 0u);
+      EXPECT_TRUE(snap->materialized());
+    }
+  }
+  EXPECT_GT(rebases, 0u);
+  for (NodeId v = 0; v < 12; ++v) {
+    EXPECT_EQ(snap->node_cost(v), 1.0 + static_cast<Cost>(v)) << "node " << v;
+    EXPECT_EQ(snap->node().node_cost(v), 1.0 + static_cast<Cost>(v));
+  }
+}
+
+TEST(ProfileSnapshot, RandomChurnMatchesEagerGraphBothReadPaths) {
+  const auto g = graph::make_unit_disk_node({24, {1000.0, 1000.0}, 420.0, 2.0},
+                                            0.5, 9.0, /*seed=*/5);
+  graph::NodeGraph eager = g;
+  auto snap = std::shared_ptr<const ProfileSnapshot>(
+      std::make_shared<const ProfileSnapshot>(1, g));
+  util::Rng rng(0xc0defeedULL);
+  for (std::uint64_t step = 0; step < 200; ++step) {
+    const auto v = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const Cost c = rng.uniform(0.1, 12.0);
+    eager.set_node_cost(v, c);
+    snap = ProfileSnapshot::derive_node(*snap, step + 2, v, c, kCap);
+    if (step % 7 == 0) (void)snap->node();  // interleave materializations
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      ASSERT_EQ(snap->node_cost(u), eager.node_cost(u)) << "step " << step;
+    }
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    ASSERT_EQ(snap->node().node_cost(u), eager.node_cost(u));
+  }
+}
+
+TEST(ProfileSnapshot, LinkModelDerivesAndMaterializes) {
+  graph::LinkGraphBuilder b(4);
+  b.add_link(0, 1, 1.0, 1.5);
+  b.add_link(1, 2, 2.0, 2.5);
+  b.add_link(2, 3, 3.0, 3.5);
+  const auto g = b.build();
+  const auto base = std::make_shared<const ProfileSnapshot>(1, g);
+  EXPECT_EQ(base->model(), GraphModel::kLink);
+
+  auto snap = ProfileSnapshot::derive_link(*base, 2, 1, 2, 9.0, kCap);
+  EXPECT_FALSE(snap->materialized());
+  EXPECT_EQ(snap->arc_cost(1, 2), 9.0);
+  EXPECT_EQ(snap->arc_cost(2, 1), 2.5);  // reverse direction untouched
+  snap = ProfileSnapshot::derive_link(*snap, 3, 1, 2, 9.5, kCap);
+  EXPECT_EQ(snap->overlay_size(), 1u);
+  EXPECT_EQ(snap->link().arc_cost(1, 2), 9.5);
+  EXPECT_TRUE(snap->materialized());
+
+  // Round-robin re-declarations dedup per arc; the latest write wins on
+  // both the overlay read path and the materialized graph.
+  std::uint64_t epoch = 3;
+  for (int i = 0; i < 8; ++i) {
+    const NodeId u = static_cast<NodeId>(i % 3);
+    snap = ProfileSnapshot::derive_link(*snap, ++epoch, u, u + 1,
+                                        10.0 + static_cast<Cost>(i), kCap);
+  }
+  EXPECT_EQ(snap->arc_cost(1, 2), 17.0);  // i = 7 was the last (1, 2) write
+  EXPECT_EQ(snap->arc_cost(2, 3), 15.0);  // i = 5 was the last (2, 3) write
+  EXPECT_EQ(snap->link().arc_cost(1, 2), 17.0);
+  EXPECT_EQ(snap->link().arc_cost(2, 3), 15.0);
+}
+
+}  // namespace
+}  // namespace tc::svc

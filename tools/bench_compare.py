@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compare a fresh benchmark run against a committed BENCH_*.json.
+
+Every bench binary mirrors its report as a JSON array of flat row
+objects (bench::Report::write_json). This script joins two such files on
+their identity columns and fails when any performance metric regressed
+by more than --threshold (default 20%).
+
+Columns are classified by name, not position:
+
+  * metric, lower is better:  *_ms, ms, *_s, s_per_sweep
+  * metric, higher is better: speedup, ops_per_sec
+  * everything else is identity and becomes part of the row key
+    (bench/config/engine names, n, ops, iters, write_ratio, ...).
+
+Rows present in the baseline but missing from the current run are
+reported as warnings (bench shapes evolve); only matched metrics can
+fail the comparison. Timing metrics are machine-dependent, so CI wires
+this as a non-blocking step — the committed numbers catch order-of-
+magnitude cliffs and ratio regressions (speedup), not microsecond noise.
+
+Usage: tools/bench_compare.py BASELINE.json CURRENT.json [--threshold 0.2]
+Exit status: 0 when within threshold, 1 on regression, 2 on bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+LOWER_IS_BETTER_SUFFIXES = ("_ms", "_s")
+LOWER_IS_BETTER_NAMES = {"ms", "s_per_sweep", "total_s"}
+HIGHER_IS_BETTER_NAMES = {"speedup", "ops_per_sec"}
+
+
+def metric_direction(column: str) -> str | None:
+    """Returns 'lower', 'higher', or None for identity columns."""
+    if column in HIGHER_IS_BETTER_NAMES:
+        return "higher"
+    if column in LOWER_IS_BETTER_NAMES:
+        return "lower"
+    if any(column.endswith(s) for s in LOWER_IS_BETTER_SUFFIXES):
+        return "lower"
+    return None
+
+
+def row_key(row: dict) -> tuple:
+    return tuple(sorted(
+        (k, v) for k, v in row.items() if metric_direction(k) is None))
+
+
+def load_rows(path: pathlib.Path) -> list[dict]:
+    try:
+        rows = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_compare: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(rows, list) or not all(isinstance(r, dict) for r in rows):
+        print(f"bench_compare: {path} is not a flat row array", file=sys.stderr)
+        sys.exit(2)
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=pathlib.Path,
+                        help="committed reference (BENCH_*.json)")
+    parser.add_argument("current", type=pathlib.Path,
+                        help="freshly generated run to check")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed relative regression (default 0.20)")
+    args = parser.parse_args()
+
+    baseline = {row_key(r): r for r in load_rows(args.baseline)}
+    current = {row_key(r): r for r in load_rows(args.current)}
+
+    regressions: list[str] = []
+    compared = 0
+    for key, base_row in baseline.items():
+        cur_row = current.get(key)
+        label = ", ".join(f"{k}={v}" for k, v in key)
+        if cur_row is None:
+            print(f"bench_compare: WARNING: no current row for [{label}]")
+            continue
+        for column, base_value in base_row.items():
+            direction = metric_direction(column)
+            if direction is None or not isinstance(base_value, (int, float)):
+                continue
+            cur_value = cur_row.get(column)
+            if not isinstance(cur_value, (int, float)):
+                print(f"bench_compare: WARNING: [{label}] {column} is not "
+                      "numeric in the current run")
+                continue
+            compared += 1
+            if base_value <= 0:
+                continue  # cannot form a ratio; skip degenerate baselines
+            ratio = cur_value / base_value
+            regressed = (ratio > 1.0 + args.threshold
+                         if direction == "lower"
+                         else ratio < 1.0 - args.threshold)
+            if regressed:
+                regressions.append(
+                    f"[{label}] {column}: {base_value} -> {cur_value} "
+                    f"({(ratio - 1.0) * 100.0:+.1f}%, "
+                    f"{direction} is better)")
+    for r in regressions:
+        print(f"bench_compare: REGRESSION {r}")
+    if regressions:
+        print(f"bench_compare: {len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%} in {compared} compared metrics",
+              file=sys.stderr)
+        return 1
+    print(f"bench_compare: OK ({compared} metrics within "
+          f"{args.threshold:.0%} of {args.baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,10 +32,21 @@ violation fails the build. Rules:
                replays bit-for-bit from its FaultSchedule seed. (Seedless
                hashing like util::mix64 is fine.)
   spath-loop   No allocating spath::dijkstra_* calls inside for/while loops
-               under src/core: repeated runs over one graph must go through
-               the workspace kernels (dijkstra_*_into / MaskedSptDelta /
-               spath::batch), which reuse arrays instead of reallocating
-               O(n) state per iteration.
+               under src/core or src/svc: repeated runs over one graph (and
+               the serving hot path in particular) must go through the
+               workspace kernels (dijkstra_*_into / MaskedSptDelta /
+               spath::CostDelta / spath::batch), which reuse arrays instead
+               of reallocating O(n) state per iteration.
+  svc-graph-copy
+               No full NodeGraph/LinkGraph copies inside src/svc outside
+               snapshot construction (src/svc/snapshot.*): the serving
+               layer publishes re-declarations as O(1) copy-on-write
+               overlays, and an accidental graph copy on the quote or
+               declare path silently reintroduces the O(n + m) publish
+               this PR removed. The few sanctioned copies (eager non-COW
+               mode, bulk declarations, warm-cache rebuilds) carry a
+               `tc-lint: allow(svc-graph-copy)` comment on the same line
+               or the line above.
 
 Usage: tools/tc_lint.py [--root REPO_ROOT] [--list-rules]
 Exit status: 0 when clean, 1 when violations were found, 2 when no
@@ -118,6 +129,17 @@ SPATH_ALLOC_CALL = re.compile(
     r"\s*\("
 )
 LOOP_KEYWORD = re.compile(r"\b(?:for|while)\s*\(")
+
+# Full graph copies banned in src/svc outside snapshot construction:
+# copy-declaring a graph value, or assigning from a snapshot's
+# materializing node()/link() accessor. Reference binds
+# (`const graph::NodeGraph& g = snap.node()`) do not copy and are skipped
+# via the '&' guard in check_svc_graph_copy.
+SVC_GRAPH_COPY_DECL = re.compile(
+    r"\bgraph::(?:NodeGraph|LinkGraph)\b\s+\w+\s*[={]")
+SVC_GRAPH_COPY_ASSIGN = re.compile(r"=\s*[\w.>\[\]-]*\.(?:node|link)\(\)")
+SVC_GRAPH_COPY_ALLOW = "tc-lint: allow(svc-graph-copy)"
+SVC_GRAPH_COPY_EXEMPT = ("src/svc/snapshot.cpp", "src/svc/snapshot.hpp")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -264,9 +286,33 @@ class Linter:
                           "through net::RadioNet's seeded FaultSchedule "
                           "stream")
 
+    def check_svc_graph_copy(self, path: pathlib.Path, code: str,
+                             text: str) -> None:
+        rel = str(path.relative_to(self.root))
+        if not rel.startswith("src/svc/") or rel in SVC_GRAPH_COPY_EXEMPT:
+            return
+        # The allow-escape lives in a comment, so it is matched against
+        # the raw text (comments are blanked in `code`).
+        raw_lines = text.splitlines()
+        for lineno, line in enumerate(code.splitlines(), 1):
+            hit = SVC_GRAPH_COPY_DECL.search(line) or (
+                "&" not in line and SVC_GRAPH_COPY_ASSIGN.search(line))
+            if not hit:
+                continue
+            allowed = any(
+                SVC_GRAPH_COPY_ALLOW in raw_lines[i]
+                for i in (lineno - 1, lineno - 2)
+                if 0 <= i < len(raw_lines))
+            if allowed:
+                continue
+            self.fail(path, lineno, "svc-graph-copy",
+                      "full graph copy in the serving layer; publish through "
+                      "ProfileSnapshot's copy-on-write derive (or annotate a "
+                      "sanctioned copy with tc-lint: allow(svc-graph-copy))")
+
     def check_spath_loop(self, path: pathlib.Path, code: str) -> None:
         rel = str(path.relative_to(self.root))
-        if not rel.startswith("src/core/"):
+        if not (rel.startswith("src/core/") or rel.startswith("src/svc/")):
             return
         # Mark every '{' that opens a for/while body; a brace-less loop body
         # is the single statement up to the next ';'.
@@ -345,6 +391,7 @@ class Linter:
             self.check_nodiscard(path, code)
             self.check_deprecated(path, code)
             self.check_net_draw(path, code)
+            self.check_svc_graph_copy(path, code, text)
             self.check_spath_loop(path, code)
         for v in self.violations:
             print(v)
@@ -366,7 +413,7 @@ def main() -> int:
     args = parser.parse_args()
     if args.list_rules:
         print("rng new-delete float pragma-once nodiscard deprecated "
-              "net-draw spath-loop")
+              "net-draw svc-graph-copy spath-loop")
         return 0
     return Linter(args.root.resolve()).run()
 
