@@ -33,6 +33,7 @@ Ledger::Ledger(std::size_t num_nodes, std::uint64_t master_seed)
 }
 
 void Ledger::fund_all(Cost amount) {
+  util::SharedMutexLock lock(mu_);
   for (auto& b : balances_) b = amount;
 }
 
@@ -40,11 +41,22 @@ SettlementResult Ledger::settle_upstream(
     std::uint64_t session, NodeId source, std::uint64_t seq,
     const Signature& source_sig,
     const std::vector<std::pair<NodeId, Cost>>& relay_prices) {
-  return settle_upstream(session, source, seq, source_sig, relay_prices,
-                         profile_epoch_);
+  util::SharedMutexLock lock(mu_);
+  return settle_upstream_locked(session, source, seq, source_sig,
+                                relay_prices, profile_epoch_);
 }
 
 SettlementResult Ledger::settle_upstream(
+    std::uint64_t session, NodeId source, std::uint64_t seq,
+    const Signature& source_sig,
+    const std::vector<std::pair<NodeId, Cost>>& relay_prices,
+    std::uint64_t quote_epoch) {
+  util::SharedMutexLock lock(mu_);
+  return settle_upstream_locked(session, source, seq, source_sig,
+                                relay_prices, quote_epoch);
+}
+
+SettlementResult Ledger::settle_upstream_locked(
     std::uint64_t session, NodeId source, std::uint64_t seq,
     const Signature& source_sig,
     const std::vector<std::pair<NodeId, Cost>>& relay_prices,
@@ -100,6 +112,7 @@ SettlementResult Ledger::settle_upstream(
 SettlementResult Ledger::settle_quote(std::uint64_t session, std::uint64_t seq,
                                       const Signature& source_sig,
                                       const core::PaymentResult& quote) {
+  util::SharedMutexLock lock(mu_);
   SettlementResult result;
   if (!quote.connected()) {
     ++rejections_;
@@ -117,18 +130,28 @@ SettlementResult Ledger::settle_quote(std::uint64_t session, std::uint64_t seq,
     }
     relay_prices.emplace_back(relay, price);
   }
-  return settle_upstream(session, quote.path.front(), seq, source_sig,
-                         relay_prices, quote.profile_version);
+  return settle_upstream_locked(session, quote.path.front(), seq, source_sig,
+                                relay_prices, quote.profile_version);
 }
 
 SettlementResult Ledger::settle_downstream(
     std::uint64_t session, NodeId requester, std::uint64_t seq,
     const std::vector<std::tuple<NodeId, Cost, Signature>>& relay_acks) {
-  return settle_downstream(session, requester, seq, relay_acks,
-                           profile_epoch_);
+  util::SharedMutexLock lock(mu_);
+  return settle_downstream_locked(session, requester, seq, relay_acks,
+                                  profile_epoch_);
 }
 
 SettlementResult Ledger::settle_downstream(
+    std::uint64_t session, NodeId requester, std::uint64_t seq,
+    const std::vector<std::tuple<NodeId, Cost, Signature>>& relay_acks,
+    std::uint64_t quote_epoch) {
+  util::SharedMutexLock lock(mu_);
+  return settle_downstream_locked(session, requester, seq, relay_acks,
+                                  quote_epoch);
+}
+
+SettlementResult Ledger::settle_downstream_locked(
     std::uint64_t session, NodeId requester, std::uint64_t seq,
     const std::vector<std::tuple<NodeId, Cost, Signature>>& relay_acks,
     std::uint64_t quote_epoch) {

@@ -14,6 +14,14 @@
 // epoch; settlement of a quote priced under an older epoch is rejected,
 // closing the window where a node re-declares mid-session and a stale
 // (cheaper or dearer) price sheet gets settled anyway.
+//
+// Thread safety: the book (balances, replay records, counters, the fenced
+// epoch) is internally synchronized behind one SharedMutex — settlements
+// take it exclusive, balance/counter reads take it shared — so concurrent
+// sessions can settle against one AP ledger without external locking. The
+// discipline is enforced at compile time by the Clang Thread Safety
+// annotations below. The signing-key registry is immutable after
+// construction and read lock-free.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +32,7 @@
 #include "core/payment.hpp"
 #include "distsim/crypto.hpp"
 #include "graph/types.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace tc::distsim {
 
@@ -46,18 +55,28 @@ class Ledger {
   explicit Ledger(std::size_t num_nodes, std::uint64_t master_seed);
 
   /// Initial balance credit (all nodes start at `amount`).
-  void fund_all(graph::Cost amount);
+  void fund_all(graph::Cost amount) TC_EXCLUDES(mu_);
 
-  graph::Cost balance(graph::NodeId v) const { return balances_.at(v); }
+  graph::Cost balance(graph::NodeId v) const TC_EXCLUDES(mu_) {
+    util::SharedReaderLock lock(mu_);
+    return balances_.at(v);
+  }
 
+  /// Keys are assigned once in the constructor; lock-free by construction.
   const SigningKey& key_of(graph::NodeId v) const { return keys_.at(v); }
 
   /// Declaration epoch the AP currently prices against (mirror of
   /// svc::QuoteEngine::epoch()). Quotes stamped with an older epoch are
   /// refused. Starts at 0 = "no epoch fencing configured", matching
   /// quotes whose profile_version was never stamped.
-  void set_profile_epoch(std::uint64_t epoch) { profile_epoch_ = epoch; }
-  std::uint64_t profile_epoch() const { return profile_epoch_; }
+  void set_profile_epoch(std::uint64_t epoch) TC_EXCLUDES(mu_) {
+    util::SharedMutexLock lock(mu_);
+    profile_epoch_ = epoch;
+  }
+  std::uint64_t profile_epoch() const TC_EXCLUDES(mu_) {
+    util::SharedReaderLock lock(mu_);
+    return profile_epoch_;
+  }
 
   /// Settles one upstream packet: verifies the source's signature over the
   /// packet header; on success pays each relay its price and debits the
@@ -68,18 +87,19 @@ class Ledger {
       std::uint64_t session, graph::NodeId source, std::uint64_t seq,
       const Signature& source_sig,
       const std::vector<std::pair<graph::NodeId, graph::Cost>>& relay_prices,
-      std::uint64_t quote_epoch);
+      std::uint64_t quote_epoch) TC_EXCLUDES(mu_);
   /// Legacy overload: assumes the quote was priced at the current epoch.
   [[nodiscard]] SettlementResult settle_upstream(
       std::uint64_t session, graph::NodeId source, std::uint64_t seq,
       const Signature& source_sig,
-      const std::vector<std::pair<graph::NodeId, graph::Cost>>& relay_prices);
+      const std::vector<std::pair<graph::NodeId, graph::Cost>>& relay_prices)
+      TC_EXCLUDES(mu_);
 
   /// Settles an epoch-stamped engine quote directly: extracts the relay
   /// price list from `quote` and fences on quote.profile_version.
   [[nodiscard]] SettlementResult settle_quote(
       std::uint64_t session, std::uint64_t seq, const Signature& source_sig,
-      const core::PaymentResult& quote);
+      const core::PaymentResult& quote) TC_EXCLUDES(mu_);
 
   /// Settles one downstream packet: requires the relay's signed
   /// acknowledgment that it forwarded the data (counters free riding).
@@ -87,19 +107,28 @@ class Ledger {
       std::uint64_t session, graph::NodeId requester, std::uint64_t seq,
       const std::vector<std::tuple<graph::NodeId, graph::Cost, Signature>>&
           relay_acks,
-      std::uint64_t quote_epoch);
+      std::uint64_t quote_epoch) TC_EXCLUDES(mu_);
   /// Legacy overload: assumes the quote was priced at the current epoch.
   [[nodiscard]] SettlementResult settle_downstream(
       std::uint64_t session, graph::NodeId requester, std::uint64_t seq,
       const std::vector<std::tuple<graph::NodeId, graph::Cost, Signature>>&
-          relay_acks);
+          relay_acks) TC_EXCLUDES(mu_);
 
-  std::size_t settlements() const { return settlements_; }
-  std::size_t rejections() const { return rejections_; }
+  std::size_t settlements() const TC_EXCLUDES(mu_) {
+    util::SharedReaderLock lock(mu_);
+    return settlements_;
+  }
+  std::size_t rejections() const TC_EXCLUDES(mu_) {
+    util::SharedReaderLock lock(mu_);
+    return rejections_;
+  }
   /// Retransmitted settlements acknowledged as no-ops (same packet id,
   /// identical content). Distinct from rejections(): a duplicate ack is a
   /// success from the sender's point of view.
-  std::size_t duplicate_acks() const { return duplicate_acks_; }
+  std::size_t duplicate_acks() const TC_EXCLUDES(mu_) {
+    util::SharedReaderLock lock(mu_);
+    return duplicate_acks_;
+  }
 
  private:
   /// What was settled under a packet id, so a retransmission can be told
@@ -109,14 +138,32 @@ class Ledger {
     graph::Cost charged = 0.0;
   };
 
-  std::vector<graph::Cost> balances_;
+  /// Lock-holding cores of the public settle entry points, so the legacy
+  /// overloads and settle_quote can fence + settle under one critical
+  /// section instead of re-acquiring (SharedMutex is not recursive).
+  [[nodiscard]] SettlementResult settle_upstream_locked(
+      std::uint64_t session, graph::NodeId source, std::uint64_t seq,
+      const Signature& source_sig,
+      const std::vector<std::pair<graph::NodeId, graph::Cost>>& relay_prices,
+      std::uint64_t quote_epoch) TC_REQUIRES(mu_);
+  [[nodiscard]] SettlementResult settle_downstream_locked(
+      std::uint64_t session, graph::NodeId requester, std::uint64_t seq,
+      const std::vector<std::tuple<graph::NodeId, graph::Cost, Signature>>&
+          relay_acks,
+      std::uint64_t quote_epoch) TC_REQUIRES(mu_);
+
+  /// Guards the whole account book; mutable so shared-read accessors stay
+  /// const. Leaf lock: nothing is called out of the ledger while held.
+  mutable util::SharedMutex mu_;
+  std::vector<graph::Cost> balances_ TC_GUARDED_BY(mu_);
+  /// Immutable after construction (the constructor is pre-publication).
   std::vector<SigningKey> keys_;
   std::map<std::pair<std::uint64_t, std::uint64_t>, SettledRecord>
-      seen_packets_;
-  std::uint64_t profile_epoch_ = 0;
-  std::size_t settlements_ = 0;
-  std::size_t rejections_ = 0;
-  std::size_t duplicate_acks_ = 0;
+      seen_packets_ TC_GUARDED_BY(mu_);
+  std::uint64_t profile_epoch_ TC_GUARDED_BY(mu_) = 0;
+  std::size_t settlements_ TC_GUARDED_BY(mu_) = 0;
+  std::size_t rejections_ TC_GUARDED_BY(mu_) = 0;
+  std::size_t duplicate_acks_ TC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tc::distsim

@@ -117,7 +117,11 @@ class LinkGraph {
   std::vector<Arc> arcs_;
   std::vector<geom::Point> positions_;
   /// Lazily memoized reverse graph; nullptr until first reverse() call
-  /// and after every mutation.
+  /// and after every mutation. Lock-free by construction: the only
+  /// mutable member is this atomic (duplicate builds race benignly, one
+  /// winner kept), which is exactly what tools/tc_analyze.py's
+  /// mutable-const rule enforces — a mutable non-atomic cache here would
+  /// be a data race on the reader path.
   mutable std::atomic<std::shared_ptr<const LinkGraph>> reverse_{nullptr};
 };
 

@@ -6,7 +6,7 @@ namespace tc::svc {
 
 void Metrics::record_served(double latency_us) {
   quotes_served_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(latency_mutex_);
+  util::MutexLock lock(latency_mutex_);
   latencies_.add(latency_us);
 }
 
@@ -29,7 +29,7 @@ MetricsSnapshot Metrics::snapshot() const {
   s.warm_priced = warm_priced_.load(std::memory_order_relaxed);
   s.warm_fallbacks = warm_fallbacks_.load(std::memory_order_relaxed);
   s.snapshot_rebases = snapshot_rebases_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(latency_mutex_);
+  util::MutexLock lock(latency_mutex_);
   if (latencies_.count() > 0) {
     s.latency_p50_us = latencies_.percentile(50.0);
     s.latency_p90_us = latencies_.percentile(90.0);

@@ -52,8 +52,7 @@ QuoteEngine::QuoteEngine(graph::NodeGraph topology, graph::NodeId access_point,
   if (options_.warm_spt_cache && pricer_->accepts_warm_spts()) {
     // The warm repair graph starts as a private copy of the topology and
     // is kept in lockstep with the snapshot by replaying CostChanges.
-    warm_ = std::make_unique<WarmState>(topology);
-    warm_->graph_epoch = 1;
+    warm_ = std::make_unique<WarmState>(topology, 1);
   }
   snapshot_.store(
       std::make_shared<const ProfileSnapshot>(1, std::move(topology)));
@@ -107,7 +106,7 @@ std::uint64_t QuoteEngine::declare_cost(NodeId v, Cost declared) {
   TC_CHECK_MSG(declared >= 0.0, "declared cost must be non-negative");
   TC_CHECK_MSG(pricer_->model() == GraphModel::kNode,
                "declare_cost is for node-model engines");
-  std::lock_guard<std::mutex> writer(writer_mutex_);
+  util::MutexLock writer(writer_mutex_);
   const auto old_snap = snapshot_.load(std::memory_order_acquire);
   // Overlay-aware read: does not force the old snapshot to materialize.
   const Cost c_old = old_snap->node_cost(v);
@@ -137,7 +136,7 @@ std::uint64_t QuoteEngine::declare_costs(const std::vector<Cost>& declared) {
   TC_CHECK_MSG(declared.size() == num_nodes_, "cost vector size mismatch");
   TC_CHECK_MSG(pricer_->model() == GraphModel::kNode,
                "declare_costs is for node-model engines");
-  std::lock_guard<std::mutex> writer(writer_mutex_);
+  util::MutexLock writer(writer_mutex_);
   const auto old_snap = snapshot_.load(std::memory_order_acquire);
   // Bulk declarations rewrite the whole vector; an eager snapshot is the
   // right publish and the warm cache starts over.
@@ -159,7 +158,7 @@ std::uint64_t QuoteEngine::declare_arc_cost(NodeId u, NodeId w, Cost declared) {
   TC_CHECK_MSG(declared >= 0.0, "declared cost must be non-negative");
   TC_CHECK_MSG(pricer_->model() == GraphModel::kLink,
                "declare_arc_cost is for link-model engines");
-  std::lock_guard<std::mutex> writer(writer_mutex_);
+  util::MutexLock writer(writer_mutex_);
   const auto old_snap = snapshot_.load(std::memory_order_acquire);
   const Cost c_old = old_snap->arc_cost(u, w);
   TC_CHECK_MSG(graph::finite_cost(c_old), "declared arc does not exist");
@@ -208,7 +207,7 @@ void QuoteEngine::sweep_node(NodeId v, Cost c_old, Cost c_new,
   std::uint64_t evicted = 0;
   std::uint64_t retained = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    util::MutexLock lock(shard->mutex);
     auto& entries = shard->entries;
     for (auto it = entries.begin(); it != entries.end();) {
       CacheEntry& e = it->second;
@@ -280,7 +279,7 @@ void QuoteEngine::sweep_link(NodeId u, NodeId w, Cost c_old, Cost c_new,
   std::uint64_t evicted = 0;
   std::uint64_t retained = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    util::MutexLock lock(shard->mutex);
     auto& entries = shard->entries;
     for (auto it = entries.begin(); it != entries.end();) {
       CacheEntry& e = it->second;
@@ -332,14 +331,14 @@ void QuoteEngine::sweep_link(NodeId u, NodeId w, Cost c_old, Cost c_new,
 
 void QuoteEngine::full_flush_locked() {
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    util::MutexLock lock(shard->mutex);
     shard->entries.clear();
   }
   metrics_.record_full_flush();
 }
 
 void QuoteEngine::flush_cache() {
-  std::lock_guard<std::mutex> writer(writer_mutex_);
+  util::MutexLock writer(writer_mutex_);
   full_flush_locked();
 }
 
@@ -365,7 +364,7 @@ std::optional<core::PaymentResult> QuoteEngine::quote_impl(NodeId source,
       static_cast<std::uint64_t>(source) * num_nodes_ + target;
   Shard& shard = *shards_[key % shards_.size()];
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     auto it = shard.entries.find(key);
     if (it != shard.entries.end() && it->second.epoch == snap->epoch()) {
       core::PaymentResult result = it->second.quote.result;
@@ -380,7 +379,7 @@ std::optional<core::PaymentResult> QuoteEngine::quote_impl(NodeId source,
   priced.result.profile_version = snap->epoch();
   core::PaymentResult result = priced.result;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     auto it = shard.entries.find(key);
     if (it == shard.entries.end()) {
       if (shard.entries.size() >= options_.max_entries_per_shard) {
@@ -421,7 +420,7 @@ bool QuoteEngine::warm_spts(const ProfileSnapshot& snap, NodeId source,
                             NodeId target, spath::SptResult& spt_source,
                             spath::SptResult& spt_target) {
   WarmState& w = *warm_;
-  std::lock_guard<std::mutex> lock(w.mutex);
+  util::MutexLock lock(w.mutex);
   if (w.poisoned) {
     // Rebuild in lockstep with this reader's snapshot: one cold copy,
     // after which replay resumes from snap's epoch.
@@ -487,7 +486,7 @@ void QuoteEngine::warm_note_change(std::uint64_t new_epoch, NodeId v,
                                    Cost c_old, Cost c_new) {
   if (warm_ == nullptr) return;
   WarmState& w = *warm_;
-  std::lock_guard<std::mutex> lock(w.mutex);
+  util::MutexLock lock(w.mutex);
   if (w.poisoned) return;
   if (w.pending.size() >= warm_pending_cap_) {
     // Replay has fallen hopelessly behind the write rate; a rebuild from
@@ -503,7 +502,7 @@ void QuoteEngine::warm_note_change(std::uint64_t new_epoch, NodeId v,
 void QuoteEngine::warm_poison() {
   if (warm_ == nullptr) return;
   WarmState& w = *warm_;
-  std::lock_guard<std::mutex> lock(w.mutex);
+  util::MutexLock lock(w.mutex);
   w.poisoned = true;
   w.pending.clear();
   w.roots.clear();

@@ -56,7 +56,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -66,6 +65,7 @@
 #include "spath/workspace.hpp"
 #include "svc/metrics.hpp"
 #include "svc/pricer.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tc::svc {
@@ -188,8 +188,11 @@ class QuoteEngine {
   };
 
   struct Shard {
-    std::mutex mutex;
-    std::unordered_map<std::uint64_t, CacheEntry> entries;
+    /// Leaf lock: held only for map lookup/insert, never across pricing,
+    /// never together with another shard's mutex or warm_->mutex.
+    util::Mutex mutex;
+    std::unordered_map<std::uint64_t, CacheEntry> entries
+        TC_GUARDED_BY(mutex);
   };
 
   /// One recorded re-declaration, replayed into the warm SPT cache.
@@ -208,18 +211,20 @@ class QuoteEngine {
   /// Warm SPT state (node model only). `graph` mirrors the snapshot at
   /// epoch `graph_epoch`; `pending` holds the not-yet-replayed changes
   /// between graph_epoch and the writer's latest epoch. All fields are
-  /// guarded by `mutex` (writers take it after writer_mutex_).
+  /// guarded by `mutex` (writers take it after writer_mutex_; readers
+  /// take it alone — never while holding a shard mutex).
   struct WarmState {
-    explicit WarmState(graph::NodeGraph g) : graph(std::move(g)) {}
+    WarmState(graph::NodeGraph g, std::uint64_t epoch)
+        : graph(std::move(g)), graph_epoch(epoch) {}
 
-    std::mutex mutex;
-    bool poisoned = false;
-    graph::NodeGraph graph;
-    std::uint64_t graph_epoch = 0;
-    std::deque<CostChange> pending;
-    std::unordered_map<graph::NodeId, WarmRoot> roots;
-    std::uint64_t tick = 0;
-    spath::DijkstraWorkspace ws;
+    util::Mutex mutex;
+    bool poisoned TC_GUARDED_BY(mutex) = false;
+    graph::NodeGraph graph TC_GUARDED_BY(mutex);
+    std::uint64_t graph_epoch TC_GUARDED_BY(mutex) = 0;
+    std::deque<CostChange> pending TC_GUARDED_BY(mutex);
+    std::unordered_map<graph::NodeId, WarmRoot> roots TC_GUARDED_BY(mutex);
+    std::uint64_t tick TC_GUARDED_BY(mutex) = 0;
+    spath::DijkstraWorkspace ws TC_GUARDED_BY(mutex);
   };
 
   std::optional<core::PaymentResult> quote_impl(graph::NodeId source,
@@ -234,31 +239,38 @@ class QuoteEngine {
                  graph::NodeId target, spath::SptResult& spt_source,
                  spath::SptResult& spt_target);
   /// Writer-side: records one declaration for later warm replay (or
-  /// poisons the warm cache on overflow). Caller holds writer_mutex_.
+  /// poisons the warm cache on overflow).
   void warm_note_change(std::uint64_t new_epoch, graph::NodeId v,
-                        graph::Cost c_old, graph::Cost c_new);
-  /// Writer-side: invalidates the warm cache (bulk declarations). Caller
-  /// holds writer_mutex_.
-  void warm_poison();
-  /// Publishes `snap` as the new current snapshot. Caller holds
-  /// writer_mutex_.
-  void publish(std::shared_ptr<const ProfileSnapshot> snap);
-  void full_flush_locked();
-  /// Invalidation sweeps; caller holds writer_mutex_.
+                        graph::Cost c_old, graph::Cost c_new)
+      TC_REQUIRES(writer_mutex_);
+  /// Writer-side: invalidates the warm cache (bulk declarations).
+  void warm_poison() TC_REQUIRES(writer_mutex_);
+  /// Publishes `snap` as the new current snapshot.
+  void publish(std::shared_ptr<const ProfileSnapshot> snap)
+      TC_REQUIRES(writer_mutex_);
+  void full_flush_locked() TC_REQUIRES(writer_mutex_);
+  /// Invalidation sweeps.
   void sweep_node(graph::NodeId v, graph::Cost c_old, graph::Cost c_new,
-                  std::uint64_t old_epoch, std::uint64_t new_epoch);
+                  std::uint64_t old_epoch, std::uint64_t new_epoch)
+      TC_REQUIRES(writer_mutex_);
   void sweep_link(graph::NodeId u, graph::NodeId w, graph::Cost c_old,
                   graph::Cost c_new, std::uint64_t old_epoch,
-                  std::uint64_t new_epoch);
+                  std::uint64_t new_epoch) TC_REQUIRES(writer_mutex_);
 
   std::size_t num_nodes_;
   graph::NodeId access_point_;
   std::shared_ptr<const Pricer> pricer_;
   Options options_;
 
+  /// Published with release semantics under writer_mutex_, read lock-free
+  /// with acquire loads — intentionally NOT TC_GUARDED_BY so the reader
+  /// path stays annotation-clean (the atomics are the synchronization).
   std::atomic<std::shared_ptr<const ProfileSnapshot>> snapshot_;
   std::atomic<std::uint64_t> epoch_{1};
-  std::mutex writer_mutex_;
+  /// Serializes declare/flush writers. Lock order (DESIGN.md §11):
+  /// writer_mutex_ first, then shard mutexes / warm_->mutex (one at a
+  /// time); never acquired while any other engine lock is held.
+  util::Mutex writer_mutex_;
   std::vector<std::unique_ptr<Shard>> shards_;
   /// COW overlay length before folding into a fresh base.
   std::size_t rebase_cap_ = 0;

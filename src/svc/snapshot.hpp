@@ -24,6 +24,9 @@
 // Snapshots stay immutable after construction: the only mutable member
 // is the materialization cache, which is write-once-racy-benign (all
 // racers build identical graphs; compare_exchange keeps one winner).
+// tools/tc_analyze.py's mutable-const rule checks this shape statically:
+// every mutable member in src/ must be an atomic or an annotated mutex,
+// so snapshot materialization can never silently grow a racy cache.
 #pragma once
 
 #include <atomic>

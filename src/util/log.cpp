@@ -4,13 +4,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace tc::util {
 
 namespace {
 
 LogLevel initial_level() {
+  // Read exactly once, under level_storage()'s magic-static guard, during
+  // the first log call — nothing mutates the environment concurrently.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("TRUTHCAST_LOG");
   if (!env) return LogLevel::kWarn;
   if (std::strcmp(env, "error") == 0) return LogLevel::kError;
@@ -51,8 +55,11 @@ void set_log_level(LogLevel level) {
 
 void logf(LogLevel level, const char* format, ...) {
   if (static_cast<int>(level) > static_cast<int>(log_level())) return;
-  static std::mutex mu;
-  std::lock_guard<std::mutex> lock(mu);
+  // Serializes the three stderr writes below into one record. Leaf lock:
+  // nothing is called while it is held, so it can never participate in a
+  // cycle (DESIGN.md §11).
+  static Mutex mu;
+  MutexLock lock(mu);
   std::fprintf(stderr, "[truthcast %s] ", level_name(level));
   va_list args;
   va_start(args, format);

@@ -72,14 +72,14 @@ void Percentiles::add_all(const std::vector<double>& xs) {
   sorted_ = false;
 }
 
-void Percentiles::ensure_sorted() const {
+void Percentiles::ensure_sorted() {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
   }
 }
 
-double Percentiles::percentile(double p) const {
+double Percentiles::percentile(double p) {
   TC_CHECK_MSG(!samples_.empty(), "percentile of empty sample set");
   TC_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile p out of [0,100]");
   ensure_sorted();

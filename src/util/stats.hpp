@@ -63,13 +63,17 @@ class Percentiles {
   std::size_t count() const { return samples_.size(); }
 
   /// Linear-interpolated percentile, p in [0, 100]. Requires count() > 0.
-  double percentile(double p) const;
-  double median() const { return percentile(50.0); }
+  /// Non-const: the first query after an add() sorts the sample buffer in
+  /// place. (A `mutable` lazy-sort cache would race the moment two
+  /// readers shared a const Percentiles — tc_analyze's mutable-const rule
+  /// bans that shape, so the mutation is honest instead.)
+  double percentile(double p);
+  double median() { return percentile(50.0); }
 
  private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
-  void ensure_sorted() const;
+  std::vector<double> samples_;
+  bool sorted_ = false;
+  void ensure_sorted();
 };
 
 /// Bootstrap confidence interval for the mean of a sample (percentile

@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -29,8 +29,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_.wait(mutex_);
       if (queue_.empty()) {
         if (stop_) return;
         continue;
@@ -74,6 +74,9 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 
 ThreadPool& default_pool() {
   static ThreadPool pool([] {
+    // Read exactly once, under the magic-static guard of `pool`, before
+    // any worker exists — no env race is possible here.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char* env = std::getenv("TRUTHCAST_THREADS")) {
       const long v = std::strtol(env, nullptr, 10);
       if (v > 0) return static_cast<std::size_t>(v);

@@ -4,14 +4,14 @@
 // index, so results are identical for any worker count, including 1.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace tc::util {
 
@@ -35,7 +35,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       queue_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -51,11 +51,12 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  /// Immutable after construction; joined by the destructor.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ TC_GUARDED_BY(mutex_);
+  bool stop_ TC_GUARDED_BY(mutex_) = false;
 };
 
 /// Process-wide default pool, sized from the TRUTHCAST_THREADS environment

@@ -1,0 +1,14 @@
+// A workspace kernel that only grows its caller-owned arena: arena
+// growth (.resize/.push_back) is the point, not a violation.
+#include <cstddef>
+#include <vector>
+
+namespace spath {
+
+void solve_into(std::vector<int>& out, std::size_t n) {
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<int>(i);
+  out.push_back(0);
+}
+
+}  // namespace spath

@@ -1,0 +1,10 @@
+// A lock-free pricing entry point over a frozen snapshot.
+#include "util/memo.hpp"
+
+namespace svc {
+
+double price(const Memo& snapshot, int source, int target) {
+  return static_cast<double>(snapshot.get() + source + target);
+}
+
+}  // namespace svc

@@ -1,0 +1,12 @@
+#pragma once
+
+#include <atomic>
+
+// The sanctioned mutable shape: an atomic CAS memo.
+class Memo {
+ public:
+  int get() const { return cached_.load(); }
+
+ private:
+  mutable std::atomic<int> cached_{0};
+};

@@ -1,0 +1,21 @@
+// Same per-call allocation as hot_alloc_bad, but waived with a
+// justification (e.g. a cold path that only runs once per rebuild).
+#include <cstddef>
+#include <vector>
+
+namespace spath {
+
+int scratch_sum(std::size_t n) {
+  // tc-analyze: allow(hot-alloc) one-time cold-path rebuild, fixture
+  std::vector<int> scratch(n, 1);
+  int total = 0;
+  for (int v : scratch) total += v;
+  return total;
+}
+
+void solve_into(std::vector<int>& out, std::size_t n) {
+  out.resize(n);
+  out[0] = scratch_sum(n);
+}
+
+}  // namespace spath

@@ -1,0 +1,22 @@
+// Seeded violation: a helper on the workspace-kernel call path builds a
+// fresh std::vector per call instead of reusing a grow-only arena.
+#include <cstddef>
+#include <vector>
+
+namespace spath {
+
+int scratch_sum(std::size_t n) {
+  std::vector<int> scratch(n, 1);
+  int total = 0;
+  for (int v : scratch) total += v;
+  return total;
+}
+
+int relax_all(std::size_t n) { return scratch_sum(n); }
+
+void solve_into(std::vector<int>& out, std::size_t n) {
+  out.resize(n);
+  out[0] = relax_all(n);
+}
+
+}  // namespace spath

@@ -1,0 +1,7 @@
+// Seeded violation: a back-edge include. graph/ is below svc/ in the
+// layer DAG and must not reach up into the serving layer.
+#pragma once
+
+#include "svc/engine.hpp"
+
+inline int graph_using_svc() { return engine_id(); }

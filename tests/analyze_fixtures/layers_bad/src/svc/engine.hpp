@@ -1,0 +1,2 @@
+#pragma once
+inline int engine_id() { return 1; }

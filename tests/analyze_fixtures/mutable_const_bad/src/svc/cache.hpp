@@ -1,0 +1,18 @@
+// Seeded violation: a mutable non-atomic cache mutated through a const
+// accessor — invisible to callers, racy the moment readers share it.
+#pragma once
+
+class Cache {
+ public:
+  int value() const {
+    if (!filled_) {
+      cached_ = 42;
+      filled_ = true;
+    }
+    return cached_;
+  }
+
+ private:
+  mutable int cached_ = 0;
+  mutable bool filled_ = false;
+};

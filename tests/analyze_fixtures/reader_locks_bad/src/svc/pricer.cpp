@@ -1,0 +1,26 @@
+// Seeded violation: a lock acquired below the pricing entry point. The
+// reader path must stay lock-free; locks belong to the caching layers
+// around it.
+namespace util {
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex&) {}
+};
+}  // namespace util
+
+namespace svc {
+
+util::Mutex stats_mutex;
+int hits = 0;
+
+int record_hit() {
+  util::MutexLock lock(stats_mutex);
+  return ++hits;
+}
+
+double price(int source, int target) {
+  record_hit();
+  return static_cast<double>(source + target);
+}
+
+}  // namespace svc

@@ -1,0 +1,4 @@
+// Seeded violation: a new use of the retired RouteQuote alias.
+struct RouteQuote {};
+
+RouteQuote make_legacy_quote() { return RouteQuote{}; }

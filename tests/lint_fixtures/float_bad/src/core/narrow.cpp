@@ -1,0 +1,5 @@
+// Seeded violation: float in the payment arithmetic layer.
+double narrow(double payment) {
+  float f = static_cast<float>(payment);
+  return f;
+}

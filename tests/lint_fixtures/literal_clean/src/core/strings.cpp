@@ -1,0 +1,5 @@
+// Banned spellings inside comments and string literals must NOT fire:
+// the linter strips them first. E.g. "new int" or std::mt19937 here.
+const char* describe() {
+  return "uses new int, delete p, std::mt19937, float, RouteQuote";
+}

@@ -1,0 +1,5 @@
+// Seeded violation: a protocol layer rolling its own delivery dice
+// instead of drawing through src/distsim/net's seeded stream.
+bool bernoulli(double p);
+
+bool deliver(double loss) { return !bernoulli(loss); }

@@ -1,0 +1,7 @@
+// Seeded violation: naked new/delete ownership.
+int own() {
+  int* p = new int(7);
+  int v = *p;
+  delete p;
+  return v;
+}

@@ -1,0 +1,8 @@
+// Seeded violation: a payment-typed return without [[nodiscard]].
+#pragma once
+
+struct PaymentResult {
+  double total = 0.0;
+};
+
+PaymentResult quote_payment();

@@ -1,0 +1,5 @@
+// Seeded violation: an #ifndef include guard instead of #pragma once.
+#ifndef CORE_GUARD_HPP
+#define CORE_GUARD_HPP
+inline int guarded() { return 1; }
+#endif

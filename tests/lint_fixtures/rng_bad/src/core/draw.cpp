@@ -1,0 +1,7 @@
+// Seeded violation: a raw std engine instead of tc::util::Rng streams.
+#include <random>
+
+int draw() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen());
+}

@@ -1,0 +1,13 @@
+// Seeded violation: an allocating Dijkstra inside a loop (the workspace
+// kernels exist so repeated solves reuse arrays).
+namespace spath {
+struct SptResult {};
+SptResult dijkstra_node(int g, int s);
+}  // namespace spath
+
+void resolve_all(int g, int n) {
+  for (int s = 0; s < n; ++s) {
+    spath::SptResult r = spath::dijkstra_node(g, s);
+    (void)r;
+  }
+}

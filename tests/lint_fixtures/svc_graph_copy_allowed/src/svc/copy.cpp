@@ -1,0 +1,16 @@
+// Same copy as svc_graph_copy_bad, but sanctioned by an allow comment.
+namespace graph {
+struct NodeGraph {};
+}  // namespace graph
+
+struct Snap {
+  graph::NodeGraph g;
+  const graph::NodeGraph& node() const { return g; }
+};
+
+double price(const Snap& snap) {
+  // tc-lint: allow(svc-graph-copy) fixture-sanctioned cold copy
+  graph::NodeGraph copy = snap.node();
+  (void)copy;
+  return 0.0;
+}

@@ -1,0 +1,15 @@
+// Seeded violation: a full graph copy on the serving path.
+namespace graph {
+struct NodeGraph {};
+}  // namespace graph
+
+struct Snap {
+  graph::NodeGraph g;
+  const graph::NodeGraph& node() const { return g; }
+};
+
+double price(const Snap& snap) {
+  graph::NodeGraph copy = snap.node();
+  (void)copy;
+  return 0.0;
+}

@@ -1,0 +1,25 @@
+// MUST NOT COMPILE under -Werror=thread-safety-analysis: writes a
+// TC_GUARDED_BY member without holding its mutex. This is the exact bug
+// class the serving-layer annotations exist to reject at compile time
+// (see tools/negative_compile_test.py, which asserts the rejection).
+#include "util/thread_annotations.hpp"
+
+namespace tc {
+
+class Account {
+ public:
+  void deposit(double amount) {
+    balance_ += amount;  // no lock held: the analysis must flag this
+  }
+
+  double balance() const {
+    util::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  mutable util::Mutex mu_;
+  double balance_ TC_GUARDED_BY(mu_) = 0.0;
+};
+
+}  // namespace tc

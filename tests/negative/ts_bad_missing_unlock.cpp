@@ -1,0 +1,23 @@
+// MUST NOT COMPILE under -Werror=thread-safety-analysis: a manual
+// lock() with no matching unlock() on one path. Scoped MutexLock
+// acquisition makes this shape unwritable; this fixture pins down that
+// the analysis catches the manual variant too.
+#include "util/thread_annotations.hpp"
+
+namespace tc {
+
+class Counter {
+ public:
+  void poke(bool fast) {
+    mu_.lock();
+    ++count_;
+    if (fast) return;  // leaks the capability: the analysis must flag this
+    mu_.unlock();
+  }
+
+ private:
+  util::Mutex mu_;
+  int count_ TC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace tc

@@ -1,0 +1,22 @@
+// MUST NOT COMPILE under -Werror=thread-safety-analysis: calls a
+// TC_REQUIRES(mu_) function without holding mu_. Mirrors QuoteEngine's
+// private `*_locked` writer helpers — calling one outside the writer
+// mutex is the lock-discipline bug the annotations close off.
+#include "util/thread_annotations.hpp"
+
+namespace tc {
+
+class Book {
+ public:
+  void publish() {
+    flush_locked();  // mu_ not held: the analysis must flag this
+  }
+
+ private:
+  void flush_locked() TC_REQUIRES(mu_) { ++epoch_; }
+
+  util::Mutex mu_;
+  unsigned long epoch_ TC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace tc

@@ -1,0 +1,71 @@
+// MUST COMPILE cleanly under -Werror=thread-safety-analysis: the same
+// shapes as the ts_bad_* fixtures, written with the discipline the
+// annotations demand. Positive control — proves a clean build means
+// "the analysis ran and approved", not "the macros expanded to nothing".
+#include "util/thread_annotations.hpp"
+
+namespace tc {
+
+class Account {
+ public:
+  void deposit(double amount) {
+    util::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  double balance() const {
+    util::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  mutable util::Mutex mu_;
+  double balance_ TC_GUARDED_BY(mu_) = 0.0;
+};
+
+class Book {
+ public:
+  void publish() {
+    util::MutexLock lock(mu_);
+    flush_locked();
+  }
+
+  void wait_for_epoch(unsigned long target) {
+    util::MutexLock lock(mu_);
+    while (epoch_ < target) cv_.wait(mu_);
+  }
+
+  void bump() {
+    {
+      util::MutexLock lock(mu_);
+      flush_locked();
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  void flush_locked() TC_REQUIRES(mu_) { ++epoch_; }
+
+  util::Mutex mu_;
+  util::CondVar cv_;
+  unsigned long epoch_ TC_GUARDED_BY(mu_) = 0;
+};
+
+class Registry {
+ public:
+  int read() const {
+    util::SharedReaderLock lock(mu_);
+    return value_;
+  }
+
+  void write(int v) {
+    util::SharedMutexLock lock(mu_);
+    value_ = v;
+  }
+
+ private:
+  mutable util::SharedMutex mu_;
+  int value_ TC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace tc

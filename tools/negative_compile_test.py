@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Negative-compile harness for the Clang Thread Safety annotations.
+
+Compiles every tests/negative/ts_*.cpp with
+    clang++ -fsyntax-only -Wthread-safety -Wthread-safety-beta
+            -Werror=thread-safety-analysis
+and asserts the *direction* of the outcome:
+
+  ts_bad_*.cpp   must be REJECTED, with a thread-safety diagnostic
+                 (a failure for any other reason — missing header, syntax
+                 error — is reported as a harness bug, not a pass);
+  ts_ok_*.cpp    must COMPILE cleanly (positive control: a green build
+                 means the analysis ran and approved, not that the TC_*
+                 macros expanded to nothing).
+
+Clang is required for the analysis (the TC_* macros are no-ops under
+GCC). When no clang++ is available — e.g. the GCC-only dev container —
+the harness exits 77, which ctest maps to SKIPPED via SKIP_RETURN_CODE;
+CI's thread-safety job installs clang and runs it for real.
+
+Usage: tools/negative_compile_test.py [--root R] [--clang PATH]
+Exit status: 0 all expectations met, 1 violated, 2 harness error,
+77 skipped (no clang).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+
+SKIP = 77
+
+TS_FLAGS = [
+    "-std=c++20", "-fsyntax-only",
+    "-Wthread-safety", "-Wthread-safety-beta",
+    "-Werror=thread-safety-analysis",
+]
+# Diagnostic groups the bad fixtures must trip; anything else (syntax
+# error, missing include) means the fixture is broken, not the build.
+TS_MARKERS = ("-Wthread-safety", "thread-safety")
+
+
+def find_clang(explicit: str | None) -> str | None:
+    candidates = [explicit] if explicit else []
+    candidates += [os.environ.get("TC_CLANGXX"), "clang++"]
+    for c in candidates:
+        if c and shutil.which(c):
+            return c
+    return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent)
+    parser.add_argument("--clang", help="clang++ to use (default: $TC_CLANGXX "
+                                        "or clang++ on PATH)")
+    args = parser.parse_args()
+    root = args.root.resolve()
+
+    clang = find_clang(args.clang)
+    if clang is None:
+        print("negative_compile_test: no clang++ available; thread-safety "
+              "analysis needs Clang (GCC expands the TC_* macros to "
+              "nothing) -- skipping", file=sys.stderr)
+        return SKIP
+
+    fixtures = sorted((root / "tests" / "negative").glob("ts_*.cpp"))
+    if not fixtures:
+        print(f"negative_compile_test: no fixtures under "
+              f"{root}/tests/negative", file=sys.stderr)
+        return 2
+
+    failures: list[str] = []
+    for src in fixtures:
+        expect_reject = src.name.startswith("ts_bad_")
+        proc = subprocess.run(
+            [clang, *TS_FLAGS, f"-I{root / 'src'}", str(src)],
+            capture_output=True, text=True, check=False)
+        rejected = proc.returncode != 0
+        name = src.relative_to(root)
+        if expect_reject:
+            if not rejected:
+                failures.append(
+                    f"{name}: compiled cleanly but must be rejected -- the "
+                    f"thread-safety analysis is not running or the "
+                    f"annotations are inert")
+            elif not any(m in proc.stderr for m in TS_MARKERS):
+                failures.append(
+                    f"{name}: rejected, but not by the thread-safety "
+                    f"analysis (fixture bug?):\n{proc.stderr}")
+            else:
+                print(f"ok: {name} rejected by thread-safety analysis")
+        else:
+            if rejected:
+                failures.append(
+                    f"{name}: positive control failed to compile:\n"
+                    f"{proc.stderr}")
+            else:
+                print(f"ok: {name} compiled cleanly")
+
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"negative_compile_test: OK ({len(fixtures)} fixtures, "
+          f"clang={clang})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

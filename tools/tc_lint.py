@@ -62,6 +62,11 @@ import sys
 
 # Directories scanned per rule (relative to the repo root).
 CODE_DIRS = ("src", "tests", "examples", "bench", "tools")
+# Seeded-violation trees: lint/analyzer fixtures break rules on purpose,
+# and tests/negative holds deliberately ill-disciplined lock code that
+# must *fail* compilation under -Werror=thread-safety-analysis.
+EXCLUDE_DIRS = ("tests/lint_fixtures", "tests/analyze_fixtures",
+                "tests/negative")
 FLOAT_BAN_DIRS = ("src/core", "src/mech", "src/distsim")
 
 # Types whose values must never be silently dropped: payment profiles,
@@ -375,7 +380,11 @@ class Linter:
             if not base.is_dir():
                 continue
             for ext in ("*.cpp", "*.hpp"):
-                files.extend(sorted(base.rglob(ext)))
+                files.extend(
+                    p for p in sorted(base.rglob(ext))
+                    if not any(
+                        str(p.relative_to(self.root)).startswith(e + "/")
+                        for e in EXCLUDE_DIRS))
         if not files:
             # A mistyped --root must not green-light the build.
             print(f"tc_lint: no source files under {self.root} "
