@@ -58,9 +58,9 @@ void apply_declare(svc::QuoteEngine& engine, const Op& op) {
   (void)engine.declare_cost(op.v, next);
 }
 
-svc::QuoteEngine::Options make_options(bool incremental, bool cow,
+svc::EngineConfig make_options(bool incremental, bool cow,
                                        bool warm) {
-  svc::QuoteEngine::Options opt;
+  svc::EngineConfig opt;
   opt.incremental_invalidation = incremental;
   opt.cow_snapshots = cow;
   opt.warm_spt_cache = warm;
@@ -68,7 +68,7 @@ svc::QuoteEngine::Options make_options(bool incremental, bool cow,
 }
 
 double run_timed(const graph::NodeGraph& g, const std::vector<Op>& ops,
-                 svc::QuoteEngine::Options options,
+                 svc::EngineConfig options,
                  svc::MetricsSnapshot* metrics_out) {
   svc::QuoteEngine engine(g, 0, nullptr, options);
   const auto start = std::chrono::steady_clock::now();
@@ -215,7 +215,7 @@ int main(int argc, char** argv) {
 
   struct Config {
     const char* name;
-    svc::QuoteEngine::Options options;
+    svc::EngineConfig options;
   };
   const Config configs[] = {
       {"conservative", make_options(false, false, false)},

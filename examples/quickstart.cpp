@@ -1,13 +1,13 @@
-// Quickstart: build a small wireless network, run the strategyproof VCG
-// unicast mechanism, and inspect the route and payments.
+// Quickstart: "hello, service". Stand up the multi-tenant quote service
+// (svc::Fleet), host the paper's Figure 2 network as a tenant, and speak
+// the typed Request/Response API: quote, declare, re-quote.
 //
 //   cmake --build build && ./build/examples/quickstart
 #include <iostream>
 
-#include "core/fast_payment.hpp"
-#include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "svc/fleet.hpp"
 
 int main() {
   using namespace tc;
@@ -16,36 +16,68 @@ int main() {
   // wants connectivity, and five potential relays with heterogeneous
   // per-packet relay costs (the paper's Figure 2 instance).
   const graph::NodeGraph g = graph::make_fig2_graph();
-
   std::cout << "Topology (Graphviz):\n" << graph::to_dot(g) << "\n";
-  std::cout << "Biconnected (no relay monopoly): "
-            << (graph::is_biconnected(g) ? "yes" : "no") << "\n\n";
 
-  // The mechanism: source computes the least-cost path to the AP under
-  // the declared costs and a VCG payment for every relay on it:
-  //   p_k = ||P_without_k|| - ||P|| + d_k.
-  // Algorithm 1 computes all payments in one O(n log n + m) pass.
-  const core::PaymentResult r = core::vcg_payments_fast(g, /*source=*/1,
-                                                        /*target=*/0);
+  // The service. One Fleet hosts any number of tenant networks behind a
+  // single typed request API; here we register Figure 2 as tenant 0 with
+  // v0 as its access point.
+  svc::Fleet fleet;
+  constexpr svc::TenantId kCampus = 0;
+  if (fleet.create_tenant(kCampus, g, /*access_point=*/0) !=
+      svc::Status::kOk) {
+    std::cerr << "failed to create tenant\n";
+    return 1;
+  }
+
+  // A quote request: v1 asks what the truthful route to the AP costs.
+  // Every relay on the least-cost path is paid the VCG amount
+  //   p_k = ||P_without_k|| - ||P|| + d_k,
+  // so no relay can earn more by declaring anything but its true cost.
+  svc::Request quote;
+  quote.tenant = kCampus;
+  quote.op = svc::QuoteOp{/*source=*/1};
+  const svc::Response r = fleet.call(std::move(quote));
+  if (!r.ok() || !r.quote) {
+    std::cerr << "quote failed: " << svc::to_string(r.status) << "\n";
+    return 1;
+  }
 
   std::cout << "Least-cost path from v1 to the access point:";
-  for (graph::NodeId v : r.path) std::cout << " v" << v;
-  std::cout << "\nPath relay cost: " << r.path_cost << "\n\n";
+  for (graph::NodeId v : r.quote->path) std::cout << " v" << v;
+  std::cout << "\nPath relay cost: " << r.quote->path_cost << "\n\n";
 
   std::cout << "Payments (each relay earns its declared cost plus the\n"
                "improvement its presence brings to the route):\n";
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (r.payments[v] > 0.0) {
+    if (r.quote->payments[v] > 0.0) {
       std::cout << "  v" << v << ": declared cost " << g.node_cost(v)
-                << ", paid " << r.payments[v] << "\n";
+                << ", paid " << r.quote->payments[v] << "\n";
     }
   }
-  std::cout << "\nTotal payment: " << r.total_payment()
-            << "  (overpayment " << r.overpayment()
-            << " keeps every relay honest)\n";
+  std::cout << "\nTotal payment: " << r.quote->total_payment()
+            << "  (overpayment " << r.quote->overpayment()
+            << " keeps every relay honest)\n\n";
 
-  // Because the scheme is strategyproof, no relay can earn more by
-  // declaring anything but its true cost — see
-  // tests/core_truthfulness_test.cpp for the property checks.
+  // Costs are declarations, not constants: when relay v2 re-declares, the
+  // tenant's profile epoch advances and later quotes price against the
+  // new profile. Stale quotes can be fenced downstream by epoch.
+  svc::Request declare;
+  declare.tenant = kCampus;
+  declare.op = svc::DeclareOp{/*node=*/2, /*cost=*/5.0};
+  const svc::Response d = fleet.call(std::move(declare));
+  std::cout << "v2 re-declares cost 5.0 -> profile epoch " << d.epoch << "\n";
+
+  svc::Request requote;
+  requote.tenant = kCampus;
+  requote.op = svc::QuoteOp{/*source=*/1};
+  const svc::Response r2 = fleet.call(std::move(requote));
+  if (r2.ok() && r2.quote) {
+    std::cout << "v1 re-quotes: pays " << r2.quote->total_payment()
+              << " at epoch " << r2.epoch << "\n";
+  }
+
+  // The same API scales to thousands of tenants and concurrent clients —
+  // see bench/fleet_soak.cpp, and tests/core_truthfulness_test.cpp for
+  // the strategyproofness property checks.
   return 0;
 }

@@ -11,6 +11,8 @@
 //   ./build/examples/truthcast_cli --demo fig4 --source 8
 //   ./build/examples/truthcast_cli --graph net.txt --all --csv out.csv
 //   ./build/examples/truthcast_cli --demo fig2 --all --engine --metrics
+//   ./build/examples/truthcast_cli --demo fig4 --all --fleet --tenants 32
+#include <algorithm>
 #include <fstream>
 #include <memory>
 #include <iostream>
@@ -21,6 +23,7 @@
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "svc/fleet.hpp"
 #include "svc/quote_engine.hpp"
 #include "util/csv.hpp"
 #include "util/flags.hpp"
@@ -58,6 +61,10 @@ int main(int argc, char** argv) {
                 "(sharded cache + epoch-stamped snapshots)")
       .add_bool("metrics", false,
                 "print the engine's serving metrics (implies --engine)")
+      .add_bool("fleet", false,
+                "serve quotes through a multi-tenant svc::Fleet via the "
+                "typed Request/Response API")
+      .add_int("tenants", 8, "tenant copies of the network (with --fleet)")
       .add_string("csv", "", "write per-node payments as CSV");
   if (!flags.parse(argc, argv)) return 1;
 
@@ -67,7 +74,8 @@ int main(int argc, char** argv) {
     const auto target = static_cast<graph::NodeId>(flags.get_int("target"));
     const bool nbr = flags.get_bool("neighbor_resistant");
     const bool metrics = flags.get_bool("metrics");
-    const bool use_engine = flags.get_bool("engine") || metrics;
+    const bool use_fleet = flags.get_bool("fleet");
+    const bool use_engine = !use_fleet && (flags.get_bool("engine") || metrics);
 
     std::cout << "network: " << g.num_nodes() << " nodes, " << g.num_edges()
               << " edges, biconnected: "
@@ -81,12 +89,43 @@ int main(int argc, char** argv) {
               : svc::make_node_vcg_pricer());
     }
 
+    // Fleet mode hosts --tenants copies of the network behind the typed
+    // Request/Response API and spreads quotes across them; every request
+    // below goes through svc::Request, not a direct engine call.
+    std::unique_ptr<svc::Fleet> fleet;
+    const auto tenants =
+        static_cast<svc::TenantId>(
+            std::max<std::int64_t>(1, flags.get_int("tenants")));
+    if (use_fleet) {
+      fleet = std::make_unique<svc::Fleet>();
+      for (svc::TenantId t = 0; t < tenants; ++t) {
+        const svc::Status s = fleet->create_tenant(
+            t, g, target,
+            nbr ? svc::make_neighbor_resistant_pricer()
+                : svc::make_node_vcg_pricer());
+        if (s != svc::Status::kOk) {
+          throw std::runtime_error(std::string("create_tenant failed: ") +
+                                   svc::to_string(s));
+        }
+      }
+      std::cout << "fleet: " << tenants << " tenants across "
+                << fleet->num_shards() << " shards\n";
+    }
+
     auto price = [&](graph::NodeId source) -> core::PaymentResult {
+      core::PaymentResult unreachable;
+      unreachable.payments.assign(g.num_nodes(), 0.0);
+      if (fleet) {
+        svc::Request req;
+        req.tenant = static_cast<svc::TenantId>(source) % tenants;
+        req.op = svc::QuoteOp{source};
+        svc::Response resp = fleet->call(std::move(req));
+        if (resp.ok() && resp.quote) return *std::move(resp.quote);
+        return unreachable;
+      }
       if (engine) {
         auto quote = engine->quote(source);
         if (quote) return *std::move(quote);
-        core::PaymentResult unreachable;
-        unreachable.payments.assign(g.num_nodes(), 0.0);
         return unreachable;
       }
       return nbr ? core::neighbor_resistant_payments(g, source, target)
@@ -141,6 +180,9 @@ int main(int argc, char** argv) {
       std::cout << "\nserving metrics (epoch " << engine->epoch() << ", "
                 << engine->pricer().name() << ")\n"
                 << engine->metrics().to_string();
+    }
+    if (fleet && metrics) {
+      std::cout << "\nfleet metrics\n" << fleet->metrics().to_string();
     }
     return 0;
   } catch (const std::exception& e) {

@@ -66,16 +66,6 @@ struct PaymentResult {
   [[nodiscard]] graph::Cost total_for_packets(std::uint64_t packets) const {
     return total_payment() * static_cast<graph::Cost>(packets);
   }
-
-  // -- Deprecated shims for the retired core::RouteQuote type ------------
-  // (kept for one PR; tc_lint's `deprecated` rule flags new uses).
-
-  [[deprecated("use connected()")]] bool routable() const {
-    return connected();
-  }
-  [[deprecated("use total_payment()")]] graph::Cost total_per_packet() const {
-    return total_payment();
-  }
 };
 
 }  // namespace tc::core

@@ -29,11 +29,6 @@ enum class PricingScheme {
   kNeighborResistant,  ///< Section III.E p~ payments
 };
 
-/// Deprecated alias for the unified result type (quotes and one-shot
-/// payment computations used to be distinct structs). Kept for one PR;
-/// tc_lint's `deprecated` rule flags new uses.
-using RouteQuote [[deprecated("use core::PaymentResult")]] = PaymentResult;
-
 class UnicastService {
  public:
   /// Topology is fixed for the service lifetime; initial declared costs

@@ -1,0 +1,295 @@
+#include "svc/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace tc::svc {
+
+using graph::NodeId;
+
+namespace {
+
+constexpr std::size_t kDefaultFleetShards = 4;
+
+bool is_quote_kind(const RequestOp& op) {
+  return std::holds_alternative<QuoteOp>(op) ||
+         std::holds_alternative<QuoteBatchOp>(op);
+}
+
+bool is_admin_kind(const RequestOp& op) {
+  return std::holds_alternative<CreateTenantOp>(op) ||
+         std::holds_alternative<DropTenantOp>(op);
+}
+
+double elapsed_us(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kUnknownTenant: return "unknown-tenant";
+    case Status::kTenantExists: return "tenant-exists";
+    case Status::kInvalidRequest: return "invalid-request";
+    case Status::kShedQueueFull: return "shed-queue-full";
+    case Status::kShedWatermark: return "shed-watermark";
+    case Status::kThrottled: return "throttled";
+    case Status::kExpiredDeadline: return "expired-deadline";
+    case Status::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+Fleet::Fleet(Config config) : config_(std::move(config)) {
+  const std::string err = config_.validate();
+  TC_CHECK_MSG(err.empty(), "invalid svc::Config");
+  if (config_.fleet.shards == 0) config_.fleet.shards = kDefaultFleetShards;
+  if (config_.fleet.shed_watermark == 0) {
+    config_.fleet.shed_watermark = config_.fleet.queue_capacity / 2;
+  }
+  shards_.reserve(config_.fleet.shards);
+  for (std::size_t i = 0; i < config_.fleet.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(config_.fleet.queue_capacity));
+  }
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
+  }
+}
+
+Fleet::~Fleet() {
+  stopping_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) shard->queue.close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+std::future<Response> Fleet::submit(Request req) {
+  metrics_.record_submitted();
+  const auto now = Clock::now();
+  const std::uint64_t deadline_us =
+      req.deadline_us != 0 ? req.deadline_us
+                           : config_.fleet.default_deadline_us;
+  Pending p;
+  p.submitted = now;
+  p.deadline = now + std::chrono::microseconds(deadline_us);
+  p.req = std::move(req);
+  std::future<Response> future = p.promise.get_future();
+
+  Response reject;
+  if (stopping_.load(std::memory_order_acquire)) {
+    reject.status = Status::kShutdown;
+    finish(p, std::move(reject));
+    return future;
+  }
+  // Admission steps 2-3 gate quotes only: a declare or admin op that the
+  // fleet admits must reach the worker, or replayed state would fork.
+  if (is_quote_kind(p.req.op)) {
+    if (config_.fleet.tenant_rate_per_sec > 0.0 &&
+        !admit_quote(p.req.tenant)) {
+      reject.status = Status::kThrottled;
+      finish(p, std::move(reject));
+      return future;
+    }
+    Shard& shard = shard_of(p.req.tenant);
+    if (p.req.priority == Priority::kBatch &&
+        shard.queue.depth() >= config_.fleet.shed_watermark) {
+      reject.status = Status::kShedWatermark;
+      finish(p, std::move(reject));
+      return future;
+    }
+  }
+  Shard& shard = shard_of(p.req.tenant);
+  // try_push moves from p only on success; a rejected p still owns its
+  // promise, which the shed path must answer.
+  if (!shard.queue.try_push(std::move(p))) {
+    reject.status = stopping_.load(std::memory_order_acquire)
+                        ? Status::kShutdown
+                        : Status::kShedQueueFull;
+    finish(p, std::move(reject));
+    return future;
+  }
+  return future;
+}
+
+Status Fleet::create_tenant(TenantId tenant, graph::NodeGraph topology,
+                            graph::NodeId access_point,
+                            std::shared_ptr<const Pricer> pricer) {
+  Request req;
+  req.tenant = tenant;
+  req.op = CreateTenantOp{std::move(topology), access_point,
+                          std::move(pricer)};
+  return call(std::move(req)).status;
+}
+
+Status Fleet::drop_tenant(TenantId tenant) {
+  Request req;
+  req.tenant = tenant;
+  req.op = DropTenantOp{};
+  return call(std::move(req)).status;
+}
+
+bool Fleet::admit_quote(TenantId tenant) {
+  const auto now = Clock::now();
+  const double rate = config_.fleet.tenant_rate_per_sec;
+  const double burst = config_.fleet.tenant_burst;
+  util::MutexLock lock(admission_mutex_);
+  auto [it, inserted] = buckets_.try_emplace(tenant);
+  TokenBucket& bucket = it->second;
+  if (inserted) {
+    bucket.tokens = burst;
+    bucket.refilled = now;
+  } else {
+    const double sec =
+        std::chrono::duration<double>(now - bucket.refilled).count();
+    bucket.tokens = std::min(burst, bucket.tokens + sec * rate);
+    bucket.refilled = now;
+  }
+  if (bucket.tokens < 1.0) return false;
+  bucket.tokens -= 1.0;
+  return true;
+}
+
+void Fleet::finish(Pending& p, Response r) {
+  const TenantId tenant = p.req.tenant;
+  const Priority priority = p.req.priority;
+  r.tenant = tenant;
+  r.latency_us = elapsed_us(p.submitted, Clock::now());
+  switch (r.status) {
+    case Status::kOk:
+      if (is_quote_kind(p.req.op)) {
+        const bool unroutable =
+            std::holds_alternative<QuoteOp>(p.req.op) && !r.quote.has_value();
+        metrics_.record_served(tenant, priority, r.latency_us, unroutable);
+      } else if (is_admin_kind(p.req.op)) {
+        metrics_.record_admin();
+      } else {
+        metrics_.record_declare(tenant, priority, r.latency_us);
+      }
+      break;
+    case Status::kShedQueueFull:
+      metrics_.record_shed_queue_full(tenant);
+      break;
+    case Status::kShedWatermark:
+      metrics_.record_shed_watermark(tenant);
+      break;
+    case Status::kThrottled:
+      metrics_.record_throttled(tenant);
+      break;
+    case Status::kExpiredDeadline:
+      metrics_.record_expired(tenant);
+      break;
+    default:
+      metrics_.record_rejected();
+      break;
+  }
+  p.promise.set_value(std::move(r));
+}
+
+void Fleet::worker_loop(Shard& shard) {
+  while (std::optional<Pending> pending = shard.queue.pop()) {
+    Pending& p = *pending;
+    // Quotes past their deadline are dead work: answer with the typed
+    // rejection instead of pricing a result nobody is waiting for.
+    // Writes always execute (see the header's admission contract).
+    if (is_quote_kind(p.req.op) && Clock::now() > p.deadline) {
+      Response r;
+      r.status = Status::kExpiredDeadline;
+      finish(p, std::move(r));
+      continue;
+    }
+    finish(p, execute(shard, p));
+  }
+}
+
+Response Fleet::execute(Shard& shard, Pending& p) {
+  Response r;
+  if (auto* create = std::get_if<CreateTenantOp>(&p.req.op)) {
+    if (shard.engines.count(p.req.tenant) != 0) {
+      r.status = Status::kTenantExists;
+      return r;
+    }
+    const std::size_t n = create->topology.num_nodes();
+    const bool pricer_ok =
+        create->pricer == nullptr ||
+        create->pricer->model() == GraphModel::kNode;
+    if (create->access_point >= n || !pricer_ok) {
+      r.status = Status::kInvalidRequest;
+      return r;
+    }
+    shard.engines.emplace(
+        p.req.tenant,
+        std::make_unique<QuoteEngine>(std::move(create->topology),
+                                      create->access_point,
+                                      std::move(create->pricer),
+                                      config_.engine));
+    return r;
+  }
+  if (std::holds_alternative<DropTenantOp>(p.req.op)) {
+    r.status = shard.engines.erase(p.req.tenant) != 0
+                   ? Status::kOk
+                   : Status::kUnknownTenant;
+    return r;
+  }
+
+  auto it = shard.engines.find(p.req.tenant);
+  if (it == shard.engines.end()) {
+    r.status = Status::kUnknownTenant;
+    return r;
+  }
+  QuoteEngine& engine = *it->second;
+  const std::size_t n = engine.num_nodes();
+
+  if (auto* quote = std::get_if<QuoteOp>(&p.req.op)) {
+    if (quote->target == graph::kInvalidNode) {
+      if (quote->source >= n || quote->source == engine.access_point()) {
+        r.status = Status::kInvalidRequest;
+        return r;
+      }
+      r.quote = engine.quote(quote->source);
+    } else {
+      if (quote->source >= n || quote->target >= n ||
+          quote->source == quote->target) {
+        r.status = Status::kInvalidRequest;
+        return r;
+      }
+      r.quote = engine.quote(quote->source, quote->target);
+    }
+    r.epoch = engine.epoch();
+    return r;
+  }
+  if (auto* batch = std::get_if<QuoteBatchOp>(&p.req.op)) {
+    for (const auto& [u, v] : batch->pairs) {
+      if (u >= n || v >= n || u == v) {
+        r.status = Status::kInvalidRequest;
+        return r;
+      }
+    }
+    r.quotes = engine.quote_batch(batch->pairs);
+    r.epoch = engine.epoch();
+    return r;
+  }
+  if (auto* declare = std::get_if<DeclareOp>(&p.req.op)) {
+    if (declare->node >= n || declare->cost < 0.0 ||
+        !graph::finite_cost(declare->cost)) {
+      r.status = Status::kInvalidRequest;
+      return r;
+    }
+    r.epoch = engine.declare_cost(declare->node, declare->cost);
+    return r;
+  }
+  const auto& down = std::get<MarkNodeDownOp>(p.req.op);
+  if (down.node >= n || down.node == engine.access_point()) {
+    r.status = Status::kInvalidRequest;
+    return r;
+  }
+  r.epoch = engine.mark_node_down(down.node);
+  return r;
+}
+
+}  // namespace tc::svc

@@ -1,15 +1,27 @@
-// Serving-layer instrumentation for svc::QuoteEngine.
+// Serving-layer instrumentation: per-engine counters (Metrics) and the
+// fleet-wide admission/latency book (FleetMetrics).
 //
 // Counters are lock-free atomics so concurrent quote() calls never
 // serialize on bookkeeping; per-quote latencies go through a small
 // mutex-guarded util::Percentiles reservoir (one lock per served quote,
 // far cheaper than the Dijkstra work it measures). `snapshot()` is safe
 // to call at any time from any thread.
+//
+// FleetMetrics adds the service dimension: every admission decision a
+// svc::Fleet makes (admit / queue-full shed / watermark shed / throttle /
+// deadline expiry) is counted fleet-wide and per tenant, and end-to-end
+// request latencies (submit -> response, queue wait included) feed
+// per-priority-class and per-tenant reservoirs reported as p50/p99/p999.
+// Tenant rows are striped across STRIPES mutexes so shard workers on
+// different tenants rarely contend on bookkeeping.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "util/stats.hpp"
 #include "util/thread_annotations.hpp"
@@ -34,6 +46,7 @@ struct MetricsSnapshot {
   double latency_p50_us = 0.0;
   double latency_p90_us = 0.0;
   double latency_p99_us = 0.0;
+  double latency_p999_us = 0.0;
   double latency_max_us = 0.0;
 
   [[nodiscard]] double hit_rate() const {
@@ -99,6 +112,139 @@ class Metrics {
   // lock (which is why tc_analyze's mutable-const rule sanctions
   // guarded mutables alongside atomics).
   mutable util::Percentiles latencies_ TC_GUARDED_BY(latency_mutex_);
+};
+
+// ---------------------------------------------------------------------------
+// Fleet-level instrumentation
+// ---------------------------------------------------------------------------
+
+/// Tenant identifier (dense ids are typical but not required).
+using TenantId = std::uint32_t;
+
+/// Request priority class: the SLO tier a request is admitted under.
+/// Interactive traffic survives the watermark shed that drops batch
+/// traffic, and the two classes report latency percentiles separately.
+enum class Priority : std::uint8_t { kInteractive = 0, kBatch = 1 };
+
+[[nodiscard]] const char* to_string(Priority p);
+
+/// Point-in-time per-tenant roll-up inside a FleetMetricsSnapshot.
+struct TenantMetricsRow {
+  TenantId tenant = 0;
+  std::uint64_t served = 0;     ///< responses carrying a priced answer
+  std::uint64_t unroutable = 0; ///< served, but no path existed
+  std::uint64_t declares = 0;   ///< declare / mark_node_down applied
+  std::uint64_t shed = 0;       ///< queue-full + watermark rejections
+  std::uint64_t throttled = 0;  ///< token-bucket rejections
+  std::uint64_t expired = 0;    ///< deadline passed before pricing
+  double latency_p50_us = 0.0;
+  double latency_p99_us = 0.0;
+  double latency_p999_us = 0.0;
+  double latency_max_us = 0.0;
+};
+
+/// Point-in-time copy of every fleet counter, for reporting.
+struct FleetMetricsSnapshot {
+  std::uint64_t submitted = 0;       ///< requests entering admission
+  std::uint64_t served = 0;          ///< priced responses (quote/batch)
+  std::uint64_t declares = 0;        ///< declarations applied
+  std::uint64_t admin = 0;           ///< create/drop tenant ops
+  std::uint64_t shed_queue_full = 0; ///< hard bound: shard queue at cap
+  std::uint64_t shed_watermark = 0;  ///< batch traffic shed over watermark
+  std::uint64_t throttled = 0;       ///< per-tenant token bucket empty
+  std::uint64_t expired = 0;         ///< typed deadline rejections
+  std::uint64_t rejected = 0;        ///< no-such-tenant / invalid requests
+  /// End-to-end latency (submit -> response) per priority class, us.
+  double interactive_p50_us = 0.0;
+  double interactive_p99_us = 0.0;
+  double interactive_p999_us = 0.0;
+  double batch_p50_us = 0.0;
+  double batch_p99_us = 0.0;
+  double batch_p999_us = 0.0;
+  /// One row per tenant that saw traffic, sorted by tenant id.
+  std::vector<TenantMetricsRow> tenants;
+
+  /// Fraction of admitted quote requests that were answered (not shed,
+  /// throttled, or expired) — the headline SLO attainment number.
+  [[nodiscard]] double attainment() const {
+    const std::uint64_t denied =
+        shed_queue_full + shed_watermark + throttled + expired;
+    const std::uint64_t answered = served;
+    const std::uint64_t total = answered + denied;
+    return total == 0 ? 1.0
+                      : static_cast<double>(answered) /
+                            static_cast<double>(total);
+  }
+
+  /// Multi-line human-readable block (CLI --fleet --metrics, soak bench).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thread-safe fleet-wide counter block owned by a svc::Fleet.
+class FleetMetrics {
+ public:
+  void record_submitted() {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_served(TenantId tenant, Priority priority, double latency_us,
+                     bool unroutable);
+  void record_declare(TenantId tenant, Priority priority, double latency_us);
+  void record_admin() { admin_.fetch_add(1, std::memory_order_relaxed); }
+  void record_shed_queue_full(TenantId tenant);
+  void record_shed_watermark(TenantId tenant);
+  void record_throttled(TenantId tenant);
+  void record_expired(TenantId tenant);
+  void record_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Non-const (unlike Metrics::snapshot): the percentile queries sort
+  /// the reservoirs lazily, and the Fleet owns this object outright, so
+  /// honesty beats a block of mutable members here.
+  [[nodiscard]] FleetMetricsSnapshot snapshot();
+
+ private:
+  /// Tenant stripe count; tenants hash onto stripes so concurrent shard
+  /// workers rarely share a bookkeeping mutex.
+  static constexpr std::size_t kStripes = 16;
+
+  struct TenantStats {
+    std::uint64_t served = 0;
+    std::uint64_t unroutable = 0;
+    std::uint64_t declares = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t throttled = 0;
+    std::uint64_t expired = 0;
+    util::Percentiles latencies;
+  };
+
+  struct Stripe {
+    /// Leaf lock: held only for map/reservoir updates, never across
+    /// calls out of the metrics object.
+    util::Mutex mutex;
+    std::unordered_map<TenantId, TenantStats> tenants TC_GUARDED_BY(mutex);
+  };
+
+  /// Applies `fn` to the tenant's stats under the stripe lock.
+  template <typename Fn>
+  void with_tenant(TenantId tenant, Fn&& fn) {
+    Stripe& s = stripes_[tenant % kStripes];
+    util::MutexLock lock(s.mutex);
+    fn(s.tenants[tenant]);
+  }
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> declares_{0};
+  std::atomic<std::uint64_t> admin_{0};
+  std::atomic<std::uint64_t> shed_queue_full_{0};
+  std::atomic<std::uint64_t> shed_watermark_{0};
+  std::atomic<std::uint64_t> throttled_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  /// Leaf lock guarding the per-class reservoirs only.
+  util::Mutex class_mutex_;
+  util::Percentiles interactive_ TC_GUARDED_BY(class_mutex_);
+  util::Percentiles batch_ TC_GUARDED_BY(class_mutex_);
+  std::array<Stripe, kStripes> stripes_;
 };
 
 }  // namespace tc::svc

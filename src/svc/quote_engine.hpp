@@ -63,6 +63,7 @@
 
 #include "spath/cost_delta.hpp"
 #include "spath/workspace.hpp"
+#include "svc/config.hpp"
 #include "svc/metrics.hpp"
 #include "svc/pricer.hpp"
 #include "util/thread_annotations.hpp"
@@ -72,26 +73,9 @@ namespace tc::svc {
 
 class QuoteEngine {
  public:
-  struct Options {
-    /// Cache shards (0 = default 16). More shards, less lock contention.
-    std::size_t shards = 0;
-    /// Cache-entry cap per shard; oldest-inserted entries are dropped.
-    std::size_t max_entries_per_shard = 1024;
-    /// When false, every re-declaration flushes the whole cache (the
-    /// always-correct conservative mode; also the oracle baseline).
-    bool incremental_invalidation = true;
-    /// Publish re-declarations as copy-on-write snapshot derivations.
-    /// When false, every declaration copies the full graph (the PR-2
-    /// behavior, kept as the conservative bench baseline).
-    bool cow_snapshots = true;
-    /// Keep warm per-root SPTs repaired via spath::CostDelta across
-    /// re-declarations (node model + accepts_warm_spts() pricers only).
-    bool warm_spt_cache = true;
-    /// Max warm SPT roots retained (LRU; the access point is pinned).
-    std::size_t max_warm_spts = 64;
-    /// Pool for quote_all()/quote_batch(); nullptr = util::default_pool().
-    util::ThreadPool* pool = nullptr;
-  };
+  /// Engine knobs come from the unified svc::Config (config.hpp); the
+  /// alias keeps construction sites reading naturally.
+  using Options = EngineConfig;
 
   /// Node-weighted service (paper Section II.B). Initial declarations are
   /// the graph's stored node costs. The default pricer is the fast VCG

@@ -458,7 +458,7 @@ TEST(QuoteEngine, AllOptionCombinationsAgreeUnderChurn) {
   for (const bool cow : {false, true}) {
     for (const bool warm : {false, true}) {
       for (const bool incr : {false, true}) {
-        QuoteEngine::Options o;
+        EngineConfig o;
         o.cow_snapshots = cow;
         o.warm_spt_cache = warm;
         o.incremental_invalidation = incr;
@@ -577,7 +577,7 @@ TEST(QuoteEngine, NoOpArcRedeclarationKeepsEpoch) {
 TEST(QuoteEngine, ConservativeAndIncrementalModesAgree) {
   const auto g = graph::make_unit_disk_node({28, {1100.0, 1100.0}, 420.0, 2.0},
                                             0.5, 9.0, /*seed=*/3);
-  QuoteEngine::Options conservative;
+  EngineConfig conservative;
   conservative.incremental_invalidation = false;
   QuoteEngine a(g, 0, nullptr, conservative);
   QuoteEngine b(g, 0);

@@ -30,9 +30,9 @@ import json
 import pathlib
 import sys
 
-LOWER_IS_BETTER_SUFFIXES = ("_ms", "_s")
+LOWER_IS_BETTER_SUFFIXES = ("_ms", "_s", "_us")
 LOWER_IS_BETTER_NAMES = {"ms", "s_per_sweep", "total_s"}
-HIGHER_IS_BETTER_NAMES = {"speedup", "ops_per_sec"}
+HIGHER_IS_BETTER_NAMES = {"speedup", "ops_per_sec", "attainment"}
 
 
 def metric_direction(column: str) -> str | None:

@@ -21,10 +21,11 @@ violation fails the build. Rules:
                named like a payment must be [[nodiscard]]: silently dropping
                a payment profile is exactly the bug class this repo exists
                to prevent.
-  deprecated   No new uses of retired API shims (core::RouteQuote, replaced
-               by core::PaymentResult): the alias lives one PR for
-               out-of-tree migration and only its defining header may say
-               its name.
+  deprecated   No new uses of retired API shims. A retiring alias lives
+               one PR for out-of-tree migration (only its defining header
+               may say its name), then both the shim and its entry here
+               are deleted. Currently empty: core::RouteQuote and the
+               routable()/total_per_packet() shims completed their cycle.
   net-draw     No stochastic draws (bernoulli/next_*/uniform/shuffle or a
                util::Rng instance) in src/distsim outside src/distsim/net/:
                every delivery, loss, and activation draw must flow through
@@ -85,14 +86,14 @@ NODISCARD_TYPES = (
     "LevelLabels",
     "PricedQuote",
     "MetricsSnapshot",
+    "FleetMetricsSnapshot",
     "SettlementResult",
+    "Response",
 )
 
 # Retired aliases kept one PR for migration: (name, replacement, defining
-# file allowed to mention the name).
-DEPRECATED_SHIMS = (
-    ("RouteQuote", "core::PaymentResult", "src/core/service.hpp"),
-)
+# file allowed to mention the name). Empty between deprecation cycles.
+DEPRECATED_SHIMS: tuple[tuple[str, str, str], ...] = ()
 
 RNG_BANNED = re.compile(
     r"\b(?:std::)?(?:rand|srand)\s*\("
