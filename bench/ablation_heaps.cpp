@@ -1,11 +1,17 @@
-// Ablation: Dijkstra priority-queue arity (indexed binary heap vs 4-ary
-// heap) on paper-style UDG instances. The 4-ary heap trades comparisons
-// for shallower sift paths; on these graph sizes the difference is small
-// but measurable.
+// Ablation: Dijkstra priority-queue structure on paper-style UDG
+// instances, over both API families:
+//
+//  - allocating entry points (dijkstra_node / _quad / _pairing): each call
+//    pays the result-vector allocations, as a cold caller would;
+//  - workspace `_into` kernels via HeapKind: allocation-free after
+//    warmup, isolating pure queue-discipline cost (binary vs 4-ary vs
+//    pairing vs the monotone bucket queue). kBucket produces bit-identical
+//    distances with its own parent tie-break (see HeapKind).
 #include <benchmark/benchmark.h>
 
 #include "graph/generators.hpp"
 #include "spath/dijkstra.hpp"
+#include "spath/workspace.hpp"
 
 namespace {
 
@@ -46,6 +52,38 @@ void BM_DijkstraPairingHeap(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DijkstraPairingHeap)->Arg(300)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+// -- workspace kernels: same queues without the allocation noise --------
+
+void run_into(benchmark::State& state, spath::HeapKind heap) {
+  const auto g = make_instance(static_cast<std::size_t>(state.range(0)));
+  spath::DijkstraWorkspace ws;
+  for (auto _ : state) {
+    spath::dijkstra_node_into(ws, g, 0, {}, graph::kInvalidNode, heap);
+    benchmark::DoNotOptimize(ws.dist(0));
+  }
+}
+
+void BM_DijkstraIntoBinary(benchmark::State& state) {
+  run_into(state, spath::HeapKind::kBinary);
+}
+void BM_DijkstraIntoQuad(benchmark::State& state) {
+  run_into(state, spath::HeapKind::kQuad);
+}
+void BM_DijkstraIntoPairing(benchmark::State& state) {
+  run_into(state, spath::HeapKind::kPairing);
+}
+void BM_DijkstraIntoBucket(benchmark::State& state) {
+  run_into(state, spath::HeapKind::kBucket);
+}
+BENCHMARK(BM_DijkstraIntoBinary)->Arg(300)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DijkstraIntoQuad)->Arg(300)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DijkstraIntoPairing)->Arg(300)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DijkstraIntoBucket)->Arg(300)->Arg(1000)->Arg(10000)
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

@@ -5,20 +5,26 @@
 // vectors / full masked Dijkstras, as shipped before the workspace layer)
 // against the current engines, asserting bit-identical results:
 //   dijkstra-node / dijkstra-link : one SPT, fresh allocation vs workspace
+//   dijkstra-node-batched / -link-batched : many roots, independent warm
+//                                   solves vs one spt_multi_into pass
 //   collusion-payment             : neighbor_resistant_payments per query
 //   fig3b-instance                : overpayment_link_model per instance
+// --heap=binary|quad|pairing|bucket selects the workspace-side queue for
+// the dijkstra rows (kBucket: bit-identical dist, own parent tie-break).
 // Run with --json BENCH_kernels.json to refresh the committed numbers.
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/neighbor_collusion.hpp"
 #include "core/overpayment.hpp"
 #include "graph/generators.hpp"
+#include "spath/batch.hpp"
 #include "spath/dijkstra.hpp"
 #include "spath/workspace.hpp"
 #include "util/flags.hpp"
@@ -67,7 +73,7 @@ core::PaymentResult baseline_neighbor_resistant(const graph::NodeGraph& g,
   result.payments.assign(g.num_nodes(), 0.0);
   const spath::SptResult spt = spath::dijkstra_node(g, source);
   if (!spt.reached(target)) return result;
-  result.path = spt.path_to(target);
+  spt.path_to_into(target, result.path);
   result.path_cost = spt.dist[target];
   std::vector<bool> on_path(g.num_nodes(), false);
   for (std::size_t i = 1; i + 1 < result.path.size(); ++i)
@@ -165,6 +171,16 @@ bool same_overpayment(const core::OverpaymentResult& a,
 
 std::string fmt_ms(double seconds) { return util::fmt(seconds * 1e3, 3); }
 
+spath::HeapKind heap_of(const std::string& name) {
+  if (name == "binary") return spath::HeapKind::kBinary;
+  if (name == "quad") return spath::HeapKind::kQuad;
+  if (name == "pairing") return spath::HeapKind::kPairing;
+  if (name == "bucket") return spath::HeapKind::kBucket;
+  std::cerr << "unknown --heap '" << name
+            << "' (binary|quad|pairing|bucket)\n";
+  std::exit(1);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -172,11 +188,15 @@ int main(int argc, char** argv) {
   flags.add_int("iters", 5, "timing iterations (min taken)")
       .add_int("seed", 0x5eed, "topology RNG seed")
       .add_bool("quick", false, "n=256 only (CI smoke)")
+      .add_string("heap", "binary",
+                  "workspace queue for the dijkstra rows "
+                  "(binary|quad|pairing|bucket)")
       .add_string("json", "", "optional JSON output path")
       .add_string("csv", "", "optional CSV output path");
   if (!flags.parse(argc, argv)) return 1;
   const auto iters = static_cast<std::size_t>(flags.get_int("iters"));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const spath::HeapKind heap = heap_of(flags.get_string("heap"));
 
   bench::banner("Kernel throughput (workspace vs fresh-allocation baseline)",
                 "workspace/delta kernels >= 2x on payment engines at n=1024");
@@ -204,7 +224,8 @@ int main(int argc, char** argv) {
     const double node_ws = min_seconds_of(iters, [&] {
       spath::DijkstraWorkspace& ws = spath::thread_local_workspace();
       for (std::size_t s = 0; s < sources; ++s) {
-        spath::dijkstra_node_into(ws, node_g, static_cast<NodeId>(s));
+        spath::dijkstra_node_into(ws, node_g, static_cast<NodeId>(s), {},
+                                  kInvalidNode, heap);
         sink += ws.dist(static_cast<NodeId>(n - 1));
       }
     });
@@ -220,13 +241,70 @@ int main(int argc, char** argv) {
     const double link_ws = min_seconds_of(iters, [&] {
       spath::DijkstraWorkspace& ws = spath::thread_local_workspace();
       for (std::size_t s = 0; s < sources; ++s) {
-        spath::dijkstra_link_into(ws, link_g, static_cast<NodeId>(s));
+        spath::dijkstra_link_into(ws, link_g, static_cast<NodeId>(s), {},
+                                  kInvalidNode, heap);
         sink += ws.dist(static_cast<NodeId>(n - 1));
       }
     });
     report.add_row({"dijkstra-link", std::to_string(n), fmt_ms(link_alloc),
                     fmt_ms(link_ws), util::fmt(link_alloc / link_ws, 2),
                     std::to_string(iters)});
+
+    // -- many-roots batched kernels ---------------------------------------
+    // Baseline: the best a per-root consumer could do before spt_multi_into
+    // — warm `_into` solves materialized root by root. Workspace: one
+    // batched pass into a flat matrix, same materialized rows.
+    std::vector<NodeId> roots(sources);
+    for (std::size_t i = 0; i < sources; ++i) roots[i] = static_cast<NodeId>(i);
+    spath::SptMatrix matrix;
+
+    std::vector<spath::SptResult> node_rows(sources);
+    const double nb_base = min_seconds_of(iters, [&] {
+      spath::DijkstraWorkspace& ws = spath::thread_local_workspace();
+      for (std::size_t i = 0; i < sources; ++i) {
+        spath::dijkstra_node_into(ws, node_g, roots[i], {}, kInvalidNode, heap);
+        node_rows[i] = ws.to_result();
+      }
+    });
+    const double nb_ws = min_seconds_of(iters, [&] {
+      spath::spt_multi_into(spath::thread_local_workspace(), matrix, node_g,
+                            roots, {}, heap);
+    });
+    for (std::size_t i = 0; i < sources; ++i) {
+      require(node_rows[i].dist == std::vector<Cost>(matrix.dist(i).begin(),
+                                                     matrix.dist(i).end()) &&
+                  node_rows[i].parent ==
+                      std::vector<NodeId>(matrix.parent(i).begin(),
+                                          matrix.parent(i).end()),
+              "batched node rows diverged from independent warm solves");
+    }
+    report.add_row({"dijkstra-node-batched", std::to_string(n),
+                    fmt_ms(nb_base), fmt_ms(nb_ws),
+                    util::fmt(nb_base / nb_ws, 2), std::to_string(iters)});
+
+    std::vector<spath::SptResult> link_rows(sources);
+    const double lb_base = min_seconds_of(iters, [&] {
+      spath::DijkstraWorkspace& ws = spath::thread_local_workspace();
+      for (std::size_t i = 0; i < sources; ++i) {
+        spath::dijkstra_link_into(ws, link_g, roots[i], {}, kInvalidNode, heap);
+        link_rows[i] = ws.to_result();
+      }
+    });
+    const double lb_ws = min_seconds_of(iters, [&] {
+      spath::spt_multi_into(spath::thread_local_workspace(), matrix, link_g,
+                            roots, {}, heap);
+    });
+    for (std::size_t i = 0; i < sources; ++i) {
+      require(link_rows[i].dist == std::vector<Cost>(matrix.dist(i).begin(),
+                                                     matrix.dist(i).end()) &&
+                  link_rows[i].parent ==
+                      std::vector<NodeId>(matrix.parent(i).begin(),
+                                          matrix.parent(i).end()),
+              "batched link rows diverged from independent warm solves");
+    }
+    report.add_row({"dijkstra-link-batched", std::to_string(n),
+                    fmt_ms(lb_base), fmt_ms(lb_ws),
+                    util::fmt(lb_base / lb_ws, 2), std::to_string(iters)});
 
     // -- neighbor-collusion payment engine --------------------------------
     const NodeId s = 0;

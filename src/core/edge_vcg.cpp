@@ -43,7 +43,7 @@ EdgeVcgResult edge_vcg_payments_naive(const graph::LinkGraph& g,
   spath::DijkstraWorkspace& ws = spath::thread_local_workspace();
   spath::dijkstra_link_into(ws, g, source);
   if (!ws.reached(target)) return result;
-  result.path = ws.path_to(target);
+  ws.path_to_into(target, result.path);
   result.path_cost = ws.dist(target);
 
   graph::LinkGraph work = g;
@@ -83,7 +83,7 @@ EdgeVcgResult edge_vcg_payments_fast(const graph::LinkGraph& g,
   if (!sptS.reached(target)) return result;
   const spath::SptResult sptT = spath::dijkstra_link(g, target);
 
-  result.path = sptS.path_to(target);
+  sptS.path_to_into(target, result.path);
   result.path_cost = sptS.dist[target];
   const std::size_t q = result.path.size() - 1;  // path edges e_0..e_{q-1}
 

@@ -45,7 +45,7 @@ PaymentResult fast_link_payments(const graph::LinkGraph& g, NodeId source,
   if (!sptS.reached(target)) return result;
   const spath::SptResult sptT = spath::dijkstra_link(g, target);
 
-  result.path = sptS.path_to(target);
+  sptS.path_to_into(target, result.path);
   result.path_cost = sptS.dist[target];
   const std::size_t q = result.path.size() - 1;
   if (q < 2) return result;  // no relay agents

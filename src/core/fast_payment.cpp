@@ -36,7 +36,7 @@ LevelLabels compute_levels(const graph::NodeGraph& g, NodeId source,
   LevelLabels out;
   out.levels.assign(g.num_nodes(), LevelLabels::kInvalidLevel);
   if (!sptS.reached(target)) return out;
-  out.path = sptS.path_to(target);
+  sptS.path_to_into(target, out.path);
 
   // Index of each LCP node along the path.
   std::vector<std::uint32_t> path_index(g.num_nodes(),
@@ -76,7 +76,7 @@ PaymentResult fast_payments_from_spts(const graph::NodeGraph& g, NodeId source,
   PaymentResult result;
   result.payments.assign(n, 0.0);
 
-  result.path = sptS.path_to(target);
+  sptS.path_to_into(target, result.path);
   result.path_cost = sptS.dist[target];
   const std::size_t q = result.path.size() - 1;  // path r_0..r_q
   if (q < 2) {                                   // no relay nodes

@@ -29,7 +29,7 @@ PaymentResult link_vcg_payments(const graph::LinkGraph& g, NodeId source,
   spath::dijkstra_link_into(ws, g, source);
   if (!ws.reached(target)) return result;
   const spath::SptResult spt = ws.to_result();
-  result.path = spt.path_to(target);
+  spt.path_to_into(target, result.path);
   result.path_cost = spt.dist[target];
 
   // Masking a node in dijkstra_link is equivalent to declaring all its

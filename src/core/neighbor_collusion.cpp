@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "spath/batch.hpp"
 #include "spath/dijkstra.hpp"
 #include "spath/workspace.hpp"
 #include "util/check.hpp"
@@ -18,17 +19,20 @@ std::vector<NodeId> closed_neighborhood(const graph::NodeGraph& g, NodeId v) {
   return set;
 }
 
-PaymentResult q_set_payments(const graph::NodeGraph& g, NodeId source,
-                             NodeId target, const CollusionSetFn& q) {
-  TC_CHECK_MSG(source != target, "source and target must differ");
+namespace {
+
+/// Shared core: one (source, target) pair's payments given the base SPT
+/// from source (must be bit-identical to dijkstra_node(g, source)). `ws`
+/// hosts the masked-delta evals; the base solve may have used it too.
+PaymentResult q_set_payments_with_spt(const graph::NodeGraph& g,
+                                      NodeId source, NodeId target,
+                                      const CollusionSetFn& q,
+                                      const spath::SptResult& spt,
+                                      spath::DijkstraWorkspace& ws) {
   PaymentResult result;
   result.payments.assign(g.num_nodes(), 0.0);
-
-  spath::DijkstraWorkspace& ws = spath::thread_local_workspace();
-  spath::dijkstra_node_into(ws, g, source);
-  if (!ws.reached(target)) return result;
-  const spath::SptResult spt = ws.to_result();
-  result.path = spt.path_to(target);
+  if (!graph::finite_cost(spt.dist[target])) return result;
+  spt.path_to_into(target, result.path);
   result.path_cost = spt.dist[target];
 
   std::vector<bool> on_path(g.num_nodes(), false);
@@ -69,6 +73,42 @@ PaymentResult q_set_payments(const graph::NodeGraph& g, NodeId source,
         (on_path[k] ? g.node_cost(k) : 0.0) + option_value;
   }
   return result;
+}
+
+}  // namespace
+
+PaymentResult q_set_payments(const graph::NodeGraph& g, NodeId source,
+                             NodeId target, const CollusionSetFn& q) {
+  TC_CHECK_MSG(source != target, "source and target must differ");
+  spath::DijkstraWorkspace& ws = spath::thread_local_workspace();
+  spath::dijkstra_node_into(ws, g, source);
+  if (!ws.reached(target)) {
+    PaymentResult result;
+    result.payments.assign(g.num_nodes(), 0.0);
+    return result;
+  }
+  const spath::SptResult spt = ws.to_result();
+  return q_set_payments_with_spt(g, source, target, q, spt, ws);
+}
+
+std::vector<PaymentResult> q_set_payments_batch(
+    const graph::NodeGraph& g, std::span<const graph::NodeId> sources,
+    NodeId target, const CollusionSetFn& q) {
+  spath::DijkstraWorkspace& ws = spath::thread_local_workspace();
+  // One batched multi-source pass for every base tree — the workspace
+  // stays hot across roots — then the per-source masked-delta scans run
+  // against their matrix rows. Row i is bit-identical to the single-pair
+  // API's base solve, so results match q_set_payments per position.
+  spath::SptMatrix matrix;
+  spath::spt_multi_into(ws, matrix, g, sources);
+  std::vector<PaymentResult> out;
+  out.reserve(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    TC_CHECK_MSG(sources[i] != target, "source and target must differ");
+    const spath::SptResult spt = matrix.to_result(i);
+    out.push_back(q_set_payments_with_spt(g, sources[i], target, q, spt, ws));
+  }
+  return out;
 }
 
 PaymentResult neighbor_resistant_payments(const graph::NodeGraph& g,

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "core/payment.hpp"
@@ -48,6 +49,14 @@ using CollusionSetFn =
                                            graph::NodeId source,
                                            graph::NodeId target,
                                            const CollusionSetFn& q);
+
+/// Many-sources scan toward one target: out[i] equals
+/// q_set_payments(g, sources[i], target, q) bit for bit, but all base
+/// SPTs come from one batched multi-source solve (spath::spt_multi_into)
+/// instead of per-pair cold runs. Every source must differ from target.
+[[nodiscard]] std::vector<PaymentResult> q_set_payments_batch(
+    const graph::NodeGraph& g, std::span<const graph::NodeId> sources,
+    graph::NodeId target, const CollusionSetFn& q);
 
 /// UnicastMechanism adapter over the p~ scheme, usable with the
 /// truthfulness/collusion harness.

@@ -1,7 +1,9 @@
 #include "core/overpayment.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <map>
+#include <span>
 
 #include "spath/dijkstra.hpp"
 #include "spath/workspace.hpp"
@@ -39,11 +41,28 @@ OverpaymentResult study_from_tree(std::size_t n, NodeId ap,
     if (p != kInvalidNode && p != ap) is_relay[p] = true;
   }
 
-  // One avoiding SPT per relay, computed lazily and cached.
-  std::vector<std::vector<Cost>> avoid_cache(n);
-  auto avoid_for = [&](NodeId k) -> const std::vector<Cost>& {
-    if (avoid_cache[k].empty()) avoid_cache[k] = avoid_dist(k);
-    return avoid_cache[k];
+  // One avoiding-distance row per relay, computed lazily into a flat
+  // matrix: rows are pre-assigned from the (exact) relay set, so the
+  // whole cache is one contiguous allocation instead of a vector per
+  // relay, and tree-path walks below stream rows instead of chasing
+  // per-relay heap blocks.
+  constexpr std::uint32_t kNoRow = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> row_of(n, kNoRow);
+  std::uint32_t num_rows = 0;
+  for (NodeId k = 0; k < n; ++k) {
+    if (is_relay[k]) row_of[k] = num_rows++;
+  }
+  std::vector<Cost> avoid_rows(static_cast<std::size_t>(num_rows) * n);
+  std::vector<bool> row_filled(num_rows, false);
+  auto avoid_for = [&](NodeId k) -> const Cost* {
+    const std::uint32_t r = row_of[k];
+    TC_DCHECK(r != kNoRow);
+    const std::span<Cost> row(avoid_rows.data() + std::size_t{r} * n, n);
+    if (!row_filled[r]) {
+      avoid_dist(k, row);
+      row_filled[r] = true;
+    }
+    return row.data();
   };
 
   for (NodeId i = 0; i < n; ++i) {
@@ -136,12 +155,10 @@ OverpaymentResult overpayment_node_model(const graph::NodeGraph& g,
   spath::MaskedSptDelta delta(g, to_ap, children, ws);
   // Per-relay avoiding distances come from a subtree delta against the
   // shared base SPT instead of a full masked Dijkstra; the materialized
-  // vector is bit-identical to the old masked run's .dist.
-  auto avoid_dist = [&](NodeId k) {
+  // row is bit-identical to the old masked run's .dist.
+  auto avoid_dist = [&](NodeId k, std::span<Cost> out) {
     delta.eval_one(k);
-    std::vector<Cost> out;
     delta.dist_into(out);
-    return out;
   };
   auto relay_charge = [&](NodeId k) { return g.node_cost(k); };
   auto source_own = [](NodeId) { return 0.0; };  // node model: already excluded
@@ -163,11 +180,9 @@ OverpaymentResult overpayment_link_model(const graph::LinkGraph& g,
   // The delta relaxes over rev's out-arcs; its in-arc mate (reverse of
   // the reverse) is g itself.
   spath::MaskedSptDelta delta(rev, g, to_ap, children, ws);
-  auto avoid_dist = [&](NodeId k) {
+  auto avoid_dist = [&](NodeId k, std::span<Cost> out) {
     delta.eval_one(k);
-    std::vector<Cost> out;
     delta.dist_into(out);
-    return out;
   };
   // Relay k's own charge on the tree path is the declared cost of its
   // forwarding arc k -> parent(k) (the sum_j x_{k,j} d_{k,j} term).

@@ -24,7 +24,7 @@ PaymentResult vcg_payments_naive(const graph::NodeGraph& g, NodeId source,
   spath::dijkstra_node_into(ws, g, source);
   if (!ws.reached(target)) return result;  // disconnected: no output
   const spath::SptResult spt = ws.to_result();
-  result.path = spt.path_to(target);
+  spt.path_to_into(target, result.path);
   result.path_cost = spt.dist[target];
 
   if (result.path.size() > 2) {

@@ -107,11 +107,13 @@ PaymentOutcome run_payment_protocol(
     return behaviors[v].broadcast_scale;
   };
 
-  // Relays of each node from the stage-1 tree.
+  // Relays of each node from the stage-1 tree (one reused path buffer
+  // across the n harvests).
   std::vector<std::vector<NodeId>> relays(n);
+  std::vector<NodeId> path;
   for (NodeId v = 0; v < n; ++v) {
     if (v == root) continue;
-    const auto path = spt.path_of(v);
+    spt.path_of_into(v, path);
     for (std::size_t idx = 1; idx + 1 < path.size(); ++idx)
       relays[v].push_back(path[idx]);
   }

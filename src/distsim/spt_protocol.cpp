@@ -42,14 +42,29 @@ PathStatus SptOutcome::path_status(NodeId v) const {
 }
 
 std::vector<NodeId> SptOutcome::path_of(NodeId v) const {
-  if (path_status(v) != PathStatus::kOk) return {};
-  std::vector<NodeId> path{v};
+  std::vector<NodeId> path;
+  path_of_into(v, path);
+  return path;
+}
+
+void SptOutcome::path_of_into(NodeId v, std::vector<NodeId>& out) const {
+  out.clear();
+  if (first_hop[v] == kInvalidNode) return;  // unreached (root included)
+  const std::size_t n = first_hop.size();
+  out.push_back(v);
   NodeId cur = v;
   while (first_hop[cur] != kInvalidNode) {
+    if (out.size() > n) {  // > n hops: the FH claims form a loop
+      out.clear();
+      return;
+    }
     cur = first_hop[cur];
-    path.push_back(cur);
+    out.push_back(cur);
   }
-  return path;
+  // Chain ended at cur: a real route iff it reached the root (D = 0).
+  // Mirrors path_status exactly, but with the visited-set replaced by the
+  // length cap so the harvest loop stays allocation-free.
+  if (distance[cur] != 0.0) out.clear();
 }
 
 SptOutcome run_spt_protocol(const graph::NodeGraph& g, NodeId root,

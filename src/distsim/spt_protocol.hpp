@@ -73,6 +73,9 @@ struct SptOutcome {
   /// path_status(v) == kOk (note the root itself reports kUnreached — it
   /// has no route *to* itself worth naming).
   std::vector<graph::NodeId> path_of(graph::NodeId v) const;
+  /// As path_of, but reuses the caller's vector (cleared first) — for
+  /// loops harvesting every node's route without reallocating.
+  void path_of_into(graph::NodeId v, std::vector<graph::NodeId>& out) const;
   /// Distinguishes "no route exists / not yet learned" from "the FH
   /// claims form a loop" — the latter marks corrupted or adversarial
   /// state and is tallied in ProtocolStats::loops_detected.

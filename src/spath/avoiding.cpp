@@ -16,7 +16,7 @@ AvoidingPath harvest(DijkstraWorkspace& ws, graph::NodeMask& mask,
   AvoidingPath result;
   if (ws.reached(t)) {
     result.cost = ws.dist(t);
-    result.path = ws.path_to(t);
+    ws.path_to_into(t, result.path);
   }
   for (NodeId v : blocked) mask.unblock(v);
   return result;

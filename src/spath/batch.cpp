@@ -22,14 +22,60 @@ void drive(std::size_t count, util::ThreadPool* pool,
 
 }  // namespace
 
+SptResult SptMatrix::to_result(std::size_t i) const {
+  TC_DCHECK(i < num_roots());
+  SptResult r;
+  r.source = sources_[i];
+  const auto d = dist(i);
+  const auto p = parent(i);
+  r.dist.assign(d.begin(), d.end());
+  r.parent.assign(p.begin(), p.end());
+  return r;
+}
+
+void SptMatrix::reset(std::span<const NodeId> sources, std::size_t num_nodes) {
+  num_nodes_ = num_nodes;
+  sources_.assign(sources.begin(), sources.end());
+  const std::size_t cells = sources.size() * num_nodes;
+  if (dist_.size() < cells) {
+    dist_.resize(cells);
+    parent_.resize(cells);
+  }
+}
+
+void spt_multi_into(DijkstraWorkspace& ws, SptMatrix& m,
+                    const graph::NodeGraph& g,
+                    std::span<const NodeId> sources,
+                    const graph::NodeMask& mask, HeapKind heap) {
+  m.reset(sources, g.num_nodes());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    dijkstra_node_row_into(ws, g, sources[i], m.mutable_dist(i),
+                           m.mutable_parent(i), mask, heap);
+  }
+}
+
+void spt_multi_into(DijkstraWorkspace& ws, SptMatrix& m,
+                    const graph::LinkGraph& g,
+                    std::span<const NodeId> sources,
+                    const graph::NodeMask& mask, HeapKind heap) {
+  m.reset(sources, g.num_nodes());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    dijkstra_link_row_into(ws, g, sources[i], m.mutable_dist(i),
+                           m.mutable_parent(i), mask, heap);
+  }
+}
+
 std::vector<SptResult> spt_batch(const graph::NodeGraph& g,
                                  std::span<const NodeId> sources,
                                  util::ThreadPool* pool) {
+  const std::size_t n = g.num_nodes();
   std::vector<SptResult> out(sources.size());
   drive(sources.size(), pool, [&](std::size_t i) {
     DijkstraWorkspace& ws = thread_local_workspace();
-    dijkstra_node_into(ws, g, sources[i]);
-    out[i] = ws.to_result();
+    out[i].source = sources[i];
+    out[i].dist.resize(n);
+    out[i].parent.resize(n);
+    dijkstra_node_row_into(ws, g, sources[i], out[i].dist, out[i].parent);
   });
   return out;
 }
@@ -37,11 +83,14 @@ std::vector<SptResult> spt_batch(const graph::NodeGraph& g,
 std::vector<SptResult> spt_batch(const graph::LinkGraph& g,
                                  std::span<const NodeId> sources,
                                  util::ThreadPool* pool) {
+  const std::size_t n = g.num_nodes();
   std::vector<SptResult> out(sources.size());
   drive(sources.size(), pool, [&](std::size_t i) {
     DijkstraWorkspace& ws = thread_local_workspace();
-    dijkstra_link_into(ws, g, sources[i]);
-    out[i] = ws.to_result();
+    out[i].source = sources[i];
+    out[i].dist.resize(n);
+    out[i].parent.resize(n);
+    dijkstra_link_row_into(ws, g, sources[i], out[i].dist, out[i].parent);
   });
   return out;
 }

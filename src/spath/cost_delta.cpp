@@ -121,11 +121,11 @@ void CostDelta::increase_node(const graph::NodeGraph& g, NodeId v,
   }
   while (!heap.empty()) {
     const auto [du, u] = heap.pop_min();
-    if (ws.settled_[u] == e) continue;
-    ws.settled_[u] = e;
+    if (ws.lane_[u].stamp == e + 1) continue;
+    ws.lane_[u].stamp = e + 1;
     const Cost through = du + g.node_cost(u);  // a member is never src
     for (NodeId x : g.neighbors(u)) {
-      if (ws.member_[x] != e || ws.settled_[x] == e) continue;
+      if (ws.member_[x] != e || ws.lane_[x].stamp == e + 1) continue;
       if (through < spt_.dist[x]) {
         spt_.dist[x] = through;
         spt_.parent[x] = u;
@@ -158,12 +158,12 @@ void CostDelta::decrease_node(const graph::NodeGraph& g, NodeId v,
   std::size_t improved = 0;
   while (!heap.empty()) {
     const auto [du, u] = heap.pop_min();
-    if (ws.settled_[u] == e) continue;
-    ws.settled_[u] = e;
+    if (ws.lane_[u].stamp == e + 1) continue;
+    ws.lane_[u].stamp = e + 1;
     ++improved;
     const Cost through = du + g.node_cost(u);  // an improved node is never src
     for (NodeId x : g.neighbors(u)) {
-      if (ws.settled_[x] == e) continue;
+      if (ws.lane_[x].stamp == e + 1) continue;
       if (through < spt_.dist[x]) {
         spt_.dist[x] = through;
         spt_.parent[x] = u;
@@ -227,10 +227,10 @@ void CostDelta::increase_arc(const graph::LinkGraph& g, NodeId w,
   }
   while (!heap.empty()) {
     const auto [du, x] = heap.pop_min();
-    if (ws.settled_[x] == e) continue;
-    ws.settled_[x] = e;
+    if (ws.lane_[x].stamp == e + 1) continue;
+    ws.lane_[x].stamp = e + 1;
     for (const graph::Arc& a : g.out_arcs(x)) {
-      if (ws.member_[a.to] != e || ws.settled_[a.to] == e) continue;
+      if (ws.member_[a.to] != e || ws.lane_[a.to].stamp == e + 1) continue;
       if (!graph::finite_cost(a.cost)) continue;
       const Cost cand = du + a.cost;
       if (cand < spt_.dist[a.to]) {
@@ -261,11 +261,11 @@ void CostDelta::decrease_arc(const graph::LinkGraph& g, NodeId u, NodeId w,
   std::size_t improved = 0;
   while (!heap.empty()) {
     const auto [dx, x] = heap.pop_min();
-    if (ws.settled_[x] == e) continue;
-    ws.settled_[x] = e;
+    if (ws.lane_[x].stamp == e + 1) continue;
+    ws.lane_[x].stamp = e + 1;
     ++improved;
     for (const graph::Arc& a : g.out_arcs(x)) {
-      if (ws.settled_[a.to] == e) continue;
+      if (ws.lane_[a.to].stamp == e + 1) continue;
       if (!graph::finite_cost(a.cost)) continue;
       const Cost cand = dx + a.cost;
       if (cand < spt_.dist[a.to]) {

@@ -14,12 +14,17 @@ using graph::kInvalidNode;
 using graph::NodeId;
 
 std::vector<NodeId> SptResult::path_to(NodeId t) const {
-  if (!reached(t)) return {};
   std::vector<NodeId> path;
-  for (NodeId v = t; v != kInvalidNode; v = parent[v]) path.push_back(v);
-  std::reverse(path.begin(), path.end());
-  TC_DCHECK(path.front() == source);
+  path_to_into(t, path);
   return path;
+}
+
+void SptResult::path_to_into(NodeId t, std::vector<NodeId>& out) const {
+  out.clear();
+  if (!reached(t)) return;
+  for (NodeId v = t; v != kInvalidNode; v = parent[v]) out.push_back(v);
+  std::reverse(out.begin(), out.end());
+  TC_DCHECK(out.front() == source);
 }
 
 namespace {

@@ -36,6 +36,10 @@ struct SptResult {
 
   /// Node sequence source..t inclusive; empty when t is unreachable.
   [[nodiscard]] std::vector<graph::NodeId> path_to(graph::NodeId t) const;
+
+  /// As path_to, but reuses the caller's vector (cleared first) — for
+  /// loops harvesting many paths from one tree without reallocating.
+  void path_to_into(graph::NodeId t, std::vector<graph::NodeId>& out) const;
 };
 
 /// Node-weighted Dijkstra from `source`, skipping masked nodes entirely

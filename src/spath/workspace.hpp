@@ -2,19 +2,36 @@
 //
 // Every payment engine bottoms out in repeated Dijkstra runs over the same
 // graph. The allocating API (dijkstra.hpp) pays O(n) vector construction
-// and clearing per call; a DijkstraWorkspace instead owns flat dist /
-// parent / heap arrays sized once per graph and reset in O(touched) via
-// epoch-stamped visitation: each run bumps a uint32_t epoch and a node's
-// dist/parent entries are valid only while its stamp equals the current
-// epoch, so "clearing" is a single counter increment.
+// and clearing per call; a DijkstraWorkspace instead owns per-node state
+// sized once per graph and reset in O(1) via epoch-stamped visitation.
+//
+// Memory layout (DESIGN.md §13): each node's solve state lives in one
+// 16-byte NodeLane packing {dist, parent, stamp}, so the relax inner loop
+// touches exactly one cache line per neighbor (four lanes per 64-byte
+// line) instead of gathering from three parallel arrays. Each run
+// advances the epoch by 2: stamp == epoch means "touched, dist/parent
+// tentative", stamp == epoch+1 means "settled, dist final", anything
+// older means "untouched" — so "clearing" is a counter increment. On
+// AVX-512 hardware the arc scan itself is vectorized: a gather/compare/
+// compress prefilter emits improvement candidates 8-16 neighbors at a
+// time, and a scalar re-check applies them in neighbor order, preserving
+// the sequential kernels' bit-exact dist/parent (workspace.cpp). Larger-
+// than-cache graphs additionally software-prefetch upcoming lanes in the
+// scalar path (a measured *loss* at cache-resident sizes, so it is
+// size-gated).
 //
 // Determinism contract: for identical (graph, source, mask, heap kind)
 // inputs, the `_into` kernels perform exactly the same heap operations and
 // floating-point additions as their allocating counterparts, so dist and
-// parent arrays are bit-for-bit identical. MaskedSptDelta re-derives a
-// masked run's *distances* from an unmasked base SPT (bit-identical by the
-// min-fixed-point argument documented at the class); it does not expose
-// parent witnesses, whose tie-breaks are evaluation-order dependent.
+// parent arrays are bit-for-bit identical. HeapKind::kBucket is an exact
+// queue with a different tie-break among equal keys: dist stays
+// bit-identical to every other heap (Dijkstra's final distances are a
+// heap-order-independent minimum over per-path cost sums accumulated left
+// to right), while parent witnesses may differ on distance ties (see
+// bucket_queue.hpp). MaskedSptDelta re-derives a masked run's *distances*
+// from an unmasked base SPT (bit-identical by the min-fixed-point argument
+// documented at the class); it does not expose parent witnesses, whose
+// tie-breaks are evaluation-order dependent.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +41,7 @@
 #include "graph/link_graph.hpp"
 #include "graph/mask.hpp"
 #include "graph/node_graph.hpp"
+#include "spath/bucket_queue.hpp"
 #include "spath/dijkstra.hpp"
 #include "spath/heap.hpp"
 #include "spath/pairing_heap.hpp"
@@ -37,17 +55,29 @@ class MaskedSptDelta;
 struct WorkspaceKernels;
 
 /// Heap selector for the `_into` kernels (ablation parity with the
-/// allocating dijkstra_node / _quad / _pairing family).
-enum class HeapKind { kBinary, kQuad, kPairing };
+/// allocating dijkstra_node / _quad / _pairing family). kBucket is the
+/// monotone bucket queue (bucket_queue.hpp): bit-identical dist, but
+/// parent witnesses may differ from the comparison heaps on distance
+/// ties, so it is opt-in rather than the default.
+enum class HeapKind { kBinary, kQuad, kPairing, kBucket };
+
+/// One node's solve state, packed so the relax loop touches a single
+/// cache line per neighbor (4 lanes per 64-byte line).
+struct alignas(16) NodeLane {
+  graph::Cost dist;
+  graph::NodeId parent;
+  std::uint32_t stamp;
+};
+static_assert(sizeof(NodeLane) == 16, "lane must pack to one quarter line");
 
 /// Runs node-weighted Dijkstra into `ws`, replacing its previous contents.
 /// Behaves exactly like dijkstra_node{,_quad,_pairing}(g, source, mask)
-/// (same relaxation order, bit-identical dist/parent), but reuses the
-/// workspace's arrays: no allocation after the first run on a graph of
-/// this size. When `stop_at` is a valid node, the run terminates as soon
-/// as it settles: ws.dist(stop_at) and the parent chain to it are final,
-/// but other nodes may hold non-final tentative values (ws.complete() is
-/// false and ws.to_result() is unavailable).
+/// (same relaxation order, bit-identical dist/parent; kBucket caveat at
+/// HeapKind), but reuses the workspace's arrays: no allocation after the
+/// first run on a graph of this size. When `stop_at` is a valid node, the
+/// run terminates as soon as it settles: ws.dist(stop_at) and the parent
+/// chain to it are final, but other nodes may hold non-final tentative
+/// values (ws.complete() is false and ws.to_result() is unavailable).
 void dijkstra_node_into(DijkstraWorkspace& ws, const graph::NodeGraph& g,
                         graph::NodeId source, const graph::NodeMask& mask = {},
                         graph::NodeId stop_at = graph::kInvalidNode,
@@ -71,6 +101,29 @@ void dijkstra_link_to_target_into(DijkstraWorkspace& ws,
                                   graph::NodeId stop_at = graph::kInvalidNode,
                                   HeapKind heap = HeapKind::kBinary);
 
+/// Row kernels: full Dijkstra written directly into caller-owned dist /
+/// parent rows (each spanning g.num_nodes()), bit-identical to the
+/// allocating dijkstra_node / dijkstra_link — including parent witnesses,
+/// because the relax condition reads the prefilled row exactly as the
+/// allocating loop does. The workspace supplies only the heap and the
+/// settled stamps, so the multi-source batch driver (spath/batch.hpp)
+/// solves many roots into one flat matrix with no per-root allocation.
+/// The workspace's own readings are unspecified afterward (complete() is
+/// false); the rows are the output.
+void dijkstra_node_row_into(DijkstraWorkspace& ws, const graph::NodeGraph& g,
+                            graph::NodeId source, std::span<graph::Cost> dist,
+                            std::span<graph::NodeId> parent,
+                            const graph::NodeMask& mask = {},
+                            HeapKind heap = HeapKind::kBinary);
+
+/// Link-weighted row kernel; mirrors dijkstra_link(g, source, mask) bit
+/// for bit into the caller's rows.
+void dijkstra_link_row_into(DijkstraWorkspace& ws, const graph::LinkGraph& g,
+                            graph::NodeId source, std::span<graph::Cost> dist,
+                            std::span<graph::NodeId> parent,
+                            const graph::NodeMask& mask = {},
+                            HeapKind heap = HeapKind::kBinary);
+
 /// One Dijkstra run's worth of state, reusable across runs and graphs.
 /// Not thread-safe; use one workspace per thread (thread_local_workspace).
 /// All read accessors refer to the most recent `_into` run; starting a new
@@ -89,13 +142,15 @@ class DijkstraWorkspace {
   /// True when v was reached by the last run's relaxations.
   bool touched(graph::NodeId v) const {
     TC_DCHECK(v < n_);
-    return touch_[v] == epoch_;
+    // stamp is epoch_ (tentative) or epoch_ + 1 (settled); anything older
+    // is a previous run's leftover.
+    return lane_[v].stamp >= epoch_;
   }
   graph::Cost dist(graph::NodeId v) const {
-    return touched(v) ? dist_[v] : graph::kInfCost;
+    return touched(v) ? lane_[v].dist : graph::kInfCost;
   }
   graph::NodeId parent(graph::NodeId v) const {
-    return touched(v) ? parent_[v] : graph::kInvalidNode;
+    return touched(v) ? lane_[v].parent : graph::kInvalidNode;
   }
   bool reached(graph::NodeId v) const {
     return graph::finite_cost(dist(v));
@@ -105,6 +160,10 @@ class DijkstraWorkspace {
   /// after an early-stopped run only for t == stop_at (its parent chain is
   /// settled by then).
   [[nodiscard]] std::vector<graph::NodeId> path_to(graph::NodeId t) const;
+
+  /// As path_to, but reuses the caller's vector (cleared first) — the
+  /// allocation-free variant for loops that harvest many paths.
+  void path_to_into(graph::NodeId t, std::vector<graph::NodeId>& out) const;
 
   /// Materializes the run as an allocating-API SptResult, bit-identical
   /// to the corresponding dijkstra_* call. Requires complete().
@@ -123,27 +182,30 @@ class DijkstraWorkspace {
   friend class MaskedSptDelta;
   friend class CostDelta;
 
-  /// Starts a new run: sizes arrays for n nodes and bumps the epoch
-  /// (O(1); a full stamp clear happens only on uint32 wraparound).
+  /// Starts a new run: sizes arrays for n nodes and advances the epoch by
+  /// 2 (O(1); a full stamp clear happens only near uint32 wraparound).
   void begin(std::size_t n, graph::NodeId source);
 
   std::size_t n_ = 0;
-  std::uint32_t epoch_ = 0;
+  std::uint32_t epoch_ = 0;  // always even after begin(); epoch_+1 = settled
   graph::NodeId source_ = graph::kInvalidNode;
   bool complete_ = false;
-  std::vector<graph::Cost> dist_;
-  std::vector<graph::NodeId> parent_;
-  std::vector<std::uint32_t> touch_;    // touch_[v] == epoch_: dist/parent valid
-  std::vector<std::uint32_t> settled_;  // settled_[v] == epoch_: dist final
-  // Scratch for MaskedSptDelta (same epoch discipline).
+  std::vector<NodeLane> lane_;  // lane_[v]: {dist, parent, stamp}
+  // Scratch for MaskedSptDelta (same epoch discipline; stamps compare
+  // against the even epoch_ only).
   std::vector<std::uint32_t> member_;
   std::vector<std::uint32_t> removed_;
   std::vector<graph::NodeId> member_list_;
   std::vector<graph::NodeId> removed_list_;
   std::vector<graph::NodeId> stack_;
+  // Candidate buffers for the vectorized arc scan (ids, and for the link
+  // model the matching tentative costs); sized with lane_.
+  std::vector<graph::NodeId> scan_ids_;
+  std::vector<graph::Cost> scan_cand_;
   BinaryHeap bheap_{0};
   QuadHeap qheap_{0};
   PairingHeap pheap_{0};
+  BucketQueue buq_{0};
   graph::NodeMask mask_;
 };
 
@@ -225,7 +287,8 @@ class MaskedSptDelta {
   graph::Cost dist(graph::NodeId v) const {
     if (ws_->removed_[v] == ws_->epoch_) return graph::kInfCost;
     if (ws_->member_[v] == ws_->epoch_) {
-      return ws_->touch_[v] == ws_->epoch_ ? ws_->dist_[v] : graph::kInfCost;
+      return ws_->lane_[v].stamp >= ws_->epoch_ ? ws_->lane_[v].dist
+                                                : graph::kInfCost;
     }
     return base_->dist[v];
   }
@@ -234,6 +297,10 @@ class MaskedSptDelta {
   /// masked run's .dist would be), for consumers that keep per-relay
   /// caches.
   void dist_into(std::vector<graph::Cost>& out) const;
+
+  /// As above into a caller-owned row of exactly n entries (the flat
+  /// avoid-matrix layout used by the fig3 overpayment sweep).
+  void dist_into(std::span<graph::Cost> out) const;
 
   /// Number of members (re-evaluated nodes) in the last eval; the work
   /// saved versus a full run is roughly (n - members) / n.

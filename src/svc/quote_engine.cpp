@@ -430,6 +430,19 @@ bool QuoteEngine::warm_spts(const ProfileSnapshot& snap, NodeId source,
     w.pending.clear();
     w.roots.clear();
     w.poisoned = false;
+    if (!w.refill.empty()) {
+      // Re-warm the roots held at the poison in one batched multi-source
+      // solve: the workspace stays hot across roots and each tree is
+      // adopted bit-identical to what a lazy solve_node would produce.
+      spath::spt_multi_into(w.ws, w.matrix, w.graph, w.refill);
+      for (std::size_t i = 0; i < w.refill.size(); ++i) {
+        WarmRoot& entry = w.roots[w.refill[i]];
+        entry.delta.adopt_node(w.matrix.to_result(i));
+        entry.last_used = ++w.tick;
+        metrics_.record_warm_solve();
+      }
+      w.refill.clear();
+    }
   }
   if (w.graph_epoch > snap.epoch()) {
     // Another reader already replayed past this reader's (older)
@@ -493,6 +506,11 @@ void QuoteEngine::warm_note_change(std::uint64_t new_epoch, NodeId v,
     // the next reader's snapshot is cheaper than draining the log.
     w.poisoned = true;
     w.pending.clear();
+    // Remember which roots were warm: the rebuild after this poison
+    // re-solves them in one batched pass instead of lazily one-by-one.
+    w.refill.clear();
+    for (const auto& [root, entry] : w.roots) w.refill.push_back(root);
+    std::sort(w.refill.begin(), w.refill.end());
     w.roots.clear();
     return;
   }
@@ -505,6 +523,9 @@ void QuoteEngine::warm_poison() {
   util::MutexLock lock(w.mutex);
   w.poisoned = true;
   w.pending.clear();
+  w.refill.clear();
+  for (const auto& [root, entry] : w.roots) w.refill.push_back(root);
+  std::sort(w.refill.begin(), w.refill.end());
   w.roots.clear();
 }
 
@@ -512,11 +533,83 @@ std::vector<std::optional<core::PaymentResult>> QuoteEngine::quote_all() {
   std::vector<std::optional<core::PaymentResult>> quotes(num_nodes_);
   util::ThreadPool& pool =
       options_.pool != nullptr ? *options_.pool : util::default_pool();
+  const auto snap = snapshot_.load(std::memory_order_acquire);
+  if (snap->model() == GraphModel::kNode && pricer_->accepts_warm_spts()) {
+    quote_all_batched(snap, quotes, pool);
+    return quotes;
+  }
   pool.parallel_for(0, num_nodes_, [&](std::size_t v) {
     if (v == access_point_) return;
     quotes[v] = quote_impl(static_cast<NodeId>(v), access_point_);
   });
   return quotes;
+}
+
+void QuoteEngine::quote_all_batched(
+    const std::shared_ptr<const ProfileSnapshot>& snap,
+    std::vector<std::optional<core::PaymentResult>>& quotes,
+    util::ThreadPool& pool) {
+  const auto start = std::chrono::steady_clock::now();
+  // Serve cache hits and collect the misses. Sources are visited in
+  // ascending order, so the miss list (and with it the batch layout) is
+  // deterministic.
+  std::vector<NodeId> miss;
+  miss.reserve(num_nodes_);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    if (v == access_point_) continue;
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(v) * num_nodes_ + access_point_;
+    Shard& shard = *shards_[key % shards_.size()];
+    util::MutexLock lock(shard.mutex);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end() && it->second.epoch == snap->epoch()) {
+      metrics_.record_hit();
+      const core::PaymentResult& result = it->second.quote.result;
+      if (result.connected()) quotes[v] = result;
+    } else {
+      miss.push_back(v);
+    }
+  }
+  if (miss.empty()) return;
+  // One multi-source batched solve covers the shared target tree (row 0)
+  // and every missing source's tree — the workspace and its heap stay
+  // hot across roots instead of re-warming once per quote_impl miss.
+  std::vector<NodeId> roots;
+  roots.reserve(miss.size() + 1);
+  roots.push_back(access_point_);
+  roots.insert(roots.end(), miss.begin(), miss.end());
+  spath::SptMatrix matrix;
+  spath::spt_multi_into(spath::thread_local_workspace(), matrix, snap->node(),
+                        roots);
+  // Pricing fans out: each miss reads its own matrix row plus the shared
+  // target row, so workers share no mutable state.
+  pool.parallel_for(0, miss.size(), [&](std::size_t i) {
+    const NodeId source = miss[i];
+    PricedQuote priced =
+        pricer_->price_with_spts(*snap, source, access_point_,
+                                 matrix.to_result(i + 1), matrix.to_result(0));
+    priced.result.profile_version = snap->epoch();
+    const core::PaymentResult result = priced.result;
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(source) * num_nodes_ + access_point_;
+    Shard& shard = *shards_[key % shards_.size()];
+    {
+      util::MutexLock lock(shard.mutex);
+      auto it = shard.entries.find(key);
+      if (it == shard.entries.end()) {
+        if (shard.entries.size() >= options_.max_entries_per_shard) {
+          shard.entries.erase(shard.entries.begin());
+        }
+        shard.entries.emplace(
+            key, CacheEntry{snap->epoch(), std::move(priced), 0.0});
+      } else if (it->second.epoch < snap->epoch()) {
+        it->second = CacheEntry{snap->epoch(), std::move(priced), 0.0};
+      }
+    }
+    metrics_.record_miss();
+    metrics_.record_served(elapsed_us(start));
+    if (result.connected()) quotes[source] = result;
+  });
 }
 
 std::vector<std::optional<core::PaymentResult>> QuoteEngine::quote_batch(

@@ -61,6 +61,7 @@
 #include <utility>
 #include <vector>
 
+#include "spath/batch.hpp"
 #include "spath/cost_delta.hpp"
 #include "spath/workspace.hpp"
 #include "svc/config.hpp"
@@ -209,10 +210,23 @@ class QuoteEngine {
     std::unordered_map<graph::NodeId, WarmRoot> roots TC_GUARDED_BY(mutex);
     std::uint64_t tick TC_GUARDED_BY(mutex) = 0;
     spath::DijkstraWorkspace ws TC_GUARDED_BY(mutex);
+    /// Roots held when the cache was last poisoned, in ascending order;
+    /// the next rebuild re-solves them all in one batched multi-source
+    /// pass instead of letting each fault back in cold.
+    std::vector<graph::NodeId> refill TC_GUARDED_BY(mutex);
+    /// Reused flat storage for the refill batch.
+    spath::SptMatrix matrix TC_GUARDED_BY(mutex);
   };
 
   std::optional<core::PaymentResult> quote_impl(graph::NodeId source,
                                                 graph::NodeId target);
+  /// quote_all's fast path for warm-capable node pricers: solves the
+  /// shared target tree and every cache-missing source's tree in one
+  /// batched multi-source pass, then prices the misses on the pool.
+  void quote_all_batched(
+      const std::shared_ptr<const ProfileSnapshot>& snap,
+      std::vector<std::optional<core::PaymentResult>>& quotes,
+      util::ThreadPool& pool);
   /// Miss path: warm SPT pricing when available, cold pricing otherwise.
   [[nodiscard]] PricedQuote price_on_miss(const ProfileSnapshot& snap,
                                           graph::NodeId source,

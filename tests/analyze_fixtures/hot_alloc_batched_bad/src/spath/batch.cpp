@@ -1,0 +1,22 @@
+// Seeded violation: a multi-source batched kernel whose per-root helper
+// materializes a fresh std::vector per root instead of streaming into the
+// caller's grow-only matrix rows. The hot-alloc rule must reach it from
+// the spt_multi_into root (any *_into function is a root).
+#include <cstddef>
+#include <vector>
+
+namespace spath {
+
+int solve_row(std::size_t n) {
+  std::vector<double> row(n, 0.0);  // per-root allocation on the hot path
+  int settled = 0;
+  for (double d : row) settled += d == 0.0 ? 1 : 0;
+  return settled;
+}
+
+void spt_multi_into(std::vector<int>& out, std::size_t roots, std::size_t n) {
+  out.resize(roots);  // grow-only matrix storage: allowed
+  for (std::size_t i = 0; i < roots; ++i) out[i] = solve_row(n);
+}
+
+}  // namespace spath

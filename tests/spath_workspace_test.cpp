@@ -326,6 +326,181 @@ TEST(Batch, SptBatchLinkParallelMatchesSerial) {
   }
 }
 
+// -- bucket queue: bit-identical dist, tie-break-valid parents ------------
+
+// kBucket's contract (see HeapKind): distances match every other heap bit
+// for bit; parent witnesses may differ on distance ties but must still be
+// exact shortest-path witnesses on the graph.
+void expect_valid_node_tree(const graph::NodeGraph& g, const SptResult& got) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v == got.source) {
+      EXPECT_EQ(got.parent[v], kInvalidNode);
+      continue;
+    }
+    if (!got.reached(v)) continue;
+    const NodeId p = got.parent[v];
+    ASSERT_NE(p, kInvalidNode) << "reached node without a parent: " << v;
+    ASSERT_TRUE(got.reached(p));
+    EXPECT_TRUE(g.has_edge(p, v));
+    const Cost through =
+        got.dist[p] + (p == got.source ? 0.0 : g.node_cost(p));
+    EXPECT_EQ(through, got.dist[v]) << "parent " << p << " -> " << v;
+  }
+}
+
+void expect_valid_link_tree(const graph::LinkGraph& g, const SptResult& got) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v == got.source) {
+      EXPECT_EQ(got.parent[v], kInvalidNode);
+      continue;
+    }
+    if (!got.reached(v)) continue;
+    const NodeId p = got.parent[v];
+    ASSERT_NE(p, kInvalidNode) << "reached node without a parent: " << v;
+    ASSERT_TRUE(got.reached(p));
+    bool witnessed = false;
+    for (const graph::Arc& a : g.out_arcs(p)) {
+      if (a.to == v && got.dist[p] + a.cost == got.dist[v]) {
+        witnessed = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(witnessed) << "parent " << p << " -> " << v;
+  }
+}
+
+TEST(BucketDifferential, NodeDistMatchesBinary) {
+  DijkstraWorkspace ws;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const auto g = random_node_graph(seed);
+    const NodeId source = static_cast<NodeId>(seed % g.num_nodes());
+    const SptResult ref = dijkstra_node(g, source);
+
+    dijkstra_node_into(ws, g, source, {}, kInvalidNode, HeapKind::kBucket);
+    const SptResult got = ws.to_result();
+    expect_bits_equal(got.dist, ref.dist);
+    expect_valid_node_tree(g, got);
+  }
+}
+
+TEST(BucketDifferential, NodeMaskedDistMatchesBinary) {
+  DijkstraWorkspace ws;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const auto g = random_node_graph(seed);
+    const NodeId source = static_cast<NodeId>(seed % g.num_nodes());
+    const graph::NodeMask mask = random_mask(g.num_nodes(), source, seed * 7);
+    const SptResult ref = dijkstra_node(g, source, mask);
+
+    dijkstra_node_into(ws, g, source, mask, kInvalidNode, HeapKind::kBucket);
+    const SptResult got = ws.to_result();
+    expect_bits_equal(got.dist, ref.dist);
+    expect_valid_node_tree(g, got);
+  }
+}
+
+TEST(BucketDifferential, LinkDistMatchesBinary) {
+  DijkstraWorkspace ws;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    graph::HeteroParams params;
+    params.n = 50;
+    const auto g = graph::make_hetero_geometric(params, seed);
+    const NodeId source = static_cast<NodeId>(seed % g.num_nodes());
+    const SptResult ref = dijkstra_link(g, source);
+
+    dijkstra_link_into(ws, g, source, {}, kInvalidNode, HeapKind::kBucket);
+    const SptResult got = ws.to_result();
+    expect_bits_equal(got.dist, ref.dist);
+    expect_valid_link_tree(g, got);
+
+    const graph::NodeMask mask = random_mask(g.num_nodes(), source, seed * 3);
+    const SptResult mref = dijkstra_link(g, source, mask);
+    dijkstra_link_into(ws, g, source, mask, kInvalidNode, HeapKind::kBucket);
+    const SptResult mgot = ws.to_result();
+    expect_bits_equal(mgot.dist, mref.dist);
+    expect_valid_link_tree(g, mgot);
+  }
+}
+
+TEST(BucketDifferential, EarlyStopSettlesTarget) {
+  DijkstraWorkspace ws;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const auto g = random_node_graph(seed);
+    const std::size_t n = g.num_nodes();
+    const NodeId source = static_cast<NodeId>(seed % n);
+    const NodeId target = static_cast<NodeId>((seed * 31) % n);
+    if (source == target) continue;
+    const SptResult full = dijkstra_node(g, source);
+
+    dijkstra_node_into(ws, g, source, {}, target, HeapKind::kBucket);
+    ASSERT_EQ(ws.reached(target), full.reached(target));
+    if (full.reached(target)) {
+      EXPECT_EQ(ws.dist(target), full.dist[target]);
+    }
+  }
+}
+
+// -- multi-source batched kernel ------------------------------------------
+
+TEST(Batch, SptMultiIntoMatchesIndependentSolves) {
+  DijkstraWorkspace ws;
+  SptMatrix m;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const auto g = random_node_graph(seed);
+    const std::size_t n = g.num_nodes();
+    std::vector<NodeId> roots;
+    for (NodeId v = 0; v < n; v += 7) roots.push_back(v);
+
+    spt_multi_into(ws, m, g, roots);
+    ASSERT_EQ(m.num_roots(), roots.size());
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      EXPECT_EQ(m.source(i), roots[i]);
+      expect_same_spt(m.to_result(i), dijkstra_node(g, roots[i]));
+    }
+
+    const graph::NodeMask mask = random_mask(n, roots[0], seed * 11);
+    std::vector<NodeId> allowed;
+    for (const NodeId r : roots) {
+      if (mask.allowed(r)) allowed.push_back(r);
+    }
+    spt_multi_into(ws, m, g, allowed, mask);
+    for (std::size_t i = 0; i < allowed.size(); ++i) {
+      expect_same_spt(m.to_result(i), dijkstra_node(g, allowed[i], mask));
+    }
+
+    // kBucket rows: bit-identical dist, witness-valid parents.
+    spt_multi_into(ws, m, g, roots, {}, HeapKind::kBucket);
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      const SptResult got = m.to_result(i);
+      expect_bits_equal(got.dist, dijkstra_node(g, roots[i]).dist);
+      expect_valid_node_tree(g, got);
+    }
+  }
+}
+
+TEST(Batch, SptMultiIntoLinkMatchesIndependentSolves) {
+  DijkstraWorkspace ws;
+  SptMatrix m;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    graph::HeteroParams params;
+    params.n = 50;
+    const auto g = graph::make_hetero_geometric(params, seed);
+    std::vector<NodeId> roots;
+    for (NodeId v = 0; v < g.num_nodes(); v += 5) roots.push_back(v);
+
+    spt_multi_into(ws, m, g, roots);
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      expect_same_spt(m.to_result(i), dijkstra_link(g, roots[i]));
+    }
+
+    spt_multi_into(ws, m, g, roots, {}, HeapKind::kBucket);
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      const SptResult got = m.to_result(i);
+      expect_bits_equal(got.dist, dijkstra_link(g, roots[i]).dist);
+      expect_valid_link_tree(g, got);
+    }
+  }
+}
+
 TEST(Batch, ForEachMaskedSptParallelMatchesSerial) {
   const auto g = graph::make_erdos_renyi(100, 0.1, 0.1, 9.0, 11);
   const std::size_t n = g.num_nodes();

@@ -17,11 +17,14 @@ run in CI, so a violation fails the build. Rules:
                 over every quoted project include in src/.
 
   hot-alloc     The workspace kernels exist so the serving hot path never
-                allocates per call: dijkstra_*_into, MaskedSptDelta::eval
-                and CostDelta::apply_* reuse grow-only arenas
-                (DijkstraWorkspace) instead of building O(n) state per
-                invocation. This rule walks the call graph from those
-                roots and rejects any reachable function that constructs
+                allocates per call: dijkstra_*_into, the batched
+                spt_multi_into (its SptMatrix is the one grow-only
+                allocation for a whole many-roots pass, never per root),
+                MaskedSptDelta::eval and CostDelta::apply_* reuse
+                grow-only arenas (DijkstraWorkspace) instead of building
+                O(n) state per invocation. This rule walks the call
+                graph from those roots and rejects any reachable
+                function that constructs
                 a local std container, calls make_unique/make_shared,
                 uses a new-expression, or calls an allocating
                 spath::dijkstra_* entry point (the non-_into forms).

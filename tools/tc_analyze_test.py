@@ -34,6 +34,7 @@ FIXTURES = REPO / "tests" / "analyze_fixtures"
 EXPECTATIONS = {
     "layers_bad": ("layers", "layers"),
     "hot_alloc_bad": ("hot-alloc", "hot-alloc"),
+    "hot_alloc_batched_bad": ("hot-alloc", "hot-alloc"),
     "hot_alloc_allowed": ("hot-alloc", None),
     "reader_locks_bad": ("reader-locks", "reader-locks"),
     "mutable_const_bad": ("mutable-const", "mutable-const"),
