@@ -6,15 +6,23 @@
 //   * no honest node is ever accused, whatever the radio does;
 //   * optionally, a crashed relay prices like a node declared at infinity.
 //
-// Exits nonzero on the first violated invariant, so CI can use it as a
-// smoke gate:
+// --adversary=<class> switches to the Byzantine gate: each seed runs the
+// same seeded multi-session economic campaign (distsim/adversary.hpp)
+// with the trust/quarantine layer off and on, requires bit-reproducible
+// fingerprints and zero honest quarantines per seed, and requires
+// detection to strictly reduce the class's aggregate damage channel
+// (overpayment for cost-clique/replayer, failed sessions for
+// selective-forwarder/flooder) across the sweep.
 //
-//   ./build/examples/chaos_run --seeds=20 --drop=0.25 --dup=0.1
-//       --reorder=0.15 --mode=verified   (one line)
+// Exits nonzero on the first violated invariant, so CI can use it as a
+// smoke gate. --list-scenarios prints the canonical scenario table
+// (name + flags, one per line) that tools/chaos_sweep.py consumes, so
+// the scenario list lives in exactly one place.
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "distsim/adversary.hpp"
 #include "distsim/payment_protocol.hpp"
 #include "distsim/spt_protocol.hpp"
 #include "graph/connectivity.hpp"
@@ -22,11 +30,38 @@
 #include "util/flags.hpp"
 
 using namespace tc;
+using distsim::AdversaryClass;
+using distsim::AdversarySchedule;
+using distsim::CampaignConfig;
+using distsim::CampaignResult;
 using distsim::PaymentMode;
 using distsim::SptMode;
 using graph::NodeId;
 
 namespace {
+
+// The canonical chaos scenarios. tools/chaos_sweep.py reads this table
+// via --list-scenarios instead of hard-coding a copy. Radio scenarios
+// keep drop at or below the acceptance ceiling of 0.3; the crash one is
+// checked against the declared-at-infinity reference pricing; the adv-*
+// scenarios run the Byzantine campaign gate per adversary class.
+struct Scenario {
+  const char* name;
+  const char* flags;  // space-separated chaos_run flags
+};
+constexpr Scenario kScenarios[] = {
+    {"loss-0.3", "--drop=0.3 --dup=0 --reorder=0"},
+    {"dup-reorder", "--drop=0 --dup=0.3 --reorder=0.3"},
+    {"compound", "--drop=0.25 --dup=0.1 --reorder=0.15"},
+    {"basic-mode", "--drop=0.3 --dup=0.1 --reorder=0.1 --mode=basic"},
+    {"relay-crash", "--drop=0.2 --dup=0.1 --reorder=0.1 --crash=4"},
+    {"adv-cost-clique", "--adversary=cost-clique --adv-count=3 --n=16"},
+    {"adv-selective-forwarder",
+     "--adversary=selective-forwarder --adv-count=3 --requote-budget=1 "
+     "--n=16"},
+    {"adv-flooder", "--adversary=flooder --adv-count=2 --n=16"},
+    {"adv-replayer", "--adversary=replayer --adv-count=2 --n=16"},
+};
 
 struct Pipeline {
   distsim::SptOutcome spt;
@@ -48,13 +83,127 @@ Pipeline run_pipeline(const graph::NodeGraph& g,
   return r;
 }
 
+bool parse_adversary(const std::string& name, AdversaryClass& out) {
+  for (const AdversaryClass cls :
+       {AdversaryClass::kCostClique, AdversaryClass::kSelectiveForwarder,
+        AdversaryClass::kFlooder, AdversaryClass::kReplayer}) {
+    if (name == distsim::adversary_class_name(cls)) {
+      out = cls;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The Byzantine gate: seeded campaigns with detection off vs on, per
+/// adversary class. Damage must strictly shrink in aggregate, honest
+/// nodes must never be quarantined, and every seeded campaign must be
+/// bit-reproducible.
+int run_adversary_gate(AdversaryClass cls, std::size_t n, double p,
+                       int want_seeds, std::size_t count,
+                       std::size_t requote_budget) {
+  CampaignResult total_off, total_on;
+  int ran = 0, failures = 0;
+  auto fail = [&](std::int64_t seed, const std::string& what) {
+    std::cout << "FAIL seed " << seed << ": " << what << "\n";
+    ++failures;
+  };
+  for (std::int64_t seed = 1; ran < want_seeds; ++seed) {
+    auto g = graph::make_erdos_renyi(n, p, 0.5, 5.0,
+                                     static_cast<std::uint64_t>(seed));
+    if (!graph::is_connected(g)) continue;
+    ++ran;
+
+    distsim::net::FaultSchedule faults;
+    faults.seed = static_cast<std::uint64_t>(seed) * 977;
+    const auto adv = AdversarySchedule::assign(g, 0, cls, count, faults);
+
+    CampaignConfig off, on;
+    off.detection = false;
+    on.detection = true;
+    off.max_requotes = on.max_requotes = requote_budget;
+    const CampaignResult r_off = distsim::run_adversary_campaign(g, 0, adv, off);
+    const CampaignResult r_on = distsim::run_adversary_campaign(g, 0, adv, on);
+    const CampaignResult again = distsim::run_adversary_campaign(g, 0, adv, on);
+
+    if (r_on.fingerprint != again.fingerprint)
+      fail(seed, "seeded campaign is not bit-reproducible");
+    if (r_on.honest_quarantined > 0 || r_off.honest_quarantined > 0)
+      fail(seed, "honest node quarantined");
+
+    total_off.failed_sessions += r_off.failed_sessions;
+    total_on.failed_sessions += r_on.failed_sessions;
+    total_off.charged += r_off.charged;
+    total_on.charged += r_on.charged;
+    total_off.requotes += r_off.requotes;
+    total_on.requotes += r_on.requotes;
+    total_off.hijacked_settles += r_off.hijacked_settles;
+    total_on.hijacked_settles += r_on.hijacked_settles;
+    total_on.quarantines += r_on.quarantines;
+
+    std::cout << "seed " << seed << ": failed " << r_off.failed_sessions
+              << "->" << r_on.failed_sessions << ", charged "
+              << r_off.charged << "->" << r_on.charged << ", hijacked "
+              << r_off.hijacked_settles << "->" << r_on.hijacked_settles
+              << ", quarantines " << r_on.quarantines
+              << " (first session "
+              << (r_on.first_quarantine_session ==
+                          CampaignResult::kNoQuarantine
+                      ? std::string("-")
+                      : std::to_string(r_on.first_quarantine_session))
+              << ")\n";
+  }
+
+  // Aggregate damage gate, per class damage channel.
+  const std::string name = distsim::adversary_class_name(cls);
+  auto gate = [&](bool ok, const std::string& what) {
+    if (!ok) {
+      std::cout << "FAIL aggregate: " << what << "\n";
+      ++failures;
+    }
+  };
+  switch (cls) {
+    case AdversaryClass::kCostClique:
+    case AdversaryClass::kReplayer:
+      gate(total_on.charged < total_off.charged,
+           name + ": detection did not reduce total overpayment (" +
+               std::to_string(total_off.charged) + " -> " +
+               std::to_string(total_on.charged) + ")");
+      break;
+    case AdversaryClass::kSelectiveForwarder:
+    case AdversaryClass::kFlooder:
+      gate(total_on.failed_sessions < total_off.failed_sessions,
+           name + ": detection did not reduce total failed sessions (" +
+               std::to_string(total_off.failed_sessions) + " -> " +
+               std::to_string(total_on.failed_sessions) + ")");
+      break;
+    default:
+      break;
+  }
+  gate(total_on.quarantines > 0, name + ": nobody was ever quarantined");
+
+  if (failures) {
+    std::cout << failures << " invariant violation(s) across " << ran
+              << " seeds\n";
+    return 1;
+  }
+  std::cout << "all " << ran << " seeds: " << name
+            << " campaigns bit-reproducible, zero honest quarantines, "
+            << "aggregate damage " << "(failed "
+            << total_off.failed_sessions << "->" << total_on.failed_sessions
+            << ", charged " << total_off.charged << "->" << total_on.charged
+            << ") reduced under detection\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Flags flags(
       "Runs the verified distributed pipeline under radio chaos and checks "
       "that faults never change the converged payments or cause a false "
-      "accusation.");
+      "accusation; --adversary=<class> runs the Byzantine campaign gate "
+      "instead.");
   flags.add_int("seeds", 20, "number of fault seeds to sweep");
   flags.add_int("n", 12, "nodes per random network");
   flags.add_double("p", 0.35, "edge probability of the random network");
@@ -65,9 +214,38 @@ int main(int argc, char** argv) {
   flags.add_int("crash", -1,
                 "node to crash from round 1 (also checked against the "
                 "declared-infinity reference); -1 = no crash");
+  flags.add_string("adversary", "none",
+                   "Byzantine gate instead of the radio sweep: cost-clique | "
+                   "selective-forwarder | flooder | replayer");
+  flags.add_int("adv-count", 2, "adversaries per campaign network");
+  flags.add_int("requote-budget", 3, "per-session re-quote budget of the "
+                                     "campaign's access point");
+  flags.add_bool("list-scenarios", false,
+                 "print the canonical scenario table (name + flags per "
+                 "line) and exit; consumed by tools/chaos_sweep.py");
   if (!flags.parse(argc, argv)) return 2;
 
+  if (flags.get_bool("list-scenarios")) {
+    for (const Scenario& s : kScenarios)
+      std::cout << s.name << " " << s.flags << "\n";
+    return 0;
+  }
+
   const auto n = static_cast<std::size_t>(flags.get_int("n"));
+
+  if (flags.get_string("adversary") != "none") {
+    AdversaryClass cls = AdversaryClass::kHonest;
+    if (!parse_adversary(flags.get_string("adversary"), cls)) {
+      std::cerr << "unknown adversary class: "
+                << flags.get_string("adversary") << "\n";
+      return 2;
+    }
+    return run_adversary_gate(
+        cls, n, flags.get_double("p"), flags.get_int("seeds"),
+        static_cast<std::size_t>(flags.get_int("adv-count")),
+        static_cast<std::size_t>(flags.get_int("requote-budget")));
+  }
+
   const auto crash = flags.get_int("crash");
   const bool verified = flags.get_string("mode") == "verified";
   const SptMode smode = verified ? SptMode::kVerified : SptMode::kBasic;
@@ -127,7 +305,13 @@ int main(int argc, char** argv) {
     std::cout << "seed " << seed << ": rounds " << chaos.spt.stats.rounds
               << "+" << chaos.pay.stats.rounds << ", dropped "
               << net.radio.copies_dropped << ", retransmitted "
-              << net.channel.retransmissions << ", payments "
+              << net.channel.retransmissions << ", give_ups "
+              << (net.channel.give_ups +
+                  chaos.pay.stats.net.channel.give_ups)
+              << ", loops "
+              << (chaos.spt.stats.loops_detected +
+                  chaos.pay.stats.loops_detected)
+              << ", payments "
               << (failures > before ? "DIVERGED" : "bit-equal") << "\n";
   }
 

@@ -1,0 +1,253 @@
+#include "distsim/adversary.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <optional>
+
+#include "distsim/session.hpp"
+#include "svc/quote_engine.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace tc::distsim {
+
+using graph::Cost;
+using graph::NodeId;
+
+namespace {
+/// Stateless hash draw in [0, 1): the schedule's only source of
+/// "randomness" (a seeded hash chain, not an RNG stream — see the
+/// determinism contract in the header).
+double hash_unit(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                 std::uint64_t c) {
+  std::uint64_t h = util::mix64(seed ^ util::mix64(a ^ util::mix64(b ^ c)));
+  // Top 53 bits → a double in [0, 1), the usual bit-exact construction.
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+}  // namespace
+
+const char* adversary_class_name(AdversaryClass c) {
+  switch (c) {
+    case AdversaryClass::kHonest: return "honest";
+    case AdversaryClass::kCostClique: return "cost-clique";
+    case AdversaryClass::kSelectiveForwarder: return "selective-forwarder";
+    case AdversaryClass::kFlooder: return "flooder";
+    case AdversaryClass::kReplayer: return "replayer";
+  }
+  return "unknown";
+}
+
+AdversarySchedule AdversarySchedule::assign(const graph::NodeGraph& g,
+                                            NodeId root, AdversaryClass cls,
+                                            std::size_t count,
+                                            const net::FaultSchedule& faults) {
+  const std::size_t n = g.num_nodes();
+  AdversarySchedule s;
+  s.seed = util::mix64(faults.seed ^ 0xadd5ca1eULL);
+  if (cls == AdversaryClass::kHonest || count == 0) return s;
+  TC_CHECK_MSG(count < n, "someone must remain honest to route for");
+
+  // Rank candidates hubs-first so the adversaries actually sit on routes;
+  // the hash tie-break keeps the pick seed-dependent among equals.
+  std::vector<NodeId> candidates;
+  candidates.reserve(n - 1);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v != root) candidates.push_back(v);
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](NodeId a, NodeId b) {
+                     if (g.degree(a) != g.degree(b))
+                       return g.degree(a) > g.degree(b);
+                     return util::mix64(s.seed ^ a) < util::mix64(s.seed ^ b);
+                   });
+
+  s.roles.assign(n, AdversaryClass::kHonest);
+  std::size_t assigned = 0;
+  auto take = [&](NodeId v) {
+    if (assigned < count && s.roles[v] == AdversaryClass::kHonest) {
+      s.roles[v] = cls;
+      ++assigned;
+    }
+  };
+  if (cls == AdversaryClass::kCostClique) {
+    // Colluders are adjacent, like real colluders: grow the clique around
+    // the best-ranked hub's neighborhood before walking down the ranking.
+    const NodeId anchor = candidates.front();
+    take(anchor);
+    for (NodeId u : candidates) {
+      if (assigned >= count) break;
+      if (u != anchor && g.has_edge(anchor, u)) take(u);
+    }
+  }
+  for (NodeId v : candidates) {
+    if (assigned >= count) break;
+    take(v);
+  }
+  return s;
+}
+
+std::vector<NodeId> AdversarySchedule::of_class(AdversaryClass c) const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < roles.size(); ++v) {
+    if (roles[v] == c) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<Cost> AdversarySchedule::corrupt_declarations(
+    const std::vector<Cost>& truthful) const {
+  std::vector<Cost> declared = truthful;
+  if (roles.empty()) return declared;
+  TC_CHECK_MSG(roles.size() == declared.size(),
+               "schedule and cost profile must match in size");
+  for (NodeId v = 0; v < roles.size(); ++v) {
+    if (roles[v] == AdversaryClass::kCostClique) {
+      declared[v] = truthful[v] * cost_inflation;
+    } else if (roles[v] == AdversaryClass::kSelectiveForwarder) {
+      declared[v] = truthful[v] * sinkhole_discount;
+    }
+  }
+  return declared;
+}
+
+std::vector<SptBehavior> AdversarySchedule::spt_behaviors(
+    std::size_t num_nodes) const {
+  std::vector<SptBehavior> out;
+  if (roles.empty()) return out;
+  TC_CHECK_MSG(roles.size() == num_nodes, "schedule size mismatch");
+  const std::size_t budget = flood_rounds ? flood_rounds : 2 * num_nodes;
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    if (roles[v] == AdversaryClass::kFlooder) {
+      if (out.empty()) out.resize(num_nodes);
+      out[v].flood_rounds = budget;
+    }
+  }
+  return out;
+}
+
+std::vector<PaymentBehavior> AdversarySchedule::payment_behaviors(
+    std::size_t num_nodes) const {
+  std::vector<PaymentBehavior> out;
+  if (roles.empty()) return out;
+  TC_CHECK_MSG(roles.size() == num_nodes, "schedule size mismatch");
+  const std::size_t budget = flood_rounds ? flood_rounds : 2 * num_nodes;
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    if (roles[v] == AdversaryClass::kFlooder) {
+      if (out.empty()) out.resize(num_nodes);
+      out[v].flood_rounds = budget;
+    }
+  }
+  return out;
+}
+
+bool AdversarySchedule::drops_data(NodeId relay, std::uint64_t session,
+                                   std::uint64_t pkt) const {
+  if (!is(relay, AdversaryClass::kSelectiveForwarder)) return false;
+  return hash_unit(seed ^ 0xd20bULL, relay, session, pkt) < data_drop_rate;
+}
+
+bool AdversarySchedule::replays(NodeId relay, std::uint64_t session,
+                                std::uint64_t pkt) const {
+  if (!is(relay, AdversaryClass::kReplayer)) return false;
+  return hash_unit(seed ^ 0x2e91a7ULL, relay, session, pkt) < replay_rate;
+}
+
+CampaignResult run_adversary_campaign(const graph::NodeGraph& g, NodeId root,
+                                      const AdversarySchedule& adversaries,
+                                      const CampaignConfig& config) {
+  const std::size_t n = g.num_nodes();
+  TC_CHECK_MSG(config.sessions > 0, "a campaign needs at least one session");
+  TC_CHECK_MSG(config.data_packets > 0,
+               "a campaign without data packets has no economics to measure");
+
+  const std::vector<Cost> corrupted =
+      adversaries.corrupt_declarations(g.costs());
+  svc::QuoteEngine engine(g, root);
+  engine.declare_costs(corrupted);
+  Ledger ledger(n, util::mix64(adversaries.seed ^ 0x1ed6e2ULL));
+  ledger.fund_all(config.funding);
+
+  std::optional<TrustMonitor> monitor;
+  if (config.detection) {
+    monitor.emplace(n, config.trust);
+    monitor->exempt(root);
+  }
+
+  std::vector<NodeId> sources;
+  for (NodeId v = 0; v < n; ++v) {
+    if (v != root && adversaries.role(v) == AdversaryClass::kHonest)
+      sources.push_back(v);
+  }
+  TC_CHECK_MSG(!sources.empty(), "no honest node left to source traffic");
+
+  CampaignResult out;
+  out.sessions = config.sessions;
+  std::uint64_t fp = util::mix64(adversaries.seed ^ 0xca3b41ULL);
+
+  for (std::size_t s = 0; s < config.sessions; ++s) {
+    const NodeId source = sources[s % sources.size()];
+
+    SessionConfig sc;
+    sc.spt_mode = config.spt_mode;
+    sc.payment_mode = config.payment_mode;
+    sc.faults = config.protocol_faults;
+    sc.faults.seed = util::mix64(config.protocol_faults.seed ^ (2 * s + 1));
+    sc.data_faults = config.data_faults;
+    sc.data_faults.seed = util::mix64(config.data_faults.seed ^ (2 * s + 2));
+    sc.data_packets = config.data_packets;
+    sc.max_requotes = config.max_requotes;
+    sc.settle_retries = config.settle_retries;
+    sc.session_id = s + 1;
+    sc.adversaries = adversaries;
+    sc.trust = monitor ? &*monitor : nullptr;
+
+    const Cost before = ledger.balance(source);
+    const SessionResult r =
+        run_session(g, root, corrupted, source, sc, engine, ledger);
+    // The source never relays in its own session, so its balance delta is
+    // exactly what this session's deliveries (or hijacks) charged it.
+    const Cost charged = before - ledger.balance(source);
+
+    out.packets += config.data_packets;
+    out.packets_settled += r.packets_settled;
+    out.hijacked_settles += r.hijacked_settles;
+    out.settle_conflicts += r.settle_conflicts;
+    out.stale_epoch_rejects += r.stale_epoch_rejects;
+    out.requotes += r.requotes;
+    out.charged += charged;
+    if (r.outcome == SessionOutcome::kDisconnected || r.failed_settles > 0)
+      ++out.failed_sessions;
+
+    for (NodeId v : r.quarantined) {
+      out.quarantined.push_back(v);
+      ++out.quarantines;
+      if (adversaries.role(v) == AdversaryClass::kHonest)
+        ++out.honest_quarantined;
+      if (out.first_quarantine_session == CampaignResult::kNoQuarantine)
+        out.first_quarantine_session = s;
+    }
+
+    fp = util::mix64(fp ^ static_cast<std::uint64_t>(r.outcome));
+    fp = util::mix64(fp ^ r.requotes);
+    fp = util::mix64(fp ^ r.packets_settled);
+    fp = util::mix64(fp ^ r.settle_conflicts);
+    fp = util::mix64(fp ^ r.stale_epoch_rejects);
+    fp = util::mix64(fp ^ std::bit_cast<std::uint64_t>(charged));
+    for (NodeId v : r.quarantined) fp = util::mix64(fp ^ (v + 1));
+
+    // Forgiving access point: in-session crash suspicion has false
+    // positives by design (a stall proves nothing), so relays it marked
+    // down come back for the next session — unless the trust layer
+    // quarantined them. Persistence is exactly what detection adds.
+    for (NodeId v : r.marked_down) {
+      if (monitor && monitor->quarantined(v)) continue;
+      if (engine.node_down(v)) engine.declare_cost(v, corrupted[v]);
+    }
+
+    if (monitor) monitor->end_session();
+  }
+  out.fingerprint = fp;
+  return out;
+}
+
+}  // namespace tc::distsim

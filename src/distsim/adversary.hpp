@@ -1,0 +1,174 @@
+// Byzantine adversary framework for the distributed simulation.
+//
+// PR 4's chaos substrate injects *benign* faults — drops, crashes,
+// partitions — and the verified protocols catch liars whose signed
+// transcripts contradict their update rules. This layer models relays
+// that are actively malicious but transcript-consistent:
+//
+//   * kCostClique — a colluding clique inflates its *declared* costs.
+//     VCG prices the inflated declarations "honestly", so every source
+//     routed near the clique overpays; no protocol rule is violated.
+//   * kSelectiveForwarder — accepts and acks packets at the channel
+//     layer (control traffic looks healthy) but silently drops the data;
+//     indistinguishable from a crash at any single observation.
+//   * kFlooder — churns its cost declaration at the engine between quote
+//     and settlement, so the epoch fence rejects the source's price
+//     sheet over and over; also floods protocol-stage broadcasts.
+//   * kReplayer — an on-route relay that captured the source's packet
+//     signature front-runs the settlement with its own price inflated
+//     (the signature covers the packet header, not the price list); the
+//     source's genuine settlement then bounces off the replay check.
+//
+// Determinism contract: every adversarial decision — which nodes play
+// which role, which packets a forwarder drops, which settlements a
+// replayer front-runs — is a pure util::mix64 hash of the schedule's
+// `seed`, which `assign` derives from the net::FaultSchedule seed. There
+// is no second RNG stream (the tc_lint `net-draw` rule enforces this for
+// src/distsim/adversary.* like the rest of distsim), so a seeded
+// adversary run is bit-reproducible.
+//
+// `run_adversary_campaign` is the shared harness on top: a multi-session
+// economic campaign over one engine + ledger, with the trust/quarantine
+// layer (src/distsim/trust.hpp) on or off, used by both the ablation
+// bench and the chaos gate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "distsim/net/fault.hpp"
+#include "distsim/payment_protocol.hpp"
+#include "distsim/spt_protocol.hpp"
+#include "distsim/trust.hpp"
+#include "graph/node_graph.hpp"
+
+namespace tc::distsim {
+
+enum class AdversaryClass : std::uint8_t {
+  kHonest = 0,
+  kCostClique,          ///< colluding declared-cost inflation
+  kSelectiveForwarder,  ///< acks control traffic, drops data
+  kFlooder,             ///< declaration/broadcast flooding
+  kReplayer,            ///< settlement front-running with altered prices
+};
+
+const char* adversary_class_name(AdversaryClass c);
+
+/// Per-node adversary roles plus the behavior knobs of each class. An
+/// empty `roles` vector means every node is honest (the default in
+/// SessionConfig).
+struct AdversarySchedule {
+  std::vector<AdversaryClass> roles;  ///< per node; empty = all honest
+  /// Root of every adversarial hash draw; `assign` derives it from the
+  /// fault schedule's seed so one seed reproduces the whole hostile run.
+  std::uint64_t seed = 0;
+
+  // -- class knobs -------------------------------------------------------
+  double cost_inflation = 8.0;     ///< clique multiplier on declared costs
+  /// Selective forwarders under-declare by this factor to pull routes
+  /// toward themselves (the classic sinkhole bait) before dropping the
+  /// data. 1.0 = no bait, rely on topology alone.
+  double sinkhole_discount = 0.1;
+  double data_drop_rate = 1.0;     ///< fraction of data packets a
+                                   ///< selective forwarder swallows
+  std::size_t flood_declares = 3;  ///< engine re-declarations per
+                                   ///< settlement attempt
+  std::size_t flood_rounds = 0;    ///< protocol-stage flood budget in
+                                   ///< rounds; 0 = auto (2n)
+  double replay_inflation = 4.0;   ///< replayer's multiplier on its own
+                                   ///< recorded price
+  double replay_rate = 1.0;        ///< fraction of packets front-run
+
+  /// Assigns `count` nodes of class `cls` (never the root), seeded from
+  /// `faults.seed`. Candidates are ranked by degree (hubs first, so the
+  /// adversaries actually sit on routes) with a hash tie-break; a cost
+  /// clique is grown around the best-ranked node's neighborhood so the
+  /// colluders are adjacent, like real colluders would be.
+  static AdversarySchedule assign(const graph::NodeGraph& g,
+                                  graph::NodeId root, AdversaryClass cls,
+                                  std::size_t count,
+                                  const net::FaultSchedule& faults);
+
+  bool all_honest() const { return roles.empty(); }
+  AdversaryClass role(graph::NodeId v) const {
+    return roles.empty() ? AdversaryClass::kHonest : roles.at(v);
+  }
+  bool is(graph::NodeId v, AdversaryClass c) const { return role(v) == c; }
+  std::vector<graph::NodeId> of_class(AdversaryClass c) const;
+
+  /// The public declaration profile under this schedule: clique members
+  /// declare `cost_inflation` times their true cost, selective
+  /// forwarders bait with `sinkhole_discount` times theirs, everyone
+  /// else declares truthfully (dominant strategy under VCG).
+  [[nodiscard]] std::vector<graph::Cost> corrupt_declarations(
+      const std::vector<graph::Cost>& truthful) const;
+
+  /// Stage-1/stage-2 behavior vectors realizing this schedule (flooders
+  /// get a protocol broadcast-flood budget). Empty when all honest.
+  std::vector<SptBehavior> spt_behaviors(std::size_t num_nodes) const;
+  std::vector<PaymentBehavior> payment_behaviors(std::size_t num_nodes) const;
+
+  /// Hash draw: does this selective forwarder swallow packet `pkt` of
+  /// `session`?
+  bool drops_data(graph::NodeId relay, std::uint64_t session,
+                  std::uint64_t pkt) const;
+  /// Hash draw: does this replayer front-run packet `pkt` of `session`?
+  bool replays(graph::NodeId relay, std::uint64_t session,
+               std::uint64_t pkt) const;
+};
+
+// -- multi-session economic campaign -------------------------------------
+
+struct CampaignConfig {
+  std::size_t sessions = 12;      ///< sessions, sources cycling over
+                                  ///< honest nodes
+  std::size_t data_packets = 3;   ///< packets per session
+  bool detection = true;          ///< trust/quarantine layer on?
+  TrustConfig trust;              ///< scorer tuning when detection is on
+  SptMode spt_mode = SptMode::kVerified;
+  PaymentMode payment_mode = PaymentMode::kVerified;
+  net::FaultSchedule protocol_faults;  ///< radio under stages 1/2
+  net::FaultSchedule data_faults;      ///< radio under the data phase
+  std::size_t max_requotes = 3;        ///< per-session reroute budget
+  std::size_t settle_retries = 2;      ///< stale-epoch re-settlements
+  graph::Cost funding = 1.0e6;         ///< initial ledger balance per node
+};
+
+struct CampaignResult {
+  static constexpr std::size_t kNoQuarantine = static_cast<std::size_t>(-1);
+
+  std::size_t sessions = 0;
+  /// Sessions that ended disconnected or with an unsettled packet.
+  std::size_t failed_sessions = 0;
+  std::size_t packets = 0;
+  std::size_t packets_settled = 0;   ///< settled genuinely, exactly once
+  std::size_t hijacked_settles = 0;  ///< settled first by a replayer
+  std::size_t settle_conflicts = 0;
+  std::size_t stale_epoch_rejects = 0;
+  std::size_t requotes = 0;
+  /// Total debited from the sources across all sessions (ledger truth;
+  /// hijacked settlements charge their inflated total here).
+  graph::Cost charged = 0.0;
+  std::size_t quarantines = 0;
+  std::size_t honest_quarantined = 0;  ///< false positives; must stay 0
+  /// Session index of the first quarantine, kNoQuarantine when none —
+  /// the campaign's "rounds to quarantine".
+  std::size_t first_quarantine_session = kNoQuarantine;
+  std::vector<graph::NodeId> quarantined;
+  /// Order-sensitive digest of every session outcome; two runs of the
+  /// same seeded campaign must produce equal fingerprints.
+  std::uint64_t fingerprint = 0;
+};
+
+/// Runs `config.sessions` data sessions against one QuoteEngine + Ledger
+/// built over `adversaries.corrupt_declarations(g.costs())`. Between
+/// sessions the AP forgives: relays marked down by in-session crash
+/// recovery are re-declared at their public cost unless the trust layer
+/// quarantined them (that is the whole difference detection makes).
+CampaignResult run_adversary_campaign(const graph::NodeGraph& g,
+                                      graph::NodeId root,
+                                      const AdversarySchedule& adversaries,
+                                      const CampaignConfig& config);
+
+}  // namespace tc::distsim

@@ -102,11 +102,19 @@ SettlementResult Ledger::settle_upstream_locked(
     total += price;
   }
   balances_.at(source) -= total;
-  seen_packets_[packet_id] = SettledRecord{fp, total};
+  seen_packets_[packet_id] = SettledRecord{fp, total, relay_prices};
   ++settlements_;
   result.accepted = true;
   result.charged = total;
   return result;
+}
+
+std::vector<std::pair<NodeId, Cost>> Ledger::settled_prices(
+    std::uint64_t session, std::uint64_t seq) const {
+  util::SharedReaderLock lock(mu_);
+  const auto it = seen_packets_.find(std::make_pair(session, seq));
+  if (it == seen_packets_.end()) return {};
+  return it->second.prices;
 }
 
 SettlementResult Ledger::settle_quote(std::uint64_t session, std::uint64_t seq,
@@ -194,7 +202,7 @@ SettlementResult Ledger::settle_downstream_locked(
     }
     total += price;
   }
-  seen_packets_[packet_id] = SettledRecord{fp, total};
+  seen_packets_[packet_id] = SettledRecord{fp, total, relay_prices};
   for (const auto& [relay, price, ack] : relay_acks) {
     balances_.at(relay) += price;
   }

@@ -130,12 +130,22 @@ class Ledger {
     return duplicate_acks_;
   }
 
+  /// The relay price list recorded for an already-settled upstream packet;
+  /// empty when the packet was never settled. This is the AP's forensic
+  /// record: after a "replayed packet" rejection the session driver
+  /// compares what actually got paid against its own quote to identify
+  /// the relay a settlement front-run overpaid.
+  std::vector<std::pair<graph::NodeId, graph::Cost>> settled_prices(
+      std::uint64_t session, std::uint64_t seq) const TC_EXCLUDES(mu_);
+
  private:
   /// What was settled under a packet id, so a retransmission can be told
   /// apart from a replay attack with altered content.
   struct SettledRecord {
     std::uint64_t fingerprint = 0;  ///< hash of payer + relay price list
     graph::Cost charged = 0.0;
+    /// Who got paid what (the forensic record settled_prices serves).
+    std::vector<std::pair<graph::NodeId, graph::Cost>> prices;
   };
 
   /// Lock-holding cores of the public settle entry points, so the legacy

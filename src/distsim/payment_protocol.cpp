@@ -120,6 +120,7 @@ PaymentOutcome run_payment_protocol(
   const std::vector<Cost>& D = spt.distance;
 
   PaymentOutcome out;
+  out.stats.node_broadcasts.assign(n, 0);
   std::vector<bool> corrected(n, false);
 
   // Outer loop: run to quiescence; in verified mode, audit; on new
@@ -187,6 +188,7 @@ PaymentOutcome run_payment_protocol(
       // Broadcast: liars scale the payment entries they report.
       for (NodeId j : speakers) {
         ++out.stats.broadcasts;
+        ++out.stats.node_broadcasts[j];
         const double scale = scale_of(j, corrected);
         sent[j].clear();
         std::vector<std::uint64_t> wire{kMsgState, entries[j].size()};
@@ -255,6 +257,18 @@ PaymentOutcome run_payment_protocol(
               triggers[i][k] = Trigger{j, rule};
               pending[i] = true;
             }
+          }
+        }
+      }
+
+      // Broadcast flooders re-announce every round through their budget
+      // (see the stage-1 hook); the min-update fixpoint is unaffected
+      // because re-broadcasting converged entries changes nothing.
+      if (!behaviors.empty()) {
+        for (NodeId v = 0; v < n; ++v) {
+          if (v != root && round <= behaviors[v].flood_rounds &&
+              netw.node_up(v)) {
+            pending[v] = true;
           }
         }
       }

@@ -49,9 +49,12 @@ struct PaymentBehavior {
   /// A node that denied an adjacency in stage 1 must keep ignoring that
   /// neighbor here or the lie becomes self-evident. kInvalidNode = none.
   graph::NodeId denied_neighbor = graph::kInvalidNode;
+  /// Broadcast-flood budget (see SptBehavior::flood_rounds): the node
+  /// re-broadcasts its entries every round through this one. 0 = honest.
+  std::size_t flood_rounds = 0;
   bool honest() const {
     return broadcast_scale == 1.0 &&
-           denied_neighbor == graph::kInvalidNode;
+           denied_neighbor == graph::kInvalidNode && flood_rounds == 0;
   }
 };
 

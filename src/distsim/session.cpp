@@ -12,17 +12,60 @@ using graph::Cost;
 using graph::kInfCost;
 using graph::NodeId;
 
+const char* session_outcome_name(SessionOutcome outcome) {
+  switch (outcome) {
+    case SessionOutcome::kSettled: return "settled";
+    case SessionOutcome::kRerouted: return "rerouted";
+    case SessionOutcome::kQuarantineRecovered: return "quarantine-recovered";
+    case SessionOutcome::kSettlementShortfall: return "settlement-shortfall";
+    case SessionOutcome::kDisconnected: return "disconnected";
+  }
+  return "unknown";
+}
+
+namespace {
+/// Overlays the adversary schedule's protocol behaviors (broadcast-flood
+/// budgets) on top of any explicitly configured behavior vector.
+template <typename Behavior>
+std::vector<Behavior> merge_behaviors(std::vector<Behavior> base,
+                                      std::vector<Behavior> adversarial,
+                                      std::size_t n) {
+  if (adversarial.empty()) return base;
+  if (base.empty()) return adversarial;
+  TC_CHECK_MSG(base.size() == n && adversarial.size() == n,
+               "behavior vectors must match the node count");
+  for (NodeId v = 0; v < n; ++v) {
+    base[v].flood_rounds =
+        std::max(base[v].flood_rounds, adversarial[v].flood_rounds);
+  }
+  return base;
+}
+}  // namespace
+
 SessionResult run_session(const graph::NodeGraph& g, NodeId root,
                           const std::vector<Cost>& declared, NodeId source,
                           const SessionConfig& config) {
   SessionResult result;
 
+  // The AP's robust-outlier scan of the public declaration profile (the
+  // inflation-clique heuristic) runs once per session, before routing.
+  if (config.trust != nullptr) config.trust->observe_declared_costs(declared);
+
+  const std::vector<SptBehavior> spt_behaviors =
+      merge_behaviors(config.spt_behaviors,
+                      config.adversaries.spt_behaviors(g.num_nodes()),
+                      g.num_nodes());
+
   SptSchedule spt_schedule;
   spt_schedule.faults = config.faults;
-  const SptOutcome spt = run_spt_protocol(g, root, declared, config.spt_mode,
-                                          config.spt_behaviors,
-                                          /*max_rounds=*/0, spt_schedule);
+  const SptOutcome spt =
+      run_spt_protocol(g, root, declared, config.spt_mode, spt_behaviors,
+                       /*max_rounds=*/0, spt_schedule);
   result.spt_stats = spt.stats;
+  if (config.trust != nullptr) {
+    config.trust->observe_accusations(spt.stats.accusations);
+    config.trust->observe_broadcast_rates(spt.stats.node_broadcasts);
+  }
   result.route = spt.path_of(source);
   if (result.route.empty()) return result;
 
@@ -33,13 +76,16 @@ SessionResult run_session(const graph::NodeGraph& g, NodeId root,
 
   // A node that denied an adjacency in stage 1 keeps denying it in stage 2
   // (using the hidden neighbor's broadcasts would expose the lie).
-  std::vector<PaymentBehavior> payment_behaviors = config.payment_behaviors;
-  if (!config.spt_behaviors.empty()) {
+  std::vector<PaymentBehavior> payment_behaviors =
+      merge_behaviors(config.payment_behaviors,
+                      config.adversaries.payment_behaviors(g.num_nodes()),
+                      g.num_nodes());
+  if (!spt_behaviors.empty()) {
     if (payment_behaviors.empty()) payment_behaviors.resize(g.num_nodes());
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      if (config.spt_behaviors[v].denied_neighbor != graph::kInvalidNode) {
+      if (spt_behaviors[v].denied_neighbor != graph::kInvalidNode) {
         payment_behaviors[v].denied_neighbor =
-            config.spt_behaviors[v].denied_neighbor;
+            spt_behaviors[v].denied_neighbor;
       }
     }
   }
@@ -53,6 +99,10 @@ SessionResult run_session(const graph::NodeGraph& g, NodeId root,
       g, root, declared, spt, config.payment_mode, payment_behaviors,
       /*max_rounds=*/0, pay_schedule);
   result.payment_stats = payments.stats;
+  if (config.trust != nullptr) {
+    config.trust->observe_accusations(payments.stats.accusations);
+    config.trust->observe_broadcast_rates(payments.stats.node_broadcasts);
+  }
   result.total_payment = payments.total_payment(source);
   return result;
 }
@@ -74,8 +124,37 @@ SessionResult run_session(const graph::NodeGraph& g, NodeId root,
                  "the data phase models relay crashes, not source crashes");
   }
 
+  const AdversarySchedule& adv = config.adversaries;
+  TrustMonitor* trust = config.trust;
+
+  // Drains the monitor's quarantine queue into the engine: isolation
+  // quarantines mark the node down, price-cap quarantines re-declare it
+  // at the robust median (both are epoch bumps), and the AP's ledger is
+  // re-fenced. The source and the root are never quarantined mid-session
+  // (the root is exempt anyway; a source quarantining itself would just
+  // be a disconnect).
+  auto apply_quarantines = [&]() {
+    if (trust == nullptr) return false;
+    bool any = false;
+    for (const TrustMonitor::QuarantineEvent& e :
+         trust->take_newly_quarantined()) {
+      result.quarantined.push_back(e.node);
+      if (e.node == root || e.node == source) continue;
+      if (e.action == QuarantineAction::kPriceCap) {
+        engine.declare_cost(e.node, e.cap);
+      } else if (!engine.node_down(e.node)) {
+        engine.mark_node_down(e.node);
+      }
+      any = true;
+    }
+    if (any) ledger.set_profile_epoch(engine.epoch());
+    return any;
+  };
+
   // The AP settles against the engine's current declaration epoch.
   ledger.set_profile_epoch(engine.epoch());
+  const bool quarantined_up_front = apply_quarantines();
+
   std::optional<core::PaymentResult> quote = engine.quote(source);
   auto quote_ok = [&]() {
     return quote.has_value() && quote->connected() &&
@@ -86,12 +165,70 @@ SessionResult run_session(const graph::NodeGraph& g, NodeId root,
     // hook fires (a crash is misfortune, not misbehavior) and the caller
     // is never left hanging at the round budget.
     result.disconnected = true;
+    result.outcome = SessionOutcome::kDisconnected;
     result.route.clear();
     result.route_cost = kInfCost;
     result.total_payment = kInfCost;
     return result;
   };
+  auto adopt_quote = [&]() {
+    result.route = quote->path;
+    result.route_cost = quote->path_cost;
+    result.total_payment = quote->total_payment();
+  };
   if (!quote_ok()) return give_up();
+  // Protocol-stage detection (accusations, broadcast floods, the outlier
+  // scan) may already have condemned someone; the route the source pays
+  // for is then the engine's post-quarantine quote, not the stage-1 tree.
+  if (quarantined_up_front) adopt_quote();
+
+  // Declaration flooders churn their cost at the engine between the
+  // source's quote and the AP's settlement processing: each re-declaration
+  // is individually legal, but the epoch bump invalidates every quote in
+  // flight ("stale quote epoch"). The AP tracks re-declaration rates.
+  auto flooder_churn = [&]() {
+    bool churned = false;
+    for (NodeId f : adv.of_class(AdversaryClass::kFlooder)) {
+      if (f == source || engine.node_down(f)) continue;
+      for (std::size_t k = 0; k < adv.flood_declares; ++k) {
+        const double jitter = (k % 2 == 0) ? 1.0 + 1e-7 : 1.0 - 1e-7;
+        engine.declare_cost(f, declared[f] * jitter);
+      }
+      if (adv.flood_declares > 0) churned = true;
+      if (trust != nullptr) trust->observe_declarations(f, adv.flood_declares);
+    }
+    if (churned) ledger.set_profile_epoch(engine.epoch());
+    return churned;
+  };
+
+  // A replaying relay on the route front-runs the source's settlement: it
+  // captured the packet signature off the air (the signature covers the
+  // packet header, not the price list — a deliberate protocol weakness
+  // this layer measures) and submits the quote's prices with its own
+  // entry inflated. The ledger accepts the first well-signed settlement.
+  auto try_front_run = [&](const std::vector<NodeId>& route,
+                           std::uint64_t pkt) {
+    if (adv.all_honest()) return;
+    for (std::size_t i = 1; i + 1 < route.size(); ++i) {
+      const NodeId relay = route[i];
+      if (!adv.is(relay, AdversaryClass::kReplayer)) continue;
+      if (!adv.replays(relay, config.session_id, pkt)) continue;
+      std::vector<std::pair<NodeId, Cost>> forged;
+      for (std::size_t j = 1; j + 1 < route.size(); ++j) {
+        Cost price = quote->payments.at(route[j]);
+        if (route[j] == relay) price *= adv.replay_inflation;
+        forged.emplace_back(route[j], price);
+      }
+      const Signature sig =
+          sign(ledger.key_of(source),
+               packet_payload(config.session_id, source, pkt));
+      const SettlementResult hijack =
+          ledger.settle_upstream(config.session_id, source, pkt, sig, forged,
+                                 quote->profile_version);
+      if (hijack.accepted && !hijack.duplicate) ++result.hijacked_settles;
+      return;  // one front-runner per packet
+    }
+  };
 
   net::ReliableNet netw(g, config.data_faults, config.data_channel);
   // Give-up latency of one hop in rounds (the sum of the backoff timers),
@@ -113,7 +250,13 @@ SessionResult run_session(const graph::NodeGraph& g, NodeId root,
     while (hop + 1 < route.size()) {
       const NodeId from = route[hop];
       const NodeId to = route[hop + 1];
-      netw.send(from, to, {pkt});
+      // A selective forwarder acked the packet at the channel layer but
+      // never actually relays it: to every observer the transfer simply
+      // stalls, exactly like a crashed relay.
+      const bool swallowed = hop > 0 &&
+                             adv.is(from, AdversaryClass::kSelectiveForwarder) &&
+                             adv.drops_data(from, config.session_id, pkt);
+      if (!swallowed) netw.send(from, to, {pkt});
       // The reliable channel gives up after giveup_rounds; the end-to-end
       // deadline also catches a *sender* that died holding the packet
       // (its channel never even forms, so peer_timed_out stays false).
@@ -138,20 +281,23 @@ SessionResult run_session(const graph::NodeGraph& g, NodeId root,
         if (!hop_dead && netw.round() < deadline) continue;
         // Delivery timeout: a relay on the route is presumed crashed
         // (the receiver when the channel gave up, the silent forwarder
-        // otherwise). Fence the stale price sheet out and re-quote.
+        // otherwise). Fence the stale price sheet out and re-quote. The
+        // trust monitor also hears about it — one stall is misfortune,
+        // a pattern of stalls is a selective forwarder.
         const NodeId suspect = hop_dead ? to : from;
         result.relay_crash_detected = true;
         if (suspect == source || result.requotes >= config.max_requotes)
           return give_up();
         ++result.requotes;
+        result.marked_down.push_back(suspect);
         engine.mark_node_down(suspect);
+        if (trust != nullptr) trust->observe_giveup(suspect);
+        apply_quarantines();
         ledger.set_profile_epoch(engine.epoch());
         quote = engine.quote(source);
         if (!quote_ok()) return give_up();
         route = quote->path;
-        result.route = route;
-        result.route_cost = quote->path_cost;
-        result.total_payment = quote->total_payment();
+        adopt_quote();
         hop = 0;  // the packet restarts from the source on the new route
         rerouted = true;
       }
@@ -159,18 +305,83 @@ SessionResult run_session(const graph::NodeGraph& g, NodeId root,
     }
     // Delivered to the root: the source settles the packet. Under faults
     // the settle request may be retransmitted (its ack can be lost); the
-    // ledger absorbs the duplicate as an idempotent no-op ack, so the
-    // source is charged exactly once either way.
-    const Signature sig = sign(
-        ledger.key_of(source), packet_payload(config.session_id, source, pkt));
-    const SettlementResult settled =
-        ledger.settle_quote(config.session_id, pkt, sig, *quote);
-    if (settled.accepted && !settled.duplicate) ++result.packets_settled;
-    if (!config.data_faults.fault_free()) {
+    // ledger absorbs the duplicate as an idempotent no-op ack. Under
+    // adversaries the settlement itself is contested: flooders race the
+    // quote's epoch, replayers race the settlement submission.
+    bool settled_ok = false;
+    for (std::size_t attempt = 0; attempt <= config.settle_retries;
+         ++attempt) {
+      if (attempt == 0) try_front_run(route, pkt);
+      flooder_churn();
+      apply_quarantines();
+      const Signature sig =
+          sign(ledger.key_of(source),
+               packet_payload(config.session_id, source, pkt));
+      const SettlementResult settled =
+          ledger.settle_quote(config.session_id, pkt, sig, *quote);
+      if (settled.accepted) {
+        if (!settled.duplicate) ++result.packets_settled;
+        settled_ok = true;
+        break;
+      }
+      if (settled.reject_reason == "stale quote epoch" &&
+          attempt < config.settle_retries) {
+        // The quote went stale between pricing and settlement (flooder
+        // churn or a mid-flight quarantine). The packet is already
+        // delivered; the source re-quotes at the current epoch and
+        // re-settles idempotently — the stale rejection did not burn the
+        // sequence number.
+        ++result.stale_epoch_rejects;
+        ledger.set_profile_epoch(engine.epoch());
+        quote = engine.quote(source);
+        if (!quote_ok()) return give_up();
+        route = quote->path;
+        adopt_quote();
+        continue;
+      }
+      if (settled.reject_reason == "replayed packet") {
+        // Someone settled this packet first with different content. The
+        // AP's forensic record names the winner: any relay paid more
+        // than the AP's own quote was the front-runner.
+        ++result.settle_conflicts;
+        if (trust != nullptr) {
+          for (const auto& [relay, price] :
+               ledger.settled_prices(config.session_id, pkt)) {
+            if (relay >= quote->payments.size() ||
+                price > quote->payments[relay] + 1e-9)
+              trust->observe_settlement_conflict(relay);
+          }
+          if (apply_quarantines()) {
+            // Route the remaining packets around the front-runner.
+            quote = engine.quote(source);
+            if (!quote_ok()) return give_up();
+            route = quote->path;
+            adopt_quote();
+          }
+        }
+        break;  // the source was already charged at the forged prices
+      }
+      ++result.failed_settles;
+      break;
+    }
+    if (settled_ok && !config.data_faults.fault_free()) {
+      const Signature sig =
+          sign(ledger.key_of(source),
+               packet_payload(config.session_id, source, pkt));
       const SettlementResult retry =
           ledger.settle_quote(config.session_id, pkt, sig, *quote);
       if (retry.accepted && retry.duplicate) ++result.duplicate_settles;
     }
+  }
+
+  if (result.failed_settles > 0) {
+    result.outcome = SessionOutcome::kSettlementShortfall;
+  } else if (!result.quarantined.empty()) {
+    result.outcome = SessionOutcome::kQuarantineRecovered;
+  } else if (result.requotes > 0) {
+    result.outcome = SessionOutcome::kRerouted;
+  } else {
+    result.outcome = SessionOutcome::kSettled;
   }
   return result;
 }

@@ -22,11 +22,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "distsim/adversary.hpp"
 #include "distsim/ledger.hpp"
 #include "distsim/net/fault.hpp"
 #include "distsim/net/reliable.hpp"
 #include "distsim/payment_protocol.hpp"
 #include "distsim/spt_protocol.hpp"
+#include "distsim/trust.hpp"
 
 namespace tc::svc {
 class QuoteEngine;
@@ -64,7 +66,34 @@ struct SessionConfig {
   std::size_t data_max_rounds = 0;
   /// Ledger session id the data phase settles under.
   std::uint64_t session_id = 1;
+
+  // -- Byzantine adversaries (all default-off) ---------------------------
+  /// Per-node adversary roles; empty = every node honest. The protocol
+  /// behaviors derived from this (spt_behaviors()/payment_behaviors())
+  /// are merged over the explicit behavior vectors above.
+  AdversarySchedule adversaries;
+  /// Neighbor-trust monitor = detection ON: the session reports its
+  /// misbehavior observations here and quarantines nodes the monitor
+  /// condemns (mark_node_down + re-quote + idempotent re-settlement).
+  /// nullptr = detection OFF (adversaries run unopposed). The session
+  /// never calls end_session(); the campaign driver owns that clock.
+  TrustMonitor* trust = nullptr;
+  /// Settlement retries after a "stale quote epoch" rejection (each
+  /// re-quotes at the current epoch before re-submitting); this is the
+  /// source's defense against declaration flooders racing its quote.
+  std::size_t settle_retries = 2;
 };
+
+/// How the data phase of a session concluded, coarsest first.
+enum class SessionOutcome : std::uint8_t {
+  kSettled = 0,           ///< all packets delivered and settled, no drama
+  kRerouted,              ///< settled, but only after crash re-quotes
+  kQuarantineRecovered,   ///< settled after quarantining Byzantine relays
+  kSettlementShortfall,   ///< delivered, but some settlement was refused
+  kDisconnected,          ///< gave up: no route survived
+};
+
+const char* session_outcome_name(SessionOutcome outcome);
 
 struct SessionResult {
   /// Route the source ends up using (source..root); empty if unreached.
@@ -86,6 +115,26 @@ struct SessionResult {
   std::size_t requotes = 0;          ///< successful route replacements
   std::size_t packets_settled = 0;   ///< packets settled exactly once
   std::size_t duplicate_settles = 0; ///< retransmitted settles no-op acked
+
+  // -- Adversary accounting (see SessionOutcome) -------------------------
+  SessionOutcome outcome = SessionOutcome::kSettled;
+  /// Nodes the trust monitor quarantined during this session (marked
+  /// down at the engine; they stay down until explicitly revived).
+  std::vector<graph::NodeId> quarantined;
+  /// Nodes marked down by in-session crash suspicion (quarantined or
+  /// not); the campaign driver revives the non-quarantined ones.
+  std::vector<graph::NodeId> marked_down;
+  /// Genuine settlements rejected as "replayed packet" because an
+  /// adversary front-ran them with altered prices.
+  std::size_t settle_conflicts = 0;
+  /// Packets whose settlement an adversary hijacked (the forged prices
+  /// are what the ledger recorded; the source was charged those).
+  std::size_t hijacked_settles = 0;
+  /// "stale quote epoch" rejections absorbed by re-quote + re-settle.
+  std::size_t stale_epoch_rejects = 0;
+  /// Settlements that stayed rejected after all retries (economic loss:
+  /// relays went unpaid or the source was charged forged prices).
+  std::size_t failed_settles = 0;
 
   bool cheating_detected() const {
     return !spt_stats.accusations.empty() ||

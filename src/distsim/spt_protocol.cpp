@@ -102,6 +102,7 @@ SptOutcome run_spt_protocol(const graph::NodeGraph& g, NodeId root,
   out.distance.assign(n, kInfCost);
   out.first_hop.assign(n, kInvalidNode);
   out.distance[root] = 0.0;  // the root is the destination, not an agent
+  out.stats.node_broadcasts.assign(n, 0);
 
   // What each node last put on the air (its public claim)...
   std::vector<Cost> sent_d(n, kInfCost);
@@ -221,6 +222,7 @@ SptOutcome run_spt_protocol(const graph::NodeGraph& g, NodeId root,
 
     for (NodeId j : speakers) {
       ++out.stats.broadcasts;
+      ++out.stats.node_broadcasts[j];
       out.stats.values_sent += 2;
       sent_d[j] = broadcast_value(j);
       sent_fh[j] = out.first_hop[j];
@@ -265,6 +267,18 @@ SptOutcome run_spt_protocol(const graph::NodeGraph& g, NodeId root,
         out.distance[v] = new_d[v];
         out.first_hop[v] = new_fh[v];
         pending[v] = true;
+      }
+    }
+
+    // Broadcast flooders re-arm their announcement every round through
+    // their budget whether or not anything changed — each message is
+    // well-formed, so nothing below the stats layer can tell.
+    if (!behaviors.empty()) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (v != root && round <= behaviors[v].flood_rounds &&
+            netw.node_up(v)) {
+          pending[v] = true;
+        }
       }
     }
   }

@@ -54,10 +54,16 @@ struct SptBehavior {
   /// When true, the node ignores secure-channel correction demands, which
   /// in verified mode turns the lie into a recorded accusation.
   bool stubborn = false;
+  /// Broadcast-flood budget: the node keeps its broadcast pending every
+  /// round through this one, spamming state re-announcements regardless
+  /// of whether anything changed. 0 = honest. Each message is
+  /// individually well-formed, so this is pure denial-of-service load —
+  /// detected statistically via ProtocolStats::node_broadcasts.
+  std::size_t flood_rounds = 0;
 
   bool honest() const {
     return denied_neighbor == graph::kInvalidNode &&
-           distance_inflation == 1.0 && !stubborn;
+           distance_inflation == 1.0 && !stubborn && flood_rounds == 0;
   }
 };
 

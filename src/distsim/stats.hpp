@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,10 @@ struct ProtocolStats {
   /// Transport-level counters from the radio substrate and the reliable
   /// delivery layer underneath this protocol run.
   net::NetStats net;
+  /// Per-node broadcast counts for this run — the access point's raw
+  /// signal for broadcast-flood detection (TrustMonitor compares each
+  /// node's count against the run median). Empty when not tracked.
+  std::vector<std::uint32_t> node_broadcasts;
   std::vector<Accusation> accusations;
 
   bool clean() const { return accusations.empty(); }

@@ -1,0 +1,142 @@
+#include "distsim/trust.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace tc::distsim {
+
+using graph::Cost;
+using graph::NodeId;
+
+namespace {
+/// 1 / Phi^{-1}(3/4): scales the median absolute deviation to the
+/// standard deviation of a normal sample, the usual robust-z convention.
+constexpr double kMadSigma = 1.4826;
+
+double median_of(std::vector<double>& xs) {
+  TC_DCHECK(!xs.empty());
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                   xs.end());
+  return xs[mid];
+}
+}  // namespace
+
+TrustMonitor::TrustMonitor(std::size_t num_nodes, TrustConfig config)
+    : config_(config),
+      score_(num_nodes, config.initial),
+      exempt_(num_nodes, false),
+      quarantined_(num_nodes, false),
+      penalized_this_session_(num_nodes, false) {
+  TC_CHECK_MSG(config_.quarantine_threshold < config_.initial,
+               "quarantine threshold must sit below the initial score");
+}
+
+void TrustMonitor::exempt(NodeId v) { exempt_.at(v) = true; }
+
+void TrustMonitor::penalize(NodeId v, double amount, const char* reason,
+                            QuarantineAction action, Cost cap) {
+  if (exempt_.at(v) || quarantined_[v]) return;
+  score_[v] = std::max(config_.floor, score_[v] - amount);
+  penalized_this_session_[v] = true;
+  if (score_[v] < config_.quarantine_threshold) {
+    quarantined_[v] = true;
+    const QuarantineEvent event{v, session_, action, cap, reason};
+    newly_quarantined_.push_back(event);
+    events_.push_back(event);
+  }
+}
+
+void TrustMonitor::observe_giveup(NodeId suspect) {
+  penalize(suspect, config_.giveup_penalty, "repeated delivery give-ups");
+}
+
+void TrustMonitor::observe_accusations(
+    const std::vector<Accusation>& accusations) {
+  for (const Accusation& a : accusations) {
+    penalize(a.accused, config_.accusation_penalty,
+             "protocol accusation on a signed transcript");
+  }
+}
+
+void TrustMonitor::observe_settlement_conflict(NodeId relay) {
+  penalize(relay, config_.conflict_penalty,
+           "overpaid by a front-run settlement replay");
+}
+
+void TrustMonitor::observe_declarations(NodeId v, std::size_t count) {
+  if (static_cast<double>(count) > config_.flood_declare_rate)
+    penalize(v, config_.flood_penalty, "declaration flood at the engine");
+}
+
+void TrustMonitor::observe_broadcast_rates(
+    const std::vector<std::uint32_t>& counts) {
+  if (counts.empty()) return;
+  std::vector<double> sample;
+  sample.reserve(counts.size());
+  for (std::size_t v = 0; v < counts.size(); ++v) {
+    if (!exempt_.at(v) && !quarantined_[v])
+      sample.push_back(static_cast<double>(counts[v]));
+  }
+  if (sample.size() < 3) return;
+  const double med = median_of(sample);
+  for (NodeId v = 0; v < counts.size(); ++v) {
+    const auto c = static_cast<double>(counts[v]);
+    if (counts[v] >= config_.flood_min_broadcasts &&
+        c > config_.flood_fanout * std::max(med, 1.0)) {
+      penalize(v, config_.flood_penalty, "broadcast flood in a protocol run");
+    }
+  }
+}
+
+void TrustMonitor::observe_declared_costs(const std::vector<Cost>& declared) {
+  std::vector<double> sample;
+  sample.reserve(declared.size());
+  for (std::size_t v = 0; v < declared.size(); ++v) {
+    if (!exempt_.at(v) && !quarantined_[v] && graph::finite_cost(declared[v]))
+      sample.push_back(declared[v]);
+  }
+  if (sample.size() < 4) return;
+  std::vector<double> work = sample;
+  const double med = median_of(work);
+  for (std::size_t i = 0; i < work.size(); ++i)
+    work[i] = std::fabs(sample[i] - med);
+  const double mad = median_of(work);
+  // A degenerate profile (near-identical declarations) has no meaningful
+  // spread to measure outliers against; treat everything as inlying.
+  const double sigma = kMadSigma * mad;
+  if (sigma <= 1e-12) return;
+  for (NodeId v = 0; v < declared.size(); ++v) {
+    if (!graph::finite_cost(declared[v])) continue;
+    if ((declared[v] - med) / sigma > config_.outlier_sigma) {
+      // Inflated declarations are punished with a price cap, not
+      // isolation: marking the node down would raise its threat value to
+      // infinity and make every payment it backstops *worse*. Capping at
+      // the robust median neuters the inflation instead.
+      penalize(v, config_.outlier_penalty,
+               "declared cost is a robust outlier (inflation heuristic)",
+               QuarantineAction::kPriceCap, med);
+    }
+  }
+}
+
+void TrustMonitor::end_session() {
+  for (NodeId v = 0; v < score_.size(); ++v) {
+    if (!penalized_this_session_[v] && !quarantined_[v]) {
+      score_[v] = std::min(config_.initial, score_[v] + config_.recovery);
+    }
+    penalized_this_session_[v] = false;
+  }
+  ++session_;
+}
+
+std::vector<TrustMonitor::QuarantineEvent>
+TrustMonitor::take_newly_quarantined() {
+  std::vector<QuarantineEvent> out;
+  out.swap(newly_quarantined_);
+  return out;
+}
+
+}  // namespace tc::distsim

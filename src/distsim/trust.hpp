@@ -1,0 +1,156 @@
+// Neighbor-trust scoring and quarantine for Byzantine relays.
+//
+// The cheat-resistant protocol (Algorithm 2) convicts nodes whose signed
+// transcripts contradict their update rules, but several Byzantine
+// behaviors never leave a provable transcript: a relay that acks control
+// traffic and silently drops data looks exactly like a crash; a colluding
+// clique inflates its *declarations*, which VCG prices "honestly"; a
+// flooder's declarations are each individually legal. The access point
+// therefore keeps a per-node trust score that starts at `initial`, decays
+// on every observed misbehavior signal, and regenerates slowly while the
+// node behaves. Crossing `quarantine_threshold` quarantines the node:
+// the session driver marks it down at the QuoteEngine (an epoch bump),
+// re-quotes around it, and re-settles idempotently.
+//
+// Signals (all observed at the AP or by the session driver):
+//   * give-ups / delivery stalls attributed to a relay (crash-shaped;
+//     repeated evidence is what separates malice from misfortune);
+//   * protocol accusations from the verified stages (provable, so the
+//     penalty is close to fatal);
+//   * settlement conflicts: a signature-valid settlement rejected as a
+//     replay, where the ledger's recorded prices overpay a relay vs. the
+//     AP's own quote (see Ledger::settled_prices);
+//   * declaration flood rates at the engine, and broadcast counts far
+//     above the per-run median in the protocol stages;
+//   * declared-cost outliers under a robust (median/MAD) z-score —
+//     the collusion heuristic for inflation cliques.
+//
+// Determinism: the monitor is a pure fold over its observation sequence —
+// no clock, no RNG — so seeded adversary runs are bit-reproducible.
+// Thread safety: none; the monitor belongs to one session driver (the
+// simulated AP), like the protocol runners themselves.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "distsim/stats.hpp"
+#include "graph/types.hpp"
+
+namespace tc::distsim {
+
+struct TrustConfig {
+  double initial = 1.0;  ///< starting score for every node
+  /// Quarantine fires when a node's score drops strictly below this.
+  double quarantine_threshold = 0.4;
+  double floor = 0.0;  ///< scores never decay below this
+
+  // -- penalties per observed signal -------------------------------------
+  double giveup_penalty = 0.35;      ///< delivery stall attributed to node
+  double accusation_penalty = 0.85;  ///< provable protocol accusation
+  double conflict_penalty = 0.75;    ///< overpaid in a settlement conflict
+  double flood_penalty = 0.25;       ///< declaration/broadcast flood window
+  double outlier_penalty = 0.3;      ///< declared-cost outlier (per session)
+
+  // -- detection thresholds ----------------------------------------------
+  /// Robust z-score (|x - median| / MAD-sigma) above which a declared
+  /// cost counts as an inflation outlier.
+  double outlier_sigma = 3.0;
+  /// Declares per session above which a node counts as flooding.
+  double flood_declare_rate = 2.0;
+  /// Protocol broadcasts above `flood_fanout * median` (and at least
+  /// `flood_min_broadcasts`) count as a broadcast flood.
+  double flood_fanout = 4.0;
+  std::size_t flood_min_broadcasts = 8;
+
+  /// Regeneration per clean session (no penalty observed), up to initial.
+  double recovery = 0.05;
+};
+
+/// What the session driver should do with a freshly quarantined node.
+///
+/// Most misbehavior (selective forwarding, settlement front-running,
+/// flooding) is punished by isolation: mark_node_down at the engine, so
+/// no route or threat computation uses the node at all. Declared-cost
+/// outliers are the exception: an inflated declaration does damage
+/// through the *threat* channel (VCG payments to others rise because the
+/// alternative routes got pricier), and marking the node down would push
+/// that threat to infinity — strictly worse. The economically sound
+/// response is a price cap: the AP re-prices the node at the profile's
+/// robust median, neutering the inflation while keeping the node usable.
+enum class QuarantineAction : std::uint8_t {
+  kIsolate,   ///< mark_node_down: off every route and every threat
+  kPriceCap,  ///< re-declare at `cap`: inflation neutered, node kept
+};
+
+/// Per-node trust state folded over misbehavior observations, with a
+/// quarantine queue the session driver drains into the QuoteEngine
+/// (mark_node_down or a median price cap, per QuarantineAction).
+class TrustMonitor {
+ public:
+  explicit TrustMonitor(std::size_t num_nodes, TrustConfig config = {});
+
+  /// Infrastructure nodes (the access point) are never scored or
+  /// quarantined.
+  void exempt(graph::NodeId v);
+
+  // -- observations ------------------------------------------------------
+  /// A delivery stall / channel give-up was attributed to `suspect`.
+  void observe_giveup(graph::NodeId suspect);
+  /// Protocol accusations from a verified stage run.
+  void observe_accusations(const std::vector<Accusation>& accusations);
+  /// `relay` was overpaid by a settlement the source never submitted.
+  void observe_settlement_conflict(graph::NodeId relay);
+  /// `v` pushed `count` cost re-declarations at the engine this session.
+  void observe_declarations(graph::NodeId v, std::size_t count);
+  /// Per-node broadcast counts from one protocol stage run; nodes far
+  /// above the median are penalized as broadcast flooders.
+  void observe_broadcast_rates(const std::vector<std::uint32_t>& counts);
+  /// Robust-outlier scan of the declared cost profile (inflation-clique
+  /// heuristic). Quarantined nodes are excluded from the baseline.
+  void observe_declared_costs(const std::vector<graph::Cost>& declared);
+
+  /// Closes the current session: clean nodes regenerate toward
+  /// `initial`, per-session counters reset, the session index advances.
+  void end_session();
+
+  // -- queries -----------------------------------------------------------
+  double trust(graph::NodeId v) const { return score_.at(v); }
+  bool quarantined(graph::NodeId v) const { return quarantined_.at(v); }
+  std::size_t quarantine_count() const { return events_.size(); }
+  /// Sessions closed so far (the campaign clock quarantine events stamp).
+  std::size_t session_index() const { return session_; }
+
+  struct QuarantineEvent {
+    graph::NodeId node = graph::kInvalidNode;
+    std::size_t session = 0;  ///< session index the threshold was crossed
+    QuarantineAction action = QuarantineAction::kIsolate;
+    /// Replacement declared cost for kPriceCap (the robust median of the
+    /// profile the outlier was condemned against); unused for kIsolate.
+    graph::Cost cap = 0.0;
+    std::string reason;  ///< the signal that pushed it under
+  };
+  const std::vector<QuarantineEvent>& events() const { return events_; }
+
+  /// Drains the quarantines declared since the last drain (the session
+  /// driver applies each event's action at the engine and re-quotes).
+  std::vector<QuarantineEvent> take_newly_quarantined();
+
+ private:
+  void penalize(graph::NodeId v, double amount, const char* reason,
+                QuarantineAction action = QuarantineAction::kIsolate,
+                graph::Cost cap = 0.0);
+
+  TrustConfig config_;
+  std::vector<double> score_;
+  std::vector<bool> exempt_;
+  std::vector<bool> quarantined_;
+  std::vector<bool> penalized_this_session_;
+  std::vector<QuarantineEvent> newly_quarantined_;
+  std::vector<QuarantineEvent> events_;
+  std::size_t session_ = 0;
+};
+
+}  // namespace tc::distsim

@@ -75,6 +75,69 @@ TEST(Ledger, ReplayWithAlteredContentRejected) {
   EXPECT_EQ(ledger.rejections(), 1u);
 }
 
+TEST(Ledger, QuarantinedReplayKeepsForensicRecordAndFreshSeqsUsable) {
+  // The replayer playbook (distsim/adversary.hpp): a quarantined relay
+  // that captured the source's packet signature re-submits the settled
+  // packet with its own price inflated. The altered fingerprint is
+  // rejected, the forensic record (settled_prices) still names the
+  // genuine price list — that comparison is what convicts the replayer —
+  // and the source's sequence numbering is not poisoned: the next fresh
+  // seq settles normally and a genuine retransmit still no-op-acks.
+  Ledger ledger(5, 9);
+  ledger.fund_all(50.0);
+  const Signature sig = sign(ledger.key_of(3), packet_payload(4, 3, 0));
+  ASSERT_TRUE(
+      ledger.settle_upstream(4, 3, 0, sig, {{1, 2.0}, {2, 3.0}}).accepted);
+
+  // Relay 2, now quarantined, front-runs a copy billing itself 4x.
+  const auto hijack =
+      ledger.settle_upstream(4, 3, 0, sig, {{1, 2.0}, {2, 12.0}});
+  EXPECT_FALSE(hijack.accepted);
+  EXPECT_EQ(hijack.reject_reason, "replayed packet");
+  EXPECT_DOUBLE_EQ(ledger.balance(2), 53.0);  // the inflation never landed
+
+  // Forensics: the record of what actually got paid is intact.
+  const auto prices = ledger.settled_prices(4, 0);
+  ASSERT_EQ(prices.size(), 2u);
+  EXPECT_EQ(prices[0], (std::pair<graph::NodeId, graph::Cost>{1, 2.0}));
+  EXPECT_EQ(prices[1], (std::pair<graph::NodeId, graph::Cost>{2, 3.0}));
+  EXPECT_TRUE(ledger.settled_prices(4, 99).empty());  // never settled
+
+  // The attack burned nothing: seq 1 is fresh, and the genuine seq-0
+  // content still acknowledges as a duplicate, not a rejection.
+  const Signature next = sign(ledger.key_of(3), packet_payload(4, 3, 1));
+  EXPECT_TRUE(
+      ledger.settle_upstream(4, 3, 1, next, {{1, 2.0}, {2, 3.0}}).accepted);
+  const auto retransmit =
+      ledger.settle_upstream(4, 3, 0, sig, {{1, 2.0}, {2, 3.0}});
+  EXPECT_TRUE(retransmit.accepted);
+  EXPECT_TRUE(retransmit.duplicate);
+}
+
+TEST(Ledger, RejectedSettlementDoesNotBurnTheSequenceNumber) {
+  // A rejection must leave no replay record behind: after a stale-epoch
+  // refusal the same (session, seq) settles cleanly once re-quoted at
+  // the current epoch. (The epoch fence runs before the replay check
+  // precisely so a rejected settle cannot poison its own retry.)
+  Ledger ledger(4, 11);
+  ledger.fund_all(20.0);
+  ledger.set_profile_epoch(5);
+  const Signature sig = sign(ledger.key_of(2), packet_payload(1, 2, 0));
+  const auto stale =
+      ledger.settle_upstream(1, 2, 0, sig, {{1, 1.5}}, /*quote_epoch=*/3);
+  EXPECT_FALSE(stale.accepted);
+  EXPECT_EQ(stale.reject_reason, "stale quote epoch");
+  EXPECT_TRUE(ledger.settled_prices(1, 0).empty());
+
+  const auto retry =
+      ledger.settle_upstream(1, 2, 0, sig, {{1, 1.5}}, /*quote_epoch=*/5);
+  EXPECT_TRUE(retry.accepted);
+  EXPECT_FALSE(retry.duplicate);
+  EXPECT_DOUBLE_EQ(ledger.balance(1), 21.5);
+  EXPECT_EQ(ledger.settlements(), 1u);
+  EXPECT_EQ(ledger.rejections(), 1u);
+}
+
 TEST(Ledger, DownstreamNeedsAllAcks) {
   Ledger ledger(5, 4);
   ledger.fund_all(20.0);

@@ -228,6 +228,93 @@ TEST(ReliableNet, ReorderedCopiesAreBufferedAndReleasedInOrder) {
   EXPECT_GT(netw.stats().channel.out_of_order_buffered, 0u);
 }
 
+// A Byzantine relay that captured an old wire copy re-injects it at the
+// radio layer. The receiver must dedup-drop it by sequence number: no
+// duplicate delivery, no cumulative-ack movement, no crash suspicion.
+TEST(ReliableNet, ReplayedStalePacketIsDroppedWithoutAdvancingTheAck) {
+  const auto g = graph::make_path(2);
+  ReliableNet netw(g, FaultSchedule{});
+  netw.advance_round();
+  for (std::uint64_t i = 0; i < 3; ++i) netw.send(0, 1, {i});
+  netw.deliver();
+  ASSERT_EQ(netw.collect(1).size(), 3u);
+  netw.advance_round();
+  netw.deliver();  // drain the ack cycle
+  ASSERT_TRUE(netw.idle());
+  const auto before = netw.stats().channel;
+
+  // Replay a captured copy of packet 0: wire format [kData=0, seq, words].
+  netw.advance_round();
+  netw.radio().send(0, 1, {0, 0, 0});
+  netw.deliver();
+  EXPECT_TRUE(netw.collect(1).empty()) << "replayed packet was re-delivered";
+  EXPECT_EQ(netw.stats().channel.duplicates_discarded,
+            before.duplicates_discarded + 1);
+
+  // The channel is unharmed: the next genuine send picks up the next
+  // sequence number and delivers exactly once, and nothing ever looked
+  // like a crash.
+  netw.advance_round();
+  netw.deliver();  // drain the re-ack the replay provoked
+  netw.advance_round();
+  netw.send(0, 1, {77});
+  netw.deliver();
+  const auto got = netw.collect(1);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].words, (std::vector<std::uint64_t>{77}));
+  EXPECT_FALSE(netw.peer_timed_out(0, 1));
+  EXPECT_EQ(netw.stats().channel.give_ups, 0u);
+}
+
+// A forged sequence number far ahead of the window must not advance the
+// cumulative ack (acks cover the in-order prefix only), must never be
+// delivered in place of genuine traffic, and a second copy of the same
+// forgery is dedup-dropped out of the reorder buffer.
+TEST(ReliableNet, ForgedFutureSeqDoesNotAdvanceAckOrDeliver) {
+  const auto g = graph::make_path(2);
+  ReliableNet netw(g, FaultSchedule{});
+  netw.advance_round();
+  for (std::uint64_t i = 0; i < 2; ++i) netw.send(0, 1, {i});
+  netw.deliver();
+  ASSERT_EQ(netw.collect(1).size(), 2u);
+  netw.advance_round();
+  netw.deliver();
+  const auto before = netw.stats().channel;
+
+  // Inject a forged data packet claiming seq 40 with a poisoned payload.
+  netw.advance_round();
+  netw.radio().send(0, 1, {0, 40, 99});
+  netw.deliver();
+  EXPECT_TRUE(netw.collect(1).empty()) << "forged-seq packet was delivered";
+  EXPECT_EQ(netw.stats().channel.out_of_order_buffered,
+            before.out_of_order_buffered + 1);
+
+  // Re-injecting the same forgery is a dedup hit, not a second buffer.
+  netw.advance_round();
+  netw.deliver();
+  netw.advance_round();
+  netw.radio().send(0, 1, {0, 40, 99});
+  netw.deliver();
+  EXPECT_TRUE(netw.collect(1).empty());
+  EXPECT_EQ(netw.stats().channel.duplicates_discarded,
+            before.duplicates_discarded + 1);
+
+  // Genuine traffic continues in order from the true frontier — the
+  // cumulative ack never jumped to 41, so the sender's window and the
+  // receiver's expectations still agree, and no channel looks dead.
+  netw.advance_round();
+  netw.deliver();
+  netw.advance_round();
+  for (std::uint64_t i = 2; i < 5; ++i) netw.send(0, 1, {i});
+  netw.deliver();
+  const auto got = netw.collect(1);
+  ASSERT_EQ(got.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i)
+    EXPECT_EQ(got[i].words, (std::vector<std::uint64_t>{i + 2}));
+  EXPECT_FALSE(netw.peer_timed_out(0, 1));
+  EXPECT_EQ(netw.stats().channel.give_ups, 0u);
+}
+
 TEST(ReliableNet, DeadLinkGivesUpAndReportsPeerTimedOut) {
   const auto g = graph::make_path(2);
   FaultSchedule s;

@@ -1,0 +1,302 @@
+// Neighbor-trust scoring, adversary schedules, and the end-to-end
+// quarantine campaigns. The economics under test mirror the ablation
+// bench's acceptance bar: for every adversary class, detection-on must
+// strictly reduce the damage that class inflicts (overpayment or failed
+// sessions), must never quarantine an honest node, and seeded runs must
+// be bit-reproducible.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "distsim/adversary.hpp"
+#include "distsim/trust.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/node_graph.hpp"
+
+namespace tc::distsim {
+namespace {
+
+using graph::Cost;
+using graph::NodeId;
+
+// ---------------------------------------------------------------------------
+// TrustMonitor unit behavior
+
+TEST(TrustMonitor, RepeatedGiveupsCrossTheThreshold) {
+  TrustMonitor m(4);
+  m.observe_giveup(2);
+  EXPECT_FALSE(m.quarantined(2));
+  m.observe_giveup(2);
+  EXPECT_TRUE(m.quarantined(2));  // 1.0 - 2*0.35 = 0.3 < 0.4
+  const auto fresh = m.take_newly_quarantined();
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].node, 2u);
+  EXPECT_EQ(fresh[0].action, QuarantineAction::kIsolate);
+  EXPECT_TRUE(m.take_newly_quarantined().empty());  // drained once
+  // Further evidence against a quarantined node changes nothing.
+  m.observe_giveup(2);
+  EXPECT_EQ(m.quarantine_count(), 1u);
+}
+
+TEST(TrustMonitor, ExemptNodeIsNeverScored) {
+  TrustMonitor m(3);
+  m.exempt(0);
+  for (int i = 0; i < 10; ++i) m.observe_giveup(0);
+  EXPECT_FALSE(m.quarantined(0));
+  EXPECT_EQ(m.trust(0), 1.0);
+}
+
+TEST(TrustMonitor, CleanSessionsRegenerateTrust) {
+  TrustMonitor m(2);
+  m.observe_giveup(1);  // 0.65
+  m.end_session();      // penalized this session: no regeneration
+  EXPECT_DOUBLE_EQ(m.trust(1), 0.65);
+  m.end_session();  // clean: +0.05
+  EXPECT_DOUBLE_EQ(m.trust(1), 0.70);
+  for (int i = 0; i < 20; ++i) m.end_session();
+  EXPECT_DOUBLE_EQ(m.trust(1), 1.0);  // capped at initial
+}
+
+TEST(TrustMonitor, SettlementConflictQuarantinesInOneObservation) {
+  TrustMonitor m(5);
+  m.observe_settlement_conflict(3);
+  EXPECT_TRUE(m.quarantined(3));  // 1.0 - 0.75 = 0.25 < 0.4
+}
+
+TEST(TrustMonitor, DeclaredCostOutliersArePriceCapped) {
+  TrustMonitor m(12);
+  std::vector<Cost> declared(12);
+  for (NodeId v = 0; v < 12; ++v)
+    declared[v] = 1.6 + 0.1 * static_cast<double>(v);  // spread: 1.6..2.7
+  declared[7] = 16.0;  // the inflator
+  // Penalty is 0.3 per session: three scans to cross 0.4.
+  m.observe_declared_costs(declared);
+  m.end_session();
+  m.observe_declared_costs(declared);
+  m.end_session();
+  m.observe_declared_costs(declared);
+  EXPECT_FALSE(m.quarantined(3));
+  EXPECT_TRUE(m.quarantined(7));
+  const auto fresh = m.take_newly_quarantined();
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].action, QuarantineAction::kPriceCap);
+  EXPECT_NEAR(fresh[0].cap, 2.15, 0.6);  // the robust median, not the lie
+}
+
+TEST(TrustMonitor, UniformProfileHasNoOutliers) {
+  TrustMonitor m(8);
+  const std::vector<Cost> declared(8, 3.0);  // zero spread: degenerate MAD
+  for (int s = 0; s < 5; ++s) {
+    m.observe_declared_costs(declared);
+    m.end_session();
+  }
+  for (NodeId v = 0; v < 8; ++v) EXPECT_FALSE(m.quarantined(v));
+}
+
+TEST(TrustMonitor, BroadcastFloodersStickOutOfTheMedian) {
+  TrustMonitor m(10);
+  std::vector<std::uint32_t> counts(10, 5);
+  counts[4] = 60;  // way past 4x median and the absolute floor
+  counts[6] = 7;   // busy but not anomalous
+  m.observe_broadcast_rates(counts);
+  EXPECT_LT(m.trust(4), 1.0);
+  EXPECT_EQ(m.trust(6), 1.0);
+}
+
+TEST(TrustMonitor, DeclarationFloodRate) {
+  TrustMonitor m(4);
+  m.observe_declarations(1, 2);  // at the rate limit: fine
+  EXPECT_EQ(m.trust(1), 1.0);
+  m.observe_declarations(1, 3);  // past it
+  EXPECT_LT(m.trust(1), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// AdversarySchedule
+
+TEST(AdversarySchedule, AssignIsDeterministicAndSparesTheRoot) {
+  const auto g = graph::make_erdos_renyi(20, 0.3, 0.5, 5.0, 7);
+  ASSERT_TRUE(graph::is_connected(g));
+  net::FaultSchedule faults;
+  faults.seed = 0x1234;
+  const auto a = AdversarySchedule::assign(
+      g, 0, AdversaryClass::kSelectiveForwarder, 3, faults);
+  const auto b = AdversarySchedule::assign(
+      g, 0, AdversaryClass::kSelectiveForwarder, 3, faults);
+  EXPECT_EQ(a.roles, b.roles);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.role(0), AdversaryClass::kHonest);
+  EXPECT_EQ(a.of_class(AdversaryClass::kSelectiveForwarder).size(), 3u);
+}
+
+TEST(AdversarySchedule, CliqueGrowsAroundItsAnchor) {
+  const auto g = graph::make_erdos_renyi(20, 0.3, 0.5, 5.0, 7);
+  net::FaultSchedule faults;
+  const auto s =
+      AdversarySchedule::assign(g, 0, AdversaryClass::kCostClique, 3, faults);
+  const auto clique = s.of_class(AdversaryClass::kCostClique);
+  ASSERT_EQ(clique.size(), 3u);
+  // At least one member is adjacent to another (colluders collude
+  // locally); with a connected anchor neighborhood all are.
+  bool any_adjacent = false;
+  for (NodeId u : clique) {
+    for (NodeId v : clique) {
+      if (u != v && g.has_edge(u, v)) any_adjacent = true;
+    }
+  }
+  EXPECT_TRUE(any_adjacent);
+}
+
+TEST(AdversarySchedule, CorruptDeclarationsOnlyTouchTheClique) {
+  const auto g = graph::make_erdos_renyi(16, 0.3, 0.5, 5.0, 3);
+  net::FaultSchedule faults;
+  const auto s =
+      AdversarySchedule::assign(g, 0, AdversaryClass::kCostClique, 2, faults);
+  const auto declared = s.corrupt_declarations(g.costs());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (s.is(v, AdversaryClass::kCostClique)) {
+      EXPECT_DOUBLE_EQ(declared[v], g.costs()[v] * s.cost_inflation);
+    } else {
+      EXPECT_DOUBLE_EQ(declared[v], g.costs()[v]);
+    }
+  }
+}
+
+TEST(AdversarySchedule, HashDrawsAreStable) {
+  const auto g = graph::make_erdos_renyi(16, 0.3, 0.5, 5.0, 3);
+  net::FaultSchedule faults;
+  const auto s = AdversarySchedule::assign(
+      g, 0, AdversaryClass::kSelectiveForwarder, 2, faults);
+  const NodeId f = s.of_class(AdversaryClass::kSelectiveForwarder)[0];
+  for (std::uint64_t pkt = 0; pkt < 8; ++pkt) {
+    EXPECT_EQ(s.drops_data(f, 1, pkt), s.drops_data(f, 1, pkt));
+  }
+  // Honest nodes never roll the dice.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (s.role(v) == AdversaryClass::kHonest) {
+      EXPECT_FALSE(s.drops_data(v, 1, 0));
+      EXPECT_FALSE(s.replays(v, 1, 0));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end campaigns: detection must pay for itself, class by class.
+
+graph::NodeGraph campaign_graph() {
+  // Dense enough that quarantining a few relays leaves alternate routes.
+  auto g = graph::make_erdos_renyi(20, 0.35, 0.5, 5.0, 42);
+  EXPECT_TRUE(graph::is_connected(g));
+  return g;
+}
+
+CampaignConfig campaign_config(bool detection) {
+  CampaignConfig c;
+  c.sessions = 12;
+  c.data_packets = 3;
+  c.detection = detection;
+  return c;
+}
+
+struct ClassRun {
+  CampaignResult off;
+  CampaignResult on;
+};
+
+ClassRun run_class(const graph::NodeGraph& g, AdversaryClass cls,
+                   std::size_t count, std::size_t max_requotes = 3) {
+  net::FaultSchedule faults;
+  faults.seed = 0xbead;
+  const auto adv = AdversarySchedule::assign(g, 0, cls, count, faults);
+  ClassRun r;
+  CampaignConfig off = campaign_config(false);
+  CampaignConfig on = campaign_config(true);
+  off.max_requotes = on.max_requotes = max_requotes;
+  r.off = run_adversary_campaign(g, 0, adv, off);
+  r.on = run_adversary_campaign(g, 0, adv, on);
+  return r;
+}
+
+TEST(AdversaryCampaign, HonestBaselineIsDetectionInvariant) {
+  const auto g = campaign_graph();
+  net::FaultSchedule faults;
+  const AdversarySchedule honest =
+      AdversarySchedule::assign(g, 0, AdversaryClass::kHonest, 0, faults);
+  const auto off = run_adversary_campaign(g, 0, honest, campaign_config(false));
+  const auto on = run_adversary_campaign(g, 0, honest, campaign_config(true));
+  // With nobody misbehaving, the trust layer must be a perfect no-op:
+  // same charges to the source, no quarantines, no failed sessions.
+  EXPECT_DOUBLE_EQ(off.charged, on.charged);
+  EXPECT_EQ(on.quarantines, 0u);
+  EXPECT_EQ(off.failed_sessions, 0u);
+  EXPECT_EQ(on.failed_sessions, 0u);
+  EXPECT_EQ(on.packets_settled, on.packets);
+}
+
+TEST(AdversaryCampaign, SeededRunsAreBitReproducible) {
+  const auto g = campaign_graph();
+  for (const AdversaryClass cls :
+       {AdversaryClass::kCostClique, AdversaryClass::kSelectiveForwarder,
+        AdversaryClass::kFlooder, AdversaryClass::kReplayer}) {
+    const auto a = run_class(g, cls, 2);
+    const auto b = run_class(g, cls, 2);
+    EXPECT_EQ(a.off.fingerprint, b.off.fingerprint)
+        << adversary_class_name(cls);
+    EXPECT_EQ(a.on.fingerprint, b.on.fingerprint)
+        << adversary_class_name(cls);
+    EXPECT_NE(a.off.fingerprint, a.on.fingerprint)
+        << adversary_class_name(cls) << ": detection changed nothing";
+  }
+}
+
+TEST(AdversaryCampaign, CostCliqueOverpaymentShrinksUnderDetection) {
+  const auto g = campaign_graph();
+  const auto r = run_class(g, AdversaryClass::kCostClique, 3);
+  // The clique's inflated declarations poison the threat channel; the
+  // price-cap quarantine neuters them, so the sources pay strictly less.
+  EXPECT_LT(r.on.charged, r.off.charged);
+  EXPECT_GT(r.on.quarantines, 0u);
+  EXPECT_EQ(r.on.honest_quarantined, 0u);
+  EXPECT_LT(r.on.first_quarantine_session, r.on.sessions);
+  EXPECT_LE(r.on.failed_sessions, r.off.failed_sessions);
+}
+
+TEST(AdversaryCampaign, SelectiveForwardersFailFewerSessionsUnderDetection) {
+  const auto g = campaign_graph();
+  // A tight re-quote budget models a latency-bound AP: every stall burns
+  // the budget, so sessions that keep tripping over forwarders fail.
+  const auto r =
+      run_class(g, AdversaryClass::kSelectiveForwarder, 3, /*max_requotes=*/1);
+  EXPECT_LT(r.on.failed_sessions, r.off.failed_sessions);
+  // Persistent quarantine also means the AP stops burning re-quotes on
+  // relays it already knows are rotten.
+  EXPECT_LT(r.on.requotes, r.off.requotes);
+  EXPECT_GT(r.on.quarantines, 0u);
+  EXPECT_EQ(r.on.honest_quarantined, 0u);
+}
+
+TEST(AdversaryCampaign, FloodersAreQuarantinedAndSettlementRecovers) {
+  const auto g = campaign_graph();
+  const auto r = run_class(g, AdversaryClass::kFlooder, 2);
+  // Without detection the flooders invalidate every quote before the AP
+  // can settle it; with detection they are condemned within the first
+  // session or two and settlement goes back to normal.
+  EXPECT_LT(r.on.failed_sessions, r.off.failed_sessions);
+  EXPECT_GT(r.off.stale_epoch_rejects, r.on.stale_epoch_rejects);
+  EXPECT_GT(r.on.quarantines, 0u);
+  EXPECT_EQ(r.on.honest_quarantined, 0u);
+}
+
+TEST(AdversaryCampaign, ReplayersHijackLessUnderDetection) {
+  const auto g = campaign_graph();
+  const auto r = run_class(g, AdversaryClass::kReplayer, 2);
+  EXPECT_GT(r.off.hijacked_settles, 0u);
+  EXPECT_LT(r.on.hijacked_settles, r.off.hijacked_settles);
+  EXPECT_LT(r.on.charged, r.off.charged);
+  EXPECT_GT(r.on.quarantines, 0u);
+  EXPECT_EQ(r.on.honest_quarantined, 0u);
+}
+
+}  // namespace
+}  // namespace tc::distsim

@@ -1,0 +1,6 @@
+// Seeded violation: an adversary schedule rolling its own drop dice
+// instead of deriving every decision from seeded util::mix64 hashes of
+// the FaultSchedule seed (the determinism contract for hostile runs).
+bool bernoulli(double p);
+
+bool drops_data(double rate) { return bernoulli(rate); }

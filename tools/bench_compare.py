@@ -19,7 +19,15 @@ fail the comparison. Timing metrics are machine-dependent, so CI wires
 this as a non-blocking step — the committed numbers catch order-of-
 magnitude cliffs and ratio regressions (speedup), not microsecond noise.
 
+--require-all turns the missing-row warning into a failure. That is the
+exact-match mode for *deterministic* benches (BENCH_adversary.json):
+their rows carry only identity columns, so any drift in the numbers
+changes the row key and shows up as a missing row. CI wires those as
+blocking steps — a seeded adversary campaign that stops reproducing the
+committed economics is a regression, not noise.
+
 Usage: tools/bench_compare.py BASELINE.json CURRENT.json [--threshold 0.2]
+       [--require-all]
 Exit status: 0 when within threshold, 1 on regression, 2 on bad input.
 """
 
@@ -71,6 +79,10 @@ def main() -> int:
                         help="freshly generated run to check")
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="allowed relative regression (default 0.20)")
+    parser.add_argument("--require-all", action="store_true",
+                        help="fail (not warn) when a baseline row has no "
+                             "current match; exact-match mode for "
+                             "deterministic benches")
     args = parser.parse_args()
 
     baseline = {row_key(r): r for r in load_rows(args.baseline)}
@@ -82,7 +94,12 @@ def main() -> int:
         cur_row = current.get(key)
         label = ", ".join(f"{k}={v}" for k, v in key)
         if cur_row is None:
-            print(f"bench_compare: WARNING: no current row for [{label}]")
+            if args.require_all:
+                regressions.append(
+                    f"[{label}] row missing from the current run "
+                    "(deterministic output drifted)")
+            else:
+                print(f"bench_compare: WARNING: no current row for [{label}]")
             continue
         for column, base_value in base_row.items():
             direction = metric_direction(column)

@@ -1,13 +1,18 @@
 #!/usr/bin/env python3
-"""Chaos smoke sweep: drives examples/chaos_run across fault mixes.
+"""Chaos smoke sweep: drives examples/chaos_run across its scenarios.
 
-Each scenario runs the verified distributed pipeline over N fault seeds
-and requires the converged payments to stay bit-equal to the fault-free
-oracle with zero accusations (chaos_run exits nonzero otherwise). Used by
-the CI chaos job on both the release and sanitizer builds.
+The scenario table lives in chaos_run itself (one place): this script
+queries `chaos_run --list-scenarios` — one `name --flag ...` line per
+scenario — and runs each. Radio scenarios require the converged payments
+to stay bit-equal to the fault-free oracle with zero accusations; the
+adv-* scenarios run the Byzantine campaign gate (bit-reproducible seeded
+campaigns, zero honest quarantines, detection strictly reduces the
+class's aggregate damage). chaos_run exits nonzero on any violation.
+Used by the CI chaos job on both the release and sanitizer builds.
 
 Usage: tools/chaos_sweep.py --binary build/examples/chaos_run [--seeds 20]
-Exit status: 0 when every scenario passes, 1 otherwise.
+Exit status: 0 when every scenario passes, 1 otherwise, 2 when the
+scenario list cannot be read.
 """
 
 from __future__ import annotations
@@ -16,18 +21,23 @@ import argparse
 import subprocess
 import sys
 
-# (name, extra chaos_run flags). Drop stays at or below the acceptance
-# ceiling of 0.3; the last scenario adds a from-the-start relay crash,
-# checked against the declared-at-infinity reference pricing.
-SCENARIOS = (
-    ("loss-0.3", ["--drop=0.3", "--dup=0", "--reorder=0"]),
-    ("dup-reorder", ["--drop=0", "--dup=0.3", "--reorder=0.3"]),
-    ("compound", ["--drop=0.25", "--dup=0.1", "--reorder=0.15"]),
-    ("basic-mode", ["--drop=0.3", "--dup=0.1", "--reorder=0.1",
-                    "--mode=basic"]),
-    ("relay-crash", ["--drop=0.2", "--dup=0.1", "--reorder=0.1",
-                     "--crash=4"]),
-)
+
+def list_scenarios(binary: str) -> list[tuple[str, list[str]]]:
+    proc = subprocess.run([binary, "--list-scenarios"],
+                          capture_output=True, text=True, check=False)
+    if proc.returncode != 0:
+        print(f"chaos_sweep: {binary} --list-scenarios failed:\n"
+              f"{proc.stderr}", file=sys.stderr)
+        sys.exit(2)
+    scenarios = []
+    for line in proc.stdout.splitlines():
+        tokens = line.split()
+        if tokens:
+            scenarios.append((tokens[0], tokens[1:]))
+    if not scenarios:
+        print("chaos_sweep: empty scenario list", file=sys.stderr)
+        sys.exit(2)
+    return scenarios
 
 
 def main() -> int:
@@ -38,8 +48,9 @@ def main() -> int:
                         help="fault seeds per scenario (default 20)")
     args = parser.parse_args()
 
+    scenarios = list_scenarios(args.binary)
     failures = []
-    for name, extra in SCENARIOS:
+    for name, extra in scenarios:
         cmd = [args.binary, f"--seeds={args.seeds}", *extra]
         print(f"--- {name}: {' '.join(cmd)}", flush=True)
         proc = subprocess.run(cmd)
@@ -49,7 +60,7 @@ def main() -> int:
         print(f"chaos_sweep: FAILED scenarios: {', '.join(failures)}",
               file=sys.stderr)
         return 1
-    print(f"chaos_sweep: all {len(SCENARIOS)} scenarios passed "
+    print(f"chaos_sweep: all {len(scenarios)} scenarios passed "
           f"({args.seeds} seeds each)")
     return 0
 

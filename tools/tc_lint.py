@@ -30,7 +30,11 @@ violation fails the build. Rules:
                util::Rng instance) in src/distsim outside src/distsim/net/:
                every delivery, loss, and activation draw must flow through
                the radio substrate's single seeded stream so a chaos run
-               replays bit-for-bit from its FaultSchedule seed. (Seedless
+               replays bit-for-bit from its FaultSchedule seed. This
+               explicitly covers the adversary/trust layer
+               (src/distsim/adversary.*, src/distsim/trust.*): Byzantine
+               decisions — who drops, who replays — must be seeded
+               util::mix64 hash chains, never a second RNG. (Seedless
                hashing like util::mix64 is fine.)
   spath-loop   No allocating spath::dijkstra_* calls inside for/while loops
                under src/core or src/svc: repeated runs over one graph (and
@@ -290,7 +294,8 @@ class Linter:
                           "stochastic draw outside src/distsim/net/; all "
                           "delivery/loss/activation randomness must flow "
                           "through net::RadioNet's seeded FaultSchedule "
-                          "stream")
+                          "stream (adversary/trust decisions use seeded "
+                          "util::mix64 hash chains)")
 
     def check_svc_graph_copy(self, path: pathlib.Path, code: str,
                              text: str) -> None:

@@ -32,6 +32,7 @@ EXPECTATIONS = {
     # No deprecated_bad fixture while DEPRECATED_SHIMS is empty (the
     # RouteQuote cycle completed); reseed one with the next retirement.
     "net_draw_bad": "net-draw",
+    "net_draw_adversary_bad": "net-draw",
     "spath_loop_bad": "spath-loop",
     "svc_graph_copy_bad": "svc-graph-copy",
     "svc_graph_copy_allowed": None,
