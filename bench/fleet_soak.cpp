@@ -21,16 +21,26 @@
 //   and epoch-for-epoch. Any divergence fails the binary — cross-tenant
 //   interference cannot hide behind a good latency table.
 //
+// Load shape and scheduler A/B
+//   --skew zipf:<s> draws quote tenants from a Zipf(s) distribution
+//   (declares stay uniform over owned tenants), concentrating read
+//   traffic on hot low-id tenants; --sched off disables the load-aware
+//   scheduler (placement, stealing, coalescing, WFQ weights) to get the
+//   static `tenant % shards` baseline the speedup is measured against.
+//
 // BENCH_fleet.json is the committed reference; tools/bench_compare.py
 // gates ops_per_sec / latency / attainment against it in CI (`--quick`
 // shrinks the soak to a smoke).
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
 #include <memory>
 #include <optional>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -71,6 +81,33 @@ graph::NodeGraph tenant_graph(std::uint64_t seed, std::size_t nodes) {
   return graph::make_erdos_renyi(nodes, 0.3, 0.5, 9.0, seed);
 }
 
+/// Zipf(s) sampler over tenant ids: weight(rank) = (rank+1)^-s with
+/// tenant id == rank, so low ids are hot. s == 0 degrades to uniform.
+/// Under static `tenant % shards` placement, hot low ids concentrate on
+/// the low shards — exactly the imbalance the load-aware scheduler has
+/// to erase.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    double total = 0.0;
+    for (std::size_t rank = 0; rank < n; ++rank) {
+      total += std::pow(static_cast<double>(rank + 1), -s);
+      cdf_[rank] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  std::size_t sample(util::Rng& rng) const {
+    const double u = rng.next_double();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return it == cdf_.end() ? cdf_.size() - 1
+                            : static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
 /// Drains a window of in-flight requests, logging accepted declares.
 void drain(std::vector<Inflight>& window,
            std::vector<std::vector<DeclareRec>>& logs) {
@@ -84,7 +121,7 @@ void drain(std::vector<Inflight>& window,
 void run_client(svc::Fleet& fleet, std::uint64_t seed, std::size_t client,
                 std::size_t clients, std::size_t tenants, std::size_t nodes,
                 std::size_t requests, std::size_t window_cap,
-                double write_ratio,
+                double write_ratio, const ZipfSampler* skew,
                 std::vector<std::vector<DeclareRec>>& logs,
                 ClientTotals& totals) {
   util::Rng rng(seed * 0x9E3779B97F4A7C15ULL + client);
@@ -99,7 +136,8 @@ void run_client(svc::Fleet& fleet, std::uint64_t seed, std::size_t client,
     Inflight f;
     if (rng.bernoulli(write_ratio) && owned > 0) {
       // Declares go only to tenants this client owns, so each tenant's
-      // write history has a single, ordered author.
+      // write history has a single, ordered author. Writes stay uniform
+      // even under skew: ownership, not popularity, decides who writes.
       req.tenant = static_cast<svc::TenantId>(
           client + clients * rng.next_below(owned));
       f.is_declare = true;
@@ -107,8 +145,10 @@ void run_client(svc::Fleet& fleet, std::uint64_t seed, std::size_t client,
       f.cost = rng.uniform(0.5, 12.0);
       req.op = svc::DeclareOp{f.node, f.cost};
     } else {
-      // Quotes are reads: any client may hit any tenant.
-      req.tenant = static_cast<svc::TenantId>(rng.next_below(tenants));
+      // Quotes are reads: any client may hit any tenant. Under --skew
+      // the read traffic concentrates on the hot (low-id) tenants.
+      req.tenant = static_cast<svc::TenantId>(
+          skew != nullptr ? skew->sample(rng) : rng.next_below(tenants));
       const auto source = static_cast<NodeId>(1 + rng.next_below(nodes - 1));
       if (rng.bernoulli(0.25)) {
         auto target = static_cast<NodeId>(rng.next_below(nodes));
@@ -177,6 +217,11 @@ int main(int argc, char** argv) {
   flags.add_int("window", 512, "max in-flight requests per client");
   flags.add_double("write_ratio", 0.10, "fraction of requests that declare");
   flags.add_int("seed", 2004, "workload seed");
+  flags.add_string("skew", "uniform",
+                   "quote tenant distribution: uniform | zipf:<s>");
+  flags.add_string("sched", "on",
+                   "on = load-aware stealing/coalescing/WFQ scheduler; "
+                   "off = static tenant%shards baseline (the A/B control)");
   flags.add_bool("quick", false, "CI smoke: 64 tenants, 30k requests");
   flags.add_string("csv", "", "write the report as CSV to this path");
   flags.add_string("json", "", "write the report as JSON to this path");
@@ -196,17 +241,44 @@ int main(int argc, char** argv) {
     requests = 30'000;
     shards = 4;
   }
+  const std::string skew_spec = flags.get_string("skew");
+  double zipf_s = 0.0;
+  if (skew_spec.rfind("zipf:", 0) == 0) {
+    zipf_s = std::atof(skew_spec.c_str() + 5);
+  } else if (skew_spec != "uniform") {
+    std::fprintf(stderr, "bad --skew '%s' (uniform | zipf:<s>)\n",
+                 skew_spec.c_str());
+    return 1;
+  }
+  const std::string sched_spec = flags.get_string("sched");
+  if (sched_spec != "on" && sched_spec != "off") {
+    std::fprintf(stderr, "bad --sched '%s' (on | off)\n", sched_spec.c_str());
+    return 1;
+  }
+  const bool sched_on = sched_spec == "on";
+  std::optional<ZipfSampler> zipf;
+  if (zipf_s > 0.0) zipf.emplace(tenants, zipf_s);
 
   bench::banner(
       "Fleet soak: mixed quote/declare replay across tenants",
       "thousands of tenants behind one request API sustain interactive "
       "p99s while every price sheet stays oracle-exact");
   std::printf("tenants=%zu clients=%zu requests=%zu shards=%zu nodes=%zu "
-              "write_ratio=%.2f\n\n",
-              tenants, clients, requests, shards, nodes, write_ratio);
+              "write_ratio=%.2f skew=%s sched=%s\n\n",
+              tenants, clients, requests, shards, nodes, write_ratio,
+              skew_spec.c_str(), sched_spec.c_str());
 
   svc::Config config;
   config.fleet.shards = shards;
+  if (!sched_on) {
+    // The static baseline: tenant % shards placement, no steals, no
+    // coalescing, classless round-robin (equal DRR weights).
+    config.fleet.load_aware_placement = false;
+    config.fleet.work_stealing = false;
+    config.fleet.coalesce_quotes = false;
+    config.fleet.interactive_weight = 1;
+    config.fleet.batch_weight = 1;
+  }
   svc::Fleet fleet(config);
   std::vector<graph::NodeGraph> graphs;
   graphs.reserve(tenants);
@@ -232,7 +304,8 @@ int main(int argc, char** argv) {
   for (std::size_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       run_client(fleet, seed, c, clients, tenants, nodes, per_client,
-                 window, write_ratio, logs[c], totals[c]);
+                 window, write_ratio, zipf ? &*zipf : nullptr, logs[c],
+                 totals[c]);
     });
   }
   for (auto& t : threads) t.join();
@@ -258,21 +331,23 @@ int main(int argc, char** argv) {
     sum.interactive += t.interactive;
     sum.batch += t.batch;
   }
-  const double att = m.attainment();
-  bench::Report report({"class", "tenants", "clients", "requests",
-                        "total_s", "ops_per_sec", "p50_us", "p99_us",
-                        "p999_us", "attainment"});
+  bench::Report report({"class", "skew", "sched", "tenants", "clients",
+                        "requests", "total_s", "ops_per_sec", "p50_us",
+                        "p99_us", "p999_us", "attainment"});
   const auto row = [&](const char* cls, std::uint64_t reqs, double p50,
-                       double p99, double p999) {
-    report.add_row({cls, std::to_string(tenants), std::to_string(clients),
-                    std::to_string(reqs), util::fmt(total_s, 3),
+                       double p99, double p999, double att) {
+    report.add_row({cls, skew_spec, sched_spec, std::to_string(tenants),
+                    std::to_string(clients), std::to_string(reqs),
+                    util::fmt(total_s, 3),
                     util::fmt(static_cast<double>(reqs) / total_s, 1),
                     util::fmt(p50, 1), util::fmt(p99, 1),
                     util::fmt(p999, 1), util::fmt(att, 4)});
   };
   row("interactive", sum.interactive, m.interactive_p50_us,
-      m.interactive_p99_us, m.interactive_p999_us);
-  row("batch", sum.batch, m.batch_p50_us, m.batch_p99_us, m.batch_p999_us);
+      m.interactive_p99_us, m.interactive_p999_us,
+      m.attainment(svc::Priority::kInteractive));
+  row("batch", sum.batch, m.batch_p50_us, m.batch_p99_us, m.batch_p999_us,
+      m.attainment(svc::Priority::kBatch));
   report.print();
   report.write_csv(flags.get_string("csv"));
   report.write_json(flags.get_string("json"));

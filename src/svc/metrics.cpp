@@ -69,6 +69,8 @@ const char* to_string(Priority p) {
 void FleetMetrics::record_served(TenantId tenant, Priority priority,
                                  double latency_us, bool unroutable) {
   served_.fetch_add(1, std::memory_order_relaxed);
+  (priority == Priority::kInteractive ? interactive_served_ : batch_served_)
+      .fetch_add(1, std::memory_order_relaxed);
   {
     util::MutexLock lock(class_mutex_);
     (priority == Priority::kInteractive ? interactive_ : batch_)
@@ -95,23 +97,36 @@ void FleetMetrics::record_declare(TenantId tenant, Priority priority,
   });
 }
 
-void FleetMetrics::record_shed_queue_full(TenantId tenant) {
+namespace {
+/// Shared per-class denial bump for the four rejection recorders.
+void bump_denied(std::atomic<std::uint64_t>& interactive,
+                 std::atomic<std::uint64_t>& batch, Priority priority) {
+  (priority == Priority::kInteractive ? interactive : batch)
+      .fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+void FleetMetrics::record_shed_queue_full(TenantId tenant, Priority priority) {
   shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+  bump_denied(interactive_denied_, batch_denied_, priority);
   with_tenant(tenant, [](TenantStats& t) { ++t.shed; });
 }
 
-void FleetMetrics::record_shed_watermark(TenantId tenant) {
+void FleetMetrics::record_shed_watermark(TenantId tenant, Priority priority) {
   shed_watermark_.fetch_add(1, std::memory_order_relaxed);
+  bump_denied(interactive_denied_, batch_denied_, priority);
   with_tenant(tenant, [](TenantStats& t) { ++t.shed; });
 }
 
-void FleetMetrics::record_throttled(TenantId tenant) {
+void FleetMetrics::record_throttled(TenantId tenant, Priority priority) {
   throttled_.fetch_add(1, std::memory_order_relaxed);
+  bump_denied(interactive_denied_, batch_denied_, priority);
   with_tenant(tenant, [](TenantStats& t) { ++t.throttled; });
 }
 
-void FleetMetrics::record_expired(TenantId tenant) {
+void FleetMetrics::record_expired(TenantId tenant, Priority priority) {
   expired_.fetch_add(1, std::memory_order_relaxed);
+  bump_denied(interactive_denied_, batch_denied_, priority);
   with_tenant(tenant, [](TenantStats& t) { ++t.expired; });
 }
 
@@ -126,6 +141,14 @@ FleetMetricsSnapshot FleetMetrics::snapshot() {
   s.throttled = throttled_.load(std::memory_order_relaxed);
   s.expired = expired_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.stolen_runs = stolen_runs_.load(std::memory_order_relaxed);
+  s.stolen_requests = stolen_requests_.load(std::memory_order_relaxed);
+  s.coalesced_groups = coalesced_groups_.load(std::memory_order_relaxed);
+  s.coalesced_requests = coalesced_requests_.load(std::memory_order_relaxed);
+  s.interactive_served = interactive_served_.load(std::memory_order_relaxed);
+  s.interactive_denied = interactive_denied_.load(std::memory_order_relaxed);
+  s.batch_served = batch_served_.load(std::memory_order_relaxed);
+  s.batch_denied = batch_denied_.load(std::memory_order_relaxed);
   {
     util::MutexLock lock(class_mutex_);
     if (interactive_.count() > 0) {
@@ -177,8 +200,18 @@ std::string FleetMetricsSnapshot::to_string() const {
       << "throttled         " << throttled << "\n"
       << "expired           " << expired << "\n"
       << "rejected          " << rejected << "\n"
+      << "stolen runs       " << stolen_runs << " (" << stolen_requests
+      << " requests)\n"
+      << "coalesced groups  " << coalesced_groups << " ("
+      << coalesced_requests << " requests)\n"
       << "attainment        "
-      << static_cast<int>(attainment() * 1000.0 + 0.5) / 10.0 << "%\n"
+      << static_cast<int>(attainment() * 1000.0 + 0.5) / 10.0 << "%"
+      << "  interactive "
+      << static_cast<int>(attainment(Priority::kInteractive) * 1000.0 + 0.5) /
+             10.0
+      << "%  batch "
+      << static_cast<int>(attainment(Priority::kBatch) * 1000.0 + 0.5) / 10.0
+      << "%\n"
       << "interactive us    p50 " << interactive_p50_us << "  p99 "
       << interactive_p99_us << "  p999 " << interactive_p999_us << "\n"
       << "batch us          p50 " << batch_p50_us << "  p99 " << batch_p99_us

@@ -154,6 +154,16 @@ struct FleetMetricsSnapshot {
   std::uint64_t throttled = 0;       ///< per-tenant token bucket empty
   std::uint64_t expired = 0;         ///< typed deadline rejections
   std::uint64_t rejected = 0;        ///< no-such-tenant / invalid requests
+  // Scheduler counters (DESIGN.md §15).
+  std::uint64_t stolen_runs = 0;     ///< whole-tenant migrations (steals)
+  std::uint64_t stolen_requests = 0; ///< requests carried by those steals
+  std::uint64_t coalesced_groups = 0;  ///< multi-request quote_batch calls
+  std::uint64_t coalesced_requests = 0;  ///< quote requests folded into them
+  /// Per-class served / denied quote counts (attainment inputs).
+  std::uint64_t interactive_served = 0;
+  std::uint64_t interactive_denied = 0;
+  std::uint64_t batch_served = 0;
+  std::uint64_t batch_denied = 0;
   /// End-to-end latency (submit -> response) per priority class, us.
   double interactive_p50_us = 0.0;
   double interactive_p99_us = 0.0;
@@ -176,6 +186,18 @@ struct FleetMetricsSnapshot {
                             static_cast<double>(total);
   }
 
+  /// Per-class SLO attainment: answered / (answered + denied) among
+  /// quote requests of one priority class.
+  [[nodiscard]] double attainment(Priority p) const {
+    const bool inter = p == Priority::kInteractive;
+    const std::uint64_t answered = inter ? interactive_served : batch_served;
+    const std::uint64_t denied = inter ? interactive_denied : batch_denied;
+    const std::uint64_t total = answered + denied;
+    return total == 0 ? 1.0
+                      : static_cast<double>(answered) /
+                            static_cast<double>(total);
+  }
+
   /// Multi-line human-readable block (CLI --fleet --metrics, soak bench).
   [[nodiscard]] std::string to_string() const;
 };
@@ -190,11 +212,21 @@ class FleetMetrics {
                      bool unroutable);
   void record_declare(TenantId tenant, Priority priority, double latency_us);
   void record_admin() { admin_.fetch_add(1, std::memory_order_relaxed); }
-  void record_shed_queue_full(TenantId tenant);
-  void record_shed_watermark(TenantId tenant);
-  void record_throttled(TenantId tenant);
-  void record_expired(TenantId tenant);
+  void record_shed_queue_full(TenantId tenant, Priority priority);
+  void record_shed_watermark(TenantId tenant, Priority priority);
+  void record_throttled(TenantId tenant, Priority priority);
+  void record_expired(TenantId tenant, Priority priority);
   void record_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  /// One whole-tenant migration carrying `requests` queued requests.
+  void record_steal(std::uint64_t requests) {
+    stolen_runs_.fetch_add(1, std::memory_order_relaxed);
+    stolen_requests_.fetch_add(requests, std::memory_order_relaxed);
+  }
+  /// One coalesced engine call folding `requests` quote requests.
+  void record_coalesced(std::uint64_t requests) {
+    coalesced_groups_.fetch_add(1, std::memory_order_relaxed);
+    coalesced_requests_.fetch_add(requests, std::memory_order_relaxed);
+  }
 
   /// Non-const (unlike Metrics::snapshot): the percentile queries sort
   /// the reservoirs lazily, and the Fleet owns this object outright, so
@@ -216,12 +248,27 @@ class FleetMetrics {
     util::Percentiles latencies;
   };
 
-  struct Stripe {
+  /// Cache-line width used to pad each stripe. Literal 64 instead of
+  /// std::hardware_destructive_interference_size: the std constant is 64
+  /// on every target we build, and naming it in a header trips GCC's
+  /// -Winterference-size ABI warning.
+  static constexpr std::size_t kCacheLine = 64;
+
+  /// Stripes are what concurrent shard workers hammer in parallel, so
+  /// each one is padded to cache-line granularity: without alignas two
+  /// neighboring stripes share a line and their (uncontended) mutexes
+  /// false-share under write traffic from different cores.
+  struct alignas(kCacheLine) Stripe {
     /// Leaf lock: held only for map/reservoir updates, never across
     /// calls out of the metrics object.
     util::Mutex mutex;
     std::unordered_map<TenantId, TenantStats> tenants TC_GUARDED_BY(mutex);
   };
+  static_assert(alignof(Stripe) >= kCacheLine,
+                "stripe must start on its own cache line");
+  static_assert(sizeof(Stripe) % kCacheLine == 0,
+                "stripe size must pad to whole cache lines so array "
+                "neighbors never share one");
 
   /// Applies `fn` to the tenant's stats under the stripe lock.
   template <typename Fn>
@@ -240,6 +287,15 @@ class FleetMetrics {
   std::atomic<std::uint64_t> throttled_{0};
   std::atomic<std::uint64_t> expired_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> stolen_runs_{0};
+  std::atomic<std::uint64_t> stolen_requests_{0};
+  std::atomic<std::uint64_t> coalesced_groups_{0};
+  std::atomic<std::uint64_t> coalesced_requests_{0};
+  /// Per-class quote outcome counters (attainment numerator/denominator).
+  std::atomic<std::uint64_t> interactive_served_{0};
+  std::atomic<std::uint64_t> interactive_denied_{0};
+  std::atomic<std::uint64_t> batch_served_{0};
+  std::atomic<std::uint64_t> batch_denied_{0};
   /// Leaf lock guarding the per-class reservoirs only.
   util::Mutex class_mutex_;
   util::Percentiles interactive_ TC_GUARDED_BY(class_mutex_);

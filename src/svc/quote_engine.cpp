@@ -617,8 +617,94 @@ std::vector<std::optional<core::PaymentResult>> QuoteEngine::quote_batch(
   std::vector<std::optional<core::PaymentResult>> quotes(pairs.size());
   util::ThreadPool& pool =
       options_.pool != nullptr ? *options_.pool : util::default_pool();
-  pool.parallel_for(0, pairs.size(), [&](std::size_t i) {
+  const auto snap = snapshot_.load(std::memory_order_acquire);
+  if (snap->model() != GraphModel::kNode || !pricer_->accepts_warm_spts()) {
+    pool.parallel_for(0, pairs.size(), [&](std::size_t i) {
+      quotes[i] = quote_impl(pairs[i].first, pairs[i].second);
+    });
+    return quotes;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  // Serve cache hits against the frozen snapshot and collect the misses.
+  // Pairs are visited in request order, so the miss list (and the batch
+  // layout behind it) is deterministic.
+  std::vector<std::size_t> miss;
+  miss.reserve(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto [source, target] = pairs[i];
+    TC_CHECK_MSG(source < num_nodes_ && target < num_nodes_,
+                 "quote endpoint out of range");
+    TC_CHECK_MSG(source != target, "source and target must differ");
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(source) * num_nodes_ + target;
+    Shard& shard = *shards_[key % shards_.size()];
+    util::MutexLock lock(shard.mutex);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end() && it->second.epoch == snap->epoch()) {
+      metrics_.record_hit();
+      metrics_.record_served(elapsed_us(start));
+      const core::PaymentResult& result = it->second.quote.result;
+      if (result.connected()) quotes[i] = result;
+    } else {
+      miss.push_back(i);
+    }
+  }
+  if (miss.empty()) return quotes;
+  if (miss.size() < 2) {
+    // One miss amortizes nothing; the scalar path still gets the warm
+    // per-root SPT cache, which a cold multi-source solve would bypass.
+    const std::size_t i = miss.front();
     quotes[i] = quote_impl(pairs[i].first, pairs[i].second);
+    return quotes;
+  }
+  // One multi-source batched solve over the distinct endpoints of every
+  // missing pair: the workspace and its heap stay hot across roots
+  // instead of re-warming once per quote_impl miss.
+  std::vector<NodeId> roots;
+  roots.reserve(miss.size() * 2);
+  for (const std::size_t i : miss) {
+    roots.push_back(pairs[i].first);
+    roots.push_back(pairs[i].second);
+  }
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  spath::SptMatrix matrix;
+  spath::spt_multi_into(spath::thread_local_workspace(), matrix, snap->node(),
+                        roots);
+  const auto row_of = [&](NodeId v) {
+    const std::size_t idx = static_cast<std::size_t>(
+        std::lower_bound(roots.begin(), roots.end(), v) - roots.begin());
+    return matrix.to_result(idx);
+  };
+  // Pricing fans out: each miss reads its own two matrix rows, so the
+  // workers share no mutable state.
+  pool.parallel_for(0, miss.size(), [&](std::size_t m) {
+    const std::size_t i = miss[m];
+    const auto [source, target] = pairs[i];
+    PricedQuote priced = pricer_->price_with_spts(*snap, source, target,
+                                                  row_of(source),
+                                                  row_of(target));
+    priced.result.profile_version = snap->epoch();
+    const core::PaymentResult result = priced.result;
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(source) * num_nodes_ + target;
+    Shard& shard = *shards_[key % shards_.size()];
+    {
+      util::MutexLock lock(shard.mutex);
+      auto it = shard.entries.find(key);
+      if (it == shard.entries.end()) {
+        if (shard.entries.size() >= options_.max_entries_per_shard) {
+          shard.entries.erase(shard.entries.begin());
+        }
+        shard.entries.emplace(
+            key, CacheEntry{snap->epoch(), std::move(priced), 0.0});
+      } else if (it->second.epoch < snap->epoch()) {
+        it->second = CacheEntry{snap->epoch(), std::move(priced), 0.0};
+      }
+    }
+    metrics_.record_miss();
+    metrics_.record_served(elapsed_us(start));
+    if (result.connected()) quotes[i] = result;
   });
   return quotes;
 }

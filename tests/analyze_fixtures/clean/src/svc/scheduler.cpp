@@ -1,0 +1,39 @@
+// Lock-order witness: the documented direction — the route/steal lock
+// strictly before any shard scheduler mutex — must pass the lock-order
+// rule, including a sched lock nested inside an open route scope.
+namespace util {
+struct Mutex {};
+struct SharedMutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex&) {}
+};
+struct SharedMutexLock {
+  explicit SharedMutexLock(SharedMutex&) {}
+};
+}  // namespace util
+
+namespace svc {
+
+struct Shard {
+  util::Mutex sched_mutex;
+  int queued = 0;
+};
+
+util::SharedMutex route_mutex_;
+int route_table = 0;
+
+int steal_into(Shard& victim, Shard& thief) {
+  util::SharedMutexLock route(route_mutex_);
+  {
+    util::MutexLock sched(victim.sched_mutex);
+    thief.queued += victim.queued;
+    victim.queued = 0;
+  }
+  {
+    util::MutexLock sched(thief.sched_mutex);
+    route_table += thief.queued;
+  }
+  return route_table;
+}
+
+}  // namespace svc

@@ -1,0 +1,34 @@
+// Seeded violation: the steal/route lock acquired while a shard's
+// scheduler mutex is held — the reverse of the fleet's lock order
+// (route/steal strictly before sched/mailbox), which deadlocks against
+// a concurrent steal that took the locks in the documented direction.
+namespace util {
+struct Mutex {};
+struct SharedMutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex&) {}
+};
+struct SharedMutexLock {
+  explicit SharedMutexLock(SharedMutex&) {}
+};
+}  // namespace util
+
+namespace svc {
+
+struct Shard {
+  util::Mutex sched_mutex;
+  int queued = 0;
+};
+
+util::SharedMutex route_mutex_;
+int route_table = 0;
+
+int rebalance(Shard& shard) {
+  util::MutexLock sched(shard.sched_mutex);
+  // BAD: taking the ownership lock inside the sched scope.
+  util::SharedMutexLock route(route_mutex_);
+  route_table += shard.queued;
+  return route_table;
+}
+
+}  // namespace svc

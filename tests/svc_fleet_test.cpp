@@ -294,6 +294,195 @@ TEST(Fleet, ConfigValidationCatchesBadKnobs) {
   config = {};
   config.engine.max_entries_per_shard = 0;
   EXPECT_FALSE(config.validate().empty());
+  // Scheduler knobs (DESIGN.md §15).
+  config = {};
+  config.fleet.load_aware_placement = false;
+  config.fleet.work_stealing = true;  // stealing needs the ownership table
+  EXPECT_FALSE(config.validate().empty());
+  config = {};
+  config.fleet.interactive_weight = 0;
+  EXPECT_FALSE(config.validate().empty());
+  config = {};
+  config.fleet.coalesce_cap = 0;
+  EXPECT_FALSE(config.validate().empty());
+  config = {};
+  config.fleet.load_ewma_alpha = 0.0;
+  EXPECT_FALSE(config.validate().empty());
+  config = {};
+  config.fleet.load_ewma_alpha = 1.5;
+  EXPECT_FALSE(config.validate().empty());
+}
+
+TEST(Fleet, StaticPlacementBaselineStillServes) {
+  // The A/B control for the skewed-load soak: scheduler features off,
+  // tenants hashed tenant % shards, no ownership table, no steals.
+  Config config;
+  config.fleet.shards = 2;
+  config.fleet.load_aware_placement = false;
+  config.fleet.work_stealing = false;
+  config.fleet.coalesce_quotes = false;
+  Fleet fleet(config);
+  const auto g = tenant_graph(91);
+  ASSERT_EQ(fleet.create_tenant(3, g, 0), Status::kOk);
+  QuoteEngine oracle(g, 0);
+  const Response r = fleet.call(quote_req(3, 5, graph::kInvalidNode));
+  ASSERT_EQ(r.status, Status::kOk);
+  const auto want = oracle.quote(5);
+  ASSERT_EQ(r.quote.has_value(), want.has_value());
+  if (want) {
+    EXPECT_EQ(r.quote->payments, want->payments);
+  }
+  const auto m = fleet.metrics();
+  EXPECT_EQ(m.stolen_runs, 0u);
+  EXPECT_EQ(m.coalesced_groups, 0u);
+}
+
+TEST(Fleet, CoalescedQuotesMatchOracleAndShareOneEpoch) {
+  const auto g = tenant_graph(93, 40);
+  Config config;
+  config.fleet.shards = 1;
+  config.fleet.default_deadline_us = 60'000'000;
+  Fleet fleet(config);
+  ASSERT_EQ(fleet.create_tenant(0, g, 0), Status::kOk);
+  QuoteEngine oracle(g, 0);
+
+  // Park the worker in a big batch, pile same-tenant quotes up behind
+  // it, and let the drain loop fold them into one engine call. The park
+  // is probabilistic, so retry a few rounds until a group coalesced.
+  bool coalesced = false;
+  for (int round = 0; round < 20 && !coalesced; ++round) {
+    Request slow;
+    slow.tenant = 0;
+    slow.op = all_pairs(g);
+    auto slow_future = fleet.submit(std::move(slow));
+    std::vector<std::future<Response>> burst;
+    for (NodeId s = 1; s < 17; ++s) {
+      burst.push_back(fleet.submit(quote_req(0, s, graph::kInvalidNode)));
+    }
+    EXPECT_EQ(slow_future.get().status, Status::kOk);
+    std::uint64_t epoch = 0;
+    for (NodeId s = 1; s < 17; ++s) {
+      const Response r = burst[s - 1].get();
+      ASSERT_EQ(r.status, Status::kOk);
+      if (epoch == 0) epoch = r.epoch;
+      // No declare ran: every answer must carry the same epoch.
+      EXPECT_EQ(r.epoch, epoch);
+      const auto want = oracle.quote(s);
+      ASSERT_EQ(r.quote.has_value(), want.has_value()) << "source " << s;
+      if (want) {
+        EXPECT_EQ(r.quote->path, want->path);
+        EXPECT_EQ(r.quote->payments, want->payments);
+      }
+    }
+    coalesced = fleet.metrics().coalesced_groups > 0;
+  }
+  EXPECT_TRUE(coalesced) << "no quote group ever coalesced in 20 rounds";
+}
+
+// Steal-safety stress: tenants migrate between shards mid-declare-storm
+// while every worker is busy. Each tenant has exactly ONE writer thread,
+// so its declared profile is locally known; every served quote must
+// audit clean against it, epochs must rise monotonically through any
+// migration, and the outcome counters must conserve. Run under TSan
+// this is the steal protocol's race detector.
+TEST(Fleet, WorkStealingKeepsTenantsCoherentUnderStorm) {
+  constexpr TenantId kTenants = 12;
+  constexpr std::size_t kNodes = 16;
+  constexpr int kMaxRounds = 40;
+  Config config;
+  config.fleet.shards = 8;
+  config.fleet.steal_min_queue = 1;  // steal eagerly
+  config.fleet.default_deadline_us = 60'000'000;
+  Fleet fleet(config);
+
+  std::atomic<int> failures{0};
+  std::atomic<bool> stop{false};
+  std::atomic<int> done{0};
+  std::vector<std::thread> owners;
+  owners.reserve(kTenants);
+  for (TenantId t = 0; t < kTenants; ++t) {
+    owners.emplace_back([&, t] {
+      auto local = tenant_graph(500 + t, kNodes);
+      if (fleet.create_tenant(t, local, 0) != Status::kOk) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+        done.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      util::Rng rng(0x57ea1ULL + static_cast<std::uint64_t>(t));
+      std::uint64_t last_epoch = 0;
+      for (int round = 0; round < kMaxRounds; ++round) {
+        // Declare storm: blocking writes, exact local mirror.
+        for (int i = 0; i < 6; ++i) {
+          const auto v = static_cast<NodeId>(1 + rng.next_below(kNodes - 1));
+          const Cost cost = rng.uniform(0.2, 9.0);
+          const Response r = fleet.call(declare_req(t, v, cost));
+          if (r.status != Status::kOk) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          // Epoch monotonicity must survive a mid-storm migration.
+          EXPECT_GT(r.epoch, last_epoch);
+          last_epoch = r.epoch;
+          local.set_node_cost(v, cost);
+        }
+        // Quote burst, mixed priorities; resolved before the next storm
+        // so the local graph matches what the engine priced against.
+        std::vector<std::future<Response>> burst;
+        for (int i = 0; i < 8; ++i) {
+          const auto s = static_cast<NodeId>(1 + rng.next_below(kNodes - 1));
+          burst.push_back(fleet.submit(
+              quote_req(t, s, graph::kInvalidNode,
+                        rng.next_below(2) == 0 ? Priority::kInteractive
+                                               : Priority::kBatch)));
+        }
+        for (auto& f : burst) {
+          const Response r = f.get();
+          if (r.status == Status::kShedWatermark ||
+              r.status == Status::kShedQueueFull ||
+              r.status == Status::kExpiredDeadline) {
+            continue;  // legitimate under load; nothing to audit
+          }
+          if (r.status != Status::kOk) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          if (!r.quote.has_value()) continue;  // unroutable source
+          mech::UnicastOutcome outcome;
+          outcome.path = r.quote->path;
+          outcome.path_cost = r.quote->path_cost;
+          outcome.payments = r.quote->payments;
+          const auto report =
+              mech::audit_unicast_payment(local, r.quote->path.front(), 0,
+                                          outcome);
+          if (!report.ok()) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            ADD_FAILURE() << "tenant " << t << ": " << report.to_string();
+          }
+        }
+        if (stop.load(std::memory_order_relaxed)) break;
+      }
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  // Let the storm run until at least one run actually migrated, then
+  // wind down (the 8 workers against 12 busy tenants make steals near
+  // certain within a round or two).
+  while (!stop.load(std::memory_order_relaxed)) {
+    if (fleet.metrics().stolen_runs > 0 || done.load() == kTenants) {
+      stop.store(true);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  for (auto& t : owners) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const auto m = fleet.metrics();
+  EXPECT_GT(m.stolen_runs, 0u);
+  EXPECT_GE(m.stolen_requests, m.stolen_runs);
+  EXPECT_EQ(m.submitted, m.served + m.declares + m.admin +
+                             m.shed_queue_full + m.shed_watermark +
+                             m.throttled + m.expired + m.rejected);
+  EXPECT_EQ(m.admin, kTenants);
 }
 
 // Per-tenant ledger epoch fencing (distsim tie-in): each tenant keeps an

@@ -55,6 +55,73 @@ TEST(BoundedQueue, CloseWakesBlockedConsumer) {
   consumer.join();
 }
 
+TEST(BoundedQueue, TryPopNDrainsFifoInBatches) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(q.try_push(int{i}));
+  std::vector<int> out;
+  EXPECT_EQ(q.try_pop_n(out, 4), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  // Appends to the caller's buffer and returns only what was available.
+  EXPECT_EQ(q.try_pop_n(out, 4), 2u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(q.try_pop_n(out, 4), 0u);
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(BoundedQueue, TryPopNZeroMaxIsANoop) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  std::vector<int> out;
+  EXPECT_EQ(q.try_pop_n(out, 0), 0u);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(q.depth(), 1u);
+}
+
+TEST(BoundedQueue, TryPopNDrainsAcrossClose) {
+  // A worker draining its mailbox at shutdown: close() must not strand
+  // already-admitted items, and the drained batch keeps FIFO order.
+  BoundedQueue<std::unique_ptr<int>> q(4);
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(10)));
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(11)));
+  q.close();
+  std::vector<std::unique_ptr<int>> out;
+  EXPECT_EQ(q.try_pop_n(out, 8), 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(*out[0], 10);
+  EXPECT_EQ(*out[1], 11);
+  // Drained + closed: further batch pops report empty, matching pop()'s
+  // nullopt exit signal.
+  EXPECT_EQ(q.try_pop_n(out, 8), 0u);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, ExtractIfRemovesMatchesPreservingOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(q.try_push(int{i}));
+  std::vector<int> odds;
+  EXPECT_EQ(q.extract_if([](const int& v) { return v % 2 == 1; }, odds), 3u);
+  EXPECT_EQ(odds, (std::vector<int>{1, 3, 5}));
+  EXPECT_EQ(q.depth(), 3u);
+  // The survivors keep their relative order too.
+  EXPECT_EQ(q.pop(), std::optional<int>(0));
+  EXPECT_EQ(q.pop(), std::optional<int>(2));
+  EXPECT_EQ(q.pop(), std::optional<int>(4));
+}
+
+TEST(BoundedQueue, ExtractIfOnMoveOnlyItems) {
+  BoundedQueue<std::unique_ptr<int>> q(4);
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(1)));
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(2)));
+  std::vector<std::unique_ptr<int>> out;
+  EXPECT_EQ(
+      q.extract_if([](const std::unique_ptr<int>& v) { return *v == 2; },
+                   out),
+      1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(*out[0], 2);
+  EXPECT_EQ(q.depth(), 1u);
+}
+
 TEST(BoundedQueue, MultiProducerHandoff) {
   constexpr int kProducers = 4;
   constexpr int kPerProducer = 200;
